@@ -1,0 +1,68 @@
+//! Criterion benches for the precision composing scheme (paper §III-D)
+//! and the peripheral circuits around it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prime_circuits::{part_sums, ComposingScheme, MaxPoolUnit, ReconfigurableSa};
+use prime_core::FfMat;
+use prime_mem::MatFunction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_part_sums(c: &mut Criterion) {
+    let scheme = ComposingScheme::prime_default();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let inputs: Vec<u16> = (0..256).map(|_| rng.gen_range(0..64)).collect();
+    let weights: Vec<i32> = (0..256 * 16).map(|_| rng.gen_range(-255..=255)).collect();
+    c.bench_function("composing_part_sums_256x16", |b| {
+        b.iter(|| part_sums(&scheme, black_box(&inputs), black_box(&weights), 16).unwrap())
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let scheme = ComposingScheme::prime_default();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let inputs: Vec<u16> = (0..256).map(|_| rng.gen_range(0..64)).collect();
+    let weights: Vec<i32> = (0..256).map(|_| rng.gen_range(-255..=255)).collect();
+    let parts = part_sums(&scheme, &inputs, &weights, 1).unwrap()[0];
+    c.bench_function("composing_truncate_accumulate", |b| {
+        b.iter(|| scheme.compose(black_box(parts)))
+    });
+}
+
+fn bench_ff_mat_compute(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let weights: Vec<i32> = (0..256 * 128).map(|_| rng.gen_range(-255..=255)).collect();
+    let mut mat = FfMat::new();
+    mat.set_function(MatFunction::Program);
+    mat.program_composed(&weights, 256, 128).unwrap();
+    mat.set_function(MatFunction::Compute);
+    let inputs: Vec<u16> = (0..256).map(|_| rng.gen_range(0..64)).collect();
+    c.bench_function("ff_mat_compute_256x128", |b| {
+        b.iter(|| mat.compute(black_box(&inputs)).unwrap())
+    });
+}
+
+fn bench_sa_conversion(c: &mut Criterion) {
+    let mut sa = ReconfigurableSa::new(6).unwrap();
+    sa.set_precision(6).unwrap();
+    c.bench_function("sa_convert", |b| b.iter(|| sa.convert(black_box(0x3FFFFF), 22).unwrap()));
+}
+
+fn bench_max_pool(c: &mut Criterion) {
+    let unit = MaxPoolUnit::new();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let values: Vec<i64> = (0..16).map(|_| rng.gen_range(-100..100)).collect();
+    c.bench_function("max_pool_16to1", |b| b.iter(|| unit.pool(black_box(&values)).unwrap()));
+}
+
+criterion_group!(
+    benches,
+    bench_part_sums,
+    bench_compose,
+    bench_ff_mat_compute,
+    bench_sa_conversion,
+    bench_max_pool
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the ReRAM crossbar substrate: the analog
+//! matrix-vector primitive behind every PRIME figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prime_device::{Crossbar, MlcSpec, NoiseModel, PairedCrossbar, MAT_DIM};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_dot");
+    let mut rng = SmallRng::seed_from_u64(1);
+    for &dim in &[64usize, 128, MAT_DIM] {
+        let mut xbar = Crossbar::new(dim, dim, MlcSpec::new(4).unwrap());
+        let weights: Vec<u16> = (0..dim * dim).map(|_| rng.gen_range(0..16)).collect();
+        xbar.program_matrix(&weights).unwrap();
+        let input: Vec<u16> = (0..dim).map(|_| rng.gen_range(0..8)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| xbar.dot(black_box(&input)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_signed(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut pair = PairedCrossbar::mat();
+    let weights: Vec<i32> = (0..MAT_DIM * MAT_DIM).map(|_| rng.gen_range(-15..=15)).collect();
+    pair.program_signed_matrix(&weights).unwrap();
+    let input: Vec<u16> = (0..MAT_DIM).map(|_| rng.gen_range(0..8)).collect();
+    c.bench_function("paired_dot_signed_256x256", |b| {
+        b.iter(|| pair.dot_signed(black_box(&input)).unwrap())
+    });
+}
+
+fn bench_analog(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut xbar = Crossbar::mat();
+    let weights: Vec<u16> = (0..MAT_DIM * MAT_DIM).map(|_| rng.gen_range(0..16)).collect();
+    xbar.program_matrix(&weights).unwrap();
+    xbar.apply_program_noise(&NoiseModel::crossbar_default(), &mut rng);
+    let input: Vec<u16> = (0..MAT_DIM).map(|_| rng.gen_range(0..8)).collect();
+    c.bench_function("crossbar_dot_analog_noisy_256x256", |b| {
+        b.iter(|| {
+            xbar.dot_analog(black_box(&input), 3, &NoiseModel::ideal(), &mut rng).unwrap()
+        })
+    });
+}
+
+fn bench_programming(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let weights: Vec<u16> = (0..MAT_DIM * MAT_DIM).map(|_| rng.gen_range(0..16)).collect();
+    c.bench_function("crossbar_program_matrix_256x256", |b| {
+        b.iter(|| {
+            let mut xbar = Crossbar::mat();
+            xbar.program_matrix(black_box(&weights)).unwrap();
+            xbar
+        })
+    });
+}
+
+criterion_group!(benches, bench_dot, bench_dot_signed, bench_analog, bench_programming);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for software and FF-mat inference: the functional
+//! fidelity path behind the Figure 6 accuracy study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use prime_core::FfExecutor;
+use prime_nn::{Activation, DigitGenerator, FullyConnected, Layer, MlBench, Network};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn digit_net(rng: &mut SmallRng) -> Network {
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(784, 32, Activation::Sigmoid)),
+        Layer::Fc(FullyConnected::new(32, 10, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(rng);
+    net
+}
+
+fn bench_software_forward(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let net = digit_net(&mut rng);
+    let sample = DigitGenerator::default().sample(3, &mut rng);
+    c.bench_function("software_forward_784_32_10", |b| {
+        b.iter(|| net.forward(black_box(&sample.pixels)).unwrap())
+    });
+}
+
+fn bench_quantized_forward(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let net = digit_net(&mut rng);
+    let quantized = net.weight_quantized_clone(3).unwrap();
+    let sample = DigitGenerator::default().sample(5, &mut rng);
+    c.bench_function("quantized_forward_3bit", |b| {
+        b.iter(|| quantized.forward_activation_quantized(black_box(&sample.pixels), 3).unwrap())
+    });
+}
+
+fn bench_ff_executor(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let net = digit_net(&mut rng);
+    let sample = DigitGenerator::default().sample(7, &mut rng);
+    c.bench_function("ff_executor_run_784_32_10", |b| {
+        b.iter(|| {
+            let mut exec = FfExecutor::new();
+            exec.run(black_box(&net), black_box(&sample.pixels)).unwrap()
+        })
+    });
+}
+
+fn bench_mlp_s_forward(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut net = MlBench::MlpS.spec().to_network().unwrap();
+    net.init_random(&mut rng);
+    let input = vec![0.5f32; 784];
+    c.bench_function("software_forward_mlp_s", |b| {
+        b.iter(|| net.forward(black_box(&input)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_software_forward,
+    bench_quantized_forward,
+    bench_ff_executor,
+    bench_mlp_s_forward
+);
+criterion_main!(benches);

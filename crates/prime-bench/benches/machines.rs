@@ -1,0 +1,40 @@
+//! Criterion benches for the evaluation machine models: one full
+//! Figure-8-style comparison per iteration, plus each machine alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prime_nn::MlBench;
+use prime_sim::experiments::{fig10, fig8};
+use prime_sim::{CpuMachine, Machine, NpuMachine, PrimeMachine, EVAL_BATCH};
+
+fn bench_single_machines(c: &mut Criterion) {
+    let spec = MlBench::MlpM.spec();
+    let machines: Vec<(&str, Box<dyn Machine>)> = vec![
+        ("cpu", Box::new(CpuMachine::new())),
+        ("pnpu_co", Box::new(NpuMachine::co_processor())),
+        ("pnpu_pim_x64", Box::new(NpuMachine::pim(64))),
+        ("prime", Box::new(PrimeMachine::new())),
+    ];
+    let mut group = c.benchmark_group("machine_run_mlp_m");
+    for (name, machine) in &machines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), machine, |b, m| {
+            b.iter(|| m.run(black_box(&spec), EVAL_BATCH))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vgg_on_prime(c: &mut Criterion) {
+    let spec = MlBench::VggD.spec();
+    let prime = PrimeMachine::new();
+    c.bench_function("prime_run_vgg_d", |b| b.iter(|| prime.run(black_box(&spec), EVAL_BATCH)));
+}
+
+fn bench_full_figures(c: &mut Criterion) {
+    c.bench_function("experiment_fig8_full", |b| b.iter(fig8::run));
+    c.bench_function("experiment_fig10_full", |b| b.iter(fig10::run));
+}
+
+criterion_group!(benches, bench_single_machines, bench_vgg_on_prime, bench_full_figures);
+criterion_main!(benches);

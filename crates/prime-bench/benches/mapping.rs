@@ -1,0 +1,32 @@
+//! Criterion benches for the compile-time mapping passes (paper §IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use prime_compiler::{map_network, CompileOptions, HwTarget};
+use prime_nn::MlBench;
+
+fn bench_map_network(c: &mut Criterion) {
+    let hw = HwTarget::prime_default();
+    let mut group = c.benchmark_group("map_network");
+    for bench in MlBench::ALL {
+        let spec = bench.spec();
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &spec, |b, spec| {
+            b.iter(|| map_network(black_box(spec), &hw, CompileOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_without_replication(c: &mut Criterion) {
+    let hw = HwTarget::prime_default();
+    let spec = MlBench::VggD.spec();
+    c.bench_function("map_vgg_no_replication", |b| {
+        b.iter(|| {
+            map_network(black_box(&spec), &hw, CompileOptions { replicate: false }).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_map_network, bench_map_without_replication);
+criterion_main!(benches);

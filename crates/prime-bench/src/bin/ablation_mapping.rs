@@ -1,0 +1,68 @@
+//! Ablation of the compile-time mapping optimizations (paper §IV-B):
+//! the replication optimization's latency/utilization contribution, and
+//! bank-level parallelism scaling from 1 to 64 banks.
+
+use prime_bench::archive_json;
+use prime_nn::MlBench;
+use prime_sim::experiments::{ablation, lrn_fallback};
+use prime_sim::report::{format_table, to_json};
+
+fn main() {
+    let replication = ablation::replication();
+    println!("Ablation: the §IV-B1 replication optimization (batch of 64)\n");
+    let header: Vec<String> =
+        ["benchmark", "latency w/ repl (us)", "latency w/o repl (us)", "speedup", "util w/", "util w/o"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows: Vec<Vec<String>> = replication
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.2}", r.with_replication_ns / 1000.0),
+                format!("{:.2}", r.without_replication_ns / 1000.0),
+                format!("{:.2}x", r.replication_speedup()),
+                format!("{:.1}%", 100.0 * r.utilization_with),
+                format!("{:.1}%", 100.0 * r.utilization_without),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+
+    println!("Ablation: bank-level parallelism scaling (MLP-M and CNN-1)\n");
+    let header: Vec<String> =
+        ["banks", "MLP-M latency (us)", "MLP-M speedup", "CNN-1 latency (us)", "CNN-1 speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mlp = ablation::bank_scaling(MlBench::MlpM);
+    let cnn = ablation::bank_scaling(MlBench::Cnn1);
+    let rows: Vec<Vec<String>> = mlp
+        .iter()
+        .zip(&cnn)
+        .map(|(m, c)| {
+            vec![
+                m.banks.to_string(),
+                format!("{:.2}", m.latency_ns / 1000.0),
+                format!("{:.1}x", m.speedup_vs_one_bank),
+                format!("{:.2}", c.latency_ns / 1000.0),
+                format!("{:.1}x", c.speedup_vs_one_bank),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+
+    let lrn = lrn_fallback::run();
+    println!("CPU fallback cost (paper §III-E: LRN layers run on the CPU):");
+    println!(
+        "  CNN-1 {:.2} us -> CNN-1+LRN {:.2} us: {:.1}x slowdown from one fallback layer\n",
+        lrn.cnn1_ns / 1000.0,
+        lrn.cnn1_lrn_ns / 1000.0,
+        lrn.penalty()
+    );
+    archive_json(
+        "ablation_mapping",
+        &to_json(&(replication, mlp, cnn, lrn)).expect("serializable result"),
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates Figure 10: energy-saving factors normalized to the
+//! CPU-only baseline for pNPU-co, pNPU-pim-x64, and PRIME.
+//!
+//! Paper reference point: PRIME saves ~895x energy vs pNPU-co across the
+//! benchmarks. (pNPU-pim-x1 is omitted, as in the paper, because its
+//! energy equals pNPU-pim-x64's: same work on the same hardware class.)
+
+use prime_bench::archive_json;
+use prime_sim::experiments::fig10;
+use prime_sim::report::{format_factor, format_table, to_json};
+
+fn main() {
+    let fig = fig10::run();
+    let header: Vec<String> = ["benchmark", "pNPU-co", "pNPU-pim-x64", "PRIME"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format_factor(r.pnpu_co),
+                format_factor(r.pnpu_pim_x64),
+                format_factor(r.prime),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        fig.gmean.benchmark.clone(),
+        format_factor(fig.gmean.pnpu_co),
+        format_factor(fig.gmean.pnpu_pim_x64),
+        format_factor(fig.gmean.prime),
+    ]);
+    println!("Figure 10: energy saving vs CPU-only (batch of 64 images)\n");
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "PRIME / pNPU-co (gmean): {:.0}x   (paper: ~895x)",
+        fig.gmean.prime / fig.gmean.pnpu_co
+    );
+    archive_json("fig10_energy", &to_json(&fig).expect("serializable result"));
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 11: energy breakdown (computation / buffer /
+//! memory) normalized to pNPU-co for pNPU-co, pNPU-pim-x64, and PRIME.
+//!
+//! Paper reference points: pNPU-pim-x64 matches pNPU-co's computation and
+//! buffer energy but saves ~93.9 % of the memory energy; PRIME reduces
+//! all three components; CNNs spend relatively more in buffers and less
+//! in memory than MLPs.
+
+use prime_bench::archive_json;
+use prime_sim::experiments::fig11;
+use prime_sim::report::{format_table, to_json};
+
+fn main() {
+    let fig = fig11::run();
+    let header: Vec<String> = ["benchmark", "machine", "compute", "buffer", "memory", "total"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = fig
+        .bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.benchmark.clone(),
+                b.machine.clone(),
+                format!("{:.4}", b.compute),
+                format!("{:.4}", b.buffer),
+                format!("{:.4}", b.memory),
+                format!("{:.4}", b.compute + b.buffer + b.memory),
+            ]
+        })
+        .collect();
+    println!("Figure 11: energy breakdown normalized to pNPU-co\n");
+    println!("{}", format_table(&header, &rows));
+    // Aggregate pim memory saving, the paper's 93.9 % figure.
+    let mut co_mem = 0.0;
+    let mut pim_mem = 0.0;
+    for b in &fig.bars {
+        if b.machine == "pNPU-co" {
+            co_mem += b.memory;
+        } else if b.machine == "pNPU-pim-x64" {
+            pim_mem += b.memory;
+        }
+    }
+    println!(
+        "pNPU-pim-x64 memory-energy saving vs pNPU-co: {:.1}%  (paper: ~93.9%)",
+        100.0 * (1.0 - pim_mem / co_mem)
+    );
+    archive_json("fig11_energy_breakdown", &to_json(&fig).expect("serializable result"));
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 12: PRIME's area overhead and the FF-subarray
+//! utilization study.
+//!
+//! Paper reference points: 5.76 % total chip overhead with 2 FF + 1
+//! Buffer subarray per bank; inside an FF mat a 60 % area increase split
+//! as driver 23 %, subtraction+sigmoid 29 %, control/mux 8 %; FF
+//! utilization 39.8 % -> 75.9 % (MlBench average without VGG-D) and
+//! 53.9 % -> 73.6 % (VGG-D) before -> after replication.
+
+use prime_bench::archive_json;
+use prime_sim::experiments::fig12;
+use prime_sim::report::{format_table, to_json};
+
+fn main() {
+    let fig = fig12::run();
+    println!("Figure 12: area overhead\n");
+    println!(
+        "total chip overhead: {:.2}%   (paper: 5.76%)",
+        100.0 * fig.model.chip_overhead()
+    );
+    println!("FF-mat area increase: {:.0}%, split as:", 100.0 * fig.model.mat.total());
+    println!("  multi-level voltage driver:  {:.0}%  (paper: 23%)", 100.0 * fig.model.mat.driver);
+    println!(
+        "  subtraction + sigmoid:       {:.0}%  (paper: 29%)",
+        100.0 * fig.model.mat.subtraction_sigmoid
+    );
+    println!(
+        "  control / multiplexers etc.: {:.0}%  (paper: 8%)",
+        100.0 * fig.model.mat.control_mux
+    );
+    println!("\nFF-subarray utilization before/after replication:\n");
+    let header: Vec<String> =
+        ["benchmark", "before", "after"].iter().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = fig
+        .utilization
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.1}%", 100.0 * r.before),
+                format!("{:.1}%", 100.0 * r.after),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    let (mut b, mut a) = (1.0, 1.0);
+    let mut n = 0;
+    for r in fig.utilization.iter().filter(|r| r.benchmark != "VGG-D") {
+        b *= r.before;
+        a *= r.after;
+        n += 1;
+    }
+    println!(
+        "MlBench (without VGG-D) gmean: {:.1}% -> {:.1}%  (paper: 39.8% -> 75.9%)",
+        100.0 * b.powf(1.0 / n as f64),
+        100.0 * a.powf(1.0 / n as f64)
+    );
+    archive_json("fig12_area", &to_json(&fig).expect("serializable result"));
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 6: classification accuracy versus dynamic
+//! fixed-point input precision (x-axis, 1-8 bits) with one curve per
+//! weight precision (1-8 bits), against the floating-point reference.
+//!
+//! Paper reference point: 3-bit inputs with 3-bit weights are adequate
+//! for 99 % classification accuracy (negligible loss vs floating point).
+//! The paper uses LeNet-5 on MNIST; this reproduction trains a digit
+//! classifier on the synthetic MNIST substitute (DESIGN.md §4).
+
+use prime_bench::archive_json;
+use prime_sim::experiments::fig6;
+use prime_sim::report::{format_table, to_json};
+
+fn main() {
+    let result = fig6::run(fig6::Config::full());
+    let max_bits = result.config.max_bits;
+    let mut header = vec!["weights \\ inputs".to_string()];
+    header.extend((1..=max_bits).map(|b| format!("{b}-bit")));
+    let rows: Vec<Vec<String>> = (1..=max_bits)
+        .map(|w| {
+            let mut row = vec![format!("{w}-bit")];
+            row.extend((1..=max_bits).map(|i| format!("{:.1}%", 100.0 * result.at(i, w))));
+            row
+        })
+        .collect();
+    println!("Figure 6: accuracy vs input/weight precision (synthetic MNIST substitute)\n");
+    println!("{}", format_table(&header, &rows));
+    println!("floating point reference: {:.1}%", 100.0 * result.float_accuracy);
+    println!(
+        "3-bit/3-bit accuracy:     {:.1}%  ({:.1}% of float; paper: ~99% at 3/3 bits)",
+        100.0 * result.at(3, 3),
+        100.0 * result.at(3, 3) / result.float_accuracy
+    );
+    archive_json("fig6_precision", &to_json(&result).expect("serializable result"));
+}

@@ -1,0 +1,53 @@
+//! Regenerates Figure 8: performance speedups normalized to the CPU-only
+//! baseline, per MlBench benchmark plus the geometric mean.
+//!
+//! Paper reference points: pNPU-pim-x1 averages ~9.1x over pNPU-co;
+//! PRIME improves on pNPU-co by ~2360x and on pNPU-pim-x64 by ~4.1x
+//! across the benchmarks; VGG-D shows PRIME's smallest speedup.
+
+use prime_bench::archive_json;
+use prime_sim::experiments::fig8;
+use prime_sim::report::{format_factor, format_table, to_json};
+
+fn main() {
+    let fig = fig8::run();
+    let header: Vec<String> = ["benchmark", "pNPU-co", "pNPU-pim-x1", "pNPU-pim-x64", "PRIME"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format_factor(r.pnpu_co),
+                format_factor(r.pnpu_pim_x1),
+                format_factor(r.pnpu_pim_x64),
+                format_factor(r.prime),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        fig.gmean.benchmark.clone(),
+        format_factor(fig.gmean.pnpu_co),
+        format_factor(fig.gmean.pnpu_pim_x1),
+        format_factor(fig.gmean.pnpu_pim_x64),
+        format_factor(fig.gmean.prime),
+    ]);
+    println!("Figure 8: speedup vs CPU-only (batch of 64 images)\n");
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "PRIME / pNPU-co (gmean):      {:.0}x   (paper: ~2360x)",
+        fig.gmean.prime / fig.gmean.pnpu_co
+    );
+    println!(
+        "pNPU-pim-x1 / pNPU-co (gmean): {:.1}x   (paper: ~9.1x)",
+        fig.gmean.pnpu_pim_x1 / fig.gmean.pnpu_co
+    );
+    println!(
+        "PRIME / pNPU-pim-x64 (gmean):  {:.1}x   (paper: ~4.1x)",
+        fig.gmean.prime / fig.gmean.pnpu_pim_x64
+    );
+    archive_json("fig8_speedup", &to_json(&fig).expect("serializable result"));
+}

@@ -1,0 +1,47 @@
+//! Prints Table III: the MlBench benchmarks and their topologies, with
+//! the derived synapse and operation counts the paper quotes (VGG-D:
+//! ~1.4x10^8 synapses, ~1.6x10^10 operations).
+
+use prime_bench::archive_json;
+use prime_nn::MlBench;
+use prime_sim::report::{format_table, to_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    topology: String,
+    synapses: u64,
+    mac_ops: u64,
+}
+
+fn main() {
+    let rows: Vec<Row> = MlBench::ALL
+        .iter()
+        .map(|b| {
+            let spec = b.spec();
+            Row {
+                benchmark: b.name().to_string(),
+                topology: b.topology().to_string(),
+                synapses: spec.synapses(),
+                mac_ops: spec.mac_ops(),
+            }
+        })
+        .collect();
+    let header: Vec<String> =
+        ["benchmark", "synapses", "MACs/inference", "topology"].iter().map(|s| s.to_string()).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.synapses.to_string(),
+                r.mac_ops.to_string(),
+                r.topology.clone(),
+            ]
+        })
+        .collect();
+    println!("Table III: the MlBench benchmarks and topologies\n");
+    println!("{}", format_table(&header, &table));
+    archive_json("table3_benchmarks", &to_json(&rows).expect("serializable result"));
+}

@@ -1,0 +1,65 @@
+//! Prints Tables IV and V: the CPU/memory configuration and the pNPU
+//! comparative configuration, plus Table I's controller command set —
+//! the static configuration the simulator runs with.
+
+use prime_mem::{BufAddr, Command, FfAddr, InputSource, MatAddr, MatFunction, MemAddr, MemGeometry, MemTiming};
+use prime_sim::{CpuParams, MemPathParams, NpuParams, PrimeParams};
+
+fn main() {
+    let cpu = CpuParams::table_iv();
+    let geo = MemGeometry::prime_default();
+    let timing = MemTiming::prime_default();
+    println!("Table IV: configurations of CPU and memory");
+    println!("  processor:      {} cores, {} GHz, out-of-order", cpu.cores, cpu.ghz);
+    println!("  L2 cache:       {} MB", cpu.llc_bytes / (1024 * 1024));
+    println!(
+        "  main memory:    {} GB ReRAM, {} chips/rank, {} banks/chip",
+        geo.capacity_bytes() >> 30,
+        geo.chips,
+        geo.banks_per_chip
+    );
+    println!(
+        "  timing:         tRCD-tCL-tRP-tWR = {}-{}-{}-{} ns, {} MHz IO bus",
+        timing.t_rcd_ns, timing.t_cl_ns, timing.t_rp_ns, timing.t_wr_ns, timing.bus_mhz
+    );
+
+    let npu = NpuParams::table_v();
+    println!("\nTable V: comparative NPU configuration (pNPU-co / pNPU-pim)");
+    println!("  datapath:       16x16 multipliers ({} MACs), 256-1 adder tree", npu.macs);
+    println!(
+        "  buffers:        {} KB in/out, {} KB weights",
+        npu.io_buffer_bytes / 1024,
+        npu.weight_buffer_bytes / 1024
+    );
+    println!("  pNPU-pim:       same NPU 3D-stacked per bank (x1 and x64 evaluated)");
+
+    let mem = MemPathParams::prime_default();
+    println!("\nMemory paths");
+    println!("  external bus:   {:.3} GB/s, {} pJ/B", mem.external_gbps, mem.external_pj_per_byte);
+    println!("  internal (3D):  {:.0} GB/s, {} pJ/B", mem.internal_gbps, mem.internal_pj_per_byte);
+
+    let prime = PrimeParams::prime_default();
+    println!("\nPRIME FF-subarray parameters");
+    println!(
+        "  mat evaluate:   {} ns + SA {} ns/bit ({} SAs/mat, {}-bit outputs)",
+        prime.mat_evaluate_ns, prime.sa_per_bit_ns, prime.sas_per_mat, prime.output_bits
+    );
+    println!("  banks:          {} (bank-level parallelism)", prime.banks);
+
+    println!("\nTable I: PRIME controller commands (one example each)");
+    let mat = MatAddr { subarray: 0, mat: 0 };
+    let examples = [
+        Command::SetFunction { mat, function: MatFunction::Compute },
+        Command::BypassSigmoid { mat, bypass: true },
+        Command::BypassSa { mat, bypass: false },
+        Command::SetInputSource { mat, source: InputSource::Buffer },
+        Command::Fetch { from: MemAddr(0x1000), to: BufAddr(0), bytes: 256 },
+        Command::Commit { from: BufAddr(0), to: MemAddr(0x1000), bytes: 256 },
+        Command::Load { from: BufAddr(0), to: FfAddr { mat, offset: 0 }, bytes: 256 },
+        Command::Store { from: FfAddr { mat, offset: 0 }, to: BufAddr(0x100), bytes: 64 },
+    ];
+    for cmd in examples {
+        let family = if cmd.is_datapath_configure() { "configure" } else { "data-flow" };
+        println!("  [{family}] {cmd}");
+    }
+}

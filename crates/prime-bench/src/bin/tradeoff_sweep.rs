@@ -1,0 +1,50 @@
+//! Design-space sweeps: the §V-D FF-subarray-count tradeoff (peak GOPS
+//! vs area overhead) and PRIME throughput vs batch size (the bank-level
+//! parallelism knee at 64 images).
+
+use prime_bench::archive_json;
+use prime_nn::MlBench;
+use prime_sim::experiments::{batch_sweep, ff_tradeoff};
+use prime_sim::report::{format_table, to_json};
+
+fn main() {
+    let tradeoff = ff_tradeoff::run(8);
+    println!("FF-subarray count tradeoff (paper §V-D: GOPS vs area)\n");
+    let header: Vec<String> =
+        ["FF subarrays/bank", "peak TOPS", "area overhead"].iter().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = tradeoff
+        .iter()
+        .map(|r| {
+            vec![
+                r.ff_subarrays.to_string(),
+                format!("{:.1}", r.peak_gops / 1000.0),
+                format!("{:.2}%", 100.0 * r.area_overhead),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!("(the paper picks 2 FF subarrays per bank: 5.76% overhead)\n");
+
+    let batches = [1u32, 4, 16, 64, 128, 256];
+    println!("PRIME throughput vs batch size (bank-level parallelism knee)\n");
+    let header: Vec<String> = ["batch", "MLP-M images/ms", "CNN-1 images/ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mlp = batch_sweep::run(MlBench::MlpM, &batches);
+    let cnn = batch_sweep::run(MlBench::Cnn1, &batches);
+    let rows: Vec<Vec<String>> = mlp
+        .iter()
+        .zip(&cnn)
+        .map(|(m, c)| {
+            vec![
+                m.batch.to_string(),
+                format!("{:.0}", m.images_per_ms),
+                format!("{:.0}", c.images_per_ms),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!("(throughput saturates once every bank processes one image)");
+    archive_json("tradeoff_sweep", &to_json(&(tradeoff, mlp, cnn)).expect("serializable result"));
+}

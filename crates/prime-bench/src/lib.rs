@@ -1,0 +1,39 @@
+//! Figure/table regeneration harness for the PRIME evaluation.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results); the criterion benches
+//! in `benches/` measure the kernels behind them.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::Path;
+
+/// Writes an experiment's JSON next to the printed table, under
+/// `target/experiment-results/`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written — the
+/// harness cannot meaningfully continue without its output.
+pub fn archive_json(name: &str, json: &str) {
+    let dir = Path::new("target/experiment-results");
+    fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json).expect("write experiment results");
+    println!("\n[archived {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_writes_file() {
+        archive_json("selftest", "{}");
+        let content =
+            std::fs::read_to_string("target/experiment-results/selftest.json").unwrap();
+        assert_eq!(content, "{}");
+    }
+}

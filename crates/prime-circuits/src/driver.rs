@@ -1,0 +1,185 @@
+//! Wordline decoder and driver (paper Fig. 4 A).
+//!
+//! In memory mode the driver supplies the two fixed read/write voltage
+//! levels. In computation mode PRIME attaches multi-level voltage sources
+//! (`2^Pin` levels) to every wordline, a latch so all inputs are driven
+//! simultaneously, a per-wordline current amplifier to drive the analog
+//! signal, and a multiplexer that switches the voltage source between the
+//! two modes. Two crossbar arrays (positive and negative weights) share
+//! the same driven input port.
+
+use serde::{Deserialize, Serialize};
+
+use prime_device::READ_VOLTAGE_V;
+
+use crate::error::CircuitError;
+
+/// Operating mode selected by the driver's voltage-source multiplexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriverMode {
+    /// Conventional memory operation: two voltage levels (read and write).
+    Memory,
+    /// NN computation: `2^Pin` input voltage levels driven simultaneously.
+    Computation,
+}
+
+/// The multi-level voltage wordline driver with its input latch.
+///
+/// # Examples
+///
+/// ```
+/// use prime_circuits::{DriverMode, WordlineDriver};
+///
+/// let mut driver = WordlineDriver::new(4, 3); // 4 wordlines, 3-bit DAC
+/// driver.set_mode(DriverMode::Computation);
+/// driver.latch(&[0, 3, 7, 1])?;
+/// assert_eq!(driver.driven_codes(), &[0, 3, 7, 1]);
+/// # Ok::<(), prime_circuits::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WordlineDriver {
+    wordlines: usize,
+    input_bits: u8,
+    mode: DriverMode,
+    latch: Vec<u16>,
+}
+
+impl WordlineDriver {
+    /// Creates a driver for `wordlines` rows with a `input_bits`-bit DAC
+    /// (PRIME assumes 3-bit, i.e. 8 voltage levels). Starts in memory mode
+    /// with a cleared latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordlines` is zero or `input_bits` is 0 or above 8.
+    pub fn new(wordlines: usize, input_bits: u8) -> Self {
+        assert!(wordlines > 0, "driver must serve at least one wordline");
+        assert!((1..=8).contains(&input_bits), "input DAC must be 1-8 bits");
+        WordlineDriver {
+            wordlines,
+            input_bits,
+            mode: DriverMode::Memory,
+            latch: vec![0; wordlines],
+        }
+    }
+
+    /// Number of wordlines served.
+    pub fn wordlines(&self) -> usize {
+        self.wordlines
+    }
+
+    /// DAC resolution in bits.
+    pub fn input_bits(&self) -> u8 {
+        self.input_bits
+    }
+
+    /// Number of distinct drive voltages in computation mode.
+    pub fn voltage_levels(&self) -> u16 {
+        1 << self.input_bits
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> DriverMode {
+        self.mode
+    }
+
+    /// Switches the voltage-source multiplexer between modes. The latch is
+    /// cleared on every switch, matching the reconfiguration step.
+    pub fn set_mode(&mut self, mode: DriverMode) {
+        self.mode = mode;
+        self.latch.fill(0);
+    }
+
+    /// Loads a full input vector into the latch so that all wordlines are
+    /// driven simultaneously (NN computation requires concurrent inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::LatchLengthMismatch`] for a wrong-length
+    /// vector or [`CircuitError::CodeOutOfRange`] if any code exceeds the
+    /// DAC resolution. The latch is unchanged on error.
+    pub fn latch(&mut self, codes: &[u16]) -> Result<(), CircuitError> {
+        if codes.len() != self.wordlines {
+            return Err(CircuitError::LatchLengthMismatch {
+                got: codes.len(),
+                expected: self.wordlines,
+            });
+        }
+        let max = u32::from(self.voltage_levels()) - 1;
+        for &c in codes {
+            if u32::from(c) > max {
+                return Err(CircuitError::CodeOutOfRange {
+                    code: u32::from(c),
+                    codes: max + 1,
+                });
+            }
+        }
+        self.latch.copy_from_slice(codes);
+        Ok(())
+    }
+
+    /// The codes currently latched onto the wordlines.
+    pub fn driven_codes(&self) -> &[u16] {
+        &self.latch
+    }
+
+    /// The analog voltage driven for a digital `code` in computation mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CodeOutOfRange`] if the code exceeds the DAC
+    /// resolution.
+    pub fn voltage_for(&self, code: u16) -> Result<f64, CircuitError> {
+        let max = u32::from(self.voltage_levels()) - 1;
+        if u32::from(code) > max {
+            return Err(CircuitError::CodeOutOfRange { code: u32::from(code), codes: max + 1 });
+        }
+        Ok(READ_VOLTAGE_V * f64::from(code) / f64::from(max as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_memory_mode_cleared() {
+        let d = WordlineDriver::new(8, 3);
+        assert_eq!(d.mode(), DriverMode::Memory);
+        assert!(d.driven_codes().iter().all(|&c| c == 0));
+        assert_eq!(d.voltage_levels(), 8);
+    }
+
+    #[test]
+    fn latch_round_trips_valid_codes() {
+        let mut d = WordlineDriver::new(3, 3);
+        d.latch(&[7, 0, 4]).unwrap();
+        assert_eq!(d.driven_codes(), &[7, 0, 4]);
+    }
+
+    #[test]
+    fn latch_rejects_wrong_length_and_over_range() {
+        let mut d = WordlineDriver::new(3, 3);
+        assert!(matches!(d.latch(&[1, 2]), Err(CircuitError::LatchLengthMismatch { .. })));
+        assert!(matches!(d.latch(&[1, 2, 8]), Err(CircuitError::CodeOutOfRange { code: 8, .. })));
+        assert_eq!(d.driven_codes(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn mode_switch_clears_latch() {
+        let mut d = WordlineDriver::new(2, 3);
+        d.latch(&[5, 5]).unwrap();
+        d.set_mode(DriverMode::Computation);
+        assert_eq!(d.driven_codes(), &[0, 0]);
+    }
+
+    #[test]
+    fn voltages_scale_linearly_with_code() {
+        let d = WordlineDriver::new(1, 3);
+        assert_eq!(d.voltage_for(0).unwrap(), 0.0);
+        let v7 = d.voltage_for(7).unwrap();
+        let v1 = d.voltage_for(1).unwrap();
+        assert!((v7 - 7.0 * v1).abs() < 1e-12);
+        assert!(d.voltage_for(8).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the peripheral-circuit layer.
+
+use std::fmt;
+
+/// Errors raised by peripheral-circuit operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A digital code outside the circuit's resolution was supplied.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u32,
+        /// Number of representable codes.
+        codes: u32,
+    },
+    /// A precision outside the reconfigurable range was requested.
+    PrecisionOutOfRange {
+        /// Requested bits.
+        requested: u8,
+        /// Maximum supported bits.
+        max: u8,
+    },
+    /// The latch was asked to drive a vector of the wrong length.
+    LatchLengthMismatch {
+        /// Supplied length.
+        got: usize,
+        /// Latch width.
+        expected: usize,
+    },
+    /// A composing parameter was invalid (e.g. odd bit-width to split).
+    InvalidComposition {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The pooling unit was given an unsupported window.
+    InvalidPoolWindow {
+        /// Requested window size.
+        window: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::CodeOutOfRange { code, codes } => {
+                write!(f, "code {code} out of range ({codes} representable codes)")
+            }
+            CircuitError::PrecisionOutOfRange { requested, max } => {
+                write!(f, "precision {requested} bits out of range (max {max})")
+            }
+            CircuitError::LatchLengthMismatch { got, expected } => {
+                write!(f, "latched vector length {got} does not match driver width {expected}")
+            }
+            CircuitError::InvalidComposition { reason } => {
+                write!(f, "invalid composing parameters: {reason}")
+            }
+            CircuitError::InvalidPoolWindow { window } => {
+                write!(f, "pooling window {window} is not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = CircuitError::PrecisionOutOfRange { requested: 9, max: 8 };
+        assert_eq!(e.to_string(), "precision 9 bits out of range (max 8)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CircuitError>();
+    }
+}

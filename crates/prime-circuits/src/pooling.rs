@@ -1,0 +1,209 @@
+//! Hardware pooling support (paper §III-E, Fig. 4 C).
+//!
+//! Max pooling uses a dedicated 4:1 unit: the four candidates are stored in
+//! registers, ReRAM dot products with the six difference weight vectors
+//! `[1,-1,0,0], [1,0,-1,0], [1,0,0,-1], [0,1,-1,0], [0,1,0,-1], [0,0,1,-1]`
+//! produce all pairwise differences `a_i - a_j`, their sign bits form a
+//! *winner code*, and combinational logic selects the maximum. Windows
+//! larger than four are handled in multiple 4:1 steps. Mean pooling needs
+//! no extra hardware: weights `[1/n, ..., 1/n]` are pre-programmed and a
+//! single dot product produces the mean.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+
+/// The six difference-weight vectors the 4:1 max-pooling unit programs into
+/// ReRAM cells to compare its four candidates.
+pub const MAX_POOL_DIFF_WEIGHTS: [[i8; 4]; 6] = [
+    [1, -1, 0, 0],
+    [1, 0, -1, 0],
+    [1, 0, 0, -1],
+    [0, 1, -1, 0],
+    [0, 1, 0, -1],
+    [0, 0, 1, -1],
+];
+
+/// The 4:1 max-pooling hardware unit.
+///
+/// # Examples
+///
+/// ```
+/// use prime_circuits::MaxPoolUnit;
+///
+/// let unit = MaxPoolUnit::new();
+/// assert_eq!(unit.pool4([3, 9, 1, 9]), 9);
+/// assert_eq!(unit.pool(&[5, 2, 8, 1, 7])?, 8); // n > 4 takes multiple steps
+/// # Ok::<(), prime_circuits::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPoolUnit;
+
+impl MaxPoolUnit {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        MaxPoolUnit
+    }
+
+    /// Computes the winner code: the sign bits of the six pairwise
+    /// differences, bit `k` set when difference `k` is non-negative.
+    pub fn winner_code(&self, a: [i64; 4]) -> u8 {
+        let mut code = 0u8;
+        for (k, w) in MAX_POOL_DIFF_WEIGHTS.iter().enumerate() {
+            let diff: i64 = w.iter().zip(a.iter()).map(|(&wi, &ai)| i64::from(wi) * ai).sum();
+            if diff >= 0 {
+                code |= 1 << k;
+            }
+        }
+        code
+    }
+
+    /// Decodes a winner code to the index (0-3) of the maximum candidate.
+    ///
+    /// Bits 0-2 compare `a0` against `a1..a3`; bits 3-4 compare `a1`
+    /// against `a2..a3`; bit 5 compares `a2` against `a3`. Ties resolve to
+    /// the lower index, matching the `>= 0` sign convention.
+    pub fn decode_winner(&self, code: u8) -> usize {
+        if code & 0b000_111 == 0b000_111 {
+            0
+        } else if code & 0b011_000 == 0b011_000 && code & 0b000_001 == 0 {
+            1
+        } else if code & 0b100_000 != 0 && code & 0b000_010 == 0 && code & 0b001_000 == 0 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// One hardware step: the maximum of exactly four candidates.
+    pub fn pool4(&self, a: [i64; 4]) -> i64 {
+        a[self.decode_winner(self.winner_code(a))]
+    }
+
+    /// `n:1` max pooling via repeated 4:1 steps (n need not be a multiple
+    /// of four; short groups are padded with the group's first element).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidPoolWindow`] for an empty window.
+    pub fn pool(&self, values: &[i64]) -> Result<i64, CircuitError> {
+        if values.is_empty() {
+            return Err(CircuitError::InvalidPoolWindow { window: 0 });
+        }
+        let mut current: Vec<i64> = values.to_vec();
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(4));
+            for chunk in current.chunks(4) {
+                let mut group = [chunk[0]; 4];
+                group[..chunk.len()].copy_from_slice(chunk);
+                next.push(self.pool4(group));
+            }
+            current = next;
+        }
+        Ok(current[0])
+    }
+
+    /// Number of 4:1 hardware steps needed for an `n`-element window.
+    pub fn steps_for(&self, n: usize) -> usize {
+        let mut remaining = n;
+        let mut steps = 0;
+        while remaining > 1 {
+            let groups = remaining.div_ceil(4);
+            steps += groups;
+            remaining = groups;
+        }
+        steps
+    }
+}
+
+/// Builds the `[1/n, ..., 1/n]` weight row for ReRAM mean pooling,
+/// quantized to `weight_bits`-bit levels relative to full scale.
+///
+/// The returned levels, used as cell codes, compute `sum(x) * level` where
+/// `level ~= max_level / n`; the periphery interprets the result at the
+/// matching fixed-point scale.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidPoolWindow`] when `n` is zero or so large
+/// that `max_level / n` quantizes to zero (the mean would vanish).
+pub fn mean_pool_weights(n: usize, weight_bits: u8) -> Result<Vec<u16>, CircuitError> {
+    if n == 0 {
+        return Err(CircuitError::InvalidPoolWindow { window: 0 });
+    }
+    let max_level = (1u32 << weight_bits) - 1;
+    let level = max_level / n as u32;
+    if level == 0 {
+        return Err(CircuitError::InvalidPoolWindow { window: n });
+    }
+    Ok(vec![level as u16; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool4_matches_max_for_all_permutations() {
+        let unit = MaxPoolUnit::new();
+        let vals = [-3i64, 0, 7, 12];
+        // All 24 permutations of 4 distinct values.
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    for l in 0..4 {
+                        let idx = [i, j, k, l];
+                        let mut seen = [false; 4];
+                        idx.iter().for_each(|&x| seen[x] = true);
+                        if seen != [true; 4] {
+                            continue;
+                        }
+                        let a = [vals[i], vals[j], vals[k], vals[l]];
+                        assert_eq!(unit.pool4(a), 12, "failed on {a:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool4_handles_ties() {
+        let unit = MaxPoolUnit::new();
+        assert_eq!(unit.pool4([5, 5, 5, 5]), 5);
+        assert_eq!(unit.pool4([5, 5, 2, 1]), 5);
+        assert_eq!(unit.pool4([1, 2, 9, 9]), 9);
+    }
+
+    #[test]
+    fn pool_arbitrary_windows() {
+        let unit = MaxPoolUnit::new();
+        assert_eq!(unit.pool(&[42]).unwrap(), 42);
+        assert_eq!(unit.pool(&[1, 2]).unwrap(), 2);
+        assert_eq!(unit.pool(&(0..17).map(|x| x as i64).collect::<Vec<_>>()).unwrap(), 16);
+        assert!(unit.pool(&[]).is_err());
+    }
+
+    #[test]
+    fn steps_match_pooling_tree() {
+        let unit = MaxPoolUnit::new();
+        assert_eq!(unit.steps_for(4), 1);
+        assert_eq!(unit.steps_for(16), 5); // 4 groups + 1 final
+        assert_eq!(unit.steps_for(1), 0);
+        assert_eq!(unit.steps_for(5), 3); // 2 groups + 1 final
+    }
+
+    #[test]
+    fn winner_code_uses_six_differences() {
+        let unit = MaxPoolUnit::new();
+        // a0 strictly greatest: bits 0,1,2 set; a1 > a2 > a3 sets bits 3,4,5.
+        assert_eq!(unit.winner_code([9, 5, 3, 1]), 0b111_111);
+    }
+
+    #[test]
+    fn mean_pool_weights_quantize_reciprocal() {
+        let w = mean_pool_weights(4, 4).unwrap();
+        assert_eq!(w, vec![3, 3, 3, 3]); // 15 / 4 = 3
+        assert!(mean_pool_weights(0, 4).is_err());
+        assert!(mean_pool_weights(16, 4).is_err()); // 15 / 16 quantizes to 0
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the peripheral-circuit layer, centred on the
+//! composing scheme's approximation guarantee.
+
+use proptest::prelude::*;
+
+use prime_circuits::{part_sums, ComposingScheme, MaxPoolUnit, ReconfigurableSa};
+
+/// Arbitrary valid composing schemes with matching random input/weight
+/// vectors.
+fn composed_case() -> impl Strategy<Value = (ComposingScheme, Vec<u16>, Vec<i32>)> {
+    (1u8..=3, 1u8..=3, 1u8..=6, 1usize..64).prop_flat_map(|(half_in, half_w, po, n)| {
+        let pin = half_in * 2;
+        let pw = half_w * 2;
+        let pn = 8u8; // fixed mat-sized array exponent
+        let po = po.min(pin + pw + pn);
+        let scheme = ComposingScheme::new(pin, pw, po, pn).unwrap();
+        let in_max = (1u16 << pin) - 1;
+        let w_max = (1i32 << pw) - 1;
+        (
+            Just(scheme),
+            proptest::collection::vec(0..=in_max, n),
+            proptest::collection::vec(-w_max..=w_max, n),
+        )
+    })
+}
+
+proptest! {
+    /// Eq. 8 identity: the four partial sums reconstruct the exact signed
+    /// dot product for every scheme and input/weight combination.
+    #[test]
+    fn parts_reconstruct_full_result((scheme, inputs, weights) in composed_case()) {
+        let parts = part_sums(&scheme, &inputs, &weights, 1).unwrap();
+        let direct: i64 = inputs
+            .iter()
+            .zip(weights.iter())
+            .map(|(&a, &w)| i64::from(a) * i64::from(w))
+            .sum();
+        prop_assert_eq!(scheme.full_from_parts(parts[0]), direct);
+    }
+
+    /// The hardware composition (truncate parts, accumulate) never strays
+    /// further from the exact target than the analytic error bound.
+    #[test]
+    fn composition_error_is_bounded((scheme, inputs, weights) in composed_case()) {
+        let parts = part_sums(&scheme, &inputs, &weights, 1).unwrap();
+        let exact = scheme.exact_target(scheme.full_from_parts(parts[0]));
+        let composed = scheme.compose(parts[0]);
+        prop_assert!(
+            (exact - composed).abs() <= scheme.max_composition_error(),
+            "scheme {:?}: exact {} composed {}", scheme, exact, composed
+        );
+    }
+
+    /// Input and weight splitting always round-trips.
+    #[test]
+    fn splits_round_trip(code in 0u16..64, mag in 0u16..256) {
+        let scheme = ComposingScheme::prime_default();
+        let (ih, il) = scheme.split_input(code).unwrap();
+        prop_assert_eq!((ih << 3) | il, code);
+        let (wh, wl) = scheme.split_weight(mag).unwrap();
+        prop_assert_eq!((wh << 4) | wl, mag);
+    }
+
+    /// SA conversion equals keeping the highest `precision` bits for any
+    /// in-range value, at every reconfigurable precision.
+    #[test]
+    fn sa_truncation_matches_shift(value in 0u64..(1 << 20), precision in 1u8..=8) {
+        let mut sa = ReconfigurableSa::new(8).unwrap();
+        sa.set_precision(precision).unwrap();
+        let got = sa.convert(value, 20).unwrap();
+        prop_assert_eq!(got, value >> (20 - precision));
+    }
+
+    /// The winner-code max-pooling hardware agrees with `Iterator::max`
+    /// for arbitrary windows.
+    #[test]
+    fn max_pool_matches_reference(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let unit = MaxPoolUnit::new();
+        prop_assert_eq!(unit.pool(&values).unwrap(), *values.iter().max().unwrap());
+    }
+}

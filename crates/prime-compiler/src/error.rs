@@ -1,0 +1,59 @@
+//! Error type for the mapping compiler.
+
+use std::fmt;
+
+/// Errors raised while mapping an NN onto PRIME's FF subarrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The network needs more FF mats than the whole memory provides.
+    CapacityExceeded {
+        /// Mats required.
+        required: usize,
+        /// Mats available across all banks.
+        available: usize,
+    },
+    /// A single layer is wider than the hardware can merge (never happens
+    /// with realistic parameters; guards arithmetic overflow).
+    LayerTooLarge {
+        /// The layer's description.
+        layer: String,
+    },
+    /// The hardware target is degenerate (zero mats or banks).
+    InvalidTarget {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::CapacityExceeded { required, available } => {
+                write!(f, "network needs {required} FF mats but only {available} exist")
+            }
+            CompileError::LayerTooLarge { layer } => {
+                write!(f, "layer {layer} exceeds hardware merge limits")
+            }
+            CompileError::InvalidTarget { reason } => write!(f, "invalid hardware target: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::CapacityExceeded { required: 100, available: 64 };
+        assert_eq!(e.to_string(), "network needs 100 FF mats but only 64 exist");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CompileError>();
+    }
+}

@@ -1,0 +1,449 @@
+//! Compile-time NN mapping optimization (paper §IV-B1).
+//!
+//! The compiler lowers a [`NetworkSpec`] onto FF mats:
+//!
+//! * **Small-scale NNs** (fit one mat) are *replicated* within the mat —
+//!   and onto spare mats — so the peripheral-circuit latency is amortized
+//!   over several inputs processed simultaneously;
+//! * **medium-scale NNs** (fit one bank's FF subarrays) are *split* into
+//!   mat-sized tiles whose partial results are *merged* with adds;
+//! * **large-scale NNs** use multiple banks with *inter-bank
+//!   communication*, running stages as a pipeline.
+//!
+//! Convolution layers are lowered the way §III-E describes: all elements
+//! of the kernels `g_{i,j}` for one output map are pre-programmed down a
+//! bitline (`in_ch * k * k` rows plus one bias row, one column per output
+//! map), and the layer is evaluated once per output pixel.
+
+use serde::{Deserialize, Serialize};
+
+use prime_nn::{LayerSpec, NetworkSpec};
+
+use crate::error::CompileError;
+use crate::target::HwTarget;
+
+/// The paper's three mapping scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NnScale {
+    /// Fits a single FF mat: replication applies.
+    Small,
+    /// Fits the FF subarrays of one bank: split-merge applies.
+    Medium,
+    /// Needs multiple banks: inter-bank pipelining applies.
+    Large,
+}
+
+/// Compiler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Enable the replication optimization (paper enables it; disabling
+    /// reproduces the "before replication" utilization numbers).
+    pub replicate: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { replicate: true }
+    }
+}
+
+/// How one layer is laid onto FF mats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// The layer's shape.
+    pub layer: LayerSpec,
+    /// Crossbar rows the layer occupies (inputs + 1 bias row; 0 for
+    /// pooling layers, which use the pooling hardware instead of mats).
+    pub rows_needed: usize,
+    /// Composed weight columns the layer occupies.
+    pub cols_needed: usize,
+    /// Number of row tiles after splitting (partial sums to merge).
+    pub row_tiles: usize,
+    /// Number of column tiles after splitting.
+    pub col_tiles: usize,
+    /// Mats holding one copy of the layer (`row_tiles * col_tiles`).
+    pub base_mats: usize,
+    /// Copies packed inside each mat (small layers only).
+    pub in_mat_replication: usize,
+    /// Additional whole-layer copies on spare mats.
+    pub extra_replicas: usize,
+    /// Input vectors the layer consumes per inference (1 for FC; one per
+    /// output pixel for conv; one per pooled output for pooling).
+    pub vectors_per_inference: usize,
+    /// Scalar adds needed to merge row-tile partial sums, per inference.
+    pub merge_adds: u64,
+}
+
+impl LayerMapping {
+    /// Crossbar evaluation passes per inference, after replication: the
+    /// layer's input vectors are distributed over all copies.
+    pub fn passes_per_inference(&self) -> u64 {
+        if self.base_mats == 0 {
+            return 0;
+        }
+        let copies = (self.in_mat_replication * (1 + self.extra_replicas)).max(1);
+        (self.vectors_per_inference as u64).div_ceil(copies as u64)
+    }
+
+    /// Cells occupied by the layer's weights (one copy).
+    pub fn used_cells(&self) -> u64 {
+        (self.rows_needed * self.cols_needed) as u64
+    }
+
+    /// Total mats consumed including replicas.
+    pub fn total_mats(&self) -> usize {
+        self.base_mats * (1 + self.extra_replicas)
+    }
+}
+
+/// One stage of an inter-bank pipeline (large-scale NNs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStage {
+    /// Bank (relative to the NN's first bank) hosting the stage.
+    pub bank: usize,
+    /// Indices into the mapping's layer list.
+    pub layers: Vec<usize>,
+    /// Mats the stage occupies.
+    pub mats: usize,
+}
+
+/// The complete mapping of a network onto PRIME.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkMapping {
+    /// Workload name.
+    pub name: String,
+    /// Per-layer mappings.
+    pub layers: Vec<LayerMapping>,
+    /// Mapping scale class.
+    pub scale: NnScale,
+    /// Mats for one copy of the network.
+    pub base_mats: usize,
+    /// Banks one copy of the network occupies.
+    pub banks_per_copy: usize,
+    /// Mats reserved (bank granularity: all FF mats of every used bank).
+    pub allocated_mats: usize,
+    /// FF utilization before replication (used cells / allocated cells).
+    pub utilization_before: f64,
+    /// FF utilization after replication.
+    pub utilization_after: f64,
+    /// Independent copies of the whole NN across the memory's banks
+    /// (bank-level parallelism: images processed concurrently).
+    pub copies_across_memory: usize,
+    /// Inter-bank pipeline stages (empty unless large-scale).
+    pub pipeline: Vec<PipelineStage>,
+}
+
+impl NetworkMapping {
+    /// Total crossbar passes per inference (sum over weight layers).
+    pub fn passes_per_inference(&self) -> u64 {
+        self.layers.iter().map(LayerMapping::passes_per_inference).sum()
+    }
+
+    /// Total merge adds per inference.
+    pub fn merge_adds_per_inference(&self) -> u64 {
+        self.layers.iter().map(|l| l.merge_adds).sum()
+    }
+}
+
+fn lower_layer(spec: &LayerSpec, hw: &HwTarget) -> Result<LayerMapping, CompileError> {
+    let (rows_needed, cols_needed, vectors) = match *spec {
+        LayerSpec::FullyConnected { inputs, outputs } => (inputs + 1, outputs, 1),
+        LayerSpec::Conv { in_ch, out_ch, kernel, .. } => {
+            let (oh, ow) = spec.conv_out_dims().expect("conv variant");
+            (in_ch * kernel * kernel + 1, out_ch, oh * ow)
+        }
+        LayerSpec::Pool { .. } | LayerSpec::Lrn { .. } => {
+            // Pooling runs on the dedicated pooling hardware and LRN falls
+            // back to the CPU (paper §III-E); neither occupies weight mats.
+            return Ok(LayerMapping {
+                layer: *spec,
+                rows_needed: 0,
+                cols_needed: 0,
+                row_tiles: 0,
+                col_tiles: 0,
+                base_mats: 0,
+                in_mat_replication: 1,
+                extra_replicas: 0,
+                vectors_per_inference: spec.outputs(),
+                merge_adds: 0,
+            });
+        }
+    };
+    let row_tiles = rows_needed.div_ceil(hw.mat_rows);
+    let col_tiles = cols_needed.div_ceil(hw.mat_cols);
+    let base_mats = row_tiles
+        .checked_mul(col_tiles)
+        .ok_or(CompileError::LayerTooLarge { layer: spec.describe() })?;
+    // Split-merge cost: merging R row tiles takes R-1 adds per output.
+    let merge_adds = (row_tiles as u64 - 1) * cols_needed as u64 * vectors as u64;
+    Ok(LayerMapping {
+        layer: *spec,
+        rows_needed,
+        cols_needed,
+        row_tiles,
+        col_tiles,
+        base_mats,
+        in_mat_replication: 1,
+        extra_replicas: 0,
+        vectors_per_inference: vectors,
+        merge_adds,
+    })
+}
+
+/// Applies the small-scale in-mat replication rule: a layer occupying at
+/// most half the rows or columns of a mat is duplicated into the unused
+/// portion (paper's `128-1 -> 256-2` example).
+fn apply_in_mat_replication(layer: &mut LayerMapping, hw: &HwTarget) {
+    if layer.base_mats != 1 {
+        return;
+    }
+    let by_rows = hw.mat_rows / layer.rows_needed.max(1);
+    let by_cols = hw.mat_cols / layer.cols_needed.max(1);
+    layer.in_mat_replication = by_rows.min(by_cols).max(1);
+}
+
+/// Greedily fills spare allocated mats with extra copies of the layer
+/// whose pass count currently bottlenecks the inference.
+fn apply_mat_replication(layers: &mut [LayerMapping], mut spare: usize) {
+    while let Some((idx, _)) = layers
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.base_mats > 0 && l.base_mats <= spare && l.passes_per_inference() > 1)
+        .max_by_key(|(_, l)| l.passes_per_inference())
+    {
+        layers[idx].extra_replicas += 1;
+        spare -= layers[idx].base_mats;
+    }
+}
+
+/// Maps a network spec onto the hardware target.
+///
+/// # Errors
+///
+/// Returns [`CompileError::CapacityExceeded`] if the network does not fit
+/// the memory's FF mats even without replication.
+///
+/// # Examples
+///
+/// ```
+/// use prime_compiler::{map_network, CompileOptions, HwTarget, NnScale};
+/// use prime_nn::MlBench;
+///
+/// let hw = HwTarget::prime_default();
+/// let mapping = map_network(&MlBench::MlpS.spec(), &hw, CompileOptions::default())?;
+/// assert_eq!(mapping.scale, NnScale::Medium);
+/// assert_eq!(mapping.copies_across_memory, 64); // bank-level parallelism
+/// # Ok::<(), prime_compiler::CompileError>(())
+/// ```
+pub fn map_network(
+    spec: &NetworkSpec,
+    hw: &HwTarget,
+    options: CompileOptions,
+) -> Result<NetworkMapping, CompileError> {
+    let mut layers = spec
+        .layers()
+        .iter()
+        .map(|l| lower_layer(l, hw))
+        .collect::<Result<Vec<_>, _>>()?;
+    let base_mats: usize = layers.iter().map(|l| l.base_mats).sum();
+    if base_mats > hw.total_mats() {
+        return Err(CompileError::CapacityExceeded {
+            required: base_mats,
+            available: hw.total_mats(),
+        });
+    }
+    let banks_per_copy = base_mats.div_ceil(hw.mats_per_bank()).max(1);
+    let scale = if base_mats <= 1 {
+        NnScale::Small
+    } else if banks_per_copy == 1 {
+        NnScale::Medium
+    } else {
+        NnScale::Large
+    };
+    // Banks that cannot host a whole extra copy still contribute their FF
+    // mats as replication space, shared evenly among the copies (paper
+    // §IV-B2: spare banks host replicas of large NNs).
+    let copies = (hw.banks / banks_per_copy).max(1);
+    let leftover_banks = hw.banks - copies * banks_per_copy;
+    let allocated_mats =
+        banks_per_copy * hw.mats_per_bank() + leftover_banks * hw.mats_per_bank() / copies;
+    let allocated_cells = allocated_mats as u64 * hw.synapses_per_mat();
+    let used_cells: u64 = layers.iter().map(LayerMapping::used_cells).sum();
+    let utilization_before = used_cells as f64 / allocated_cells as f64;
+
+    if options.replicate {
+        for layer in &mut layers {
+            apply_in_mat_replication(layer, hw);
+        }
+        let spare = allocated_mats - base_mats;
+        apply_mat_replication(&mut layers, spare);
+    }
+    let used_after: u64 = layers
+        .iter()
+        .map(|l| l.used_cells() * (l.in_mat_replication as u64) * (1 + l.extra_replicas as u64))
+        .sum();
+    let utilization_after =
+        (used_after as f64 / allocated_cells as f64).min(1.0).max(utilization_before);
+
+    let pipeline = if scale == NnScale::Large {
+        assign_pipeline(&layers, hw)
+    } else {
+        Vec::new()
+    };
+    let copies_across_memory = copies;
+
+    Ok(NetworkMapping {
+        name: spec.name().to_string(),
+        layers,
+        scale,
+        base_mats,
+        banks_per_copy,
+        allocated_mats,
+        utilization_before,
+        utilization_after,
+        copies_across_memory,
+        pipeline,
+    })
+}
+
+/// Greedy in-order bin packing of layers into banks for the inter-bank
+/// pipeline: consecutive layers share a bank until its FF mats run out.
+fn assign_pipeline(layers: &[LayerMapping], hw: &HwTarget) -> Vec<PipelineStage> {
+    let capacity = hw.mats_per_bank();
+    let mut stages: Vec<PipelineStage> = Vec::new();
+    let mut current = PipelineStage { bank: 0, layers: Vec::new(), mats: 0 };
+    for (idx, layer) in layers.iter().enumerate() {
+        // Replicated copies occupy real mats and must be placed too.
+        let need = layer.total_mats();
+        if need > capacity {
+            // A single layer larger than one bank spreads over several
+            // banks; give it its own stage spanning them.
+            if !current.layers.is_empty() {
+                let bank = current.bank;
+                stages.push(std::mem::replace(
+                    &mut current,
+                    PipelineStage { bank: bank + 1, layers: Vec::new(), mats: 0 },
+                ));
+            }
+            let banks_spanned = need.div_ceil(capacity);
+            stages.push(PipelineStage { bank: current.bank, layers: vec![idx], mats: need });
+            current.bank += banks_spanned;
+            continue;
+        }
+        if current.mats + need > capacity {
+            let bank = current.bank;
+            stages.push(std::mem::replace(
+                &mut current,
+                PipelineStage { bank: bank + 1, layers: Vec::new(), mats: 0 },
+            ));
+        }
+        current.layers.push(idx);
+        current.mats += need;
+    }
+    if !current.layers.is_empty() {
+        stages.push(current);
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::MlBench;
+
+    fn hw() -> HwTarget {
+        HwTarget::prime_default()
+    }
+
+    #[test]
+    fn mlp_s_is_medium_scale() {
+        let m = map_network(&MlBench::MlpS.spec(), &hw(), CompileOptions::default()).unwrap();
+        assert_eq!(m.scale, NnScale::Medium);
+        assert_eq!(m.banks_per_copy, 1);
+        assert_eq!(m.copies_across_memory, 64);
+        assert!(m.pipeline.is_empty());
+    }
+
+    #[test]
+    fn split_merge_arithmetic_mlp_s() {
+        // 784-500: rows 785 -> 4 row tiles; cols 500 -> 4 col tiles.
+        let m = map_network(&MlBench::MlpS.spec(), &hw(), CompileOptions::default()).unwrap();
+        let l0 = &m.layers[0];
+        assert_eq!(l0.row_tiles, 4);
+        assert_eq!(l0.col_tiles, 4);
+        assert_eq!(l0.base_mats, 16);
+        assert_eq!(l0.merge_adds, 3 * 500);
+    }
+
+    #[test]
+    fn conv_is_lowered_to_kernel_matrix() {
+        let m = map_network(&MlBench::Cnn1.spec(), &hw(), CompileOptions::default()).unwrap();
+        let conv = &m.layers[0];
+        // 1 channel x 5x5 kernel + bias = 26 rows, 5 output maps.
+        assert_eq!(conv.rows_needed, 26);
+        assert_eq!(conv.cols_needed, 5);
+        assert_eq!(conv.base_mats, 1);
+        assert_eq!(conv.vectors_per_inference, 24 * 24);
+        // Small layer in one mat: heavy in-mat replication.
+        assert!(conv.in_mat_replication >= 9, "got {}", conv.in_mat_replication);
+    }
+
+    #[test]
+    fn pooling_consumes_no_mats() {
+        let m = map_network(&MlBench::Cnn1.spec(), &hw(), CompileOptions::default()).unwrap();
+        let pool = &m.layers[1];
+        assert_eq!(pool.base_mats, 0);
+        assert_eq!(pool.passes_per_inference(), 0);
+    }
+
+    #[test]
+    fn replication_reduces_passes_and_raises_utilization() {
+        let spec = MlBench::Cnn1.spec();
+        let without =
+            map_network(&spec, &hw(), CompileOptions { replicate: false }).unwrap();
+        let with = map_network(&spec, &hw(), CompileOptions { replicate: true }).unwrap();
+        assert!(with.passes_per_inference() < without.passes_per_inference());
+        assert!(with.utilization_after > without.utilization_before);
+    }
+
+    #[test]
+    fn vgg_d_is_large_scale_with_pipeline() {
+        let m = map_network(&MlBench::VggD.spec(), &hw(), CompileOptions::default()).unwrap();
+        assert_eq!(m.scale, NnScale::Large);
+        assert!(m.banks_per_copy > 1, "VGG-D must span banks: {}", m.banks_per_copy);
+        assert!(!m.pipeline.is_empty());
+        assert!(m.copies_across_memory >= 1);
+        // Every layer appears in exactly one stage, in order.
+        let staged: Vec<usize> =
+            m.pipeline.iter().flat_map(|s| s.layers.iter().copied()).collect();
+        assert_eq!(staged, (0..m.layers.len()).collect::<Vec<_>>());
+        // No stage exceeds one bank unless a single layer forced it.
+        for stage in &m.pipeline {
+            assert!(
+                stage.mats <= hw().mats_per_bank() || stage.layers.len() == 1,
+                "stage overflow: {stage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_errors_on_impossible_networks() {
+        let tiny = HwTarget {
+            mat_rows: 16,
+            mat_cols: 8,
+            mats_per_ff_subarray: 1,
+            ff_subarrays_per_bank: 1,
+            banks: 1,
+        };
+        let err = map_network(&MlBench::MlpL.spec(), &tiny, CompileOptions::default());
+        assert!(matches!(err, Err(CompileError::CapacityExceeded { .. })));
+    }
+
+    #[test]
+    fn all_mlbench_networks_fit_prime() {
+        for bench in MlBench::ALL {
+            let m = map_network(&bench.spec(), &hw(), CompileOptions::default()).unwrap();
+            assert!(m.base_mats <= hw().total_mats(), "{} does not fit", bench.name());
+        }
+    }
+}

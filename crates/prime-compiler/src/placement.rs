@@ -1,0 +1,121 @@
+//! OS data placement for bank-level parallelism (paper §IV-B2).
+//!
+//! PRIME's FF subarrays live in every bank, so the memory holds as many
+//! independent NPUs as banks (64). To exploit them, the OS must place
+//! one image per bank and distribute images evenly: PRIME exposes the
+//! bank ID to the OS (like the page-placement work it cites) and the
+//! allocator assigns image pages round-robin over the banks that hold a
+//! copy of the network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CompileError;
+use crate::mapping::NetworkMapping;
+
+/// The bank assignment of one batch of images.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImagePlacement {
+    /// `assignment[i]` = first bank of the NN copy processing image `i`.
+    assignment: Vec<usize>,
+    /// Banks per NN copy.
+    banks_per_copy: usize,
+    /// Copies available.
+    copies: usize,
+}
+
+impl ImagePlacement {
+    /// Places `images` across the copies of a mapped network,
+    /// round-robin (the paper's "evenly distribute images to all the
+    /// banks").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidTarget`] if the mapping has no
+    /// copies (cannot happen for a mapping produced by `map_network`).
+    pub fn round_robin(mapping: &NetworkMapping, images: usize) -> Result<Self, CompileError> {
+        if mapping.copies_across_memory == 0 {
+            return Err(CompileError::InvalidTarget { reason: "mapping has no copies" });
+        }
+        let assignment = (0..images)
+            .map(|i| (i % mapping.copies_across_memory) * mapping.banks_per_copy)
+            .collect();
+        Ok(ImagePlacement {
+            assignment,
+            banks_per_copy: mapping.banks_per_copy,
+            copies: mapping.copies_across_memory,
+        })
+    }
+
+    /// The first bank of the copy assigned to `image`.
+    pub fn bank_of(&self, image: usize) -> Option<usize> {
+        self.assignment.get(image).copied()
+    }
+
+    /// Images assigned to the copy starting at `bank`.
+    pub fn images_on(&self, bank: usize) -> usize {
+        self.assignment.iter().filter(|&&b| b == bank).count()
+    }
+
+    /// Largest per-copy image count — the makespan driver.
+    pub fn max_load(&self) -> usize {
+        (0..self.copies).map(|c| self.images_on(c * self.banks_per_copy)).max().unwrap_or(0)
+    }
+
+    /// Whether the placement is balanced (loads differ by at most one).
+    pub fn is_balanced(&self) -> bool {
+        let loads: Vec<usize> =
+            (0..self.copies).map(|c| self.images_on(c * self.banks_per_copy)).collect();
+        let (min, max) =
+            (loads.iter().min().copied().unwrap_or(0), loads.iter().max().copied().unwrap_or(0));
+        max - min <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{map_network, CompileOptions};
+    use crate::target::HwTarget;
+    use prime_nn::MlBench;
+
+    fn mapping(bench: MlBench) -> NetworkMapping {
+        map_network(&bench.spec(), &HwTarget::prime_default(), CompileOptions::default())
+            .expect("fits")
+    }
+
+    #[test]
+    fn medium_networks_spread_over_all_64_banks() {
+        let m = mapping(MlBench::MlpS);
+        let p = ImagePlacement::round_robin(&m, 64).unwrap();
+        assert!(p.is_balanced());
+        assert_eq!(p.max_load(), 1);
+        // Every copy gets exactly one image.
+        for c in 0..64 {
+            assert_eq!(p.images_on(c), 1);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_batches_stay_balanced() {
+        let m = mapping(MlBench::Cnn1);
+        let p = ImagePlacement::round_robin(&m, 100).unwrap();
+        assert!(p.is_balanced());
+        assert_eq!(p.max_load(), 2); // 100 images over 64 copies
+    }
+
+    #[test]
+    fn large_networks_funnel_through_one_copy() {
+        let m = mapping(MlBench::VggD);
+        let p = ImagePlacement::round_robin(&m, 10).unwrap();
+        assert_eq!(p.max_load(), 10);
+        assert_eq!(p.bank_of(0), Some(0));
+        assert_eq!(p.bank_of(9), Some(0));
+    }
+
+    #[test]
+    fn bank_of_is_none_past_the_batch() {
+        let m = mapping(MlBench::MlpM);
+        let p = ImagePlacement::round_robin(&m, 4).unwrap();
+        assert_eq!(p.bank_of(4), None);
+    }
+}

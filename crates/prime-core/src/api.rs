@@ -1,0 +1,293 @@
+//! The software/hardware interface (paper §IV-A, Fig. 7).
+//!
+//! From source code to execution there are three stages: programming
+//! against the PRIME APIs (`Map_Topology`, `Program_Weight`,
+//! `Config_Datapath`, `Run`, `Post_Proc`), compiling (the §IV-B mapping
+//! optimization, producing metadata: synaptic-weight mapping, datapath
+//! configuration, and data-flow commands), and execution, where the
+//! PRIME controller consumes that metadata. Training happens offline, so
+//! the API consumes an already-trained network (the *NN param file*).
+
+use serde::{Deserialize, Serialize};
+
+use prime_compiler::{map_network, CompileOptions, HwTarget, NetworkMapping};
+use prime_mem::{BufAddr, Command, FfAddr, InputSource, MatAddr, MatFunction, MemAddr};
+use prime_nn::{Network, NetworkSpec};
+
+use crate::error::PrimeError;
+use crate::executor::{ExecutionStats, FfExecutor};
+
+/// The offline-trained model handed to the API (the `NN param.file` of
+/// Fig. 7): the topology plus trained weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnParamFile {
+    /// The topology (used by `Map_Topology`).
+    pub spec: NetworkSpec,
+    /// The trained network (used by `Program_Weight`).
+    pub network: Network,
+}
+
+/// Compile-stage output: everything the execution stage needs (Fig. 7's
+/// "metadata" box).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// The optimized NN-to-mat mapping.
+    pub mapping: NetworkMapping,
+    /// Datapath-configure commands, issued once at configuration time.
+    pub datapath_commands: Vec<Command>,
+    /// Data-flow commands for one inference (fetch inputs, load/store per
+    /// weight layer, commit outputs).
+    pub dataflow_commands: Vec<Command>,
+}
+
+/// A PRIME program as the developer builds it: map, program, configure,
+/// run, post-process.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::{NnParamFile, PrimeProgram};
+/// use prime_nn::MlBench;
+///
+/// let spec = MlBench::MlpS.spec();
+/// let network = spec.to_network()?;
+/// let params = NnParamFile { spec, network };
+/// let mut program = PrimeProgram::new();
+/// program.map_topology(&params)?;          // Map_Topology(..)
+/// program.program_weight(&params)?;        // Program_Weight(..)
+/// let cmds = program.config_datapath()?;   // Config_Datapath(..)
+/// let output = program.run(&vec![0.5; 784])?; // Run(input_data)
+/// let digit = PrimeProgram::post_proc(&output); // Post_Proc()
+/// # let _ = (cmds, digit);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PrimeProgram {
+    target: HwTarget,
+    mapping: Option<NetworkMapping>,
+    network: Option<Network>,
+    executor: FfExecutor,
+}
+
+impl PrimeProgram {
+    /// Creates a program against the default PRIME hardware target.
+    pub fn new() -> Self {
+        PrimeProgram {
+            target: HwTarget::prime_default(),
+            mapping: None,
+            network: None,
+            executor: FfExecutor::new(),
+        }
+    }
+
+    /// Creates a program against a custom hardware target.
+    pub fn with_target(target: HwTarget) -> Self {
+        PrimeProgram { target, mapping: None, network: None, executor: FfExecutor::new() }
+    }
+
+    /// `Map_Topology(..)`: maps the NN topology onto FF subarrays, running
+    /// the compile-time optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] if the network does not fit
+    /// the hardware.
+    pub fn map_topology(&mut self, params: &NnParamFile) -> Result<&NetworkMapping, PrimeError> {
+        let mapping = map_network(&params.spec, &self.target, CompileOptions::default())
+            .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
+        self.mapping = Some(mapping);
+        Ok(self.mapping.as_ref().expect("just set"))
+    }
+
+    /// `Program_Weight(..)`: records the trained weights to program into
+    /// the mapped mats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] if `map_topology` has not
+    /// run or the network shape disagrees with the mapped topology.
+    pub fn program_weight(&mut self, params: &NnParamFile) -> Result<(), PrimeError> {
+        let mapping = self.mapping.as_ref().ok_or(PrimeError::MappingMismatch {
+            reason: "Program_Weight before Map_Topology".to_string(),
+        })?;
+        if params.spec.layers().len() != mapping.layers.len() {
+            return Err(PrimeError::MappingMismatch {
+                reason: "network does not match the mapped topology".to_string(),
+            });
+        }
+        self.network = Some(params.network.clone());
+        Ok(())
+    }
+
+    /// `Config_Datapath(..)`: generates the Table I command stream — the
+    /// datapath configuration followed by one inference's data flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] before `map_topology`.
+    pub fn config_datapath(&mut self) -> Result<CompiledProgram, PrimeError> {
+        let mapping = self.mapping.as_ref().ok_or(PrimeError::MappingMismatch {
+            reason: "Config_Datapath before Map_Topology".to_string(),
+        })?;
+        let mut datapath = Vec::new();
+        let mut dataflow = Vec::new();
+        let mut mat_cursor = 0usize;
+        let mats_per_subarray = self.target.mats_per_ff_subarray;
+        let weight_layers = mapping.layers.iter().filter(|l| l.base_mats > 0).count();
+        let mut weight_idx = 0usize;
+        // Stage the network input into the buffer.
+        if let Some(first) = mapping.layers.first() {
+            dataflow.push(Command::Fetch {
+                from: MemAddr(0),
+                to: BufAddr(0),
+                bytes: (first.layer.inputs() * 8) as u64,
+            });
+        }
+        for layer in &mapping.layers {
+            if layer.base_mats == 0 {
+                continue; // pooling layers run on the pooling hardware
+            }
+            let is_last = weight_idx + 1 == weight_layers;
+            for tile in 0..layer.base_mats {
+                let flat = mat_cursor + tile;
+                let mat = MatAddr {
+                    subarray: flat / mats_per_subarray,
+                    mat: flat % mats_per_subarray,
+                };
+                datapath.push(Command::SetFunction { mat, function: MatFunction::Compute });
+                // Sigmoid only on the final merged output of a layer whose
+                // activation needs it; split tiles always bypass.
+                let bypass = layer.row_tiles > 1 || !is_last;
+                datapath.push(Command::BypassSigmoid { mat, bypass });
+                datapath.push(Command::BypassSa { mat, bypass: false });
+                datapath.push(Command::SetInputSource { mat, source: InputSource::Buffer });
+                dataflow.push(Command::Load {
+                    from: BufAddr(0),
+                    to: FfAddr { mat, offset: 0 },
+                    bytes: (layer.rows_needed * 8) as u64,
+                });
+                dataflow.push(Command::Store {
+                    from: FfAddr { mat, offset: 0 },
+                    to: BufAddr((layer.layer.inputs() * 8) as u64),
+                    bytes: (layer.cols_needed * 8) as u64,
+                });
+            }
+            mat_cursor += layer.total_mats();
+            weight_idx += 1;
+        }
+        // Commit the final output back to memory.
+        if let Some(last) = mapping.layers.last() {
+            dataflow.push(Command::Commit {
+                from: BufAddr(0),
+                to: MemAddr(0),
+                bytes: (last.layer.outputs() * 8) as u64,
+            });
+        }
+        Ok(CompiledProgram {
+            mapping: mapping.clone(),
+            datapath_commands: datapath,
+            dataflow_commands: dataflow,
+        })
+    }
+
+    /// `Run(input_data)`: executes one inference on the functional FF-mat
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] before `program_weight`, or
+    /// execution errors.
+    pub fn run(&mut self, input: &[f32]) -> Result<Vec<f32>, PrimeError> {
+        let net = self.network.as_ref().ok_or(PrimeError::MappingMismatch {
+            reason: "Run before Program_Weight".to_string(),
+        })?;
+        let (out, _) = self.executor.run(net, input)?;
+        Ok(out)
+    }
+
+    /// Work counters accumulated by `Run` calls.
+    pub fn stats(&self) -> ExecutionStats {
+        self.executor.stats()
+    }
+
+    /// `Post_Proc()`: interprets the output (classification argmax).
+    pub fn post_proc(output: &[f32]) -> usize {
+        let mut best = 0;
+        for (i, &v) in output.iter().enumerate() {
+            if v > output[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::MlBench;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_params() -> NnParamFile {
+        let spec = NetworkSpec::new(
+            "tiny",
+            vec![
+                prime_nn::LayerSpec::FullyConnected { inputs: 8, outputs: 6 },
+                prime_nn::LayerSpec::FullyConnected { inputs: 6, outputs: 3 },
+            ],
+        )
+        .unwrap();
+        let mut network = spec.to_network().unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        network.init_random(&mut rng);
+        NnParamFile { spec, network }
+    }
+
+    #[test]
+    fn api_stages_must_run_in_order() {
+        let mut prog = PrimeProgram::new();
+        assert!(prog.config_datapath().is_err());
+        assert!(prog.run(&[0.0; 8]).is_err());
+        let params = tiny_params();
+        prog.map_topology(&params).unwrap();
+        assert!(prog.run(&[0.0; 8]).is_err()); // weights not programmed yet
+        prog.program_weight(&params).unwrap();
+        let out = prog.run(&[0.5; 8]).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn config_datapath_emits_table_i_commands() {
+        let mut prog = PrimeProgram::new();
+        let params = tiny_params();
+        prog.map_topology(&params).unwrap();
+        prog.program_weight(&params).unwrap();
+        let compiled = prog.config_datapath().unwrap();
+        assert!(compiled.datapath_commands.iter().all(Command::is_datapath_configure));
+        assert!(compiled.dataflow_commands.iter().all(|c| !c.is_datapath_configure()));
+        // fetch + (load + store) per weight tile + commit.
+        assert!(compiled.dataflow_commands.len() >= 4);
+    }
+
+    #[test]
+    fn post_proc_is_argmax() {
+        assert_eq!(PrimeProgram::post_proc(&[0.1, 0.9, 0.3]), 1);
+    }
+
+    #[test]
+    fn mlp_s_program_runs_end_to_end() {
+        let spec = MlBench::MlpS.spec();
+        let mut network = spec.to_network().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        network.init_random(&mut rng);
+        let params = NnParamFile { spec, network };
+        let mut prog = PrimeProgram::new();
+        let mapping = prog.map_topology(&params).unwrap();
+        assert_eq!(mapping.copies_across_memory, 64);
+        prog.program_weight(&params).unwrap();
+        let out = prog.run(&vec![0.5; 784]).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(prog.stats().mat_passes > 0);
+    }
+}

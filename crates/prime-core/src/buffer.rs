@@ -1,0 +1,193 @@
+//! The Buffer subarray (paper §III-B).
+//!
+//! The mem subarray closest to the FF subarrays is configured as a data
+//! buffer: it caches FF input/output data (crossbar evaluation is fast;
+//! serial data movement is the bottleneck) and connects to the FF
+//! subarrays through private data ports, so the CPU and the FF subarrays
+//! work in parallel. The buffer-connection unit's extra decoders and
+//! multiplexers let an FF subarray access *any* location in the buffer —
+//! required by the random access patterns between convolutional layers —
+//! and a bypass register forwards one mat's output directly to another's
+//! input when no buffering is needed.
+
+use serde::{Deserialize, Serialize};
+
+use prime_mem::BufAddr;
+
+use crate::error::PrimeError;
+
+/// A functional Buffer subarray: flat storage of composed data codes with
+/// random access from the FF side.
+///
+/// # Examples
+///
+/// ```
+/// use prime_core::BufferSubarray;
+/// use prime_mem::BufAddr;
+///
+/// let mut buf = BufferSubarray::new(1024);
+/// buf.store(BufAddr(0), &[1, 2, 3])?;
+/// assert_eq!(buf.load(BufAddr(0), 3)?, vec![1, 2, 3]);
+/// # Ok::<(), prime_core::PrimeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferSubarray {
+    /// One slot per composed data word (6-bit codes stored widened).
+    data: Vec<i64>,
+    /// The bypass register between mats (paper Fig. 4 D).
+    bypass_register: Option<Vec<i64>>,
+    /// Words written since the last statistics reset.
+    words_written: u64,
+    /// Words read since the last statistics reset.
+    words_read: u64,
+}
+
+impl BufferSubarray {
+    /// Creates a buffer holding `words` data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "buffer must have capacity");
+        BufferSubarray {
+            data: vec![0; words],
+            bypass_register: None,
+            words_written: 0,
+            words_read: 0,
+        }
+    }
+
+    /// Capacity in data words.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words written since construction or the last reset.
+    pub fn words_written(&self) -> u64 {
+        self.words_written
+    }
+
+    /// Words read since construction or the last reset.
+    pub fn words_read(&self) -> u64 {
+        self.words_read
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset_stats(&mut self) {
+        self.words_written = 0;
+        self.words_read = 0;
+    }
+
+    fn check_range(&self, addr: BufAddr, len: usize) -> Result<usize, PrimeError> {
+        let start = addr.0 as usize;
+        let end = start.checked_add(len).ok_or(PrimeError::BufferOverflow {
+            requested: u64::MAX,
+            capacity: self.data.len() as u64,
+        })?;
+        if end > self.data.len() {
+            return Err(PrimeError::BufferOverflow {
+                requested: end as u64,
+                capacity: self.data.len() as u64,
+            });
+        }
+        Ok(start)
+    }
+
+    /// Stores `values` starting at `addr` (the `store [FF adr] to
+    /// [buf adr]` data flow, and the memory side of `fetch`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when the range exceeds
+    /// capacity.
+    pub fn store(&mut self, addr: BufAddr, values: &[i64]) -> Result<(), PrimeError> {
+        let start = self.check_range(addr, values.len())?;
+        self.data[start..start + values.len()].copy_from_slice(values);
+        self.words_written += values.len() as u64;
+        Ok(())
+    }
+
+    /// Loads `len` words starting at `addr` (the `load [buf adr] to
+    /// [FF adr]` data flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when the range exceeds
+    /// capacity.
+    pub fn load(&mut self, addr: BufAddr, len: usize) -> Result<Vec<i64>, PrimeError> {
+        let start = self.check_range(addr, len)?;
+        self.words_read += len as u64;
+        Ok(self.data[start..start + len].to_vec())
+    }
+
+    /// Random-access gather: the buffer-connection unit can deliver any
+    /// set of buffer locations to an FF mat (convolution window reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] if any index exceeds
+    /// capacity.
+    pub fn gather(&mut self, indices: &[u64]) -> Result<Vec<i64>, PrimeError> {
+        let mut out = Vec::with_capacity(indices.len());
+        for &idx in indices {
+            if idx as usize >= self.data.len() {
+                return Err(PrimeError::BufferOverflow {
+                    requested: idx + 1,
+                    capacity: self.data.len() as u64,
+                });
+            }
+            out.push(self.data[idx as usize]);
+        }
+        self.words_read += indices.len() as u64;
+        Ok(out)
+    }
+
+    /// Places values in the bypass register instead of the array — used
+    /// when one mat's output is exactly the next mat's input.
+    pub fn bypass_store(&mut self, values: Vec<i64>) {
+        self.bypass_register = Some(values);
+    }
+
+    /// Takes the bypass register's contents, if any.
+    pub fn bypass_take(&mut self) -> Option<Vec<i64>> {
+        self.bypass_register.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut buf = BufferSubarray::new(16);
+        buf.store(BufAddr(4), &[7, -3, 9]).unwrap();
+        assert_eq!(buf.load(BufAddr(4), 3).unwrap(), vec![7, -3, 9]);
+        assert_eq!(buf.words_written(), 3);
+        assert_eq!(buf.words_read(), 3);
+    }
+
+    #[test]
+    fn out_of_range_accesses_fail() {
+        let mut buf = BufferSubarray::new(8);
+        assert!(buf.store(BufAddr(6), &[1, 2, 3]).is_err());
+        assert!(buf.load(BufAddr(8), 1).is_err());
+        assert!(buf.gather(&[7, 8]).is_err());
+    }
+
+    #[test]
+    fn gather_supports_random_access() {
+        let mut buf = BufferSubarray::new(8);
+        buf.store(BufAddr(0), &[10, 11, 12, 13, 14, 15, 16, 17]).unwrap();
+        assert_eq!(buf.gather(&[7, 0, 3]).unwrap(), vec![17, 10, 13]);
+    }
+
+    #[test]
+    fn bypass_register_is_one_shot() {
+        let mut buf = BufferSubarray::new(4);
+        buf.bypass_store(vec![1, 2]);
+        assert_eq!(buf.bypass_take(), Some(vec![1, 2]));
+        assert_eq!(buf.bypass_take(), None);
+    }
+}

@@ -1,0 +1,549 @@
+//! Functional execution of whole networks on FF mats (paper §III-E).
+//!
+//! The executor lowers each layer of an executable [`Network`] onto
+//! mat-sized tiles (the same split-merge arithmetic as the compiler),
+//! programs composed weights into [`FfMat`]s, and evaluates inference
+//! through the actual device/circuit models — quantized 6-bit inputs,
+//! 8-bit composed weights, truncated 6-bit outputs, digital merge of
+//! split partial sums, hardware max pooling, and ReLU/sigmoid output
+//! units. It is the fidelity reference proving that PRIME's hardware
+//! pipeline computes what the software NN computes.
+//!
+//! Two modelling simplifications are documented here (DESIGN.md §5):
+//! biases are accumulated by the precision-control adder digitally
+//! (capacity-wise the compiler still reserves the bias row), and layer
+//! activations run at full precision between layers, mirroring the analog
+//! sigmoid/ReLU units which are not quantized internally.
+
+use serde::{Deserialize, Serialize};
+
+use prime_circuits::{ComposingScheme, MaxPoolUnit};
+use prime_device::NoiseModel;
+use prime_mem::MatFunction;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use prime_nn::{Layer, Network, PoolKind};
+
+use crate::error::PrimeError;
+use crate::ff_mat::FfMat;
+
+/// Work counters accumulated while executing a network on FF mats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Full crossbar evaluation passes (each = two driver passes through
+    /// the composing scheme).
+    pub mat_passes: u64,
+    /// Digital adds merging split row tiles and biases.
+    pub merge_adds: u64,
+    /// 4:1 max-pooling hardware steps.
+    pub pool_steps: u64,
+    /// Words staged through the Buffer subarray.
+    pub buffer_words: u64,
+    /// Mats programmed (tiles across all layers).
+    pub mats_programmed: u64,
+}
+
+/// One weight layer lowered onto FF-mat tiles.
+struct TiledLayer {
+    /// Mats indexed `[row_tile][col_tile]`.
+    tiles: Vec<Vec<FfMat>>,
+    /// Rows covered by each row tile.
+    row_spans: Vec<(usize, usize)>,
+    /// Columns covered by each column tile.
+    col_spans: Vec<(usize, usize)>,
+    /// Quantized weight codes per tile (kept for SA-window calibration),
+    /// same indexing as `tiles`, row-major within a tile.
+    code_tiles: Vec<Vec<Vec<i32>>>,
+    /// `input_scale * weight_scale`: one composed full-precision unit in
+    /// real-value terms. Each tile additionally carries its own SA shift.
+    value_scale: f32,
+}
+
+/// Executes networks on functional FF mats.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::FfExecutor;
+/// use prime_nn::{Activation, FullyConnected, Layer, Network};
+///
+/// let net = Network::new(vec![Layer::Fc(FullyConnected::new(4, 2, Activation::Identity))])?;
+/// let mut exec = FfExecutor::new();
+/// let (out, stats) = exec.run(&net, &[0.1, 0.2, 0.3, 0.4])?;
+/// assert_eq!(out.len(), 2);
+/// assert!(stats.mat_passes >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FfExecutor {
+    scheme: ComposingScheme,
+    pool_unit: MaxPoolUnit,
+    stats: ExecutionStats,
+    /// Device non-ideality model; ideal by default.
+    noise: NoiseModel,
+    rng: SmallRng,
+}
+
+impl Default for FfExecutor {
+    fn default() -> Self {
+        FfExecutor::new()
+    }
+}
+
+impl FfExecutor {
+    /// Creates an executor with the paper's default composing scheme and
+    /// ideal (noise-free) devices.
+    pub fn new() -> Self {
+        Self::with_noise(NoiseModel::ideal(), 0)
+    }
+
+    /// Creates an executor whose mats are programmed and evaluated through
+    /// the analog path under `noise` (e.g.
+    /// [`NoiseModel::crossbar_default`] for the ~3 % in-crossbar tuning
+    /// precision of real devices), seeded deterministically.
+    pub fn with_noise(noise: NoiseModel, seed: u64) -> Self {
+        FfExecutor {
+            scheme: ComposingScheme::prime_default(),
+            pool_unit: MaxPoolUnit::new(),
+            stats: ExecutionStats::default(),
+            noise,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The accumulated work counters.
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats
+    }
+
+    /// Resets the work counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecutionStats::default();
+    }
+
+    /// Quantizes a non-negative activation vector to composed input codes.
+    /// PRIME drives inputs as wordline voltages, which are unsigned; the
+    /// supported activations (images, sigmoid, ReLU) are all non-negative,
+    /// and any numerical noise below zero clamps to the zero code.
+    fn quantize_input(&self, values: &[f32]) -> (Vec<u16>, f32) {
+        let max_code = ((1u32 << self.scheme.input_bits()) - 1) as f32;
+        let abs_max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if abs_max == 0.0 {
+            return (vec![0; values.len()], 1.0);
+        }
+        let scale = abs_max / max_code;
+        let codes = values
+            .iter()
+            .map(|&v| ((v / scale).round().clamp(0.0, max_code)) as u16)
+            .collect();
+        (codes, scale)
+    }
+
+    /// Quantizes signed weights to composed codes.
+    fn quantize_weights(&self, values: &[f32]) -> (Vec<i32>, f32) {
+        let max_code = ((1u32 << self.scheme.weight_bits()) - 1) as f32;
+        let abs_max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if abs_max == 0.0 {
+            return (vec![0; values.len()], 1.0);
+        }
+        let scale = abs_max / max_code;
+        let codes = values
+            .iter()
+            .map(|&v| ((v / scale).round().clamp(-max_code, max_code)) as i32)
+            .collect();
+        (codes, scale)
+    }
+
+    /// Lowers a weight matrix (`rows x cols`, row-major) onto tiles of
+    /// programmed FF mats.
+    fn tile_matrix(
+        &mut self,
+        weights: &[f32],
+        rows: usize,
+        cols: usize,
+        input_scale: f32,
+    ) -> Result<TiledLayer, PrimeError> {
+        let (codes, w_scale) = self.quantize_weights(weights);
+        let mat_rows = 256;
+        let mat_cols = 128;
+        let row_spans: Vec<(usize, usize)> =
+            (0..rows.div_ceil(mat_rows)).map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(rows))).collect();
+        let col_spans: Vec<(usize, usize)> =
+            (0..cols.div_ceil(mat_cols)).map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(cols))).collect();
+        let mut tiles = Vec::with_capacity(row_spans.len());
+        let mut code_tiles = Vec::with_capacity(row_spans.len());
+        for &(r0, r1) in &row_spans {
+            let mut row_tiles = Vec::with_capacity(col_spans.len());
+            let mut row_code_tiles = Vec::with_capacity(col_spans.len());
+            for &(c0, c1) in &col_spans {
+                let (tr, tc) = (r1 - r0, c1 - c0);
+                let mut tile_codes = Vec::with_capacity(tr * tc);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        tile_codes.push(codes[r * cols + c]);
+                    }
+                }
+                let mut mat = FfMat::with_scheme(self.scheme);
+                mat.set_function(MatFunction::Program);
+                mat.program_composed(&tile_codes, tr, tc)?;
+                mat.set_function(MatFunction::Compute);
+                if self.noise.is_noisy() {
+                    mat.apply_program_noise(&self.noise, &mut self.rng);
+                }
+                self.stats.mats_programmed += 1;
+                row_tiles.push(mat);
+                row_code_tiles.push(tile_codes);
+            }
+            tiles.push(row_tiles);
+            code_tiles.push(row_code_tiles);
+        }
+        Ok(TiledLayer {
+            tiles,
+            row_spans,
+            col_spans,
+            code_tiles,
+            value_scale: input_scale * w_scale,
+        })
+    }
+
+    /// Calibrates each tile's SA sensing window from representative input
+    /// vectors — the dynamic-fixed-point step: the output exponent is
+    /// chosen per layer from observed data instead of the worst case
+    /// (paper §III-D adopts the dynamic fixed point format \[68\]). One bit
+    /// of headroom guards against samples missing the true maximum; the
+    /// output register saturates beyond the window.
+    fn calibrate_tiles(&self, layer: &mut TiledLayer, samples: &[&[u16]]) {
+        for (rt, &(r0, r1)) in layer.row_spans.iter().enumerate() {
+            let rows = r1 - r0;
+            for (ct, &(c0, c1)) in layer.col_spans.iter().enumerate() {
+                let cols = c1 - c0;
+                let codes = &layer.code_tiles[rt][ct];
+                let mut max_abs = 0i64;
+                for sample in samples {
+                    let slice = &sample[r0..r1];
+                    for c in 0..cols {
+                        let mut acc = 0i64;
+                        for (r, &x) in slice.iter().enumerate().take(rows) {
+                            acc += i64::from(x) * i64::from(codes[r * cols + c]);
+                        }
+                        max_abs = max_abs.max(acc.abs());
+                    }
+                }
+                layer.tiles[rt][ct].calibrate_output_window(2 * max_abs.max(1));
+            }
+        }
+    }
+
+    /// Evaluates one quantized input vector through a tiled layer,
+    /// returning real-valued pre-activations (bias not yet added).
+    fn eval_tiles(
+        &mut self,
+        layer: &mut TiledLayer,
+        codes: &[u16],
+        cols: usize,
+    ) -> Result<Vec<f32>, PrimeError> {
+        let mut merged = vec![0.0f32; cols];
+        let row_spans = layer.row_spans.clone();
+        let col_spans = layer.col_spans.clone();
+        for (rt, &(r0, r1)) in row_spans.iter().enumerate() {
+            let slice = &codes[r0..r1];
+            for (ct, &(c0, c1)) in col_spans.iter().enumerate() {
+                let mat = &mut layer.tiles[rt][ct];
+                // Each tile's SA window is calibrated independently; align
+                // tiles by expanding codes back to full-precision units
+                // before the merge adds.
+                let tile_unit = (mat.output_shift() as f32).exp2();
+                let out = if self.noise.is_noisy() {
+                    mat.compute_analog(slice, &self.noise, &mut self.rng)?
+                } else {
+                    mat.compute(slice)?
+                };
+                self.stats.mat_passes += 1;
+                for (i, &v) in out.iter().enumerate() {
+                    merged[c0 + i] += v as f32 * tile_unit;
+                    self.stats.merge_adds += 1;
+                }
+                debug_assert_eq!(out.len(), c1 - c0);
+            }
+        }
+        Ok(merged.into_iter().map(|v| v * layer.value_scale).collect())
+    }
+
+    /// Runs a full network on FF mats, returning the output activations
+    /// and the accumulated work counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError`] for malformed inputs or unsupported layer
+    /// configurations.
+    pub fn run(&mut self, net: &Network, input: &[f32]) -> Result<(Vec<f32>, ExecutionStats), PrimeError> {
+        if input.len() != net.inputs() {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "{} inputs supplied for a {}-input network",
+                    input.len(),
+                    net.inputs()
+                ),
+            });
+        }
+        let mut x = input.to_vec();
+        for layer in net.layers() {
+            x = match layer {
+                Layer::Fc(fc) => {
+                    let (codes, in_scale) = self.quantize_input(&x);
+                    self.stats.buffer_words += codes.len() as u64;
+                    // The executor transposes W ([outputs, inputs]) into
+                    // crossbar orientation ([inputs, outputs]).
+                    let (outputs, inputs) = (fc.outputs(), fc.inputs());
+                    let w = fc.weights().data();
+                    let mut wt = vec![0.0f32; inputs * outputs];
+                    for o in 0..outputs {
+                        for i in 0..inputs {
+                            wt[i * outputs + o] = w[o * inputs + i];
+                        }
+                    }
+                    let mut tiled = self.tile_matrix(&wt, inputs, outputs, in_scale)?;
+                    self.calibrate_tiles(&mut tiled, &[&codes]);
+                    let mut y = self.eval_tiles(&mut tiled, &codes, outputs)?;
+                    for (v, b) in y.iter_mut().zip(fc.bias()) {
+                        *v += b;
+                        self.stats.merge_adds += 1;
+                    }
+                    self.stats.buffer_words += y.len() as u64;
+                    y.iter().map(|&v| fc.activation().apply(v)).collect()
+                }
+                Layer::Conv(conv) => {
+                    let (codes, in_scale) = self.quantize_input(&x);
+                    self.stats.buffer_words += codes.len() as u64;
+                    let k = conv.kernel();
+                    let in_ch = conv.in_channels();
+                    let out_ch = conv.out_channels();
+                    let rows = in_ch * k * k;
+                    // Kernel matrix: one column per output map.
+                    let w = conv.weights().data();
+                    let mut km = vec![0.0f32; rows * out_ch];
+                    for oc in 0..out_ch {
+                        for ic in 0..in_ch {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let r = (ic * k + ky) * k + kx;
+                                    km[r * out_ch + oc] = w[((oc * in_ch + ic) * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                    }
+                    if conv.padding() != 0 {
+                        return Err(PrimeError::MappingMismatch {
+                            reason: "the functional executor supports valid (padding-0) \
+                                     convolutions; padded nets are evaluated by the simulator"
+                                .to_string(),
+                        });
+                    }
+                    let mut tiled = self.tile_matrix(&km, rows, out_ch, in_scale)?;
+                    let (oh, ow) = (conv.out_h(), conv.out_w());
+                    let (src_h, src_w) = (oh + k - 1, ow + k - 1); // valid convolution
+                    // Gather all windows once: used both for SA-window
+                    // calibration (on a sample) and for evaluation.
+                    let mut windows: Vec<Vec<u16>> = Vec::with_capacity(oh * ow);
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut window = vec![0u16; rows];
+                            for ic in 0..in_ch {
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let iidx = (ic * src_h + oy + ky) * src_w + ox + kx;
+                                        window[(ic * k + ky) * k + kx] = codes[iidx];
+                                    }
+                                }
+                            }
+                            windows.push(window);
+                        }
+                    }
+                    let sample_stride = (windows.len() / 32).max(1);
+                    let samples: Vec<&[u16]> =
+                        windows.iter().step_by(sample_stride).map(|w| w.as_slice()).collect();
+                    self.calibrate_tiles(&mut tiled, &samples);
+                    let mut out = vec![0.0f32; out_ch * oh * ow];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let window = &windows[oy * ow + ox];
+                            self.stats.buffer_words += window.len() as u64;
+                            let y = self.eval_tiles(&mut tiled, window, out_ch)?;
+                            for (oc, &v) in y.iter().enumerate() {
+                                let val = v + conv.bias()[oc];
+                                out[(oc * oh + oy) * ow + ox] =
+                                    conv.activation().apply(val);
+                            }
+                        }
+                    }
+                    self.stats.buffer_words += out.len() as u64;
+                    out
+                }
+                Layer::Pool(pool) => match pool.kind() {
+                    PoolKind::Max => {
+                        // Hardware path: quantize, run the 4:1 winner-code
+                        // unit, dequantize. Max pooling commutes with the
+                        // monotonic quantization, so fidelity is exact up
+                        // to input quantization.
+                        let (codes, scale) = self.quantize_input(&x);
+                        let win = pool.window();
+                        let (oh, ow) = (pool.out_h(), pool.out_w());
+                        let channels = pool.outputs() / (oh * ow);
+                        let in_w = ow * win;
+                        let mut out = vec![0.0f32; pool.outputs()];
+                        for c in 0..channels {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut vals = Vec::with_capacity(win * win);
+                                    for wy in 0..win {
+                                        for wx in 0..win {
+                                            vals.push(i64::from(
+                                                codes[(c * oh * win + oy * win + wy) * in_w
+                                                    + ox * win
+                                                    + wx],
+                                            ));
+                                        }
+                                    }
+                                    self.stats.pool_steps +=
+                                        self.pool_unit.steps_for(vals.len()) as u64;
+                                    let m = self.pool_unit.pool(&vals)?;
+                                    out[(c * oh + oy) * ow + ox] = m as f32 * scale;
+                                }
+                            }
+                        }
+                        out
+                    }
+                    // Mean pooling via 1/n ReRAM weights is numerically a
+                    // plain average; evaluated directly.
+                    PoolKind::Mean => layer.forward(&x)?,
+                },
+            };
+        }
+        Ok((x, self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::{Activation, FullyConnected, Pool2d, Tensor};
+
+    #[test]
+    fn fc_layer_matches_software_within_quantization_error() {
+        let weights = Tensor::from_vec(
+            vec![3, 4],
+            vec![0.5, -0.25, 0.125, 0.75, -0.5, 0.3, 0.2, -0.1, 0.05, 0.6, -0.7, 0.45],
+        )
+        .unwrap();
+        let fc = FullyConnected::from_params(weights, vec![0.1, -0.2, 0.0], Activation::Identity)
+            .unwrap();
+        let net = Network::new(vec![Layer::Fc(fc.clone())]).unwrap();
+        let input = [0.9f32, 0.1, 0.5, 0.7];
+        let sw = fc.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, stats) = exec.run(&net, &input).unwrap();
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() < 0.12, "hw {a} vs sw {b}");
+        }
+        assert!(stats.mat_passes >= 1);
+        assert!(stats.mats_programmed >= 1);
+    }
+
+    #[test]
+    fn split_merge_matches_single_tile_semantics() {
+        // 600 inputs force 3 row tiles; results must match software.
+        let inputs = 600;
+        let outputs = 5;
+        let w: Vec<f32> = (0..inputs * outputs)
+            .map(|i| (((i * 17) % 41) as f32 - 20.0) / 40.0)
+            .collect();
+        let weights = Tensor::from_vec(vec![outputs, inputs], {
+            // transpose into [outputs, inputs]
+            let mut t = vec![0.0f32; inputs * outputs];
+            for o in 0..outputs {
+                for i in 0..inputs {
+                    t[o * inputs + i] = w[i * outputs + o];
+                }
+            }
+            t
+        })
+        .unwrap();
+        let fc =
+            FullyConnected::from_params(weights, vec![0.0; outputs], Activation::Identity).unwrap();
+        let net = Network::new(vec![Layer::Fc(fc.clone())]).unwrap();
+        let input: Vec<f32> = (0..inputs).map(|i| ((i % 10) as f32) / 10.0).collect();
+        let sw = fc.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, stats) = exec.run(&net, &input).unwrap();
+        // Zero-mean random weights with 600-wide fan-in are the scheme's
+        // worst case: each of the 3 row tiles quantizes its large,
+        // mutually-cancelling partial sum into a 6-bit window, so the
+        // merged output carries ~3 tile-LSBs of error. Check the result
+        // tracks software tightly in shape and within that bound.
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() < 0.6, "hw {a} vs sw {b}");
+        }
+        let corr = correlation(&hw, &sw);
+        assert!(corr > 0.9, "hardware/software correlation too low: {corr}");
+        // 600 rows -> 3 row tiles of 1 col tile each.
+        assert_eq!(stats.mat_passes, 3);
+    }
+
+    #[test]
+    fn run_rejects_wrong_sized_input() {
+        let fc = FullyConnected::new(8, 4, Activation::Identity);
+        let net = Network::new(vec![Layer::Fc(fc)]).unwrap();
+        let mut exec = FfExecutor::new();
+        let err = exec.run(&net, &[0.5; 10]);
+        assert!(
+            matches!(err, Err(PrimeError::MappingMismatch { .. })),
+            "wrong-sized input must error, not panic: {err:?}"
+        );
+    }
+
+    #[test]
+    fn max_pool_hardware_path_matches_software() {
+        let pool = Pool2d::new(PoolKind::Max, 2, 4, 4, 2);
+        let net = Network::new(vec![Layer::Pool(pool)]).unwrap();
+        let input: Vec<f32> = (0..32).map(|i| ((i * 13 % 32) as f32) / 32.0).collect();
+        let sw = net.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, stats) = exec.run(&net, &input).unwrap();
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() < 0.02, "hw {a} vs sw {b}");
+        }
+        assert!(stats.pool_steps > 0);
+    }
+
+    #[test]
+    fn conv_layer_matches_software_within_quantization_error() {
+        let mut conv =
+            prime_nn::Conv2d::new(1, 2, 3, 6, 6, 0, Activation::Relu);
+        for (i, w) in conv.weights_mut().data_mut().iter_mut().enumerate() {
+            *w = (((i * 23) % 19) as f32 - 9.0) / 18.0;
+        }
+        conv.bias_mut()[0] = 0.05;
+        conv.bias_mut()[1] = -0.05;
+        let net = Network::new(vec![Layer::Conv(conv.clone())]).unwrap();
+        let input: Vec<f32> = (0..36).map(|i| ((i * 7 % 13) as f32) / 13.0).collect();
+        let sw = conv.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, _) = exec.run(&net, &input).unwrap();
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.5);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.25, "hw {a} vs sw {b}");
+        }
+        let corr = correlation(&hw, &sw);
+        assert!(corr > 0.95, "hardware/software correlation too low: {corr}");
+    }
+
+    /// Pearson correlation between two equal-length vectors.
+    fn correlation(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len() as f32;
+        let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);
+        let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f32 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f32 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+}

@@ -1,0 +1,620 @@
+//! The full-function (FF) mat: one positive/negative crossbar pair with
+//! its modified peripheral circuits, morphable between memory and NN
+//! computation (paper §III-A).
+//!
+//! In computation mode the mat stores composed 8-bit signed weights (two
+//! adjacent 4-bit cells per magnitude, sign in the positive/negative
+//! array split) and evaluates composed 6-bit inputs through the
+//! input-and-synapse composing scheme. In memory mode both crossbars of
+//! the pair store plain bits (512 rows x 256 bits = 16 KiB per mat).
+
+use serde::{Deserialize, Serialize};
+
+use prime_circuits::{
+    ComposingScheme, Part, PartSums, PrecisionController, ReluUnit, SigmoidUnit, WordlineDriver,
+};
+use prime_device::{MlcSpec, PairedCrossbar, MAT_DIM};
+use prime_mem::MatFunction;
+
+use crate::error::PrimeError;
+
+/// Configuration switches of an FF mat's datapath, set by the Table I
+/// datapath-configure commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatDatapath {
+    /// Bypass the sigmoid unit (required when partial sums are merged
+    /// downstream).
+    pub bypass_sigmoid: bool,
+    /// Bypass the SA (analog output forwarded to the next mat directly).
+    pub bypass_sa: bool,
+    /// Enable the ReLU unit (CNN convolution layers).
+    pub relu: bool,
+}
+
+impl Default for MatDatapath {
+    fn default() -> Self {
+        MatDatapath { bypass_sigmoid: true, bypass_sa: false, relu: false }
+    }
+}
+
+/// A full-function mat.
+///
+/// # Examples
+///
+/// ```
+/// use prime_core::FfMat;
+/// use prime_mem::MatFunction;
+///
+/// let mut mat = FfMat::new();
+/// mat.set_function(MatFunction::Program);
+/// // A 2-input, 1-output weight "matrix" [3, -4]^T:
+/// mat.program_composed(&[3, -4], 2, 1)?;
+/// mat.set_function(MatFunction::Compute);
+/// let out = mat.compute(&[10, 20])?;
+/// // Composed target of 10*3 - 20*4 = -50, truncated by the scheme.
+/// assert!(out[0] <= 0);
+/// # Ok::<(), prime_core::PrimeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FfMat {
+    pair: PairedCrossbar,
+    driver: WordlineDriver,
+    scheme: ComposingScheme,
+    function: MatFunction,
+    datapath: MatDatapath,
+    sigmoid: SigmoidUnit,
+    relu: ReluUnit,
+    /// Logical composed-weight dimensions currently programmed.
+    weight_rows: usize,
+    weight_cols: usize,
+    /// The SA's sensing window: the right shift from full precision to
+    /// the Po-bit output. Defaults to the scheme's worst-case shift and is
+    /// recomputed on programming;
+    /// [`calibrate_output_window`](Self::calibrate_output_window)
+    /// overrides it with a calibrated window (dynamic fixed point).
+    output_shift: u8,
+}
+
+impl FfMat {
+    /// Creates a PRIME-sized mat (256x256 pair, 3-bit drivers, default
+    /// composing scheme) in memory mode.
+    pub fn new() -> Self {
+        Self::with_scheme(ComposingScheme::prime_default())
+    }
+
+    /// Creates a mat with a custom composing scheme (for precision
+    /// ablations).
+    pub fn with_scheme(scheme: ComposingScheme) -> Self {
+        let mut mat = FfMat {
+            pair: PairedCrossbar::new(MAT_DIM, MAT_DIM, MlcSpec::slc()),
+            driver: WordlineDriver::new(MAT_DIM, scheme.input_half_bits()),
+            scheme,
+            function: MatFunction::Memory,
+            datapath: MatDatapath::default(),
+            sigmoid: SigmoidUnit::new(scheme.output_bits(), 64.0),
+            relu: ReluUnit::new(),
+            weight_rows: 0,
+            weight_cols: 0,
+            output_shift: scheme.target_shift(),
+        };
+        // Sync the output units to the default datapath (sigmoid and ReLU
+        // both bypassed until configured otherwise).
+        mat.set_datapath(mat.datapath);
+        mat
+    }
+
+    /// The mat's composing scheme.
+    pub fn scheme(&self) -> ComposingScheme {
+        self.scheme
+    }
+
+    /// The mat's current function.
+    pub fn function(&self) -> MatFunction {
+        self.function
+    }
+
+    /// The current datapath configuration.
+    pub fn datapath(&self) -> MatDatapath {
+        self.datapath
+    }
+
+    /// Reconfigures the datapath (Table I `bypass sigmoid` / `bypass SA`).
+    pub fn set_datapath(&mut self, datapath: MatDatapath) {
+        self.datapath = datapath;
+        self.sigmoid.set_bypass(datapath.bypass_sigmoid);
+        self.relu.set_bypass(!datapath.relu);
+    }
+
+    /// Maximum composed-weight rows (one physical wordline each).
+    pub fn max_rows(&self) -> usize {
+        MAT_DIM
+    }
+
+    /// Maximum composed-weight columns (two physical bitlines each).
+    pub fn max_cols(&self) -> usize {
+        MAT_DIM / 2
+    }
+
+    /// Logical weight dimensions currently programmed.
+    pub fn weight_shape(&self) -> (usize, usize) {
+        (self.weight_rows, self.weight_cols)
+    }
+
+    /// The SA's current sensing shift (full-precision bits dropped).
+    pub fn output_shift(&self) -> u8 {
+        self.output_shift
+    }
+
+    /// Calibrates the SA's sensing window (dynamic fixed point, ref \[68\]):
+    /// `max_abs_full` is the largest full-precision accumulation expected
+    /// on any bitline; the shift is chosen so that value fills the Po-bit
+    /// output. Values beyond the window saturate at the register limits.
+    pub fn calibrate_output_window(&mut self, max_abs_full: i64) {
+        let bits = 64 - max_abs_full.unsigned_abs().leading_zeros() as i64;
+        let shift = (bits - i64::from(self.scheme.output_bits())).max(0);
+        self.output_shift = shift.min(i64::from(self.scheme.target_shift())) as u8;
+    }
+
+    /// Switches the mat's function (`prog/comp/mem` command), morphing the
+    /// cells' MLC spec: SLC in memory mode, multi-bit for computation.
+    /// Stored levels are clamped to the new range — the controller's
+    /// morphing protocol migrates data beforehand so nothing is lost.
+    pub fn set_function(&mut self, function: MatFunction) {
+        let spec = match function {
+            MatFunction::Memory => MlcSpec::slc(),
+            MatFunction::Program | MatFunction::Compute => {
+                MlcSpec::new(self.scheme.weight_half_bits()).expect("scheme widths validated")
+            }
+        };
+        self.pair.positive_mut().morph(spec);
+        self.pair.negative_mut().morph(spec);
+        self.function = function;
+    }
+
+    /// Programs a row-major composed signed weight matrix
+    /// (`rows x cols`, `|w| < 2^Pw`). The high and low magnitude nibbles
+    /// land in adjacent physical bitlines (paper §III-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless the mat is in `Program`
+    /// mode, [`PrimeError::MatOverflow`] if the matrix exceeds the mat, or
+    /// a circuit error for out-of-range magnitudes.
+    pub fn program_composed(
+        &mut self,
+        weights: &[i32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<(), PrimeError> {
+        if self.function != MatFunction::Program {
+            return Err(PrimeError::WrongMode {
+                expected: "program",
+                found: function_name(self.function),
+            });
+        }
+        if rows > self.max_rows() || cols > self.max_cols() {
+            return Err(PrimeError::MatOverflow { rows, cols });
+        }
+        if weights.len() != rows * cols {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!("{} weights for a {rows}x{cols} matrix", weights.len()),
+            });
+        }
+        // The reconfigurable SA senses the top Po bits of the *actual*
+        // accumulation range: with `rows` active wordlines the full
+        // precision is Pin + Pw + ceil(log2(rows)) bits (Eq. 2 with
+        // 2^PN = rows), so the scheme's PN follows the programmed rows.
+        let pn = (usize::BITS - (rows.max(1) - 1).leading_zeros()).max(1) as u8;
+        self.scheme = ComposingScheme::new(
+            self.scheme.input_bits(),
+            self.scheme.weight_bits(),
+            self.scheme.output_bits(),
+            pn,
+        )?;
+        self.output_shift = self.scheme.target_shift();
+        for (idx, &w) in weights.iter().enumerate() {
+            let (r, c) = (idx / cols, idx % cols);
+            let magnitude = w.unsigned_abs();
+            if magnitude >= (1 << self.scheme.weight_bits()) {
+                return Err(PrimeError::Circuit(prime_circuits::CircuitError::CodeOutOfRange {
+                    code: magnitude,
+                    codes: 1 << self.scheme.weight_bits(),
+                }));
+            }
+            let (wh, wl) = self.scheme.split_weight(magnitude as u16)?;
+            let sign = if w < 0 { -1i32 } else { 1 };
+            self.pair.program_signed(r, 2 * c, sign * i32::from(wh))?;
+            self.pair.program_signed(r, 2 * c + 1, sign * i32::from(wl))?;
+        }
+        self.weight_rows = rows;
+        self.weight_cols = cols;
+        Ok(())
+    }
+
+    /// Evaluates the mat on composed input codes (`< 2^Pin`), returning
+    /// the composed target value per weight column (the Eq. 9
+    /// accumulation of truncated parts).
+    ///
+    /// The hardware drives the HIGH input halves in one pass and the LOW
+    /// halves in another; each pass produces both the HIGH- and LOW-nibble
+    /// bitline sums, and the precision controller accumulates the
+    /// included parts with their shifts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Compute` mode, or
+    /// circuit/device errors for malformed inputs.
+    pub fn compute(&mut self, inputs: &[u16]) -> Result<Vec<i64>, PrimeError> {
+        if self.function != MatFunction::Compute {
+            return Err(PrimeError::WrongMode {
+                expected: "compute",
+                found: function_name(self.function),
+            });
+        }
+        if inputs.len() != self.weight_rows {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "{} inputs for {} programmed rows",
+                    inputs.len(),
+                    self.weight_rows
+                ),
+            });
+        }
+        let mut hi = vec![0u16; MAT_DIM];
+        let mut lo = vec![0u16; MAT_DIM];
+        for (i, &code) in inputs.iter().enumerate() {
+            let (h, l) = self.scheme.split_input(code)?;
+            hi[i] = h;
+            lo[i] = l;
+        }
+        // Pass 1: HIGH input halves latched and driven.
+        self.driver.latch(&hi)?;
+        let pass_hi = self.pair.dot_signed(self.driver.driven_codes())?;
+        // Pass 2: LOW input halves.
+        self.driver.latch(&lo)?;
+        let pass_lo = self.pair.dot_signed(self.driver.driven_codes())?;
+        let shift = self.output_shift;
+        let included = self.scheme.included_parts();
+        // Signed output-register range at Po bits (plus sign from the
+        // subtraction unit).
+        let sat = (1i64 << self.scheme.output_bits()) - 1;
+        let mut out = Vec::with_capacity(self.weight_cols);
+        for c in 0..self.weight_cols {
+            let parts = PartSums {
+                hh: pass_hi[2 * c],
+                hl: pass_lo[2 * c],
+                lh: pass_hi[2 * c + 1],
+                ll: pass_lo[2 * c + 1],
+            };
+            // Accumulate with the precision-control register/adder.
+            let mut acc = PrecisionController::new();
+            for part in &included {
+                let value = match part {
+                    Part::Hh => parts.hh,
+                    Part::Hl => parts.hl,
+                    Part::Lh => parts.lh,
+                    Part::Ll => parts.ll,
+                };
+                let scale = self.scheme.part_scale(*part);
+                if shift >= scale {
+                    acc.accumulate_truncated(value, shift - scale);
+                } else {
+                    acc.accumulate(value, scale - shift);
+                }
+            }
+            out.push(acc.value().clamp(-sat, sat));
+        }
+        Ok(out)
+    }
+
+    /// Re-programs the mat's cells through noisy writes, modelling the
+    /// feedback-tuning precision of real devices (~1 % single-cell, ~3 %
+    /// in-crossbar, paper §III-D refs \[31\]\[65\]). Affects only
+    /// [`compute_analog`](Self::compute_analog); the nominal digital
+    /// levels (and [`compute`](Self::compute)) are unchanged.
+    pub fn apply_program_noise<R: rand::Rng + ?Sized>(
+        &mut self,
+        noise: &prime_device::NoiseModel,
+        rng: &mut R,
+    ) {
+        self.pair.apply_program_noise(noise, rng);
+    }
+
+    /// Analog variant of [`compute`](Self::compute): both driver passes
+    /// evaluate through the voltage/conductance domain (including any
+    /// programming noise applied via
+    /// [`apply_program_noise`](Self::apply_program_noise) and read noise
+    /// from `noise`), and the decoded part sums feed the same
+    /// precision-control accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Compute` mode, or
+    /// circuit/device errors for malformed inputs.
+    pub fn compute_analog<R: rand::Rng + ?Sized>(
+        &mut self,
+        inputs: &[u16],
+        noise: &prime_device::NoiseModel,
+        rng: &mut R,
+    ) -> Result<Vec<i64>, PrimeError> {
+        if self.function != MatFunction::Compute {
+            return Err(PrimeError::WrongMode {
+                expected: "compute",
+                found: function_name(self.function),
+            });
+        }
+        if inputs.len() != self.weight_rows {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "{} inputs for {} programmed rows",
+                    inputs.len(),
+                    self.weight_rows
+                ),
+            });
+        }
+        let mut hi = vec![0u16; MAT_DIM];
+        let mut lo = vec![0u16; MAT_DIM];
+        for (i, &code) in inputs.iter().enumerate() {
+            let (h, l) = self.scheme.split_input(code)?;
+            hi[i] = h;
+            lo[i] = l;
+        }
+        let bits = self.scheme.input_half_bits();
+        self.driver.latch(&hi)?;
+        let pass_hi = self.pair.dot_signed_analog(self.driver.driven_codes(), bits, noise, rng)?;
+        self.driver.latch(&lo)?;
+        let pass_lo = self.pair.dot_signed_analog(self.driver.driven_codes(), bits, noise, rng)?;
+        let shift = self.output_shift;
+        let included = self.scheme.included_parts();
+        let sat = (1i64 << self.scheme.output_bits()) - 1;
+        let mut out = Vec::with_capacity(self.weight_cols);
+        for c in 0..self.weight_cols {
+            let parts = PartSums {
+                hh: pass_hi[2 * c],
+                hl: pass_lo[2 * c],
+                lh: pass_hi[2 * c + 1],
+                ll: pass_lo[2 * c + 1],
+            };
+            let mut acc = PrecisionController::new();
+            for part in &included {
+                let value = match part {
+                    Part::Hh => parts.hh,
+                    Part::Hl => parts.hl,
+                    Part::Lh => parts.lh,
+                    Part::Ll => parts.ll,
+                };
+                let scale = self.scheme.part_scale(*part);
+                if shift >= scale {
+                    acc.accumulate_truncated(value, shift - scale);
+                } else {
+                    acc.accumulate(value, scale - shift);
+                }
+            }
+            out.push(acc.value().clamp(-sat, sat));
+        }
+        Ok(out)
+    }
+
+    /// Applies the configured output units (ReLU and/or sigmoid) to raw
+    /// composed results, exactly as the Fig. 5(a) dataflow routes them.
+    pub fn apply_output_units(&self, values: &[i64]) -> Vec<i64> {
+        values
+            .iter()
+            .map(|&v| {
+                let v = self.relu.apply(v);
+                if self.datapath.bypass_sigmoid {
+                    v
+                } else {
+                    self.sigmoid.apply(v) as i64
+                }
+            })
+            .collect()
+    }
+
+    /// Memory-mode row write: rows `0..256` live in the positive array,
+    /// `256..512` in the negative array (the pair stores 16 KiB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Memory` mode.
+    pub fn write_memory_row(&mut self, row: usize, bits: &[bool]) -> Result<(), PrimeError> {
+        if self.function != MatFunction::Memory {
+            return Err(PrimeError::WrongMode {
+                expected: "memory",
+                found: function_name(self.function),
+            });
+        }
+        let level = |bit: bool| u16::from(bit);
+        for (col, &bit) in bits.iter().enumerate() {
+            if row < MAT_DIM {
+                self.pair.positive_mut().program(row, col, level(bit))?;
+            } else {
+                self.pair.negative_mut().program(row - MAT_DIM, col, level(bit))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Memory-mode row read (inverse of
+    /// [`write_memory_row`](Self::write_memory_row)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Memory` mode.
+    pub fn read_memory_row(&self, row: usize, cols: usize) -> Result<Vec<bool>, PrimeError> {
+        if self.function != MatFunction::Memory {
+            return Err(PrimeError::WrongMode {
+                expected: "memory",
+                found: function_name(self.function),
+            });
+        }
+        let mut bits = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let w = if row < MAT_DIM {
+                self.pair.positive().level(row, col)?
+            } else {
+                self.pair.negative().level(row - MAT_DIM, col)?
+            };
+            bits.push(w > 0);
+        }
+        Ok(bits)
+    }
+}
+
+impl Default for FfMat {
+    fn default() -> Self {
+        FfMat::new()
+    }
+}
+
+fn function_name(f: MatFunction) -> &'static str {
+    match f {
+        MatFunction::Program => "program",
+        MatFunction::Compute => "compute",
+        MatFunction::Memory => "memory",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_circuits::part_sums;
+
+    fn programmed_mat(weights: &[i32], rows: usize, cols: usize) -> FfMat {
+        let mut mat = FfMat::new();
+        mat.set_function(MatFunction::Program);
+        mat.program_composed(weights, rows, cols).unwrap();
+        mat.set_function(MatFunction::Compute);
+        mat
+    }
+
+    #[test]
+    fn compute_matches_composing_reference() {
+        let rows = 32;
+        let cols = 4;
+        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 29) % 511) as i32 - 255).collect();
+        let inputs: Vec<u16> = (0..rows).map(|i| ((i * 11) % 64) as u16).collect();
+        let mut mat = programmed_mat(&weights, rows, cols);
+        let got = mat.compute(&inputs).unwrap();
+        let scheme = mat.scheme();
+        let parts = part_sums(&scheme, &inputs, &weights, cols).unwrap();
+        for c in 0..cols {
+            assert_eq!(got[c], scheme.compose(parts[c]), "column {c}");
+        }
+    }
+
+    #[test]
+    fn compute_approximates_exact_matvec() {
+        let rows = 64;
+        let cols = 8;
+        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 13) % 201) as i32 - 100).collect();
+        let inputs: Vec<u16> = (0..rows).map(|i| ((i * 7) % 64) as u16).collect();
+        let mut mat = programmed_mat(&weights, rows, cols);
+        let got = mat.compute(&inputs).unwrap();
+        let scheme = mat.scheme();
+        for c in 0..cols {
+            let exact: i64 = (0..rows)
+                .map(|r| i64::from(inputs[r]) * i64::from(weights[r * cols + c]))
+                .sum();
+            let target = scheme.exact_target(exact);
+            assert!(
+                (got[c] - target).abs() <= scheme.max_composition_error(),
+                "col {c}: got {} target {target}",
+                got[c]
+            );
+        }
+    }
+
+    #[test]
+    fn program_requires_program_mode() {
+        let mut mat = FfMat::new();
+        assert!(matches!(
+            mat.program_composed(&[1], 1, 1),
+            Err(PrimeError::WrongMode { expected: "program", .. })
+        ));
+    }
+
+    #[test]
+    fn compute_requires_compute_mode() {
+        let mut mat = FfMat::new();
+        mat.set_function(MatFunction::Program);
+        mat.program_composed(&[1], 1, 1).unwrap();
+        assert!(matches!(
+            mat.compute(&[1]),
+            Err(PrimeError::WrongMode { expected: "compute", .. })
+        ));
+    }
+
+    #[test]
+    fn program_rejects_overflow() {
+        let mut mat = FfMat::new();
+        mat.set_function(MatFunction::Program);
+        assert!(matches!(
+            mat.program_composed(&[0; 300 * 2], 300, 2),
+            Err(PrimeError::MatOverflow { .. })
+        ));
+        // Magnitude 256 does not fit 8 composed bits.
+        assert!(mat.program_composed(&[256], 1, 1).is_err());
+    }
+
+    #[test]
+    fn memory_mode_round_trips_rows_in_both_arrays() {
+        let mut mat = FfMat::new();
+        let bits: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+        mat.write_memory_row(10, &bits).unwrap();
+        mat.write_memory_row(300, &bits).unwrap();
+        assert_eq!(mat.read_memory_row(10, 256).unwrap(), bits);
+        assert_eq!(mat.read_memory_row(300, 256).unwrap(), bits);
+    }
+
+    #[test]
+    fn output_units_follow_datapath_config() {
+        let mut mat = FfMat::new();
+        mat.set_datapath(MatDatapath { bypass_sigmoid: true, bypass_sa: false, relu: true });
+        assert_eq!(mat.apply_output_units(&[-5, 7]), vec![0, 7]);
+        mat.set_datapath(MatDatapath { bypass_sigmoid: false, bypass_sa: false, relu: false });
+        let out = mat.apply_output_units(&[0]);
+        assert_eq!(out, vec![32]); // sigmoid mid-code at 6 bits
+    }
+
+    #[test]
+    fn analog_compute_matches_digital_without_noise() {
+        use prime_device::NoiseModel;
+        use rand::SeedableRng;
+        let rows = 48;
+        let cols = 6;
+        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 37) % 511) as i32 - 255).collect();
+        let inputs: Vec<u16> = (0..rows).map(|i| ((i * 5) % 64) as u16).collect();
+        let mut mat = programmed_mat(&weights, rows, cols);
+        let digital = mat.compute(&inputs).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let analog = mat.compute_analog(&inputs, &NoiseModel::ideal(), &mut rng).unwrap();
+        assert_eq!(digital, analog);
+    }
+
+    #[test]
+    fn analog_compute_with_noise_stays_close() {
+        use prime_device::NoiseModel;
+        use rand::SeedableRng;
+        let rows = 64;
+        let cols = 8;
+        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 11) % 401) as i32 - 200).collect();
+        let inputs: Vec<u16> = (0..rows).map(|i| ((i * 3) % 64) as u16).collect();
+        let mut mat = programmed_mat(&weights, rows, cols);
+        let digital = mat.compute(&inputs).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        mat.apply_program_noise(&NoiseModel::crossbar_default(), &mut rng);
+        let noisy = mat.compute_analog(&inputs, &NoiseModel::ideal(), &mut rng).unwrap();
+        let sat = (1i64 << mat.scheme().output_bits()) - 1;
+        for (d, n) in digital.iter().zip(&noisy) {
+            // 3% conductance noise shifts the 6-bit output by a few codes.
+            assert!((d - n).abs() <= sat / 3, "digital {d} vs noisy {n}");
+        }
+    }
+
+    #[test]
+    fn weight_shape_tracks_programming() {
+        let mat = programmed_mat(&[1, 2, 3, 4, 5, 6], 3, 2);
+        assert_eq!(mat.weight_shape(), (3, 2));
+    }
+}

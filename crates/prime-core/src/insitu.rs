@@ -1,0 +1,408 @@
+//! In-situ training on FF mats — the paper's stated future work
+//! ("we plan to further enhance PRIME with the training capability",
+//! §IV-A), implemented with the Manhattan-rule update scheme of the
+//! memristor-training literature PRIME cites (\[12\], \[70\]-\[74\]).
+//!
+//! The forward pass runs on the device (quantized inputs, composed
+//! weights, truncating SAs); gradients are computed by the host from the
+//! device's outputs and its read-back weight codes; the update applies
+//! gradient-proportional conductance-level pulses (the mixed-signal
+//! scheme of ref \[72\]) as in-place cell writes.
+//! Endurance consumption is tracked per array, closing the loop with the
+//! §II-A endurance analysis.
+
+use serde::{Deserialize, Serialize};
+
+use prime_mem::MatFunction;
+use prime_nn::Sample;
+
+use crate::error::PrimeError;
+use crate::ff_mat::FfMat;
+
+/// One device-resident fully-connected layer (single mat: up to 256
+/// inputs x 128 outputs of composed 8-bit weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct InSituLayer {
+    mat: FfMat,
+    inputs: usize,
+    outputs: usize,
+    /// Host mirror of the device codes (kept in sync with every write;
+    /// physically this is the read-back path).
+    codes: Vec<i32>,
+    /// Bias handled by the host accumulator (digital add).
+    bias: Vec<f32>,
+    /// Real value of one weight code.
+    w_scale: f32,
+    relu: bool,
+}
+
+impl InSituLayer {
+    fn new(inputs: usize, outputs: usize, w_scale: f32, relu: bool) -> Result<Self, PrimeError> {
+        let mut mat = FfMat::new();
+        mat.set_function(MatFunction::Program);
+        let codes = vec![0i32; inputs * outputs];
+        mat.program_composed(&codes, inputs, outputs)?;
+        mat.set_function(MatFunction::Compute);
+        Ok(InSituLayer { mat, inputs, outputs, codes, bias: vec![0.0; outputs], w_scale, relu })
+    }
+
+    /// Randomizes the device weights with small codes.
+    fn init<R: rand::Rng + ?Sized>(&mut self, rng: &mut R, bound: i32) -> Result<(), PrimeError> {
+        self.mat.set_function(MatFunction::Program);
+        for code in &mut self.codes {
+            *code = rng.gen_range(-bound..=bound);
+        }
+        let codes = self.codes.clone();
+        self.mat.program_composed(&codes, self.inputs, self.outputs)?;
+        self.mat.set_function(MatFunction::Compute);
+        Ok(())
+    }
+
+    /// Device forward on input codes; returns real-valued activations and
+    /// the (real-valued) pre-activations for the backward pass.
+    fn forward(
+        &mut self,
+        in_codes: &[u16],
+        in_scale: f32,
+    ) -> Result<(Vec<f32>, Vec<f32>), PrimeError> {
+        // Calibrate the SA window for this input (dynamic fixed point).
+        let mut max_abs = 1i64;
+        for c in 0..self.outputs {
+            let mut acc = 0i64;
+            for (r, &x) in in_codes.iter().enumerate() {
+                acc += i64::from(x) * i64::from(self.codes[r * self.outputs + c]);
+            }
+            max_abs = max_abs.max(acc.abs());
+        }
+        self.mat.calibrate_output_window(2 * max_abs);
+        let raw = self.mat.compute(in_codes)?;
+        let unit = in_scale * self.w_scale * (self.mat.output_shift() as f32).exp2();
+        let pre: Vec<f32> =
+            raw.iter().zip(&self.bias).map(|(&v, &b)| v as f32 * unit + b).collect();
+        let act = pre
+            .iter()
+            .map(|&v| if self.relu { v.max(0.0) } else { v })
+            .collect();
+        Ok((act, pre))
+    }
+
+    /// Gradient-proportional pulse update (the mixed-signal training
+    /// scheme of ref \[72\]): each weight receives `-round(g / unit)`
+    /// conductance-level pulses, clamped to +/-16 levels per update.
+    /// Weights whose gradient rounds to zero are untouched, saving
+    /// endurance. Returns the number of cell writes issued.
+    fn pulse_update(
+        &mut self,
+        grad_w: &[f32],
+        grad_b: &[f32],
+        unit: f32,
+    ) -> Result<u64, PrimeError> {
+        let mut writes = 0u64;
+        self.mat.set_function(MatFunction::Program);
+        for (idx, &g) in grad_w.iter().enumerate() {
+            let delta = -((g / unit).round() as i32).clamp(-16, 16);
+            if delta == 0 {
+                continue;
+            }
+            let updated = (self.codes[idx] + delta).clamp(-255, 255);
+            if updated != self.codes[idx] {
+                self.codes[idx] = updated;
+                writes += 1;
+            }
+        }
+        // Reprogram the changed matrix (the model writes per-row; real
+        // hardware pulses individual cells — the write count above is the
+        // endurance-relevant figure).
+        let codes = self.codes.clone();
+        self.mat.program_composed(&codes, self.inputs, self.outputs)?;
+        self.mat.set_function(MatFunction::Compute);
+        // Bias updates are digital (host-side register).
+        for (b, &g) in self.bias.iter_mut().zip(grad_b) {
+            let delta = (g / unit).round();
+            *b -= delta * self.w_scale;
+        }
+        Ok(writes)
+    }
+
+    /// Real-valued weight at (input r, output c), from the device mirror.
+    fn weight(&self, r: usize, c: usize) -> f32 {
+        self.codes[r * self.outputs + c] as f32 * self.w_scale
+    }
+}
+
+/// Progress of one in-situ training epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InSituEpoch {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+    /// Cell writes issued this epoch (endurance consumption).
+    pub cell_writes: u64,
+}
+
+/// A two-layer MLP trained in situ on FF mats.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::InSituMlp;
+/// use prime_nn::DigitGenerator;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let data = DigitGenerator::default().dataset(200, &mut rng);
+/// let mut mlp = InSituMlp::new(196, 16, 10, &mut rng)?;
+/// let history = mlp.train(&data, 2, 8, &mut rng)?;
+/// assert!(history.last().unwrap().accuracy > 0.5);
+/// # Ok::<(), prime_core::PrimeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InSituMlp {
+    hidden: InSituLayer,
+    output: InSituLayer,
+    inputs: usize,
+    /// 28x28 samples are mean-pooled to this edge before entering the
+    /// 256-row mat.
+    pool: usize,
+    total_writes: u64,
+}
+
+impl InSituMlp {
+    /// Creates a `inputs -> hidden -> classes` in-situ MLP with random
+    /// device weights. `inputs` must be a square number dividing the
+    /// 28x28 image evenly (e.g. 196 = 14x14).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MatOverflow`] if a layer exceeds one mat.
+    pub fn new<R: rand::Rng + ?Sized>(
+        inputs: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Result<Self, PrimeError> {
+        let edge = (inputs as f64).sqrt() as usize;
+        if edge * edge != inputs || 28 % edge != 0 {
+            return Err(PrimeError::MappingMismatch {
+                reason: "inputs must be a square dividing 28x28 (e.g. 196)".to_string(),
+            });
+        }
+        let mut h = InSituLayer::new(inputs, hidden, 1.0 / 64.0, true)?;
+        let mut o = InSituLayer::new(hidden, classes, 1.0 / 64.0, false)?;
+        h.init(rng, 16)?;
+        o.init(rng, 16)?;
+        Ok(InSituMlp { hidden: h, output: o, inputs, pool: 28 / edge, total_writes: 0 })
+    }
+
+    /// Total cell writes issued since construction.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Mean-pools a 28x28 image down to the MLP's input resolution and
+    /// quantizes it to 6-bit input codes.
+    fn encode(&self, pixels: &[f32]) -> Vec<u16> {
+        let edge = 28 / self.pool;
+        let mut out = vec![0u16; self.inputs];
+        for y in 0..edge {
+            for x in 0..edge {
+                let mut acc = 0.0f32;
+                for py in 0..self.pool {
+                    for px in 0..self.pool {
+                        acc += pixels[(y * self.pool + py) * 28 + x * self.pool + px];
+                    }
+                }
+                let mean = acc / (self.pool * self.pool) as f32;
+                out[y * edge + x] = (mean * 63.0).round().clamp(0.0, 63.0) as u16;
+            }
+        }
+        out
+    }
+
+    /// Device-forward classification of one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn classify(&mut self, pixels: &[f32]) -> Result<usize, PrimeError> {
+        let (logits, _, _, _) = self.forward(pixels)?;
+        Ok(argmax(&logits))
+    }
+
+    fn forward(
+        &mut self,
+        pixels: &[f32],
+    ) -> Result<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<u16>), PrimeError> {
+        let in_codes = self.encode(pixels);
+        let in_scale = 1.0 / 63.0;
+        let (h_act, h_pre) = self.hidden.forward(&in_codes, in_scale)?;
+        // Hidden activations re-enter the crossbar as 6-bit codes.
+        let h_max = h_act.iter().fold(0.0f32, |m, &v| m.max(v)).max(1e-6);
+        let h_scale = h_max / 63.0;
+        let h_codes: Vec<u16> =
+            h_act.iter().map(|&v| ((v / h_scale).round().clamp(0.0, 63.0)) as u16).collect();
+        let (logits, _) = self.output.forward(&h_codes, h_scale)?;
+        Ok((logits, h_act, h_pre, in_codes))
+    }
+
+    /// Trains with minibatch Manhattan-rule updates on the device.
+    /// Returns per-epoch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn train<R: rand::Rng + ?Sized>(
+        &mut self,
+        samples: &[Sample],
+        epochs: usize,
+        minibatch: usize,
+        rng: &mut R,
+    ) -> Result<Vec<InSituEpoch>, PrimeError> {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            order.shuffle(rng);
+            let mut correct = 0usize;
+            let mut epoch_writes = 0u64;
+            for chunk in order.chunks(minibatch) {
+                let mut gw1 = vec![0.0f32; self.hidden.inputs * self.hidden.outputs];
+                let mut gb1 = vec![0.0f32; self.hidden.outputs];
+                let mut gw2 = vec![0.0f32; self.output.inputs * self.output.outputs];
+                let mut gb2 = vec![0.0f32; self.output.outputs];
+                for &idx in chunk {
+                    let sample = &samples[idx];
+                    let (logits, h_act, h_pre, in_codes) = self.forward(&sample.pixels)?;
+                    if argmax(&logits) == sample.label {
+                        correct += 1;
+                    }
+                    // Softmax cross-entropy gradient at the logits.
+                    let probs = softmax(&logits);
+                    let mut g_out = probs;
+                    g_out[sample.label] -= 1.0;
+                    // Output-layer gradients (inputs are h_act).
+                    for (c, &g) in g_out.iter().enumerate() {
+                        gb2[c] += g;
+                        for (r, &h) in h_act.iter().enumerate() {
+                            gw2[r * self.output.outputs + c] += g * h;
+                        }
+                    }
+                    // Backprop into the hidden layer through the device's
+                    // read-back weights.
+                    for r in 0..self.hidden.outputs {
+                        if h_pre[r] <= 0.0 {
+                            continue; // ReLU gate
+                        }
+                        let mut g_h = 0.0f32;
+                        for (c, &g) in g_out.iter().enumerate() {
+                            g_h += g * self.output.weight(r, c);
+                        }
+                        gb1[r] += g_h;
+                        let in_scale = 1.0 / 63.0;
+                        for (i, &code) in in_codes.iter().enumerate() {
+                            gw1[i * self.hidden.outputs + r] +=
+                                g_h * f32::from(code) * in_scale;
+                        }
+                    }
+                }
+                // One conductance level per ~1.5x the mean gradient,
+                // annealed: later epochs demand proportionally larger
+                // gradients per level, shrinking the quantization noise
+                // ball as training converges.
+                let anneal = 1.5 * (1.0 + epoch as f32);
+                let u1 = (mean_abs(&gw1) * anneal).max(1e-9);
+                let u2 = (mean_abs(&gw2) * anneal).max(1e-9);
+                epoch_writes += self.hidden.pulse_update(&gw1, &gb1, u1)?;
+                epoch_writes += self.output.pulse_update(&gw2, &gb2, u2)?;
+            }
+            self.total_writes += epoch_writes;
+            history.push(InSituEpoch {
+                epoch,
+                accuracy: correct as f64 / samples.len().max(1) as f64,
+                cell_writes: epoch_writes,
+            });
+        }
+        Ok(history)
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn mean_abs(v: &[f32]) -> f32 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().map(|x| x.abs()).sum::<f32>() / v.len() as f32
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::DigitGenerator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insitu_training_learns_the_digit_task() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        let data = DigitGenerator::default().dataset(200, &mut rng);
+        let mut mlp = InSituMlp::new(196, 16, 10, &mut rng).unwrap();
+        let history = mlp.train(&data, 15, 8, &mut rng).unwrap();
+        let final_acc = history.last().unwrap().accuracy;
+        assert!(
+            final_acc > 0.75,
+            "in-situ training failed to learn: {history:?}"
+        );
+        // Accuracy improves over epochs (allowing small wobble).
+        assert!(final_acc > history[0].accuracy - 0.05);
+        assert!(mlp.total_writes() > 0, "training must consume endurance");
+    }
+
+    #[test]
+    fn insitu_rejects_non_square_inputs() {
+        let mut rng = SmallRng::seed_from_u64(62);
+        assert!(InSituMlp::new(200, 8, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn classify_runs_on_the_device() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        let mut mlp = InSituMlp::new(196, 8, 10, &mut rng).unwrap();
+        let sample = DigitGenerator::default().sample(4, &mut rng);
+        let class = mlp.classify(&sample.pixels).unwrap();
+        assert!(class < 10);
+    }
+
+    #[test]
+    fn pulse_update_moves_codes_against_gradient() {
+        let mut layer = InSituLayer::new(2, 2, 1.0 / 64.0, false).unwrap();
+        let before = layer.codes.clone();
+        // Unit 0.5: gradient 1.0 -> 2 levels; -2.5 -> 5 levels; huge
+        // gradients clamp at 16 levels.
+        let grads = vec![1.0f32, 0.0, 100.0, -2.5];
+        let writes = layer.pulse_update(&grads, &[0.0, 0.0], 0.5).unwrap();
+        assert_eq!(writes, 3);
+        assert_eq!(layer.codes[0], before[0] - 2);
+        assert_eq!(layer.codes[2], before[2] - 16);
+        assert_eq!(layer.codes[3], before[3] + 5);
+        assert_eq!(layer.codes[1], before[1]);
+    }
+}

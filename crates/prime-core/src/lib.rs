@@ -1,0 +1,56 @@
+//! The PRIME core architecture (paper §III-§IV).
+//!
+//! Ties the substrates together into the paper's contribution: ReRAM
+//! main-memory banks whose *full-function (FF) subarrays* morph between
+//! normal storage and NN acceleration. The crate provides:
+//!
+//! * [`FfMat`] — a functional FF mat: positive/negative crossbar pair,
+//!   multi-level wordline drivers, the composing scheme, reconfigurable
+//!   sensing, and the ReLU/sigmoid/pooling output units;
+//! * [`BufferSubarray`] — the FF-adjacent data buffer with its
+//!   random-access connection unit and mat-to-mat bypass register;
+//! * [`BankController`] — the Table I command interpreter and the
+//!   §III-A2 morphing protocol (migrate -> program -> compute -> wrap up);
+//! * [`FfExecutor`] — whole-network inference through the functional
+//!   hardware pipeline, the fidelity reference for the simulator;
+//! * [`PrimeProgram`] — the Fig. 7 software/hardware interface
+//!   (`Map_Topology`, `Program_Weight`, `Config_Datapath`, `Run`,
+//!   `Post_Proc`).
+//!
+//! # Examples
+//!
+//! ```
+//! use prime_core::FfMat;
+//! use prime_mem::MatFunction;
+//!
+//! // One FF mat computing a 3-input, 2-output signed dot product.
+//! let mut mat = FfMat::new();
+//! mat.set_function(MatFunction::Program);
+//! mat.program_composed(&[10, -10, 20, 5, -30, 15], 3, 2)?;
+//! mat.set_function(MatFunction::Compute);
+//! let out = mat.compute(&[63, 0, 31])?;
+//! assert_eq!(out.len(), 2);
+//! # Ok::<(), prime_core::PrimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod api;
+mod buffer;
+mod controller;
+mod error;
+mod executor;
+mod ff_mat;
+mod insitu;
+mod runner;
+mod system;
+
+pub use api::{CompiledProgram, NnParamFile, PrimeProgram};
+pub use buffer::BufferSubarray;
+pub use controller::BankController;
+pub use error::PrimeError;
+pub use executor::{ExecutionStats, FfExecutor};
+pub use insitu::{InSituEpoch, InSituMlp};
+pub use runner::CommandRunner;
+pub use system::{PrimeSystem, SystemStats};
+pub use ff_mat::{FfMat, MatDatapath};

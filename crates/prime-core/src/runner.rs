@@ -1,0 +1,448 @@
+//! Command-driven network execution through the bank controller.
+//!
+//! [`FfExecutor`](crate::FfExecutor) proves numerical fidelity; this
+//! module proves *protocol* fidelity: a fully-connected network is
+//! compiled into an integer plan (per-layer quantized weights, SA
+//! windows, and buffer addresses), programmed into a
+//! [`BankController`]'s mats, and then every inference is driven purely
+//! by Table I commands — `load` staging inputs from the Buffer subarray
+//! into mat latches, mat computation, `store` returning outputs — with
+//! row-tile merging on the precision-control adder and integer
+//! requantization between layers, exactly the dataflow of paper Fig. 5(a).
+//!
+//! The runner supports the activation functions PRIME's output units
+//! implement exactly in the integer domain (ReLU and identity); sigmoid
+//! networks are covered by the analog-calibrated
+//! [`FfExecutor`](crate::FfExecutor) path.
+
+use serde::{Deserialize, Serialize};
+
+use prime_circuits::PrecisionController;
+use prime_mem::{BufAddr, Command, FfAddr, MatAddr, MatFunction};
+use prime_nn::{Activation, Layer, Network};
+
+use crate::controller::BankController;
+use crate::error::PrimeError;
+
+/// One mat-sized tile of a planned layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PlannedTile {
+    mat: MatAddr,
+    /// Row span [start, end) within the layer's input vector.
+    rows: (usize, usize),
+    /// Column span [start, end) within the layer's output vector.
+    cols: (usize, usize),
+    /// The tile's SA shift (read back after programming).
+    shift: u8,
+}
+
+/// One planned fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PlannedLayer {
+    tiles: Vec<PlannedTile>,
+    inputs: usize,
+    outputs: usize,
+    /// Bias in merged full-precision units.
+    bias_units: Vec<i64>,
+    /// Right shift taking merged full-precision sums to 6-bit codes for
+    /// the next layer (calibrated).
+    requant_shift: u8,
+    relu: bool,
+    /// Buffer address where this layer's input codes live.
+    in_addr: BufAddr,
+    /// Buffer address where this layer's output codes are stored.
+    out_addr: BufAddr,
+}
+
+/// A compiled, programmed, command-driven network.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::{BankController, CommandRunner};
+/// use prime_nn::{Activation, FullyConnected, Layer, Network};
+///
+/// let net = Network::new(vec![
+///     Layer::Fc(FullyConnected::new(16, 8, Activation::Relu)),
+///     Layer::Fc(FullyConnected::new(8, 4, Activation::Identity)),
+/// ])?;
+/// let mut controller = BankController::new(2, 64, 4096, 8192);
+/// let mut runner = CommandRunner::compile(&net, &mut controller, &[0.5; 16])?;
+/// let out = runner.infer(&mut controller, &[0.5; 16])?;
+/// assert_eq!(out.len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandRunner {
+    layers: Vec<PlannedLayer>,
+    /// Scale of the network-input quantization (codes = value / scale).
+    input_scale: f32,
+    /// Combined output scale: real value = merged units * this.
+    output_scale: f32,
+    mats_used: usize,
+}
+
+impl CommandRunner {
+    /// Compiles `net` (fully-connected, ReLU/identity activations only)
+    /// onto the controller's FF mats: quantizes weights, programs tiles,
+    /// and calibrates every SA window and requantization shift with the
+    /// representative `calibration_input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] for unsupported layers or
+    /// if the controller has too few mats.
+    pub fn compile(
+        net: &Network,
+        controller: &mut BankController,
+        calibration_input: &[f32],
+    ) -> Result<Self, PrimeError> {
+        let mats_per_subarray = controller.mats_per_subarray();
+        let total_mats = controller.ff_subarrays() * mats_per_subarray;
+        let mut next_mat = 0usize;
+        let mut planned = Vec::new();
+        let mut buf_cursor: u64 = 0;
+
+        // Input quantization scale from the calibration vector.
+        let in_max = calibration_input.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        let input_scale = in_max / 63.0;
+        let mut codes: Vec<i64> = calibration_input
+            .iter()
+            .map(|&v| ((v / input_scale).round().clamp(0.0, 63.0)) as i64)
+            .collect();
+        let mut value_scale = input_scale; // real value of one input code unit
+
+        for layer in net.layers() {
+            let Layer::Fc(fc) = layer else {
+                return Err(PrimeError::MappingMismatch {
+                    reason: format!(
+                        "command runner supports fully-connected layers; got {}",
+                        layer.describe()
+                    ),
+                });
+            };
+            let relu = match fc.activation() {
+                Activation::Relu => true,
+                Activation::Identity => false,
+                Activation::Sigmoid => {
+                    return Err(PrimeError::MappingMismatch {
+                        reason: "command runner covers the integer-exact output units \
+                                 (ReLU/identity); use FfExecutor for sigmoid networks"
+                            .to_string(),
+                    })
+                }
+            };
+            let (inputs, outputs) = (fc.inputs(), fc.outputs());
+            // Quantize weights to composed 8-bit codes.
+            let w = fc.weights().data();
+            let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+            let w_scale = w_max / 255.0;
+            // Tile and program.
+            let row_spans: Vec<(usize, usize)> = (0..inputs.div_ceil(256))
+                .map(|t| (t * 256, ((t + 1) * 256).min(inputs)))
+                .collect();
+            let col_spans: Vec<(usize, usize)> = (0..outputs.div_ceil(128))
+                .map(|t| (t * 128, ((t + 1) * 128).min(outputs)))
+                .collect();
+            let mut tiles = Vec::new();
+            for &(r0, r1) in &row_spans {
+                for &(c0, c1) in &col_spans {
+                    if next_mat >= total_mats {
+                        return Err(PrimeError::MappingMismatch {
+                            reason: "network needs more FF mats than the bank provides"
+                                .to_string(),
+                        });
+                    }
+                    let mat = MatAddr {
+                        subarray: next_mat / mats_per_subarray,
+                        mat: next_mat % mats_per_subarray,
+                    };
+                    next_mat += 1;
+                    let (tr, tc) = (r1 - r0, c1 - c0);
+                    let mut tile_codes = Vec::with_capacity(tr * tc);
+                    for r in r0..r1 {
+                        for c in c0..c1 {
+                            // Weight matrix is [outputs, inputs]; the
+                            // crossbar wants [inputs, outputs].
+                            let value = w[c * inputs + r];
+                            tile_codes
+                                .push(((value / w_scale).round().clamp(-255.0, 255.0)) as i32);
+                        }
+                    }
+                    controller
+                        .execute(Command::SetFunction { mat, function: MatFunction::Program })?;
+                    controller.mat_mut(mat).program_composed(&tile_codes, tr, tc)?;
+                    controller
+                        .execute(Command::SetFunction { mat, function: MatFunction::Compute })?;
+                    // Calibrate the SA window on the calibration codes.
+                    let mut max_abs = 1i64;
+                    for c in 0..tc {
+                        let mut acc = 0i64;
+                        for (r, &x) in codes[r0..r1].iter().enumerate() {
+                            acc += x * i64::from(tile_codes[r * tc + c]);
+                        }
+                        max_abs = max_abs.max(acc.abs());
+                    }
+                    controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
+                    let shift = controller.mat(mat).output_shift();
+                    tiles.push(PlannedTile { mat, rows: (r0, r1), cols: (c0, c1), shift });
+                }
+            }
+            // Bias in full-precision units: bias_real / (value_scale * w_scale).
+            let unit = value_scale * w_scale;
+            let bias_units: Vec<i64> =
+                fc.bias().iter().map(|&b| (b / unit).round() as i64).collect();
+            // Calibrate the requantization shift from the merged
+            // calibration activations.
+            let merged = Self::merge_reference(&tiles, controller, &codes, outputs, &bias_units)?;
+            let out_max = merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
+            let bits = 64 - out_max.leading_zeros() as i64;
+            let requant_shift = (bits - 6).max(0) as u8;
+            let in_addr = BufAddr(buf_cursor);
+            buf_cursor += inputs as u64;
+            let out_addr = BufAddr(buf_cursor);
+            let plan = PlannedLayer {
+                tiles,
+                inputs,
+                outputs,
+                bias_units,
+                requant_shift,
+                relu,
+                in_addr,
+                out_addr,
+            };
+            // Advance the calibration activations through this layer.
+            codes = Self::forward_codes(&plan, controller, &codes)?;
+            value_scale = unit * (plan.requant_shift as f32).exp2();
+            planned.push(plan);
+        }
+        Ok(CommandRunner {
+            layers: planned,
+            input_scale,
+            output_scale: value_scale,
+            mats_used: next_mat,
+        })
+    }
+
+    /// FF mats the plan occupies.
+    pub fn mats_used(&self) -> usize {
+        self.mats_used
+    }
+
+    /// Full-precision merged sums of one layer on given input codes,
+    /// via actual mat computation (used for calibration and inference).
+    fn merge_reference(
+        tiles: &[PlannedTile],
+        controller: &mut BankController,
+        codes: &[i64],
+        outputs: usize,
+        bias_units: &[i64],
+    ) -> Result<Vec<i64>, PrimeError> {
+        let mut merged: Vec<PrecisionController> =
+            (0..outputs).map(|_| PrecisionController::new()).collect();
+        for (o, &b) in merged.iter_mut().zip(bias_units) {
+            o.accumulate(b, 0);
+        }
+        for tile in tiles {
+            let (r0, r1) = tile.rows;
+            // Stage the tile's input slice through the buffer: the
+            // `load` command moves it into the mat latch.
+            let slice = &codes[r0..r1];
+            controller.buffer_mut().store(BufAddr(0), slice)?;
+            controller.execute(Command::Load {
+                from: BufAddr(0),
+                to: FfAddr { mat: tile.mat, offset: 0 },
+                bytes: (slice.len() * 8) as u64,
+            })?;
+            let out = controller.compute_mat(tile.mat)?;
+            let (c0, c1) = tile.cols;
+            for (i, &v) in out.iter().enumerate().take(c1 - c0) {
+                // Expand the tile's truncated code back to full-precision
+                // units before the merge add.
+                merged[c0 + i].accumulate(v, tile.shift);
+            }
+        }
+        Ok(merged.into_iter().map(|m| m.value()).collect())
+    }
+
+    /// Runs one layer on input codes, returning the next layer's codes.
+    fn forward_codes(
+        plan: &PlannedLayer,
+        controller: &mut BankController,
+        codes: &[i64],
+    ) -> Result<Vec<i64>, PrimeError> {
+        let merged =
+            Self::merge_reference(&plan.tiles, controller, codes, plan.outputs, &plan.bias_units)?;
+        Ok(merged
+            .into_iter()
+            .map(|v| {
+                let v = if plan.relu { v.max(0) } else { v };
+                (v >> plan.requant_shift).clamp(-63, 63)
+            })
+            .collect())
+    }
+
+    /// Runs one inference entirely through controller commands: the input
+    /// is quantized, staged into the Buffer subarray, flowed through
+    /// every planned layer, and the final merged values are rescaled to
+    /// real outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] or mat errors on a
+    /// mis-sized input.
+    pub fn infer(
+        &mut self,
+        controller: &mut BankController,
+        input: &[f32],
+    ) -> Result<Vec<f32>, PrimeError> {
+        let first = self.layers.first().ok_or(PrimeError::MappingMismatch {
+            reason: "empty plan".to_string(),
+        })?;
+        if input.len() != first.inputs {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!("{} inputs for a {}-input plan", input.len(), first.inputs),
+            });
+        }
+        let mut codes: Vec<i64> = input
+            .iter()
+            .map(|&v| ((v / self.input_scale).round().clamp(0.0, 63.0)) as i64)
+            .collect();
+        let last = self.layers.len() - 1;
+        for (i, plan) in self.layers.iter().enumerate() {
+            controller.buffer_mut().store(plan.in_addr, &codes)?;
+            if i == last {
+                // Final layer: keep full-precision merged values for the
+                // real-valued output.
+                let merged = Self::merge_reference(
+                    &plan.tiles,
+                    controller,
+                    &codes,
+                    plan.outputs,
+                    &plan.bias_units,
+                )?;
+                let unit = self.output_scale / (plan.requant_shift as f32).exp2();
+                return Ok(merged
+                    .into_iter()
+                    .map(|v| {
+                        let v = if plan.relu { v.max(0) } else { v };
+                        v as f32 * unit
+                    })
+                    .collect());
+            }
+            codes = Self::forward_codes(plan, controller, &codes)?;
+            controller.buffer_mut().store(plan.out_addr, &codes)?;
+        }
+        unreachable!("loop returns on the last layer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::FullyConnected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn relu_net(rng: &mut SmallRng) -> Network {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(20, 12, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(12, 4, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(rng);
+        net
+    }
+
+    #[test]
+    fn command_runner_tracks_software_outputs() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let net = relu_net(&mut rng);
+        let input: Vec<f32> = (0..20).map(|i| ((i * 7 % 13) as f32) / 13.0).collect();
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &input).unwrap();
+        let hw = runner.infer(&mut controller, &input).unwrap();
+        let sw = net.forward(&input).unwrap();
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.2);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.25, "hw {a} vs sw {b}");
+        }
+        assert!(runner.mats_used() >= 2);
+    }
+
+    #[test]
+    fn command_runner_agrees_on_argmax_across_inputs() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let net = relu_net(&mut rng);
+        let calib: Vec<f32> = vec![0.5; 20];
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &calib).unwrap();
+        let mut agree = 0;
+        let trials = 10;
+        for t in 0..trials {
+            let input: Vec<f32> =
+                (0..20).map(|i| (((i + t) * 11 % 17) as f32) / 17.0).collect();
+            let hw = runner.infer(&mut controller, &input).unwrap();
+            let sw = net.forward(&input).unwrap();
+            if argmax(&hw) == argmax(&sw) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= trials - 2, "only {agree}/{trials} argmax agreements");
+    }
+
+    #[test]
+    fn command_runner_rejects_unsupported_layers() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut net = Network::new(vec![Layer::Fc(FullyConnected::new(
+            8,
+            4,
+            Activation::Sigmoid,
+        ))])
+        .expect("widths match");
+        net.init_random(&mut rng);
+        let mut controller = BankController::new(1, 4, 1024, 1024);
+        let err = CommandRunner::compile(&net, &mut controller, &[0.5; 8]);
+        assert!(matches!(err, Err(PrimeError::MappingMismatch { .. })));
+    }
+
+    #[test]
+    fn command_runner_respects_mat_budget() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        // 600-input layer needs 3 row tiles; give the controller only 2 mats.
+        let mut net = Network::new(vec![Layer::Fc(FullyConnected::new(
+            600,
+            4,
+            Activation::Identity,
+        ))])
+        .expect("widths match");
+        net.init_random(&mut rng);
+        let mut controller = BankController::new(1, 2, 2048, 1024);
+        let err = CommandRunner::compile(&net, &mut controller, &vec![0.5; 600]);
+        assert!(matches!(err, Err(PrimeError::MappingMismatch { .. })));
+    }
+
+    #[test]
+    fn inference_is_driven_by_commands() {
+        let mut rng = SmallRng::seed_from_u64(25);
+        let net = relu_net(&mut rng);
+        let input: Vec<f32> = vec![0.4; 20];
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &input).unwrap();
+        let before = controller.log().len();
+        runner.infer(&mut controller, &input).unwrap();
+        let issued = controller.log().len() - before;
+        // At least one load per tile per layer.
+        assert!(issued >= runner.mats_used(), "only {issued} commands issued");
+    }
+
+    fn argmax(v: &[f32]) -> usize {
+        let mut best = 0;
+        for (i, &x) in v.iter().enumerate() {
+            if x > v[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,259 @@
+//! The full PRIME system: every bank's controller behind one façade,
+//! with the OS runtime (morph policy, page-miss tracking, reservations)
+//! and reconfiguration wear leveling — the whole §III/§IV machinery in
+//! one object.
+//!
+//! Deploying a network compiles and programs one [`CommandRunner`] copy
+//! per bank (bank-level parallelism, §IV-B2); batches round-robin over
+//! the copies; and the OS hooks decide at run time whether FF capacity
+//! should be released back to memory under page-miss pressure (§IV-C).
+
+use serde::{Deserialize, Serialize};
+
+use prime_mem::{FfReservationMap, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
+use prime_nn::Network;
+
+use crate::controller::BankController;
+use crate::error::PrimeError;
+use crate::runner::CommandRunner;
+
+/// Aggregate statistics of a PRIME system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// NN deployments (reconfigurations) performed.
+    pub reconfigurations: u64,
+    /// Inferences served.
+    pub inferences: u64,
+    /// FF mats currently reserved for computation.
+    pub reserved_mats: usize,
+    /// Wear imbalance across the FF-mat pool (1.0 = even).
+    pub wear_imbalance: f64,
+}
+
+/// A multi-bank PRIME system with its OS runtime.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::PrimeSystem;
+/// use prime_nn::{Activation, FullyConnected, Layer, Network};
+///
+/// let net = Network::new(vec![
+///     Layer::Fc(FullyConnected::new(16, 8, Activation::Relu)),
+///     Layer::Fc(FullyConnected::new(8, 4, Activation::Identity)),
+/// ])?;
+/// let mut system = PrimeSystem::new(4, 2, 8, 4096);
+/// system.deploy(&net, &[0.5; 16])?;
+/// let outputs = system.infer_batch(&[vec![0.2; 16], vec![0.8; 16]])?;
+/// assert_eq!(outputs.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PrimeSystem {
+    banks: Vec<BankController>,
+    runners: Vec<CommandRunner>,
+    reservations: FfReservationMap,
+    policy: MorphPolicy,
+    tracker: PageMissTracker,
+    wear: WearLeveler,
+    mats_per_bank: usize,
+    stats: SystemStats,
+}
+
+impl PrimeSystem {
+    /// Creates a system of `banks` banks, each with `ff_subarrays` FF
+    /// subarrays of `mats_per_subarray` mats and a `buffer_words` Buffer
+    /// subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        banks: usize,
+        ff_subarrays: usize,
+        mats_per_subarray: usize,
+        buffer_words: usize,
+    ) -> Self {
+        assert!(banks > 0 && ff_subarrays > 0 && mats_per_subarray > 0);
+        let mats_per_bank = ff_subarrays * mats_per_subarray;
+        let total_mats = banks * mats_per_bank;
+        PrimeSystem {
+            banks: (0..banks)
+                .map(|_| {
+                    BankController::new(ff_subarrays, mats_per_subarray, buffer_words, 4096)
+                })
+                .collect(),
+            runners: Vec::new(),
+            reservations: FfReservationMap::new(total_mats),
+            policy: MorphPolicy::prime_default(),
+            tracker: PageMissTracker::new(256),
+            wear: WearLeveler::new(total_mats + 1, 1).expect("valid pool"),
+            mats_per_bank,
+            stats: SystemStats {
+                reconfigurations: 0,
+                inferences: 0,
+                reserved_mats: 0,
+                wear_imbalance: 1.0,
+            },
+        }
+    }
+
+    /// Number of banks (independent NN copies after deployment).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            reserved_mats: self.reservations.reserved_count(),
+            wear_imbalance: self.wear.imbalance(),
+            ..self.stats
+        }
+    }
+
+    /// Deploys `net` to every bank (one copy per bank): reserves FF mats
+    /// with the OS, compiles and programs a command runner per bank, and
+    /// charges the wear leveler for the reconfiguration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError`] if the network does not fit a bank's FF
+    /// mats or uses unsupported layers.
+    pub fn deploy(&mut self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
+        // Compile into every bank first (failure leaves no partial state
+        // visible to the OS bookkeeping).
+        let mut runners = Vec::with_capacity(self.banks.len());
+        for bank in &mut self.banks {
+            runners.push(CommandRunner::compile(net, bank, calibration)?);
+        }
+        let per_bank = runners[0].mats_used();
+        self.reservations = FfReservationMap::new(self.banks.len() * self.mats_per_bank);
+        self.reservations
+            .reserve(per_bank * self.banks.len())
+            .map_err(PrimeError::Mem)?;
+        self.runners = runners;
+        self.wear.on_reconfiguration();
+        self.stats.reconfigurations += 1;
+        Ok(())
+    }
+
+    /// Runs a batch of inferences, round-robin over the banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] before any deployment.
+    pub fn infer_batch(&mut self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, PrimeError> {
+        if self.runners.is_empty() {
+            return Err(PrimeError::MappingMismatch {
+                reason: "no network deployed".to_string(),
+            });
+        }
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for (i, input) in inputs.iter().enumerate() {
+            let bank = i % self.banks.len();
+            outputs.push(self.runners[bank].infer(&mut self.banks[bank], input)?);
+            self.stats.inferences += 1;
+        }
+        Ok(outputs)
+    }
+
+    /// OS hook: records one page access and applies the §IV-C policy —
+    /// under page-miss pressure with idle FF capacity, reserved mats are
+    /// released back to normal memory.
+    pub fn record_page_access(&mut self, miss: bool) -> MorphDecision {
+        self.tracker.record(miss);
+        let decision =
+            self.policy.decide(self.tracker.miss_rate(), self.reservations.utilization());
+        if decision == MorphDecision::ReleaseToMemory {
+            // Release anything idle; deployed-but-unused mats qualify.
+            let releasable = self.reservations.reserved_count();
+            self.reservations.release_idle(releasable);
+        }
+        decision
+    }
+
+    /// Fraction of the FF pool currently reserved for computation.
+    pub fn ff_utilization(&self) -> f64 {
+        self.reservations.utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::{Activation, FullyConnected, Layer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn relu_net(rng: &mut SmallRng) -> Network {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(12, 8, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(8, 3, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(rng);
+        net
+    }
+
+    #[test]
+    fn deploy_and_infer_across_banks() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let net = relu_net(&mut rng);
+        let mut system = PrimeSystem::new(3, 2, 4, 2048);
+        system.deploy(&net, &vec![0.5; 12]).unwrap();
+        let inputs: Vec<Vec<f32>> =
+            (0..6).map(|i| (0..12).map(|j| ((i + j) % 7) as f32 / 7.0).collect()).collect();
+        let outputs = system.infer_batch(&inputs).unwrap();
+        assert_eq!(outputs.len(), 6);
+        // All banks hold the same weights: identical inputs landing on
+        // different banks produce identical outputs.
+        let dup = system.infer_batch(&[inputs[0].clone(), inputs[0].clone(), inputs[0].clone(), inputs[0].clone()]).unwrap();
+        assert_eq!(dup[0], dup[1]);
+        assert_eq!(dup[0], dup[3]);
+        let stats = system.stats();
+        assert_eq!(stats.reconfigurations, 1);
+        assert_eq!(stats.inferences, 10);
+        assert!(stats.reserved_mats > 0);
+    }
+
+    #[test]
+    fn infer_before_deploy_fails() {
+        let mut system = PrimeSystem::new(2, 1, 2, 512);
+        assert!(system.infer_batch(&[vec![0.0; 4]]).is_err());
+    }
+
+    #[test]
+    fn os_pressure_releases_ff_capacity() {
+        let mut rng = SmallRng::seed_from_u64(100);
+        let net = relu_net(&mut rng);
+        // A large pool keeps deployed utilization under the policy's
+        // low-utilization threshold, the §IV-C release precondition.
+        let mut system = PrimeSystem::new(2, 2, 16, 2048);
+        system.deploy(&net, &vec![0.5; 12]).unwrap();
+        let before = system.ff_utilization();
+        assert!(before > 0.0 && before < 0.10, "utilization {before}");
+        // Sustained page misses with low FF utilization trigger release.
+        let mut released = false;
+        for _ in 0..300 {
+            if system.record_page_access(true) == MorphDecision::ReleaseToMemory {
+                released = true;
+            }
+        }
+        assert!(released, "policy never released under 100% miss rate");
+        assert_eq!(system.ff_utilization(), 0.0);
+    }
+
+    #[test]
+    fn redeployment_counts_reconfigurations_and_wear() {
+        let mut rng = SmallRng::seed_from_u64(101);
+        let mut system = PrimeSystem::new(2, 2, 4, 2048);
+        for _ in 0..3 {
+            let net = relu_net(&mut rng);
+            system.deploy(&net, &vec![0.5; 12]).unwrap();
+        }
+        let stats = system.stats();
+        assert_eq!(stats.reconfigurations, 3);
+        assert!(stats.wear_imbalance >= 1.0);
+    }
+}

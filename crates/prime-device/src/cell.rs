@@ -1,0 +1,217 @@
+//! Behavioural model of a single metal-oxide ReRAM cell.
+//!
+//! A cell is a metal-insulator-metal stack whose resistance is switched by
+//! applying voltages across it: a positive SET pulse moves it towards the
+//! low-resistance state (LRS, logic `1`), a negative RESET pulse towards
+//! the high-resistance state (HRS, logic `0`). With a feedback write
+//! algorithm the resistance can be tuned to one of `2^bits` levels
+//! ([`MlcSpec`]). Reported ReRAM endurance is up to `10^12` cycles
+//! (paper §II-A), which this model tracks per cell.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DeviceError;
+use crate::mlc::MlcSpec;
+
+/// Reported write endurance of ReRAM devices (paper §II-A, \[21\]\[22\]).
+pub const DEFAULT_ENDURANCE_WRITES: u64 = 1_000_000_000_000;
+
+/// SET voltage for the modelled Pt/TiO2-x/Pt device, in volts (paper §V-A).
+pub const SET_VOLTAGE_V: f64 = 2.0;
+/// RESET voltage magnitude for the modelled device, in volts (paper §V-A).
+pub const RESET_VOLTAGE_V: f64 = 2.0;
+
+/// A single ReRAM cell holding one of `2^bits` resistance levels.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::{MlcSpec, ReramCell};
+///
+/// let mut cell = ReramCell::new(MlcSpec::new(4)?);
+/// cell.program(9)?;
+/// assert_eq!(cell.level(), 9);
+/// # Ok::<(), prime_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReramCell {
+    spec: MlcSpec,
+    level: u16,
+    writes: u64,
+    endurance: u64,
+}
+
+impl ReramCell {
+    /// Creates a fresh cell in the HRS (level 0, logic `0`) state.
+    pub fn new(spec: MlcSpec) -> Self {
+        ReramCell { spec, level: 0, writes: 0, endurance: DEFAULT_ENDURANCE_WRITES }
+    }
+
+    /// Creates a cell with an explicit endurance budget, for wear studies.
+    pub fn with_endurance(spec: MlcSpec, endurance: u64) -> Self {
+        ReramCell { spec, level: 0, writes: 0, endurance }
+    }
+
+    /// The cell's multi-level specification.
+    pub fn spec(&self) -> MlcSpec {
+        self.spec
+    }
+
+    /// Current stored level.
+    pub fn level(&self) -> u16 {
+        self.level
+    }
+
+    /// Number of write (SET/RESET/program) operations performed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Remaining write budget before the cell wears out.
+    pub fn remaining_endurance(&self) -> u64 {
+        self.endurance.saturating_sub(self.writes)
+    }
+
+    /// Current cell conductance in siemens.
+    pub fn conductance(&self) -> f64 {
+        self.spec.conductance(self.level)
+    }
+
+    /// Current cell resistance in ohms.
+    pub fn resistance_ohm(&self) -> f64 {
+        1.0 / self.conductance()
+    }
+
+    /// SET operation: drives the cell to the LRS (maximum level, logic `1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EnduranceExhausted`] when the write budget is
+    /// spent.
+    pub fn set(&mut self) -> Result<(), DeviceError> {
+        self.program(self.spec.max_level())
+    }
+
+    /// RESET operation: drives the cell to the HRS (level 0, logic `0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EnduranceExhausted`] when the write budget is
+    /// spent.
+    pub fn reset(&mut self) -> Result<(), DeviceError> {
+        self.program(0)
+    }
+
+    /// Programs the cell to an arbitrary MLC `level` using the feedback
+    /// write algorithm (repeated partial SET/RESET pulses with verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::LevelOutOfRange`] if `level` is not
+    /// representable, or [`DeviceError::EnduranceExhausted`] when the write
+    /// budget is spent. A worn-out cell retains its previous level.
+    pub fn program(&mut self, level: u16) -> Result<(), DeviceError> {
+        if level > self.spec.max_level() {
+            return Err(DeviceError::LevelOutOfRange {
+                requested: level,
+                levels: self.spec.levels(),
+            });
+        }
+        if self.writes >= self.endurance {
+            return Err(DeviceError::EnduranceExhausted { row: 0, col: 0 });
+        }
+        self.writes += 1;
+        self.level = level;
+        Ok(())
+    }
+
+    /// Reads the cell as a single bit, the memory-mode view: any level above
+    /// the HRS/LRS midpoint reads as `1`.
+    pub fn read_bit(&self) -> bool {
+        u32::from(self.level) * 2 > u32::from(self.spec.max_level())
+    }
+
+    /// Re-interprets the cell under a different MLC spec, as happens when an
+    /// FF subarray morphs between memory mode (SLC) and computation mode
+    /// (multi-bit). The stored level is clamped to the new range.
+    pub fn morph(&mut self, spec: MlcSpec) {
+        self.level = self.level.min(spec.max_level());
+        self.spec = spec;
+    }
+}
+
+impl Default for ReramCell {
+    fn default() -> Self {
+        ReramCell::new(MlcSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_is_hrs() {
+        let cell = ReramCell::default();
+        assert_eq!(cell.level(), 0);
+        assert!(!cell.read_bit());
+        assert!((cell.resistance_ohm() - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_reaches_lrs_and_reset_returns_to_hrs() {
+        let mut cell = ReramCell::default();
+        cell.set().unwrap();
+        assert_eq!(cell.level(), 15);
+        assert!(cell.read_bit());
+        assert!((cell.resistance_ohm() - 1_000.0).abs() < 1e-9);
+        cell.reset().unwrap();
+        assert_eq!(cell.level(), 0);
+    }
+
+    #[test]
+    fn program_rejects_out_of_range_level() {
+        let mut cell = ReramCell::default();
+        assert!(cell.program(16).is_err());
+        assert_eq!(cell.level(), 0);
+    }
+
+    #[test]
+    fn writes_are_counted() {
+        let mut cell = ReramCell::default();
+        cell.set().unwrap();
+        cell.reset().unwrap();
+        cell.program(7).unwrap();
+        assert_eq!(cell.writes(), 3);
+    }
+
+    #[test]
+    fn endurance_exhaustion_blocks_writes_and_preserves_state() {
+        let mut cell = ReramCell::with_endurance(MlcSpec::default(), 2);
+        cell.program(5).unwrap();
+        cell.program(9).unwrap();
+        assert_eq!(cell.remaining_endurance(), 0);
+        assert_eq!(cell.program(1), Err(DeviceError::EnduranceExhausted { row: 0, col: 0 }));
+        assert_eq!(cell.level(), 9);
+    }
+
+    #[test]
+    fn morph_clamps_level_to_new_range() {
+        let mut cell = ReramCell::default();
+        cell.program(15).unwrap();
+        cell.morph(MlcSpec::slc());
+        assert_eq!(cell.level(), 1);
+        assert!(cell.read_bit());
+        cell.morph(MlcSpec::new(4).unwrap());
+        assert_eq!(cell.level(), 1);
+    }
+
+    #[test]
+    fn read_bit_uses_midpoint_threshold() {
+        let mut cell = ReramCell::default();
+        cell.program(7).unwrap();
+        assert!(!cell.read_bit());
+        cell.program(8).unwrap();
+        assert!(cell.read_bit());
+    }
+}

@@ -1,0 +1,99 @@
+//! Device-level energy parameters.
+//!
+//! ReRAM analog computation is the root of PRIME's energy advantage: one
+//! crossbar evaluation performs `rows x cols` multiply-accumulates in a
+//! single current-summation step, at a cost dominated by the read voltage
+//! driving the array and the ADC/SA conversion. The constants here are the
+//! per-operation energies consumed by the system-level energy model; they
+//! follow the dot-product-engine / ISAAC-era literature the paper cites.
+
+use serde::{Deserialize, Serialize};
+
+/// Energies of elementary ReRAM device operations, in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::DeviceEnergy;
+///
+/// let e = DeviceEnergy::default();
+/// let per_mac = e.mat_compute_pj(6) / (256.0 * 256.0);
+/// assert!(per_mac < 0.1); // analog MACs are far below a pJ each
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEnergy {
+    /// Memory-mode row read energy (sense + restore).
+    pub read_row_pj: f64,
+    /// Memory-mode row write energy.
+    pub write_row_pj: f64,
+    /// MLC program-verify energy per cell.
+    pub mlc_program_per_cell_pj: f64,
+    /// One analog evaluation of a full 256x256 crossbar (array biasing).
+    pub crossbar_eval_pj: f64,
+    /// One reconfigurable-SA conversion, per output bit, per bitline.
+    pub sense_per_bit_pj: f64,
+    /// Peripheral analog units (subtraction + sigmoid) per bitline evaluation.
+    pub analog_peripheral_pj: f64,
+}
+
+impl DeviceEnergy {
+    /// Default energy profile for the PRIME 256x256 mat.
+    pub fn prime_default() -> Self {
+        DeviceEnergy {
+            read_row_pj: 50.0,
+            write_row_pj: 250.0,
+            mlc_program_per_cell_pj: 10.0,
+            crossbar_eval_pj: 300.0,
+            sense_per_bit_pj: 0.5,
+            analog_peripheral_pj: 0.4,
+        }
+    }
+
+    /// Energy of one full FF-mat computation cycle with `out_bits`-bit
+    /// outputs over `cols` active bitlines: array evaluation + per-bitline
+    /// analog periphery + SA conversions.
+    pub fn mat_compute_with_cols_pj(&self, out_bits: u8, cols: usize) -> f64 {
+        self.crossbar_eval_pj
+            + (self.analog_peripheral_pj + self.sense_per_bit_pj * f64::from(out_bits))
+                * cols as f64
+    }
+
+    /// Energy of one full-width (256-bitline) FF-mat computation cycle.
+    pub fn mat_compute_pj(&self, out_bits: u8) -> f64 {
+        self.mat_compute_with_cols_pj(out_bits, crate::crossbar::MAT_DIM)
+    }
+
+    /// Energy to program an `rows x cols` weight matrix into MLC cells.
+    pub fn program_matrix_pj(&self, rows: usize, cols: usize) -> f64 {
+        self.mlc_program_per_cell_pj * (rows * cols) as f64
+    }
+}
+
+impl Default for DeviceEnergy {
+    fn default() -> Self {
+        DeviceEnergy::prime_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prime_profile() {
+        assert_eq!(DeviceEnergy::default(), DeviceEnergy::prime_default());
+    }
+
+    #[test]
+    fn compute_energy_grows_with_precision_and_width() {
+        let e = DeviceEnergy::default();
+        assert!(e.mat_compute_pj(6) > e.mat_compute_pj(3));
+        assert!(e.mat_compute_with_cols_pj(6, 256) > e.mat_compute_with_cols_pj(6, 16));
+    }
+
+    #[test]
+    fn program_energy_scales_with_cells() {
+        let e = DeviceEnergy::default();
+        assert!((e.program_matrix_pj(256, 256) - 10.0 * 65536.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the device layer.
+
+use std::fmt;
+
+/// Errors raised by ReRAM device-level operations.
+///
+/// Every public fallible function in this crate returns this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A resistance level outside the cell's multi-level-cell range was requested.
+    LevelOutOfRange {
+        /// The requested level.
+        requested: u16,
+        /// The number of representable levels (`2^bits`).
+        levels: u16,
+    },
+    /// A row or column index fell outside a crossbar array.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// The input vector length does not match the crossbar row count.
+    InputLengthMismatch {
+        /// Supplied input length.
+        got: usize,
+        /// Expected input length (crossbar rows).
+        expected: usize,
+    },
+    /// The weight matrix shape does not match the crossbar dimensions.
+    ShapeMismatch {
+        /// Supplied rows, cols.
+        got: (usize, usize),
+        /// Expected rows, cols.
+        expected: (usize, usize),
+    },
+    /// A cell exceeded its write endurance budget.
+    EnduranceExhausted {
+        /// Row of the worn-out cell.
+        row: usize,
+        /// Column of the worn-out cell.
+        col: usize,
+    },
+    /// An input voltage level beyond the driver's DAC resolution was requested.
+    InputLevelOutOfRange {
+        /// Requested input level.
+        requested: u16,
+        /// Number of representable input levels.
+        levels: u16,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::LevelOutOfRange { requested, levels } => {
+                write!(f, "resistance level {requested} out of range (cell has {levels} levels)")
+            }
+            DeviceError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "cell index ({row}, {col}) out of bounds for {rows}x{cols} array")
+            }
+            DeviceError::InputLengthMismatch { got, expected } => {
+                write!(f, "input vector length {got} does not match crossbar rows {expected}")
+            }
+            DeviceError::ShapeMismatch { got, expected } => {
+                write!(
+                    f,
+                    "weight matrix shape {}x{} does not match crossbar {}x{}",
+                    got.0, got.1, expected.0, expected.1
+                )
+            }
+            DeviceError::EnduranceExhausted { row, col } => {
+                write!(f, "cell ({row}, {col}) exceeded its write endurance")
+            }
+            DeviceError::InputLevelOutOfRange { requested, levels } => {
+                write!(f, "input level {requested} out of range (driver has {levels} levels)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DeviceError::LevelOutOfRange { requested: 99, levels: 16 };
+        let s = e.to_string();
+        assert!(s.starts_with("resistance level 99"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = DeviceError::ShapeMismatch { got: (2, 3), expected: (4, 5) };
+        assert_eq!(e.to_string(), "weight matrix shape 2x3 does not match crossbar 4x5");
+    }
+}

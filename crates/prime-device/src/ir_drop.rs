@@ -1,0 +1,196 @@
+//! Wire-resistance (IR-drop) model for crossbar evaluation.
+//!
+//! In a large crossbar the wordline/bitline metal is not ideal: current
+//! flowing to far cells drops voltage across the wire, so cells distant
+//! from the drivers and sense amplifiers see attenuated signals. The
+//! paper's reliability citation (\[74\], Liu et al., "Reduction and
+//! IR-drop compensations techniques for reliable neuromorphic computing
+//! systems") addresses exactly this. This module provides a first-order
+//! attenuation model — each cell's effective contribution shrinks with
+//! its wire distance — plus the standard compensation that pre-scales
+//! programmed conductances to cancel the expected attenuation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crossbar::Crossbar;
+use crate::error::DeviceError;
+
+/// First-order IR-drop model: the effective voltage at cell `(r, c)` is
+/// the driven voltage times `1 / (1 + alpha * (r + c))`, where `alpha`
+/// is the ratio of per-segment wire resistance to the average cell
+/// resistance.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::IrDropModel;
+///
+/// let model = IrDropModel::new(1e-4);
+/// // The far corner of a 256x256 array sees a few percent attenuation.
+/// let far = model.attenuation(255, 255);
+/// assert!(far < 1.0 && far > 0.9);
+/// assert_eq!(model.attenuation(0, 0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrDropModel {
+    /// Per-segment wire resistance relative to the average cell
+    /// resistance (dimensionless; ~1e-4 for a 256x256 array with ~1 ohm
+    /// segments and ~10 kohm cells).
+    pub alpha: f64,
+}
+
+impl IrDropModel {
+    /// Creates a model with the given relative segment resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "wire resistance cannot be negative");
+        IrDropModel { alpha }
+    }
+
+    /// An ideal-wire model (no attenuation).
+    pub fn ideal() -> Self {
+        IrDropModel { alpha: 0.0 }
+    }
+
+    /// A typical 256x256 array: ~1 ohm segments against ~10 kohm cells.
+    pub fn typical() -> Self {
+        IrDropModel { alpha: 1e-4 }
+    }
+
+    /// The signal attenuation factor at cell `(row, col)`.
+    pub fn attenuation(&self, row: usize, col: usize) -> f64 {
+        1.0 / (1.0 + self.alpha * (row + col) as f64)
+    }
+
+    /// Evaluates a crossbar dot product under IR drop: each cell's
+    /// contribution is scaled by its attenuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] for a wrong-length
+    /// input.
+    pub fn dot_attenuated(&self, xbar: &Crossbar, input: &[u16]) -> Result<Vec<f64>, DeviceError> {
+        if input.len() != xbar.rows() {
+            return Err(DeviceError::InputLengthMismatch {
+                got: input.len(),
+                expected: xbar.rows(),
+            });
+        }
+        let mut out = vec![0.0f64; xbar.cols()];
+        for (r, &a) in input.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (c, o) in out.iter_mut().enumerate() {
+                let w = f64::from(xbar.level(r, c).expect("in range"));
+                *o += f64::from(a) * w * self.attenuation(r, c);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The compensation scheme of ref \[74\]: pre-scale each weight so its
+    /// attenuated contribution equals the nominal one. Returns the
+    /// compensated level matrix (clamped to the cell's range, so extreme
+    /// corners of very resistive arrays may remain under-compensated).
+    pub fn compensate_weights(&self, xbar: &Crossbar) -> Vec<u16> {
+        let max = xbar.spec().max_level();
+        let mut out = Vec::with_capacity(xbar.rows() * xbar.cols());
+        for r in 0..xbar.rows() {
+            for c in 0..xbar.cols() {
+                let w = f64::from(xbar.level(r, c).expect("in range"));
+                let compensated = (w / self.attenuation(r, c)).round();
+                out.push((compensated as u16).min(max));
+            }
+        }
+        out
+    }
+
+    /// Worst-case relative error of an uncompensated `rows x cols` array:
+    /// the far-corner attenuation deficit.
+    pub fn worst_case_error(&self, rows: usize, cols: usize) -> f64 {
+        1.0 - self.attenuation(rows.saturating_sub(1), cols.saturating_sub(1))
+    }
+}
+
+impl Default for IrDropModel {
+    fn default() -> Self {
+        IrDropModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlc::MlcSpec;
+
+    fn test_xbar() -> Crossbar {
+        let mut xbar = Crossbar::new(64, 32, MlcSpec::new(4).unwrap());
+        let weights: Vec<u16> = (0..64 * 32).map(|i| ((i % 15) + 1) as u16).collect();
+        xbar.program_matrix(&weights).unwrap();
+        xbar
+    }
+
+    #[test]
+    fn attenuation_decreases_with_distance() {
+        let m = IrDropModel::typical();
+        assert_eq!(m.attenuation(0, 0), 1.0);
+        assert!(m.attenuation(100, 100) < m.attenuation(10, 10));
+        assert!(m.attenuation(255, 255) > 0.9);
+    }
+
+    #[test]
+    fn ideal_wires_match_exact_dot() {
+        let xbar = test_xbar();
+        let input: Vec<u16> = (0..64).map(|i| (i % 8) as u16).collect();
+        let exact = xbar.dot(&input).unwrap();
+        let attenuated = IrDropModel::ideal().dot_attenuated(&xbar, &input).unwrap();
+        for (e, a) in exact.iter().zip(&attenuated) {
+            assert!((*e as f64 - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ir_drop_underestimates_far_columns_more() {
+        let xbar = test_xbar();
+        let input: Vec<u16> = vec![7; 64];
+        let exact = xbar.dot(&input).unwrap();
+        let drooped = IrDropModel::new(1e-3).dot_attenuated(&xbar, &input).unwrap();
+        let err = |c: usize| (exact[c] as f64 - drooped[c]) / exact[c] as f64;
+        assert!(err(31) > err(0), "far column must droop more");
+        assert!(err(31) > 0.0);
+    }
+
+    #[test]
+    fn compensation_recovers_the_exact_result() {
+        let mut xbar = test_xbar();
+        let model = IrDropModel::new(2e-4);
+        let input: Vec<u16> = (0..64).map(|i| ((i * 3) % 8) as u16).collect();
+        let exact: Vec<f64> = xbar.dot(&input).unwrap().iter().map(|&v| v as f64).collect();
+        let compensated = model.compensate_weights(&xbar);
+        xbar.program_matrix(&compensated).unwrap();
+        let recovered = model.dot_attenuated(&xbar, &input).unwrap();
+        for (c, (e, r)) in exact.iter().zip(&recovered).enumerate() {
+            // Compensation rounds to integer levels: allow ~5% residual.
+            let rel = (e - r).abs() / e.max(1.0);
+            assert!(rel < 0.05, "col {c}: exact {e} vs recovered {r}");
+        }
+    }
+
+    #[test]
+    fn worst_case_error_matches_far_corner() {
+        let m = IrDropModel::new(1e-4);
+        let expected = 1.0 - m.attenuation(255, 255);
+        assert!((m.worst_case_error(256, 256) - expected).abs() < 1e-12);
+        assert_eq!(IrDropModel::ideal().worst_case_error(256, 256), 0.0);
+    }
+
+    #[test]
+    fn dot_attenuated_validates_input() {
+        let xbar = test_xbar();
+        assert!(IrDropModel::typical().dot_attenuated(&xbar, &[1, 2]).is_err());
+    }
+}

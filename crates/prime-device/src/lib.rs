@@ -1,0 +1,49 @@
+//! Behavioural ReRAM device models for the PRIME reproduction.
+//!
+//! This crate is the lowest substrate of the PRIME (ISCA 2016) stack: it
+//! models metal-oxide ReRAM cells, their multi-level (MLC) resistance
+//! encoding, and the crossbar arrays whose bitline current summation
+//! performs analog matrix-vector multiplication — the primitive every
+//! higher layer (peripheral circuits, FF subarrays, the mapping compiler,
+//! and the evaluation simulator) builds on.
+//!
+//! # Examples
+//!
+//! Programming signed synaptic weights into a positive/negative crossbar
+//! pair and evaluating a quantized dot product, exactly as an FF mat does:
+//!
+//! ```
+//! use prime_device::{MlcSpec, PairedCrossbar};
+//!
+//! let mut mat = PairedCrossbar::new(3, 2, MlcSpec::new(4)?);
+//! mat.program_signed_matrix(&[
+//!     2, -1,
+//!     0, 4,
+//!     -3, 1,
+//! ])?;
+//! let bitline_sums = mat.dot_signed(&[1, 2, 1])?;
+//! assert_eq!(bitline_sums, vec![1 * 2 - 1 * 3, -1 + 2 * 4 + 1]);
+//! # Ok::<(), prime_device::DeviceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cell;
+mod crossbar;
+mod energy;
+mod error;
+mod ir_drop;
+mod mlc;
+mod noise;
+mod retention;
+mod timing;
+
+pub use cell::{ReramCell, DEFAULT_ENDURANCE_WRITES, RESET_VOLTAGE_V, SET_VOLTAGE_V};
+pub use crossbar::{Crossbar, PairedCrossbar, MAT_DIM, READ_VOLTAGE_V};
+pub use energy::DeviceEnergy;
+pub use error::DeviceError;
+pub use ir_drop::IrDropModel;
+pub use mlc::{MlcSpec, DEFAULT_R_OFF_OHM, DEFAULT_R_ON_OHM};
+pub use noise::NoiseModel;
+pub use retention::RetentionModel;
+pub use timing::DeviceTiming;

@@ -1,0 +1,226 @@
+//! Multi-level-cell (MLC) specification.
+//!
+//! A metal-oxide ReRAM cell stores information as a resistance between a
+//! low-resistance state (LRS, logic `1`) and a high-resistance state
+//! (HRS, logic `0`). With finer write control the resistance can be tuned
+//! to intermediate values, giving `2^bits` distinguishable levels per cell
+//! (7-bit MLC has been demonstrated; PRIME assumes 4-bit cells for
+//! computation and SLC cells for normal memory).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DeviceError;
+
+/// Default LRS ("on") resistance in ohms, Pt/TiO2-x/Pt device (paper §V-A).
+pub const DEFAULT_R_ON_OHM: f64 = 1_000.0;
+/// Default HRS ("off") resistance in ohms, Pt/TiO2-x/Pt device (paper §V-A).
+pub const DEFAULT_R_OFF_OHM: f64 = 20_000.0;
+
+/// Specification of a multi-level ReRAM cell.
+///
+/// Maps digital levels `0..2^bits` onto conductances spaced linearly between
+/// the HRS conductance (level 0) and the LRS conductance (maximum level).
+/// Linear-in-conductance spacing is what makes the crossbar's current
+/// summation compute a dot product of the stored levels.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::MlcSpec;
+///
+/// let spec = MlcSpec::new(4).unwrap(); // PRIME's 4-bit computation cell
+/// assert_eq!(spec.levels(), 16);
+/// assert!(spec.conductance(15) > spec.conductance(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlcSpec {
+    bits: u8,
+    r_on_ohm: f64,
+    r_off_ohm: f64,
+}
+
+impl MlcSpec {
+    /// Creates a spec with `bits` of storage per cell and the default
+    /// Pt/TiO2-x/Pt resistance range (1 kΩ LRS, 20 kΩ HRS).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::LevelOutOfRange`] if `bits` is 0 or greater
+    /// than 8 (beyond demonstrated MLC precision).
+    pub fn new(bits: u8) -> Result<Self, DeviceError> {
+        Self::with_resistance(bits, DEFAULT_R_ON_OHM, DEFAULT_R_OFF_OHM)
+    }
+
+    /// Creates a spec with an explicit resistance range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::LevelOutOfRange`] if `bits` is 0 or greater
+    /// than 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_on_ohm <= 0`, `r_off_ohm <= 0`, or `r_on_ohm >= r_off_ohm`
+    /// (a physically meaningless device).
+    pub fn with_resistance(bits: u8, r_on_ohm: f64, r_off_ohm: f64) -> Result<Self, DeviceError> {
+        if bits == 0 || bits > 8 {
+            return Err(DeviceError::LevelOutOfRange {
+                requested: bits as u16,
+                levels: 0,
+            });
+        }
+        assert!(r_on_ohm > 0.0, "LRS resistance must be positive");
+        assert!(r_off_ohm > 0.0, "HRS resistance must be positive");
+        assert!(r_on_ohm < r_off_ohm, "LRS resistance must be below HRS resistance");
+        Ok(MlcSpec { bits, r_on_ohm, r_off_ohm })
+    }
+
+    /// Single-level-cell spec (1 bit), used when an FF subarray operates as
+    /// normal memory.
+    pub fn slc() -> Self {
+        MlcSpec::new(1).expect("1-bit spec is always valid")
+    }
+
+    /// Bits of storage per cell.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of representable levels (`2^bits`).
+    pub fn levels(&self) -> u16 {
+        1u16 << self.bits
+    }
+
+    /// Maximum representable level (`2^bits - 1`).
+    pub fn max_level(&self) -> u16 {
+        self.levels() - 1
+    }
+
+    /// LRS ("on") resistance in ohms.
+    pub fn r_on_ohm(&self) -> f64 {
+        self.r_on_ohm
+    }
+
+    /// HRS ("off") resistance in ohms.
+    pub fn r_off_ohm(&self) -> f64 {
+        self.r_off_ohm
+    }
+
+    /// LRS conductance in siemens.
+    pub fn g_on(&self) -> f64 {
+        1.0 / self.r_on_ohm
+    }
+
+    /// HRS conductance in siemens.
+    pub fn g_off(&self) -> f64 {
+        1.0 / self.r_off_ohm
+    }
+
+    /// Conductance of a digital `level`, spaced linearly between
+    /// [`g_off`](Self::g_off) (level 0) and [`g_on`](Self::g_on) (max level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`max_level`](Self::max_level); use
+    /// [`try_conductance`](Self::try_conductance) for a fallible variant.
+    pub fn conductance(&self, level: u16) -> f64 {
+        self.try_conductance(level).expect("level within MLC range")
+    }
+
+    /// Fallible variant of [`conductance`](Self::conductance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::LevelOutOfRange`] if `level > max_level`.
+    pub fn try_conductance(&self, level: u16) -> Result<f64, DeviceError> {
+        if level > self.max_level() {
+            return Err(DeviceError::LevelOutOfRange { requested: level, levels: self.levels() });
+        }
+        let span = self.g_on() - self.g_off();
+        let frac = f64::from(level) / f64::from(self.max_level());
+        Ok(self.g_off() + span * frac)
+    }
+
+    /// Inverse of [`conductance`](Self::conductance): quantizes an analog
+    /// conductance (possibly perturbed by programming noise) back to the
+    /// nearest digital level, clamping to the representable range.
+    pub fn quantize_conductance(&self, g: f64) -> u16 {
+        let span = self.g_on() - self.g_off();
+        let frac = ((g - self.g_off()) / span).clamp(0.0, 1.0);
+        let level = (frac * f64::from(self.max_level())).round();
+        level as u16
+    }
+}
+
+impl Default for MlcSpec {
+    /// The PRIME computation-mode default: a 4-bit cell.
+    fn default() -> Self {
+        MlcSpec::new(4).expect("4-bit spec is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_follow_bits() {
+        for bits in 1..=8u8 {
+            let spec = MlcSpec::new(bits).unwrap();
+            assert_eq!(spec.levels(), 1 << bits);
+            assert_eq!(spec.max_level(), (1 << bits) - 1);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_bits() {
+        assert!(MlcSpec::new(0).is_err());
+        assert!(MlcSpec::new(9).is_err());
+    }
+
+    #[test]
+    fn conductance_endpoints_match_resistances() {
+        let spec = MlcSpec::default();
+        assert!((spec.conductance(0) - 1.0 / 20_000.0).abs() < 1e-12);
+        assert!((spec.conductance(15) - 1.0 / 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_is_monotonic_in_level() {
+        let spec = MlcSpec::new(4).unwrap();
+        for l in 0..spec.max_level() {
+            assert!(spec.conductance(l) < spec.conductance(l + 1));
+        }
+    }
+
+    #[test]
+    fn conductance_rejects_out_of_range_level() {
+        let spec = MlcSpec::new(2).unwrap();
+        assert_eq!(
+            spec.try_conductance(4),
+            Err(DeviceError::LevelOutOfRange { requested: 4, levels: 4 })
+        );
+    }
+
+    #[test]
+    fn quantize_round_trips_every_level() {
+        for bits in 1..=7u8 {
+            let spec = MlcSpec::new(bits).unwrap();
+            for l in 0..=spec.max_level() {
+                assert_eq!(spec.quantize_conductance(spec.conductance(l)), l);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range_conductances() {
+        let spec = MlcSpec::default();
+        assert_eq!(spec.quantize_conductance(0.0), 0);
+        assert_eq!(spec.quantize_conductance(1.0), spec.max_level());
+    }
+
+    #[test]
+    fn slc_has_two_levels() {
+        assert_eq!(MlcSpec::slc().levels(), 2);
+    }
+}

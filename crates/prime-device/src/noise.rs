@@ -1,0 +1,140 @@
+//! Device non-ideality model.
+//!
+//! ReRAM programming is analog: a feedback write algorithm tunes the cell
+//! resistance to about 1 % precision for an isolated cell and about 3 %
+//! for cells inside a crossbar array (paper §III-D, refs \[31\]\[65\]).
+//! This module injects that programming error, plus optional read noise,
+//! into the analog crossbar evaluation so the precision scheme can be
+//! validated against realistic devices.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Relative (multiplicative) noise magnitudes for device operations.
+///
+/// All sigmas are fractions of the nominal value; `0.03` means a 3 %
+/// standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::NoiseModel;
+///
+/// let ideal = NoiseModel::ideal();
+/// assert!(!ideal.is_noisy());
+/// let realistic = NoiseModel::crossbar_default();
+/// assert!(realistic.is_noisy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Relative standard deviation of programmed conductance.
+    pub program_sigma: f64,
+    /// Relative standard deviation added to each bitline current at read time.
+    pub read_sigma: f64,
+}
+
+impl NoiseModel {
+    /// A perfectly ideal device: no programming or read noise.
+    pub fn ideal() -> Self {
+        NoiseModel { program_sigma: 0.0, read_sigma: 0.0 }
+    }
+
+    /// Single-cell tuning precision: ~1 % programming error \[31\].
+    pub fn single_cell_default() -> Self {
+        NoiseModel { program_sigma: 0.01, read_sigma: 0.0 }
+    }
+
+    /// In-crossbar tuning precision: ~3 % programming error \[31\]\[65\].
+    pub fn crossbar_default() -> Self {
+        NoiseModel { program_sigma: 0.03, read_sigma: 0.0 }
+    }
+
+    /// Whether any noise source is enabled.
+    pub fn is_noisy(&self) -> bool {
+        self.program_sigma > 0.0 || self.read_sigma > 0.0
+    }
+
+    /// Perturbs a programmed conductance with Gaussian error.
+    ///
+    /// The result is clamped to be non-negative (conductance cannot be
+    /// negative).
+    pub fn perturb_conductance<R: Rng + ?Sized>(&self, nominal: f64, rng: &mut R) -> f64 {
+        if self.program_sigma == 0.0 {
+            return nominal;
+        }
+        (nominal * (1.0 + self.program_sigma * sample_standard_normal(rng))).max(0.0)
+    }
+
+    /// Perturbs a sensed bitline current with Gaussian read noise.
+    pub fn perturb_current<R: Rng + ?Sized>(&self, nominal: f64, rng: &mut R) -> f64 {
+        if self.read_sigma == 0.0 {
+            return nominal;
+        }
+        nominal * (1.0 + self.read_sigma * sample_standard_normal(rng))
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::ideal()
+    }
+}
+
+/// Samples a standard normal variate via the Box-Muller transform.
+///
+/// Implemented locally so the crate needs no statistics dependency.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = NoiseModel::ideal();
+        assert_eq!(m.perturb_conductance(1e-3, &mut rng), 1e-3);
+        assert_eq!(m.perturb_current(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn perturbed_conductance_is_non_negative() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = NoiseModel { program_sigma: 2.0, read_sigma: 0.0 };
+        for _ in 0..1000 {
+            assert!(m.perturb_conductance(1e-3, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_statistics_match_sigma() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = NoiseModel::crossbar_default();
+        let nominal = 1e-3;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.perturb_conductance(nominal, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let rel_std = var.sqrt() / nominal;
+        assert!((mean - nominal).abs() / nominal < 0.005, "mean drifted: {mean}");
+        assert!((rel_std - 0.03).abs() < 0.005, "sigma off: {rel_std}");
+    }
+
+    #[test]
+    fn standard_normal_has_unit_variance() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Conductance retention (drift) model.
+//!
+//! ReRAM is non-volatile, but programmed conductances relax slowly over
+//! time — a second non-ideality (besides programming noise) that matters
+//! for PRIME because synaptic weights stay resident in FF mats for
+//! "tens of thousands" of inferences between reconfigurations (§V-B).
+//! The standard empirical model is power-law drift,
+//! `g(t) = g(t0) * (t / t0)^(-nu)`, with drift exponents around 0.005 to
+//! 0.05 for metal-oxide devices. The model also provides the standard
+//! countermeasure: periodic refresh (reprogramming), whose period can be
+//! chosen from an error budget.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crossbar::Crossbar;
+
+/// Power-law conductance drift.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::RetentionModel;
+///
+/// let drift = RetentionModel::typical();
+/// // After a day the conductance has sagged by a few percent.
+/// let factor = drift.decay_factor(86_400.0);
+/// assert!(factor < 1.0 && factor > 0.85);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Drift exponent `nu` (dimensionless).
+    pub nu: f64,
+    /// Reference time `t0` in seconds (drift is measured from here).
+    pub t0_s: f64,
+}
+
+impl RetentionModel {
+    /// A typical metal-oxide profile: `nu = 0.01` from one second.
+    pub fn typical() -> Self {
+        RetentionModel { nu: 0.01, t0_s: 1.0 }
+    }
+
+    /// A drift-free device.
+    pub fn ideal() -> Self {
+        RetentionModel { nu: 0.0, t0_s: 1.0 }
+    }
+
+    /// Multiplicative conductance decay after `elapsed_s` seconds
+    /// (1.0 at or before the reference time).
+    pub fn decay_factor(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s <= self.t0_s || self.nu == 0.0 {
+            1.0
+        } else {
+            (elapsed_s / self.t0_s).powf(-self.nu)
+        }
+    }
+
+    /// Applies `elapsed_s` of drift to every programmed conductance of a
+    /// crossbar (nominal digital levels are untouched; only the analog
+    /// path sees the drift).
+    pub fn apply(&self, xbar: &mut Crossbar, elapsed_s: f64) {
+        let factor = self.decay_factor(elapsed_s);
+        xbar.scale_conductances(factor);
+    }
+
+    /// The longest time the array can drift before the worst-case level
+    /// error reaches half an MLC step (the re-verify criterion), for
+    /// `levels` distinguishable levels.
+    ///
+    /// Solving `1 - (t/t0)^-nu = 1 / (2 * levels)` for `t`.
+    pub fn refresh_period_s(&self, levels: u16) -> f64 {
+        if self.nu == 0.0 {
+            return f64::INFINITY;
+        }
+        let budget = 1.0 - 1.0 / (2.0 * f64::from(levels));
+        self.t0_s * budget.powf(-1.0 / self.nu)
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlc::MlcSpec;
+    use crate::noise::NoiseModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decay_is_monotonic_in_time() {
+        let m = RetentionModel::typical();
+        assert_eq!(m.decay_factor(0.5), 1.0);
+        assert!(m.decay_factor(3600.0) > m.decay_factor(86_400.0));
+        assert!(m.decay_factor(86_400.0) > 0.0);
+    }
+
+    #[test]
+    fn ideal_model_never_drifts() {
+        let m = RetentionModel::ideal();
+        assert_eq!(m.decay_factor(1e12), 1.0);
+        assert_eq!(m.refresh_period_s(16), f64::INFINITY);
+    }
+
+    #[test]
+    fn drift_shrinks_analog_results_but_not_digital() {
+        let mut xbar = Crossbar::new(8, 4, MlcSpec::new(4).unwrap());
+        let weights: Vec<u16> = (0..32).map(|i| ((i % 15) + 1) as u16).collect();
+        xbar.program_matrix(&weights).unwrap();
+        let input = vec![7u16; 8];
+        let digital_before = xbar.dot(&input).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let fresh = xbar.dot_analog(&input, 3, &NoiseModel::ideal(), &mut rng).unwrap();
+        RetentionModel::typical().apply(&mut xbar, 30.0 * 86_400.0); // a month
+        let aged = xbar.dot_analog(&input, 3, &NoiseModel::ideal(), &mut rng).unwrap();
+        for (f, a) in fresh.iter().zip(&aged) {
+            assert!(a < f, "drift must reduce currents: {a} vs {f}");
+        }
+        assert_eq!(xbar.dot(&input).unwrap(), digital_before, "digital view unchanged");
+    }
+
+    #[test]
+    fn refresh_period_scales_with_precision() {
+        let m = RetentionModel::typical();
+        // Finer levels tolerate less drift: shorter refresh period.
+        assert!(m.refresh_period_s(128) < m.refresh_period_s(16));
+        assert!(m.refresh_period_s(16) < m.refresh_period_s(2));
+        // At the refresh deadline the decay equals the half-step budget.
+        let t = m.refresh_period_s(16);
+        let decay = m.decay_factor(t);
+        assert!((decay - (1.0 - 1.0 / 32.0)).abs() < 1e-9);
+    }
+}

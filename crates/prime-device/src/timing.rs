@@ -1,0 +1,94 @@
+//! Device-level timing parameters.
+//!
+//! ReRAM read latency is comparable to DRAM while writes are several times
+//! slower (paper §II-A quotes ~5x); with the architectural optimizations of
+//! Xu et al. \[20\], the optimized ReRAM main memory performs within 10 % of
+//! DRAM. The figures here are the per-operation device latencies consumed
+//! by the memory timing model and by the FF-subarray compute pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// Latencies of elementary ReRAM device operations, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use prime_device::DeviceTiming;
+///
+/// let t = DeviceTiming::default();
+/// assert!(t.write_ns > t.read_ns); // ReRAM writes are much slower than reads
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTiming {
+    /// Array read (sense) latency for a memory-mode row access.
+    pub read_ns: f64,
+    /// SET/RESET write latency for a memory-mode (SLC) cell.
+    pub write_ns: f64,
+    /// Feedback-tuned MLC program-and-verify latency per cell write, used
+    /// when synaptic weights are (re)programmed into an FF mat.
+    pub mlc_program_ns: f64,
+    /// One analog matrix-vector evaluation of a full crossbar: wordline
+    /// settle + current integration, before SA conversion.
+    pub compute_ns: f64,
+    /// One conversion step of the reconfigurable SA (per output bit).
+    pub sense_per_bit_ns: f64,
+}
+
+impl DeviceTiming {
+    /// Timing for the performance-optimized ReRAM design adopted by PRIME.
+    ///
+    /// Read/write latencies follow the Table IV memory timing (tCL ≈ 9.8 ns
+    /// sense, tWR ≈ 41.4 ns write restore); the crossbar evaluation and SA
+    /// conversion latencies follow the dot-product-engine literature the
+    /// paper builds on (tens of nanoseconds per analog evaluation).
+    pub fn prime_default() -> Self {
+        DeviceTiming {
+            read_ns: 9.8,
+            write_ns: 41.4,
+            mlc_program_ns: 200.0,
+            compute_ns: 30.0,
+            sense_per_bit_ns: 5.0,
+        }
+    }
+
+    /// Latency of one full FF-mat computation cycle producing `out_bits`-bit
+    /// outputs: analog evaluate + SA conversion.
+    pub fn mat_cycle_ns(&self, out_bits: u8) -> f64 {
+        self.compute_ns + self.sense_per_bit_ns * f64::from(out_bits)
+    }
+
+    /// Latency to program an `rows x cols` weight matrix, assuming
+    /// row-parallel MLC programming (one program-verify pass per row).
+    pub fn program_matrix_ns(&self, rows: usize) -> f64 {
+        self.mlc_program_ns * rows as f64
+    }
+}
+
+impl Default for DeviceTiming {
+    fn default() -> Self {
+        DeviceTiming::prime_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prime_profile() {
+        assert_eq!(DeviceTiming::default(), DeviceTiming::prime_default());
+    }
+
+    #[test]
+    fn mat_cycle_scales_with_output_precision() {
+        let t = DeviceTiming::default();
+        assert!(t.mat_cycle_ns(6) > t.mat_cycle_ns(1));
+        assert!((t.mat_cycle_ns(6) - (30.0 + 5.0 * 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_programming_scales_with_rows() {
+        let t = DeviceTiming::default();
+        assert!((t.program_matrix_ns(256) - 256.0 * 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,277 @@
+//! Stateful bank model: global row buffer, access accounting, and GDL
+//! occupancy.
+//!
+//! Each bank owns a global row buffer; FF subarrays talk to the Buffer
+//! subarray over private data ports, so CPU memory traffic to Mem
+//! subarrays proceeds in parallel with FF computation (paper §III-B).
+//! The global data lines (GDL) are the shared resource that serializes
+//! Mem-subarray <-> row-buffer and row-buffer <-> Buffer-subarray moves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MemError;
+use crate::geometry::{Location, MemGeometry, SubarrayKind};
+use crate::timing::MemTiming;
+
+/// Outcome of a row-buffer access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowBufferOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// A different (or no) row was open; activation was required.
+    Miss,
+}
+
+/// The bank's global row buffer: tracks the single open row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalRowBuffer {
+    open: Option<(usize, usize, usize)>,
+}
+
+impl GlobalRowBuffer {
+    /// Creates a row buffer with no open row.
+    pub fn new() -> Self {
+        GlobalRowBuffer { open: None }
+    }
+
+    /// Accesses `(subarray, mat, row)`, opening it if necessary.
+    pub fn access(&mut self, subarray: usize, mat: usize, row: usize) -> RowBufferOutcome {
+        let key = (subarray, mat, row);
+        if self.open == Some(key) {
+            RowBufferOutcome::Hit
+        } else {
+            self.open = Some(key);
+            RowBufferOutcome::Miss
+        }
+    }
+
+    /// The currently open `(subarray, mat, row)`, if any.
+    pub fn open_row(&self) -> Option<(usize, usize, usize)> {
+        self.open
+    }
+
+    /// Closes the open row (precharge).
+    pub fn precharge(&mut self) {
+        self.open = None;
+    }
+}
+
+/// Per-bank access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// Total nanoseconds the GDL was occupied.
+    pub gdl_busy_ns: f64,
+    /// Total access latency accumulated, ns.
+    pub total_latency_ns: f64,
+}
+
+impl BankStats {
+    /// Row-buffer hit rate over all accesses (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bank of the ReRAM main memory with its row buffer and statistics.
+///
+/// # Examples
+///
+/// ```
+/// use prime_mem::{Bank, MemGeometry, MemTiming};
+///
+/// let geo = MemGeometry::small();
+/// let mut bank = Bank::new(geo, MemTiming::prime_default());
+/// let loc = geo.decode(0)?;
+/// let first = bank.access(loc, false)?;  // row miss
+/// let second = bank.access(loc, false)?; // row hit
+/// assert!(second < first);
+/// # Ok::<(), prime_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bank {
+    geometry: MemGeometry,
+    timing: MemTiming,
+    row_buffer: GlobalRowBuffer,
+    stats: BankStats,
+}
+
+impl Bank {
+    /// Creates an idle bank.
+    pub fn new(geometry: MemGeometry, timing: MemTiming) -> Self {
+        Bank { geometry, timing, row_buffer: GlobalRowBuffer::new(), stats: BankStats::default() }
+    }
+
+    /// The bank's geometry.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BankStats {
+        &self.stats
+    }
+
+    /// Resets statistics (the row buffer keeps its open row).
+    pub fn reset_stats(&mut self) {
+        self.stats = BankStats::default();
+    }
+
+    /// Performs one memory access at `loc` and returns its latency in ns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::CoordinateOutOfRange`] if the location does not
+    /// belong to this bank's geometry.
+    pub fn access(&mut self, loc: Location, is_write: bool) -> Result<f64, MemError> {
+        if loc.subarray >= self.geometry.subarrays_per_bank {
+            return Err(MemError::CoordinateOutOfRange {
+                field: "subarray",
+                value: loc.subarray,
+                limit: self.geometry.subarrays_per_bank,
+            });
+        }
+        let outcome = self.row_buffer.access(loc.subarray, loc.mat, loc.row);
+        let latency = match (outcome, is_write) {
+            (RowBufferOutcome::Hit, false) => {
+                self.stats.row_hits += 1;
+                self.timing.row_hit_read_ns()
+            }
+            (RowBufferOutcome::Miss, false) => {
+                self.stats.row_misses += 1;
+                self.timing.row_read_ns()
+            }
+            (RowBufferOutcome::Hit, true) => {
+                self.stats.row_hits += 1;
+                self.timing.t_wr_ns
+            }
+            (RowBufferOutcome::Miss, true) => {
+                self.stats.row_misses += 1;
+                self.timing.row_write_ns()
+            }
+        };
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.total_latency_ns += latency;
+        Ok(latency)
+    }
+
+    /// Stages `bytes` from a Mem subarray into the Buffer subarray (the
+    /// `fetch` data-flow command), returning the latency and charging the
+    /// GDL for both serial transfer steps.
+    pub fn fetch_to_buffer(&mut self, bytes: u64) -> f64 {
+        let latency = self.timing.fetch_to_buffer_ns(bytes);
+        self.stats.gdl_busy_ns += 2.0 * self.timing.gdl_transfer_ns(bytes);
+        self.stats.total_latency_ns += latency;
+        latency
+    }
+
+    /// Writes `bytes` from the Buffer subarray back to a Mem subarray (the
+    /// `commit` data-flow command).
+    pub fn commit_from_buffer(&mut self, bytes: u64) -> f64 {
+        let latency = self.timing.commit_from_buffer_ns(bytes);
+        self.stats.gdl_busy_ns += 2.0 * self.timing.gdl_transfer_ns(bytes);
+        self.stats.total_latency_ns += latency;
+        latency
+    }
+
+    /// Whether an access at `loc` contends with FF<->Buffer traffic: only
+    /// Buffer-subarray accesses do — Mem-subarray traffic and FF
+    /// computation proceed in parallel (paper §III-B).
+    pub fn contends_with_ff(&self, loc: Location) -> Result<bool, MemError> {
+        Ok(self.geometry.subarray_kind(loc.subarray)? == SubarrayKind::Buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bank() -> Bank {
+        Bank::new(MemGeometry::small(), MemTiming::prime_default())
+    }
+
+    #[test]
+    fn row_buffer_tracks_open_row() {
+        let mut rb = GlobalRowBuffer::new();
+        assert_eq!(rb.access(0, 0, 5), RowBufferOutcome::Miss);
+        assert_eq!(rb.access(0, 0, 5), RowBufferOutcome::Hit);
+        assert_eq!(rb.access(0, 1, 5), RowBufferOutcome::Miss);
+        rb.precharge();
+        assert_eq!(rb.open_row(), None);
+        assert_eq!(rb.access(0, 1, 5), RowBufferOutcome::Miss);
+    }
+
+    #[test]
+    fn hits_are_cheaper_than_misses() {
+        let mut bank = small_bank();
+        let loc = bank.geometry().decode(0).unwrap();
+        let miss = bank.access(loc, false).unwrap();
+        let hit = bank.access(loc, false).unwrap();
+        assert!(hit < miss);
+        assert_eq!(bank.stats().row_hits, 1);
+        assert_eq!(bank.stats().row_misses, 1);
+        assert_eq!(bank.stats().reads, 2);
+    }
+
+    #[test]
+    fn writes_are_slower_than_reads() {
+        let mut bank = small_bank();
+        let loc = bank.geometry().decode(0).unwrap();
+        let read_miss = bank.access(loc, false).unwrap();
+        bank.row_buffer.precharge();
+        let write_miss = bank.access(loc, true).unwrap();
+        assert!(write_miss > read_miss);
+    }
+
+    #[test]
+    fn hit_rate_reflects_access_pattern() {
+        let mut bank = small_bank();
+        let loc = bank.geometry().decode(0).unwrap();
+        for _ in 0..10 {
+            bank.access(loc, false).unwrap();
+        }
+        assert!((bank.stats().hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fetch_charges_gdl_twice() {
+        let mut bank = small_bank();
+        let t = MemTiming::prime_default();
+        bank.fetch_to_buffer(256);
+        assert!((bank.stats().gdl_busy_ns - 2.0 * t.gdl_transfer_ns(256)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_buffer_subarray_contends_with_ff() {
+        let bank = small_bank();
+        let geo = bank.geometry();
+        let buf_idx = geo.buffer_subarray_index();
+        let mem_loc = Location { chip: 0, bank: 0, subarray: 0, mat: 0, row: 0, col: 0 };
+        let buf_loc = Location { chip: 0, bank: 0, subarray: buf_idx, mat: 0, row: 0, col: 0 };
+        assert!(!bank.contends_with_ff(mem_loc).unwrap());
+        assert!(bank.contends_with_ff(buf_loc).unwrap());
+    }
+
+    #[test]
+    fn access_rejects_foreign_subarray() {
+        let mut bank = small_bank();
+        let loc = Location { chip: 0, bank: 0, subarray: 99, mat: 0, row: 0, col: 0 };
+        assert!(bank.access(loc, false).is_err());
+    }
+}

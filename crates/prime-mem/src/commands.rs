@@ -1,0 +1,397 @@
+//! PRIME controller command set (paper Table I).
+//!
+//! The controller drives two command families. *Datapath-configure*
+//! commands set up the multiplexers of the FF subarrays — each is issued
+//! once per FF-subarray configuration. *Data-flow control* commands move
+//! data between Mem subarrays, the Buffer subarray, and FF subarrays, and
+//! are applied throughout the computation phase.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Address of one FF mat: the FF subarray index within the bank and the
+/// mat index within the subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatAddr {
+    /// FF subarray index within the bank.
+    pub subarray: usize,
+    /// Mat index within the subarray.
+    pub mat: usize,
+}
+
+impl fmt::Display for MatAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mat {}.{}", self.subarray, self.mat)
+    }
+}
+
+/// Byte address within the Buffer subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BufAddr(pub u64);
+
+impl fmt::Display for BufAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf {:#x}", self.0)
+    }
+}
+
+/// Physical byte address in main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemAddr(pub u64);
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem {:#x}", self.0)
+    }
+}
+
+/// Address within an FF subarray's input latch / output register space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FfAddr {
+    /// The target mat.
+    pub mat: MatAddr,
+    /// Offset within the mat's latch/register file.
+    pub offset: u64,
+}
+
+impl fmt::Display for FfAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ff {}.{}+{:#x}", self.mat.subarray, self.mat.mat, self.offset)
+    }
+}
+
+/// The function an FF mat is configured for (`prog/comp/mem [mat adr][0/1/2]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatFunction {
+    /// Programming synaptic weights into the mat (code 0).
+    Program,
+    /// NN computation (code 1).
+    Compute,
+    /// Conventional memory (code 2).
+    Memory,
+}
+
+impl MatFunction {
+    /// The command encoding used in Table I.
+    pub fn code(&self) -> u8 {
+        match self {
+            MatFunction::Program => 0,
+            MatFunction::Compute => 1,
+            MatFunction::Memory => 2,
+        }
+    }
+
+    /// Decodes a Table I function code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(MatFunction::Program),
+            1 => Some(MatFunction::Compute),
+            2 => Some(MatFunction::Memory),
+            _ => None,
+        }
+    }
+}
+
+/// Where a computing mat's inputs come from (`input source [mat adr][0/1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSource {
+    /// From the Buffer subarray (code 0).
+    Buffer,
+    /// Directly from the output of the previous layer's mat, bypassing the
+    /// Buffer subarray (code 1).
+    PreviousLayer,
+}
+
+impl InputSource {
+    /// The command encoding used in Table I.
+    pub fn code(&self) -> u8 {
+        match self {
+            InputSource::Buffer => 0,
+            InputSource::PreviousLayer => 1,
+        }
+    }
+}
+
+/// A PRIME controller command (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// `prog/comp/mem [mat adr][0/1/2]`: select the mat's function.
+    SetFunction {
+        /// Target mat.
+        mat: MatAddr,
+        /// Selected function.
+        function: MatFunction,
+    },
+    /// `bypass sigmoid [mat adr][0/1]`.
+    BypassSigmoid {
+        /// Target mat.
+        mat: MatAddr,
+        /// `true` to bypass.
+        bypass: bool,
+    },
+    /// `bypass SA [mat adr][0/1]` (analog output forwarded to the next mat).
+    BypassSa {
+        /// Target mat.
+        mat: MatAddr,
+        /// `true` to bypass.
+        bypass: bool,
+    },
+    /// `input source [mat adr][0/1]`.
+    SetInputSource {
+        /// Target mat.
+        mat: MatAddr,
+        /// Selected source.
+        source: InputSource,
+    },
+    /// `fetch [mem adr] to [buf adr]`: Mem subarray -> Buffer subarray.
+    Fetch {
+        /// Source in main memory.
+        from: MemAddr,
+        /// Destination in the Buffer subarray.
+        to: BufAddr,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// `commit [buf adr] to [mem adr]`: Buffer subarray -> Mem subarray.
+    Commit {
+        /// Source in the Buffer subarray.
+        from: BufAddr,
+        /// Destination in main memory.
+        to: MemAddr,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// `load [buf adr] to [FF adr]`: Buffer subarray -> FF input latch.
+    Load {
+        /// Source in the Buffer subarray.
+        from: BufAddr,
+        /// Destination latch address.
+        to: FfAddr,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// `store [FF adr] to [buf adr]`: FF output registers -> Buffer subarray.
+    Store {
+        /// Source output-register address.
+        from: FfAddr,
+        /// Destination in the Buffer subarray.
+        to: BufAddr,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+}
+
+impl Command {
+    /// Whether this is a datapath-configure command (issued once per FF
+    /// configuration) as opposed to a data-flow command (issued throughout
+    /// the computation phase).
+    pub fn is_datapath_configure(&self) -> bool {
+        matches!(
+            self,
+            Command::SetFunction { .. }
+                | Command::BypassSigmoid { .. }
+                | Command::BypassSa { .. }
+                | Command::SetInputSource { .. }
+        )
+    }
+}
+
+impl Command {
+    /// Parses the Table I textual syntax produced by [`Command`]'s
+    /// `Display` implementation, e.g.
+    /// `prog/comp/mem [mat 1.7][0]` or `fetch [mem 0x100] to [buf 0x20] (256 B)`.
+    ///
+    /// Returns `None` for anything that is not a well-formed command.
+    pub fn parse(text: &str) -> Option<Command> {
+        let text = text.trim();
+        fn mat_addr(token: &str) -> Option<MatAddr> {
+            // "mat 1.7"
+            let rest = token.strip_prefix("mat ")?;
+            let (sub, mat) = rest.split_once('.')?;
+            Some(MatAddr { subarray: sub.parse().ok()?, mat: mat.parse().ok()? })
+        }
+        fn hex(token: &str, prefix: &str) -> Option<u64> {
+            let rest = token.strip_prefix(prefix)?.trim().strip_prefix("0x")?;
+            u64::from_str_radix(rest, 16).ok()
+        }
+        fn bracketed(text: &str) -> Vec<&str> {
+            let mut out = Vec::new();
+            let mut rest = text;
+            while let Some(start) = rest.find('[') {
+                let Some(end) = rest[start..].find(']') else { break };
+                out.push(&rest[start + 1..start + end]);
+                rest = &rest[start + end + 1..];
+            }
+            out
+        }
+        fn bytes_of(text: &str) -> Option<u64> {
+            // "(256 B)" suffix
+            let start = text.rfind('(')?;
+            let inner = text[start + 1..].strip_suffix(')')?;
+            inner.strip_suffix(" B")?.trim().parse().ok()
+        }
+        let args = bracketed(text);
+        if let Some(rest) = text.strip_prefix("prog/comp/mem ") {
+            let _ = rest;
+            let (mat, code) = (mat_addr(args.first()?)?, args.get(1)?.parse::<u8>().ok()?);
+            return Some(Command::SetFunction { mat, function: MatFunction::from_code(code)? });
+        }
+        if text.starts_with("bypass sigmoid ") {
+            let (mat, flag) = (mat_addr(args.first()?)?, args.get(1)? == &"1");
+            return Some(Command::BypassSigmoid { mat, bypass: flag });
+        }
+        if text.starts_with("bypass SA ") {
+            let (mat, flag) = (mat_addr(args.first()?)?, args.get(1)? == &"1");
+            return Some(Command::BypassSa { mat, bypass: flag });
+        }
+        if text.starts_with("input source ") {
+            let mat = mat_addr(args.first()?)?;
+            let source = match *args.get(1)? {
+                "0" => InputSource::Buffer,
+                "1" => InputSource::PreviousLayer,
+                _ => return None,
+            };
+            return Some(Command::SetInputSource { mat, source });
+        }
+        if text.starts_with("fetch ") {
+            return Some(Command::Fetch {
+                from: MemAddr(hex(args.first()?, "mem")?),
+                to: BufAddr(hex(args.get(1)?, "buf")?),
+                bytes: bytes_of(text)?,
+            });
+        }
+        if text.starts_with("commit ") {
+            return Some(Command::Commit {
+                from: BufAddr(hex(args.first()?, "buf")?),
+                to: MemAddr(hex(args.get(1)?, "mem")?),
+                bytes: bytes_of(text)?,
+            });
+        }
+        if text.starts_with("load ") {
+            // "load [buf 0x0] to [ff 0.0+0x0] (24 B)"
+            let from = BufAddr(hex(args.first()?, "buf")?);
+            let ff = args.get(1)?.strip_prefix("ff ")?;
+            let (mat_part, offset_part) = ff.split_once('+')?;
+            let (sub, mat) = mat_part.split_once('.')?;
+            let offset = u64::from_str_radix(offset_part.strip_prefix("0x")?, 16).ok()?;
+            return Some(Command::Load {
+                from,
+                to: FfAddr {
+                    mat: MatAddr { subarray: sub.parse().ok()?, mat: mat.parse().ok()? },
+                    offset,
+                },
+                bytes: bytes_of(text)?,
+            });
+        }
+        if text.starts_with("store ") {
+            let ff = args.first()?.strip_prefix("ff ")?;
+            let (mat_part, offset_part) = ff.split_once('+')?;
+            let (sub, mat) = mat_part.split_once('.')?;
+            let offset = u64::from_str_radix(offset_part.strip_prefix("0x")?, 16).ok()?;
+            return Some(Command::Store {
+                from: FfAddr {
+                    mat: MatAddr { subarray: sub.parse().ok()?, mat: mat.parse().ok()? },
+                    offset,
+                },
+                to: BufAddr(hex(args.get(1)?, "buf")?),
+                bytes: bytes_of(text)?,
+            });
+        }
+        None
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::SetFunction { mat, function } => {
+                write!(f, "prog/comp/mem [{mat}][{}]", function.code())
+            }
+            Command::BypassSigmoid { mat, bypass } => {
+                write!(f, "bypass sigmoid [{mat}][{}]", u8::from(*bypass))
+            }
+            Command::BypassSa { mat, bypass } => {
+                write!(f, "bypass SA [{mat}][{}]", u8::from(*bypass))
+            }
+            Command::SetInputSource { mat, source } => {
+                write!(f, "input source [{mat}][{}]", source.code())
+            }
+            Command::Fetch { from, to, bytes } => write!(f, "fetch [{from}] to [{to}] ({bytes} B)"),
+            Command::Commit { from, to, bytes } => {
+                write!(f, "commit [{from}] to [{to}] ({bytes} B)")
+            }
+            Command::Load { from, to, bytes } => write!(f, "load [{from}] to [{to}] ({bytes} B)"),
+            Command::Store { from, to, bytes } => write!(f, "store [{from}] to [{to}] ({bytes} B)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_codes_round_trip() {
+        for fun in [MatFunction::Program, MatFunction::Compute, MatFunction::Memory] {
+            assert_eq!(MatFunction::from_code(fun.code()), Some(fun));
+        }
+        assert_eq!(MatFunction::from_code(3), None);
+    }
+
+    #[test]
+    fn command_families_partition_table_i() {
+        let mat = MatAddr { subarray: 0, mat: 3 };
+        let configure = [
+            Command::SetFunction { mat, function: MatFunction::Compute },
+            Command::BypassSigmoid { mat, bypass: true },
+            Command::BypassSa { mat, bypass: false },
+            Command::SetInputSource { mat, source: InputSource::Buffer },
+        ];
+        let flow = [
+            Command::Fetch { from: MemAddr(0), to: BufAddr(0), bytes: 64 },
+            Command::Commit { from: BufAddr(0), to: MemAddr(0), bytes: 64 },
+            Command::Load { from: BufAddr(0), to: FfAddr { mat, offset: 0 }, bytes: 64 },
+            Command::Store { from: FfAddr { mat, offset: 0 }, to: BufAddr(0), bytes: 64 },
+        ];
+        assert!(configure.iter().all(Command::is_datapath_configure));
+        assert!(flow.iter().all(|c| !c.is_datapath_configure()));
+    }
+
+    #[test]
+    fn parse_round_trips_every_command_kind() {
+        let mat = MatAddr { subarray: 2, mat: 9 };
+        let commands = [
+            Command::SetFunction { mat, function: MatFunction::Program },
+            Command::SetFunction { mat, function: MatFunction::Compute },
+            Command::SetFunction { mat, function: MatFunction::Memory },
+            Command::BypassSigmoid { mat, bypass: true },
+            Command::BypassSa { mat, bypass: false },
+            Command::SetInputSource { mat, source: InputSource::PreviousLayer },
+            Command::Fetch { from: MemAddr(0x1a0), to: BufAddr(0x40), bytes: 512 },
+            Command::Commit { from: BufAddr(0x40), to: MemAddr(0x1a0), bytes: 512 },
+            Command::Load { from: BufAddr(0), to: FfAddr { mat, offset: 0x10 }, bytes: 64 },
+            Command::Store { from: FfAddr { mat, offset: 0x10 }, to: BufAddr(8), bytes: 64 },
+        ];
+        for cmd in commands {
+            let text = cmd.to_string();
+            assert_eq!(Command::parse(&text), Some(cmd), "failed on `{text}`");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        for bad in ["", "nonsense", "fetch [mem zz] to [buf 0x0] (8 B)", "prog/comp/mem [mat 1.1][7]"] {
+            assert_eq!(Command::parse(bad), None, "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn display_matches_table_syntax() {
+        let mat = MatAddr { subarray: 1, mat: 7 };
+        let cmd = Command::SetFunction { mat, function: MatFunction::Program };
+        assert_eq!(cmd.to_string(), "prog/comp/mem [mat 1.7][0]");
+        let cmd = Command::Fetch { from: MemAddr(0x100), to: BufAddr(0x20), bytes: 256 };
+        assert_eq!(cmd.to_string(), "fetch [mem 0x100] to [buf 0x20] (256 B)");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the memory-system layer.
+
+use std::fmt;
+
+/// Errors raised by memory-geometry, command, and OS-runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// A physical address beyond the installed capacity was used.
+    AddressOutOfRange {
+        /// The offending byte address.
+        addr: u64,
+        /// Installed capacity in bytes.
+        capacity: u64,
+    },
+    /// A structure coordinate (chip/bank/subarray/mat/row/col) is invalid.
+    CoordinateOutOfRange {
+        /// Which coordinate field was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: usize,
+        /// Number of valid values.
+        limit: usize,
+    },
+    /// An operation targeted a subarray of the wrong kind (e.g. a compute
+    /// command sent to a Mem subarray).
+    WrongSubarrayKind {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// A reservation conflict: the addressed FF region is already in the
+    /// requested state or is busy computing.
+    ReservationConflict {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::AddressOutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} out of range for {capacity}-byte memory")
+            }
+            MemError::CoordinateOutOfRange { field, value, limit } => {
+                write!(f, "{field} {value} out of range (limit {limit})")
+            }
+            MemError::WrongSubarrayKind { expected, found } => {
+                write!(f, "operation requires a {expected} subarray but found {found}")
+            }
+            MemError::ReservationConflict { reason } => {
+                write!(f, "reservation conflict: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::CoordinateOutOfRange { field: "bank", value: 9, limit: 8 };
+        assert_eq!(e.to_string(), "bank 9 out of range (limit 8)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<MemError>();
+    }
+}

@@ -1,0 +1,349 @@
+//! Physical organization of the ReRAM main memory.
+//!
+//! The evaluated configuration (paper Table IV) is a 16 GB ReRAM main
+//! memory with 8 chips per rank and 8 banks per chip. Each PRIME bank
+//! holds subarrays built from *mats*, where a mat is a pair of 256x256
+//! crossbar arrays (positive and negative weights in computation mode,
+//! plain storage in memory mode). Per bank, two subarrays are
+//! full-function (FF) and one — the mem subarray adjacent to the FF
+//! pair — serves as the Buffer subarray (paper §V-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MemError;
+
+/// Kinds of subarrays in a PRIME bank (paper Fig. 3(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubarrayKind {
+    /// Data storage only — a conventional memory subarray.
+    Mem,
+    /// Full-function: morphable between memory and NN computation.
+    FullFunction,
+    /// The mem subarray closest to the FF pair, used to buffer FF
+    /// input/output data (still usable as normal memory when idle).
+    Buffer,
+}
+
+impl SubarrayKind {
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubarrayKind::Mem => "mem",
+            SubarrayKind::FullFunction => "full-function",
+            SubarrayKind::Buffer => "buffer",
+        }
+    }
+}
+
+/// Geometry of the PRIME main memory.
+///
+/// # Examples
+///
+/// ```
+/// use prime_mem::MemGeometry;
+///
+/// let geo = MemGeometry::prime_default();
+/// assert_eq!(geo.total_banks(), 64);
+/// assert_eq!(geo.capacity_bytes(), 16 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemGeometry {
+    /// Chips per rank.
+    pub chips: usize,
+    /// Banks per chip.
+    pub banks_per_chip: usize,
+    /// Subarrays per bank (including FF and Buffer subarrays).
+    pub subarrays_per_bank: usize,
+    /// FF subarrays per bank.
+    pub ff_subarrays_per_bank: usize,
+    /// Buffer subarrays per bank.
+    pub buffer_subarrays_per_bank: usize,
+    /// Mats per subarray.
+    pub mats_per_subarray: usize,
+    /// Rows (wordlines) per mat.
+    pub mat_rows: usize,
+    /// Columns (bitlines) per mat.
+    pub mat_cols: usize,
+}
+
+impl MemGeometry {
+    /// The evaluated 16 GB configuration: 8 chips x 8 banks, 256
+    /// subarrays of 64 crossbar-pair mats per bank, with 2 FF and 1
+    /// Buffer subarray per bank. With both FF subarrays of every bank
+    /// holding weights, the maximal mappable NN is ~2.7x10^8 synapses —
+    /// the figure the paper quotes in §IV-B1.
+    pub fn prime_default() -> Self {
+        MemGeometry {
+            chips: 8,
+            banks_per_chip: 8,
+            subarrays_per_bank: 256,
+            ff_subarrays_per_bank: 2,
+            buffer_subarrays_per_bank: 1,
+            mats_per_subarray: 64,
+            mat_rows: 256,
+            mat_cols: 256,
+        }
+    }
+
+    /// A small geometry for tests and examples: 2 chips x 2 banks, 8
+    /// subarrays of 4 mats.
+    pub fn small() -> Self {
+        MemGeometry {
+            chips: 2,
+            banks_per_chip: 2,
+            subarrays_per_bank: 8,
+            ff_subarrays_per_bank: 2,
+            buffer_subarrays_per_bank: 1,
+            mats_per_subarray: 4,
+            mat_rows: 256,
+            mat_cols: 256,
+        }
+    }
+
+    /// Total banks in the rank (`chips * banks_per_chip`) — PRIME's NPU
+    /// count for bank-level parallelism (64 in the paper).
+    pub fn total_banks(&self) -> usize {
+        self.chips * self.banks_per_chip
+    }
+
+    /// Bits stored per mat in memory (SLC) mode: both crossbars of the
+    /// pair store data.
+    pub fn mat_bits(&self) -> u64 {
+        2 * (self.mat_rows * self.mat_cols) as u64
+    }
+
+    /// Bytes per subarray in memory mode.
+    pub fn subarray_bytes(&self) -> u64 {
+        self.mats_per_subarray as u64 * self.mat_bits() / 8
+    }
+
+    /// Bytes per bank in memory mode.
+    pub fn bank_bytes(&self) -> u64 {
+        self.subarrays_per_bank as u64 * self.subarray_bytes()
+    }
+
+    /// Installed capacity in bytes with every subarray in memory mode.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_banks() as u64 * self.bank_bytes()
+    }
+
+    /// Capacity lost when all FF subarrays compute (the morphable
+    /// memory/accelerator trade-off).
+    pub fn ff_reserved_bytes(&self) -> u64 {
+        (self.total_banks() * self.ff_subarrays_per_bank) as u64 * self.subarray_bytes()
+    }
+
+    /// The subarray kind at `subarray_index` within a bank. FF subarrays
+    /// occupy the highest indices; the Buffer subarray sits immediately
+    /// below them (it is the closest mem subarray, paper §III-B).
+    pub fn subarray_kind(&self, subarray_index: usize) -> Result<SubarrayKind, MemError> {
+        if subarray_index >= self.subarrays_per_bank {
+            return Err(MemError::CoordinateOutOfRange {
+                field: "subarray",
+                value: subarray_index,
+                limit: self.subarrays_per_bank,
+            });
+        }
+        let ff_start = self.subarrays_per_bank - self.ff_subarrays_per_bank;
+        let buf_start = ff_start - self.buffer_subarrays_per_bank;
+        Ok(if subarray_index >= ff_start {
+            SubarrayKind::FullFunction
+        } else if subarray_index >= buf_start {
+            SubarrayKind::Buffer
+        } else {
+            SubarrayKind::Mem
+        })
+    }
+
+    /// Indices of the FF subarrays within each bank.
+    pub fn ff_subarray_indices(&self) -> Vec<usize> {
+        let ff_start = self.subarrays_per_bank - self.ff_subarrays_per_bank;
+        (ff_start..self.subarrays_per_bank).collect()
+    }
+
+    /// Index of the (first) Buffer subarray within each bank.
+    pub fn buffer_subarray_index(&self) -> usize {
+        self.subarrays_per_bank - self.ff_subarrays_per_bank - self.buffer_subarrays_per_bank
+    }
+
+    /// Composed synaptic weights per FF mat: the sign lives in the
+    /// positive/negative crossbar split and each 8-bit weight magnitude
+    /// occupies two adjacent 4-bit cells, so a 256x256 pair holds
+    /// 256 x 128 composed synapses.
+    pub fn synapses_per_mat(&self) -> u64 {
+        (self.mat_rows * self.mat_cols / 2) as u64
+    }
+
+    /// Maximum synapses mappable if every FF mat in the memory holds
+    /// weights (paper §IV-B1 quotes ~2.7x10^8 for the default geometry).
+    pub fn max_synapses(&self) -> u64 {
+        self.total_banks() as u64
+            * self.ff_subarrays_per_bank as u64
+            * self.mats_per_subarray as u64
+            * self.synapses_per_mat()
+    }
+}
+
+impl Default for MemGeometry {
+    fn default() -> Self {
+        MemGeometry::prime_default()
+    }
+}
+
+/// Fully decoded physical location of a memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Chip index within the rank.
+    pub chip: usize,
+    /// Bank index within the chip.
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// Mat index within the subarray.
+    pub mat: usize,
+    /// Row within the mat.
+    pub row: usize,
+    /// Column (bit) within the row.
+    pub col: usize,
+}
+
+impl MemGeometry {
+    /// Decodes a bit address into its physical location. The mapping is
+    /// bank-interleaved at row granularity so consecutive rows spread
+    /// across banks — the layout the OS exploits for bank-level
+    /// parallelism (paper §IV-B2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] past the installed capacity.
+    pub fn decode(&self, bit_addr: u64) -> Result<Location, MemError> {
+        let capacity_bits = self.capacity_bytes() * 8;
+        if bit_addr >= capacity_bits {
+            return Err(MemError::AddressOutOfRange {
+                addr: bit_addr,
+                capacity: self.capacity_bytes(),
+            });
+        }
+        // A memory-mode mat row spans both crossbars of the pair.
+        let row_bits = 2 * self.mat_cols as u64;
+        let col = (bit_addr % row_bits) as usize;
+        let rest = bit_addr / row_bits;
+        let bank_linear = (rest % self.total_banks() as u64) as usize;
+        let rest = rest / self.total_banks() as u64;
+        let row = (rest % self.mat_rows as u64) as usize;
+        let rest = rest / self.mat_rows as u64;
+        let mat = (rest % self.mats_per_subarray as u64) as usize;
+        let subarray = (rest / self.mats_per_subarray as u64) as usize;
+        Ok(Location {
+            chip: bank_linear / self.banks_per_chip,
+            bank: bank_linear % self.banks_per_chip,
+            subarray,
+            mat,
+            row,
+            col,
+        })
+    }
+
+    /// Encodes a physical location back to its bit address (inverse of
+    /// [`decode`](Self::decode)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::CoordinateOutOfRange`] for any invalid field.
+    pub fn encode(&self, loc: Location) -> Result<u64, MemError> {
+        let check = |field, value, limit| {
+            if value >= limit {
+                Err(MemError::CoordinateOutOfRange { field, value, limit })
+            } else {
+                Ok(())
+            }
+        };
+        check("chip", loc.chip, self.chips)?;
+        check("bank", loc.bank, self.banks_per_chip)?;
+        check("subarray", loc.subarray, self.subarrays_per_bank)?;
+        check("mat", loc.mat, self.mats_per_subarray)?;
+        check("row", loc.row, self.mat_rows)?;
+        check("col", loc.col, 2 * self.mat_cols)?;
+        let bank_linear = (loc.chip * self.banks_per_chip + loc.bank) as u64;
+        let rest = (loc.subarray * self.mats_per_subarray + loc.mat) as u64;
+        let rest = rest * self.mat_rows as u64 + loc.row as u64;
+        let rest = rest * self.total_banks() as u64 + bank_linear;
+        Ok(rest * 2 * self.mat_cols as u64 + loc.col as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacity_is_16_gib() {
+        let geo = MemGeometry::prime_default();
+        assert_eq!(geo.capacity_bytes(), 16 * 1024 * 1024 * 1024);
+        assert_eq!(geo.total_banks(), 64);
+    }
+
+    #[test]
+    fn subarray_kinds_partition_the_bank() {
+        let geo = MemGeometry::prime_default();
+        assert_eq!(geo.subarray_kind(0).unwrap(), SubarrayKind::Mem);
+        assert_eq!(geo.subarray_kind(252).unwrap(), SubarrayKind::Mem);
+        assert_eq!(geo.subarray_kind(253).unwrap(), SubarrayKind::Buffer);
+        assert_eq!(geo.subarray_kind(254).unwrap(), SubarrayKind::FullFunction);
+        assert_eq!(geo.subarray_kind(255).unwrap(), SubarrayKind::FullFunction);
+        assert!(geo.subarray_kind(256).is_err());
+        assert_eq!(geo.ff_subarray_indices(), vec![254, 255]);
+        assert_eq!(geo.buffer_subarray_index(), 253);
+    }
+
+    #[test]
+    fn ff_reservation_is_a_small_fraction() {
+        let geo = MemGeometry::prime_default();
+        let frac = geo.ff_reserved_bytes() as f64 / geo.capacity_bytes() as f64;
+        assert!((frac - 2.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_synapses_matches_paper_order_of_magnitude() {
+        let geo = MemGeometry::prime_default();
+        // Paper §IV-B1: ~2.7x10^8 synapses maximum.
+        let synapses = geo.max_synapses() as f64;
+        assert!((synapses / 2.7e8 - 1.0).abs() < 0.01, "got {synapses}");
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let geo = MemGeometry::small();
+        let capacity_bits = geo.capacity_bytes() * 8;
+        // Probe a spread of addresses including both ends.
+        for addr in [0, 1, 255, 256, 65_535, capacity_bits / 2, capacity_bits - 1] {
+            let loc = geo.decode(addr).unwrap();
+            assert_eq!(geo.encode(loc).unwrap(), addr, "round trip failed at {addr}");
+        }
+        assert!(geo.decode(capacity_bits).is_err());
+    }
+
+    #[test]
+    fn consecutive_rows_interleave_across_banks() {
+        let geo = MemGeometry::prime_default();
+        let a = geo.decode(0).unwrap();
+        let b = geo.decode(2 * geo.mat_cols as u64).unwrap();
+        let linear_a = a.chip * geo.banks_per_chip + a.bank;
+        let linear_b = b.chip * geo.banks_per_chip + b.bank;
+        assert_eq!(linear_b, linear_a + 1);
+    }
+
+    #[test]
+    fn encode_validates_coordinates() {
+        let geo = MemGeometry::small();
+        let bad = Location { chip: 2, bank: 0, subarray: 0, mat: 0, row: 0, col: 0 };
+        assert!(matches!(geo.encode(bad), Err(MemError::CoordinateOutOfRange { field: "chip", .. })));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SubarrayKind::Mem.name(), "mem");
+        assert_eq!(SubarrayKind::FullFunction.name(), "full-function");
+        assert_eq!(SubarrayKind::Buffer.name(), "buffer");
+    }
+}

@@ -1,0 +1,42 @@
+//! ReRAM main-memory substrate for the PRIME reproduction.
+//!
+//! Models the memory system PRIME lives in (paper §II-A, §III, Table IV):
+//! the 16 GB ReRAM rank geometry with its Mem / full-function / Buffer
+//! subarray partition, DDR-style timing, the global row buffer and
+//! global-data-line (GDL) contention, the PRIME controller's Table I
+//! command set, and the OS run-time support that morphs FF subarrays
+//! between memory and computation under page-miss-rate pressure
+//! (paper §IV-C).
+//!
+//! # Examples
+//!
+//! ```
+//! use prime_mem::{MemGeometry, SubarrayKind};
+//!
+//! let geo = MemGeometry::prime_default();
+//! // Per bank: two FF subarrays at the top, the Buffer subarray adjacent.
+//! let ff = geo.ff_subarray_indices();
+//! assert_eq!(geo.subarray_kind(ff[0])?, SubarrayKind::FullFunction);
+//! assert_eq!(geo.subarray_kind(geo.buffer_subarray_index())?, SubarrayKind::Buffer);
+//! # Ok::<(), prime_mem::MemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bank;
+mod commands;
+mod error;
+mod geometry;
+mod os;
+mod rank;
+mod timing;
+mod wear;
+
+pub use bank::{Bank, BankStats, GlobalRowBuffer, RowBufferOutcome};
+pub use commands::{BufAddr, Command, FfAddr, InputSource, MatAddr, MatFunction, MemAddr};
+pub use error::MemError;
+pub use geometry::{Location, MemGeometry, SubarrayKind};
+pub use os::{FfReservationMap, MorphDecision, MorphPolicy, PageMissTracker};
+pub use rank::{InterferenceStats, Rank};
+pub use timing::MemTiming;
+pub use wear::WearLeveler;

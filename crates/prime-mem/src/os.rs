@@ -1,0 +1,299 @@
+//! Operating-system support for morphable FF subarrays (paper §IV-C).
+//!
+//! When FF subarrays are configured for NN computation, their address
+//! range is reserved and supervised by the OS. At run time, if few
+//! crossbars are computing and the page miss rate climbs above a
+//! threshold (memory capacity is insufficient), the OS releases reserved
+//! FF space back to normal memory; when pressure subsides and NN demand
+//! returns, it reclaims it. The OS tracks the page-miss-rate curve
+//! (Zhou et al. \[80\]) and works with the MMU to keep the FF mapping
+//! information, deciding at crossbar (mat) granularity.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MemError;
+
+/// Sliding-window page-miss-rate tracker.
+///
+/// # Examples
+///
+/// ```
+/// use prime_mem::PageMissTracker;
+///
+/// let mut tracker = PageMissTracker::new(4);
+/// tracker.record(false);
+/// tracker.record(true);
+/// assert_eq!(tracker.miss_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMissTracker {
+    window: usize,
+    history: VecDeque<bool>,
+    misses_in_window: usize,
+}
+
+impl PageMissTracker {
+    /// Creates a tracker over the last `window` page accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "tracking window must be non-empty");
+        PageMissTracker { window, history: VecDeque::with_capacity(window), misses_in_window: 0 }
+    }
+
+    /// Records one page access (`miss = true` for a page miss).
+    pub fn record(&mut self, miss: bool) {
+        if self.history.len() == self.window
+            && self.history.pop_front() == Some(true) {
+                self.misses_in_window -= 1;
+            }
+        self.history.push_back(miss);
+        if miss {
+            self.misses_in_window += 1;
+        }
+    }
+
+    /// Miss rate over the current window (0 when no accesses recorded).
+    pub fn miss_rate(&self) -> f64 {
+        if self.history.is_empty() {
+            0.0
+        } else {
+            self.misses_in_window as f64 / self.history.len() as f64
+        }
+    }
+
+    /// Number of accesses currently in the window.
+    pub fn observed(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// The OS decision for the FF subarray pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MorphDecision {
+    /// Keep the current configuration.
+    Stay,
+    /// Release reserved FF mats to normal memory (capacity pressure).
+    ReleaseToMemory,
+    /// Reclaim released mats for NN computation (compute demand).
+    ReclaimForCompute,
+}
+
+/// Policy combining the page miss rate and FF utilization (paper §IV-C:
+/// "based on the combination of the page miss rate and the utilization of
+/// the FF subarrays for computation").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MorphPolicy {
+    /// Page-miss-rate threshold above which memory is considered
+    /// insufficient.
+    pub miss_rate_threshold: f64,
+    /// FF-utilization threshold below which compute mats are releasable.
+    pub low_utilization_threshold: f64,
+    /// FF-utilization threshold above which released mats are reclaimed.
+    pub high_utilization_threshold: f64,
+}
+
+impl MorphPolicy {
+    /// A reasonable default: release when miss rate exceeds 5 % while
+    /// fewer than 10 % of FF mats compute; reclaim when utilization
+    /// pressure exceeds 90 % of the remaining compute pool.
+    pub fn prime_default() -> Self {
+        MorphPolicy {
+            miss_rate_threshold: 0.05,
+            low_utilization_threshold: 0.10,
+            high_utilization_threshold: 0.90,
+        }
+    }
+
+    /// Decides the next action from the observed miss rate and the
+    /// fraction of FF mats currently used for computation.
+    pub fn decide(&self, miss_rate: f64, ff_utilization: f64) -> MorphDecision {
+        if miss_rate > self.miss_rate_threshold && ff_utilization < self.low_utilization_threshold
+        {
+            MorphDecision::ReleaseToMemory
+        } else if miss_rate <= self.miss_rate_threshold
+            && ff_utilization >= self.high_utilization_threshold
+        {
+            MorphDecision::ReclaimForCompute
+        } else {
+            MorphDecision::Stay
+        }
+    }
+}
+
+impl Default for MorphPolicy {
+    fn default() -> Self {
+        MorphPolicy::prime_default()
+    }
+}
+
+/// MMU bookkeeping of FF mats: which are reserved for computation and
+/// which are released as normal memory. Granularity is one crossbar (mat),
+/// per the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FfReservationMap {
+    /// `true` = reserved for computation; indexed by flat mat id.
+    reserved: Vec<bool>,
+    /// `true` = currently executing a mapped NN (cannot be released).
+    busy: Vec<bool>,
+}
+
+impl FfReservationMap {
+    /// Creates a map for `total_mats` FF mats, all released (memory mode).
+    pub fn new(total_mats: usize) -> Self {
+        FfReservationMap { reserved: vec![false; total_mats], busy: vec![false; total_mats] }
+    }
+
+    /// Total FF mats tracked.
+    pub fn total(&self) -> usize {
+        self.reserved.len()
+    }
+
+    /// Number of mats reserved for computation.
+    pub fn reserved_count(&self) -> usize {
+        self.reserved.iter().filter(|&&r| r).count()
+    }
+
+    /// Fraction of mats reserved for computation.
+    pub fn utilization(&self) -> f64 {
+        if self.reserved.is_empty() {
+            0.0
+        } else {
+            self.reserved_count() as f64 / self.reserved.len() as f64
+        }
+    }
+
+    /// Reserves `count` released mats for computation; returns their ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ReservationConflict`] if fewer than `count`
+    /// mats are released.
+    pub fn reserve(&mut self, count: usize) -> Result<Vec<usize>, MemError> {
+        let free: Vec<usize> =
+            self.reserved.iter().enumerate().filter(|(_, &r)| !r).map(|(i, _)| i).collect();
+        if free.len() < count {
+            return Err(MemError::ReservationConflict {
+                reason: "not enough released FF mats to reserve",
+            });
+        }
+        let chosen: Vec<usize> = free.into_iter().take(count).collect();
+        for &i in &chosen {
+            self.reserved[i] = true;
+        }
+        Ok(chosen)
+    }
+
+    /// Marks a reserved mat as busy (an NN is mapped and executing on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ReservationConflict`] if the mat is not
+    /// reserved.
+    pub fn mark_busy(&mut self, mat: usize, busy: bool) -> Result<(), MemError> {
+        if mat >= self.reserved.len() || !self.reserved[mat] {
+            return Err(MemError::ReservationConflict { reason: "mat is not reserved" });
+        }
+        self.busy[mat] = busy;
+        Ok(())
+    }
+
+    /// Releases up to `count` idle reserved mats back to normal memory,
+    /// returning the ids actually released (busy mats are skipped — data
+    /// must not be lost mid-computation).
+    pub fn release_idle(&mut self, count: usize) -> Vec<usize> {
+        let mut released = Vec::new();
+        for i in 0..self.reserved.len() {
+            if released.len() == count {
+                break;
+            }
+            if self.reserved[i] && !self.busy[i] {
+                self.reserved[i] = false;
+                released.push(i);
+            }
+        }
+        released
+    }
+
+    /// Bytes of memory capacity currently released (visible to the OS as
+    /// normal memory), given the memory-mode capacity of one mat.
+    pub fn released_bytes(&self, mat_bytes: u64) -> u64 {
+        (self.total() - self.reserved_count()) as u64 * mat_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_respects_window() {
+        let mut t = PageMissTracker::new(3);
+        t.record(true);
+        t.record(true);
+        t.record(true);
+        assert_eq!(t.miss_rate(), 1.0);
+        t.record(false);
+        t.record(false);
+        t.record(false);
+        assert_eq!(t.miss_rate(), 0.0);
+        assert_eq!(t.observed(), 3);
+    }
+
+    #[test]
+    fn tracker_partial_window() {
+        let mut t = PageMissTracker::new(10);
+        t.record(true);
+        t.record(false);
+        assert_eq!(t.miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn policy_releases_under_pressure_and_idle_ff() {
+        let p = MorphPolicy::prime_default();
+        assert_eq!(p.decide(0.10, 0.05), MorphDecision::ReleaseToMemory);
+        assert_eq!(p.decide(0.10, 0.50), MorphDecision::Stay);
+        assert_eq!(p.decide(0.01, 0.95), MorphDecision::ReclaimForCompute);
+        assert_eq!(p.decide(0.01, 0.50), MorphDecision::Stay);
+    }
+
+    #[test]
+    fn reservation_lifecycle() {
+        let mut map = FfReservationMap::new(8);
+        assert_eq!(map.utilization(), 0.0);
+        let got = map.reserve(4).unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(map.utilization(), 0.5);
+        map.mark_busy(0, true).unwrap();
+        let released = map.release_idle(4);
+        assert_eq!(released, vec![1, 2, 3]); // mat 0 is busy
+        assert_eq!(map.reserved_count(), 1);
+    }
+
+    #[test]
+    fn reserve_fails_when_exhausted() {
+        let mut map = FfReservationMap::new(2);
+        map.reserve(2).unwrap();
+        assert!(map.reserve(1).is_err());
+    }
+
+    #[test]
+    fn busy_requires_reservation() {
+        let mut map = FfReservationMap::new(2);
+        assert!(map.mark_busy(0, true).is_err());
+        map.reserve(1).unwrap();
+        map.mark_busy(0, true).unwrap();
+    }
+
+    #[test]
+    fn released_bytes_track_free_pool() {
+        let mut map = FfReservationMap::new(4);
+        assert_eq!(map.released_bytes(1024), 4096);
+        map.reserve(1).unwrap();
+        assert_eq!(map.released_bytes(1024), 3072);
+    }
+}

@@ -1,0 +1,233 @@
+//! Rank-level model: all banks of the memory behind one shared channel,
+//! with FF-computation concurrency accounting (paper §III-B).
+//!
+//! The Buffer subarrays give PRIME a private path between FF subarrays
+//! and their staging data, so while FF subarrays compute, the CPU keeps
+//! accessing Mem subarrays through the regular channel. The only
+//! interference is on a bank's global data lines when the CPU touches
+//! that bank's *Buffer* subarray while it is staging FF data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::error::MemError;
+use crate::geometry::{MemGeometry, SubarrayKind};
+use crate::timing::MemTiming;
+
+/// Interference statistics for a CPU access stream issued while FF
+/// subarrays compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceStats {
+    /// CPU accesses that proceeded in parallel with FF computation.
+    pub unobstructed: u64,
+    /// CPU accesses that collided with FF<->Buffer staging on the GDL.
+    pub stalled: u64,
+    /// Total stall time added by collisions, ns.
+    pub stall_ns: f64,
+}
+
+impl InterferenceStats {
+    /// Fraction of accesses that stalled (0 when idle).
+    pub fn stall_rate(&self) -> f64 {
+        let total = self.unobstructed + self.stalled;
+        if total == 0 {
+            0.0
+        } else {
+            self.stalled as f64 / total as f64
+        }
+    }
+}
+
+/// A rank: every bank of the memory behind one shared channel.
+///
+/// # Examples
+///
+/// ```
+/// use prime_mem::{MemGeometry, MemTiming, Rank};
+///
+/// let mut rank = Rank::new(MemGeometry::small(), MemTiming::prime_default());
+/// let latency = rank.access(0, false)?;
+/// assert!(latency > 0.0);
+/// # Ok::<(), prime_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rank {
+    geometry: MemGeometry,
+    timing: MemTiming,
+    banks: Vec<Bank>,
+    /// Which banks currently have FF subarrays computing (and therefore
+    /// Buffer subarrays staging data over the GDL).
+    ff_active: Vec<bool>,
+    interference: InterferenceStats,
+}
+
+impl Rank {
+    /// Creates an idle rank.
+    pub fn new(geometry: MemGeometry, timing: MemTiming) -> Self {
+        let banks =
+            (0..geometry.total_banks()).map(|_| Bank::new(geometry, timing)).collect();
+        Rank {
+            geometry,
+            timing,
+            banks,
+            ff_active: vec![false; geometry.total_banks()],
+            interference: InterferenceStats::default(),
+        }
+    }
+
+    /// The rank's geometry.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// Marks a bank's FF subarrays as computing (Buffer subarray busy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::CoordinateOutOfRange`] for an invalid bank.
+    pub fn set_ff_active(&mut self, bank_linear: usize, active: bool) -> Result<(), MemError> {
+        if bank_linear >= self.banks.len() {
+            return Err(MemError::CoordinateOutOfRange {
+                field: "bank",
+                value: bank_linear,
+                limit: self.banks.len(),
+            });
+        }
+        self.ff_active[bank_linear] = active;
+        Ok(())
+    }
+
+    /// Banks currently computing.
+    pub fn ff_active_count(&self) -> usize {
+        self.ff_active.iter().filter(|&&a| a).count()
+    }
+
+    /// Accumulated interference statistics.
+    pub fn interference(&self) -> InterferenceStats {
+        self.interference
+    }
+
+    /// Per-bank access statistics.
+    pub fn bank_stats(&self, bank_linear: usize) -> &crate::bank::BankStats {
+        self.banks[bank_linear].stats()
+    }
+
+    /// Performs one CPU access at byte address `addr`, returning its
+    /// latency in ns. Accesses to a computing bank's Buffer subarray
+    /// contend with FF staging on the GDL and pay a stall; accesses to
+    /// Mem subarrays never do — the paper's CPU/FF parallelism claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] past installed capacity.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Result<f64, MemError> {
+        let loc = self.geometry.decode(addr * 8)?;
+        let bank_linear = loc.chip * self.geometry.banks_per_chip + loc.bank;
+        let mut latency = self.banks[bank_linear].access(loc, is_write)?;
+        let touches_buffer =
+            self.geometry.subarray_kind(loc.subarray)? == SubarrayKind::Buffer;
+        if self.ff_active[bank_linear] && touches_buffer {
+            // The FF side holds the Buffer subarray's port: wait out one
+            // staging transfer on the GDL.
+            let stall = self.timing.gdl_transfer_ns(u64::from(self.timing.gdl_bits) / 8);
+            latency += stall;
+            self.interference.stalled += 1;
+            self.interference.stall_ns += stall;
+        } else {
+            self.interference.unobstructed += 1;
+        }
+        Ok(latency)
+    }
+
+    /// Runs a CPU access stream (byte addresses) and returns its total
+    /// latency in ns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first address error encountered.
+    pub fn run_stream(&mut self, addrs: &[u64], is_write: bool) -> Result<f64, MemError> {
+        let mut total = 0.0;
+        for &addr in addrs {
+            total += self.access(addr, is_write)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Location;
+
+    fn rank() -> Rank {
+        Rank::new(MemGeometry::small(), MemTiming::prime_default())
+    }
+
+    /// Byte address of a location in the small geometry.
+    fn addr_of(r: &Rank, loc: Location) -> u64 {
+        r.geometry().encode(loc).unwrap() / 8
+    }
+
+    #[test]
+    fn mem_subarray_access_is_unaffected_by_ff_computation() {
+        let mut r = rank();
+        let loc = Location { chip: 0, bank: 0, subarray: 0, mat: 0, row: 5, col: 0 };
+        let addr = addr_of(&r, loc);
+        let quiet = r.access(addr, false).unwrap();
+        r.set_ff_active(0, true).unwrap();
+        let busy = r.access(addr, false).unwrap();
+        assert_eq!(quiet.min(busy), busy.min(quiet));
+        assert!(busy <= quiet, "Mem-subarray access must not stall: {busy} vs {quiet}");
+        assert_eq!(r.interference().stalled, 0);
+    }
+
+    #[test]
+    fn buffer_subarray_access_stalls_while_ff_computes() {
+        let mut r = rank();
+        let buf = r.geometry().buffer_subarray_index();
+        let loc = Location { chip: 0, bank: 0, subarray: buf, mat: 0, row: 5, col: 0 };
+        let addr = addr_of(&r, loc);
+        let quiet = r.access(addr, false).unwrap();
+        r.set_ff_active(0, true).unwrap();
+        // Same row is now open; without interference this would be a
+        // cheaper hit, but the GDL stall dominates.
+        let busy = r.access(addr, false).unwrap();
+        assert!(busy > 0.0 && r.interference().stalled == 1);
+        assert!(r.interference().stall_ns > 0.0);
+        let _ = quiet;
+    }
+
+    #[test]
+    fn other_banks_never_interfere() {
+        let mut r = rank();
+        r.set_ff_active(0, true).unwrap();
+        let buf = r.geometry().buffer_subarray_index();
+        // Buffer subarray of a *different* bank: no interference.
+        let loc = Location { chip: 0, bank: 1, subarray: buf, mat: 0, row: 0, col: 0 };
+        let addr = addr_of(&r, loc);
+        r.access(addr, false).unwrap();
+        assert_eq!(r.interference().stalled, 0);
+    }
+
+    #[test]
+    fn stream_aggregates_latency() {
+        let mut r = rank();
+        let addrs: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        let total = r.run_stream(&addrs, false).unwrap();
+        assert!(total > 0.0);
+        let stats = r.interference();
+        assert_eq!(stats.unobstructed + stats.stalled, 32);
+    }
+
+    #[test]
+    fn ff_activity_bookkeeping() {
+        let mut r = rank();
+        assert_eq!(r.ff_active_count(), 0);
+        r.set_ff_active(1, true).unwrap();
+        r.set_ff_active(2, true).unwrap();
+        assert_eq!(r.ff_active_count(), 2);
+        r.set_ff_active(1, false).unwrap();
+        assert_eq!(r.ff_active_count(), 1);
+        assert!(r.set_ff_active(99, true).is_err());
+    }
+}

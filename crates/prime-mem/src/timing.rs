@@ -1,0 +1,171 @@
+//! Memory timing model.
+//!
+//! Timing parameters follow Table IV of the paper: a 16 GB ReRAM main
+//! memory behind a 533 MHz IO bus with
+//! `tRCD-tCL-tRP-tWR = 22.5-9.8-0.5-41.4 ns` — the performance-optimized
+//! ReRAM design of Xu et al. \[20\] (near-DRAM reads, ~5x slower writes,
+//! negligible precharge because ReRAM reads are non-destructive).
+
+use serde::{Deserialize, Serialize};
+
+/// DDR-style timing parameters of the ReRAM main memory.
+///
+/// # Examples
+///
+/// ```
+/// use prime_mem::MemTiming;
+///
+/// let t = MemTiming::prime_default();
+/// assert!(t.row_read_ns() < t.row_write_ns());
+/// assert!(t.bus_bandwidth_gbps() > 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemTiming {
+    /// Row-to-column delay (activate), ns.
+    pub t_rcd_ns: f64,
+    /// Column access (CAS) latency, ns.
+    pub t_cl_ns: f64,
+    /// Row precharge, ns (tiny: ReRAM reads are non-destructive).
+    pub t_rp_ns: f64,
+    /// Write recovery, ns (ReRAM writes are slow).
+    pub t_wr_ns: f64,
+    /// IO bus clock in MHz (DDR: two transfers per cycle).
+    pub bus_mhz: f64,
+    /// IO bus width in bits (x64 rank interface).
+    pub bus_bits: u32,
+    /// Width of the global data lines between a subarray and the global
+    /// row buffer, in bits.
+    pub gdl_bits: u32,
+    /// One GDL transfer beat, ns.
+    pub gdl_beat_ns: f64,
+}
+
+impl MemTiming {
+    /// Table IV values.
+    pub fn prime_default() -> Self {
+        MemTiming {
+            t_rcd_ns: 22.5,
+            t_cl_ns: 9.8,
+            t_rp_ns: 0.5,
+            t_wr_ns: 41.4,
+            bus_mhz: 533.0,
+            bus_bits: 64,
+            gdl_bits: 256,
+            gdl_beat_ns: 2.0,
+        }
+    }
+
+    /// Latency of a row activation plus column read (row-buffer miss).
+    pub fn row_read_ns(&self) -> f64 {
+        self.t_rcd_ns + self.t_cl_ns
+    }
+
+    /// Latency of a column read that hits the open row.
+    pub fn row_hit_read_ns(&self) -> f64 {
+        self.t_cl_ns
+    }
+
+    /// Latency of a full row write (activate + write recovery).
+    pub fn row_write_ns(&self) -> f64 {
+        self.t_rcd_ns + self.t_wr_ns
+    }
+
+    /// Latency to close a row (precharge).
+    pub fn precharge_ns(&self) -> f64 {
+        self.t_rp_ns
+    }
+
+    /// Peak off-chip bus bandwidth in GB/s (DDR: 2 transfers per clock).
+    pub fn bus_bandwidth_gbps(&self) -> f64 {
+        self.bus_mhz * 1e6 * 2.0 * f64::from(self.bus_bits) / 8.0 / 1e9
+    }
+
+    /// Time to move `bytes` over the off-chip bus, ns.
+    pub fn bus_transfer_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bus_bandwidth_gbps()
+    }
+
+    /// Time to move `bytes` over the in-bank global data lines, ns. This
+    /// is the resource both the Mem-subarray<->row-buffer path and the
+    /// row-buffer<->Buffer-subarray path contend for (paper §III-B: the
+    /// two steps are serialized on the GDL).
+    pub fn gdl_transfer_ns(&self, bytes: u64) -> f64 {
+        let beats = (bytes * 8).div_ceil(u64::from(self.gdl_bits));
+        beats as f64 * self.gdl_beat_ns
+    }
+
+    /// Latency for the two-step fetch that stages FF input data: Mem
+    /// subarray -> global row buffer -> Buffer subarray (serial on the
+    /// GDL), for `bytes` of data.
+    pub fn fetch_to_buffer_ns(&self, bytes: u64) -> f64 {
+        self.row_read_ns() + self.gdl_transfer_ns(bytes) // mem -> row buffer
+            + self.gdl_transfer_ns(bytes) // row buffer -> buffer subarray
+            + self.row_write_ns() // restore into buffer subarray cells
+    }
+
+    /// Latency for committing FF output data back: Buffer subarray ->
+    /// global row buffer -> Mem subarray.
+    pub fn commit_from_buffer_ns(&self, bytes: u64) -> f64 {
+        self.row_read_ns()
+            + 2.0 * self.gdl_transfer_ns(bytes)
+            + self.row_write_ns()
+    }
+}
+
+impl Default for MemTiming {
+    fn default() -> Self {
+        MemTiming::prime_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_values() {
+        let t = MemTiming::prime_default();
+        assert!((t.t_rcd_ns - 22.5).abs() < 1e-12);
+        assert!((t.t_cl_ns - 9.8).abs() < 1e-12);
+        assert!((t.t_rp_ns - 0.5).abs() < 1e-12);
+        assert!((t.t_wr_ns - 41.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_bandwidth_is_ddr_533_x64() {
+        let t = MemTiming::prime_default();
+        // 533 MHz x 2 x 8 bytes = 8.528 GB/s.
+        assert!((t.bus_bandwidth_gbps() - 8.528).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reads_hit_faster_than_miss() {
+        let t = MemTiming::prime_default();
+        assert!(t.row_hit_read_ns() < t.row_read_ns());
+    }
+
+    #[test]
+    fn gdl_transfer_rounds_up_to_beats() {
+        let t = MemTiming::prime_default();
+        // 1 byte still takes a full beat.
+        assert!((t.gdl_transfer_ns(1) - t.gdl_beat_ns).abs() < 1e-12);
+        // 64 bytes = 512 bits = 2 beats of 256 bits.
+        assert!((t.gdl_transfer_ns(64) - 2.0 * t.gdl_beat_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fetch_is_serial_on_gdl() {
+        let t = MemTiming::prime_default();
+        let one_step = t.gdl_transfer_ns(256);
+        let fetch = t.fetch_to_buffer_ns(256);
+        assert!(fetch >= 2.0 * one_step, "fetch must pay the GDL twice");
+    }
+
+    #[test]
+    fn bus_transfer_scales_linearly() {
+        let t = MemTiming::prime_default();
+        let a = t.bus_transfer_ns(1024);
+        let b = t.bus_transfer_ns(2048);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+}

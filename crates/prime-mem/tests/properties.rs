@@ -1,0 +1,68 @@
+//! Property-based tests for the memory-system layer.
+
+use proptest::prelude::*;
+
+use prime_mem::{MemGeometry, MorphPolicy, PageMissTracker};
+
+proptest! {
+    /// The address map is bijective: decode then encode returns the
+    /// original bit address for any in-range address.
+    #[test]
+    fn address_map_is_bijective(addr_frac in 0.0f64..1.0) {
+        let geo = MemGeometry::small();
+        let capacity_bits = geo.capacity_bytes() * 8;
+        let addr = ((capacity_bits - 1) as f64 * addr_frac) as u64;
+        let loc = geo.decode(addr).unwrap();
+        prop_assert_eq!(geo.encode(loc).unwrap(), addr);
+    }
+
+    /// Decoded locations always satisfy the geometry's bounds.
+    #[test]
+    fn decoded_locations_are_in_bounds(addr_frac in 0.0f64..1.0) {
+        let geo = MemGeometry::prime_default();
+        let capacity_bits = geo.capacity_bytes() * 8;
+        let addr = ((capacity_bits - 1) as f64 * addr_frac) as u64;
+        let loc = geo.decode(addr).unwrap();
+        prop_assert!(loc.chip < geo.chips);
+        prop_assert!(loc.bank < geo.banks_per_chip);
+        prop_assert!(loc.subarray < geo.subarrays_per_bank);
+        prop_assert!(loc.mat < geo.mats_per_subarray);
+        prop_assert!(loc.row < geo.mat_rows);
+        prop_assert!(loc.col < 2 * geo.mat_cols);
+    }
+
+    /// The page-miss tracker's rate always equals the fraction of misses
+    /// among the last `window` recorded accesses.
+    #[test]
+    fn miss_rate_matches_window_contents(
+        window in 1usize..32,
+        accesses in proptest::collection::vec(any::<bool>(), 0..128),
+    ) {
+        let mut tracker = PageMissTracker::new(window);
+        for &miss in &accesses {
+            tracker.record(miss);
+        }
+        let tail: Vec<bool> =
+            accesses.iter().rev().take(window).copied().collect();
+        let expected = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().filter(|&&m| m).count() as f64 / tail.len() as f64
+        };
+        prop_assert!((tracker.miss_rate() - expected).abs() < 1e-12);
+    }
+
+    /// The morph policy never releases and reclaims for the same inputs,
+    /// and extreme inputs always act.
+    #[test]
+    fn morph_policy_is_consistent(miss in 0.0f64..1.0, util in 0.0f64..1.0) {
+        use prime_mem::MorphDecision::*;
+        let p = MorphPolicy::prime_default();
+        let d = p.decide(miss, util);
+        match d {
+            ReleaseToMemory => prop_assert!(miss > p.miss_rate_threshold),
+            ReclaimForCompute => prop_assert!(util >= p.high_utilization_threshold),
+            Stay => {}
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic handwritten-digit dataset.
+//!
+//! The paper evaluates on MNIST \[67\]; shipping the dataset is neither
+//! possible nor necessary here, so this module generates a *synthetic
+//! substitute*: 28x28 grayscale images of the ten digits rendered from
+//! seven-segment stroke templates, perturbed by random translation,
+//! per-image intensity scaling, and pixel noise. The task keeps MNIST's
+//! structure — 10 classes, 8-bit-range pixels, high intra-class
+//! variability — which is what the Fig. 6 precision study exercises
+//! (see DESIGN.md §4, Substitutions).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Image edge length (28x28, like MNIST).
+pub const IMAGE_DIM: usize = 28;
+/// Pixels per image.
+pub const IMAGE_PIXELS: usize = IMAGE_DIM * IMAGE_DIM;
+/// Number of classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// Seven-segment membership per digit: segments `[A, B, C, D, E, F, G]`
+/// (top, top-right, bottom-right, bottom, bottom-left, top-left, middle).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, true, true, true, false],    // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],   // 2
+    [true, true, true, true, false, false, true],   // 3
+    [false, true, true, false, false, true, true],  // 4
+    [true, false, true, true, false, true, true],   // 5
+    [true, false, true, true, true, true, true],    // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// One labelled sample: a flattened 28x28 image in `[0, 1]` and its digit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Flattened row-major pixels in `[0, 1]`.
+    pub pixels: Vec<f32>,
+    /// The digit (0-9).
+    pub label: usize,
+}
+
+/// Deterministic synthetic-digit generator.
+///
+/// # Examples
+///
+/// ```
+/// use prime_nn::{DigitGenerator, IMAGE_PIXELS};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let gen = DigitGenerator::default();
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let sample = gen.sample(7, &mut rng);
+/// assert_eq!(sample.label, 7);
+/// assert_eq!(sample.pixels.len(), IMAGE_PIXELS);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DigitGenerator {
+    /// Maximum absolute translation in pixels.
+    pub max_shift: i32,
+    /// Additive uniform pixel noise amplitude.
+    pub noise: f32,
+    /// Minimum stroke intensity (each image scales its strokes uniformly
+    /// in `[min_intensity, 1]`).
+    pub min_intensity: f32,
+}
+
+impl DigitGenerator {
+    /// The default perturbation profile used by the experiments.
+    pub fn new() -> Self {
+        DigitGenerator { max_shift: 2, noise: 0.08, min_intensity: 0.7 }
+    }
+
+    /// Renders one sample of `digit` with random perturbations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit >= 10`.
+    pub fn sample<R: Rng + ?Sized>(&self, digit: usize, rng: &mut R) -> Sample {
+        assert!(digit < NUM_CLASSES, "digit must be 0-9");
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        let intensity = rng.gen_range(self.min_intensity..=1.0f32);
+        let mut pixels = vec![0.0f32; IMAGE_PIXELS];
+        let segs = SEGMENTS[digit];
+        // Glyph box: rows 6..22, cols 9..19; strokes are 2 px thick.
+        let (top, mid, bot) = (6i32, 13i32, 20i32);
+        let (left, right) = (9i32, 17i32);
+        let mut stroke = |y0: i32, y1: i32, x0: i32, x1: i32| {
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let (py, px) = (y + dy, x + dx);
+                    if (0..IMAGE_DIM as i32).contains(&py) && (0..IMAGE_DIM as i32).contains(&px) {
+                        pixels[py as usize * IMAGE_DIM + px as usize] = intensity;
+                    }
+                }
+            }
+        };
+        if segs[0] {
+            stroke(top, top + 1, left, right + 1); // A: top bar
+        }
+        if segs[1] {
+            stroke(top, mid, right, right + 1); // B: top-right
+        }
+        if segs[2] {
+            stroke(mid, bot + 1, right, right + 1); // C: bottom-right
+        }
+        if segs[3] {
+            stroke(bot, bot + 1, left, right + 1); // D: bottom bar
+        }
+        if segs[4] {
+            stroke(mid, bot + 1, left, left + 1); // E: bottom-left
+        }
+        if segs[5] {
+            stroke(top, mid, left, left + 1); // F: top-left
+        }
+        if segs[6] {
+            stroke(mid, mid + 1, left, right + 1); // G: middle bar
+        }
+        for p in &mut pixels {
+            *p = (*p + rng.gen_range(-self.noise..=self.noise)).clamp(0.0, 1.0);
+        }
+        Sample { pixels, label: digit }
+    }
+
+    /// Generates a balanced dataset of `n` samples cycling through digits.
+    pub fn dataset<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Sample> {
+        (0..n).map(|i| self.sample(i % NUM_CLASSES, rng)).collect()
+    }
+}
+
+impl Default for DigitGenerator {
+    fn default() -> Self {
+        DigitGenerator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_valid_images() {
+        let gen = DigitGenerator::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for d in 0..10 {
+            let s = gen.sample(d, &mut rng);
+            assert_eq!(s.pixels.len(), IMAGE_PIXELS);
+            assert_eq!(s.label, d);
+            assert!(s.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // The glyph must actually contain ink.
+            assert!(s.pixels.iter().filter(|&&p| p > 0.5).count() > 10);
+        }
+    }
+
+    #[test]
+    fn digits_are_distinguishable_without_noise() {
+        let gen = DigitGenerator { max_shift: 0, noise: 0.0, min_intensity: 1.0 };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let images: Vec<Vec<f32>> = (0..10).map(|d| gen.sample(d, &mut rng).pixels).collect();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let diff: f32 =
+                    images[a].iter().zip(&images[b]).map(|(x, y)| (x - y).abs()).sum();
+                assert!(diff > 1.0, "digits {a} and {b} render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_is_balanced() {
+        let gen = DigitGenerator::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let data = gen.dataset(100, &mut rng);
+        for d in 0..10 {
+            assert_eq!(data.iter().filter(|s| s.label == d).count(), 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = DigitGenerator::default();
+        let a = gen.sample(5, &mut SmallRng::seed_from_u64(7));
+        let b = gen.sample(5, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,283 @@
+//! Dynamic fixed-point quantization (Courbariaux et al. \[68\]).
+//!
+//! The paper evaluates input/weight precision with the *dynamic fixed
+//! point* format: every tensor shares one scaling exponent while each
+//! element keeps a `bits`-wide two's-complement mantissa. "Dynamic" means
+//! the exponent is chosen per tensor (per layer) from the data range, so
+//! a 3-bit format can still cover very different weight magnitudes across
+//! layers — the property that lets PRIME run at 3-bit inputs and weights
+//! with negligible accuracy loss (paper Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// A dynamic fixed-point format: `bits`-wide signed mantissas sharing the
+/// scale `2^-frac_bits` (negative `frac_bits` scales up).
+///
+/// # Examples
+///
+/// ```
+/// use prime_nn::DynFixedFormat;
+///
+/// // Choose the exponent so +/-0.8 fills a 4-bit mantissa.
+/// let fmt = DynFixedFormat::for_range(4, 0.8)?;
+/// let code = fmt.quantize(0.5);
+/// assert!((fmt.dequantize(code) - 0.5).abs() <= fmt.step() / 2.0);
+/// # Ok::<(), prime_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DynFixedFormat {
+    bits: u8,
+    frac_bits: i8,
+}
+
+impl DynFixedFormat {
+    /// Creates a format with `bits`-wide mantissas (including sign) and a
+    /// fixed binary point position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadFormat`] if `bits` is 0 or above 16.
+    pub fn new(bits: u8, frac_bits: i8) -> Result<Self, NnError> {
+        if bits == 0 || bits > 16 {
+            return Err(NnError::BadFormat { reason: "mantissa width must be 1-16 bits" });
+        }
+        Ok(DynFixedFormat { bits, frac_bits })
+    }
+
+    /// Chooses the binary point *dynamically* so that `abs_max` is
+    /// representable: the smallest scale whose range covers it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadFormat`] for an invalid width or a
+    /// non-finite `abs_max`.
+    pub fn for_range(bits: u8, abs_max: f32) -> Result<Self, NnError> {
+        if !abs_max.is_finite() {
+            return Err(NnError::BadFormat { reason: "range must be finite" });
+        }
+        let mut fmt = DynFixedFormat::new(bits, 0)?;
+        if abs_max <= 0.0 {
+            // Everything quantizes to zero regardless; keep unit scale.
+            return Ok(fmt);
+        }
+        // max representable positive value is (2^(bits-1) - 1) * 2^-frac.
+        let max_code = fmt.max_code() as f32;
+        let needed = (abs_max / max_code).log2().ceil() as i32;
+        let frac = (-needed).clamp(-63, 63) as i8;
+        fmt.frac_bits = frac;
+        Ok(fmt)
+    }
+
+    /// Chooses the format for a whole tensor (per-layer dynamic exponent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadFormat`] for an invalid width.
+    pub fn for_tensor(bits: u8, tensor: &Tensor) -> Result<Self, NnError> {
+        Self::for_range(bits, tensor.abs_max())
+    }
+
+    /// Chooses the format from a high quantile of the data's magnitude
+    /// instead of the absolute maximum, letting rare outliers saturate so
+    /// the bulk of the values keep resolution — the calibration that makes
+    /// very low-precision dynamic fixed point workable (the paper reaches
+    /// 99 % accuracy at 3-bit weights, Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadFormat`] for an invalid width or an empty
+    /// slice.
+    pub fn for_values_clipped(bits: u8, values: &[f32], quantile: f64) -> Result<Self, NnError> {
+        if values.is_empty() {
+            return Err(NnError::BadFormat { reason: "cannot calibrate on empty data" });
+        }
+        let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
+        let idx = ((mags.len() as f64 - 1.0) * quantile.clamp(0.0, 1.0)).round() as usize;
+        Self::for_range(bits, mags[idx])
+    }
+
+    /// Mantissa width in bits (including sign).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Binary point position: values are `code * 2^-frac_bits`.
+    pub fn frac_bits(&self) -> i8 {
+        self.frac_bits
+    }
+
+    /// Largest positive mantissa code.
+    pub fn max_code(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Most negative mantissa code.
+    pub fn min_code(&self) -> i32 {
+        -(1i32 << (self.bits - 1))
+    }
+
+    /// The quantization step `2^-frac_bits`.
+    pub fn step(&self) -> f32 {
+        (2.0f32).powi(-i32::from(self.frac_bits))
+    }
+
+    /// Quantizes a value to the nearest representable code, saturating.
+    pub fn quantize(&self, value: f32) -> i32 {
+        let scaled = value / self.step();
+        (scaled.round() as i64).clamp(i64::from(self.min_code()), i64::from(self.max_code()))
+            as i32
+    }
+
+    /// Reconstructs the real value of a mantissa code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        code as f32 * self.step()
+    }
+
+    /// Quantizes then dequantizes — the value the hardware actually
+    /// computes with.
+    pub fn round_trip(&self, value: f32) -> f32 {
+        self.dequantize(self.quantize(value))
+    }
+
+    /// Worst-case absolute rounding error for in-range values.
+    pub fn max_error(&self) -> f32 {
+        self.step() / 2.0
+    }
+}
+
+/// A tensor quantized to a dynamic fixed-point format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    format: DynFixedFormat,
+    shape: Vec<usize>,
+    codes: Vec<i32>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor with a per-tensor dynamic exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadFormat`] for an invalid width.
+    pub fn quantize(tensor: &Tensor, bits: u8) -> Result<Self, NnError> {
+        let format = DynFixedFormat::for_tensor(bits, tensor)?;
+        let codes = tensor.data().iter().map(|&v| format.quantize(v)).collect();
+        Ok(QuantizedTensor { format, shape: tensor.shape().to_vec(), codes })
+    }
+
+    /// The format shared by every element.
+    pub fn format(&self) -> DynFixedFormat {
+        self.format
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The mantissa codes, row-major.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Dequantizes back to a real-valued tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.codes.iter().map(|&c| self.format.dequantize(c)).collect();
+        Tensor::from_vec(self.shape.clone(), data).expect("shape preserved by construction")
+    }
+}
+
+/// Quantizes a tensor in place: every element is replaced by its
+/// dynamic-fixed-point round trip at `bits` of precision. This is how the
+/// Fig. 6 sweep degrades a trained network to each precision point.
+pub fn quantize_in_place(tensor: &mut Tensor, bits: u8) -> Result<DynFixedFormat, NnError> {
+    let format = DynFixedFormat::for_tensor(bits, tensor)?;
+    for v in tensor.data_mut() {
+        *v = format.round_trip(*v);
+    }
+    Ok(format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_validates_width() {
+        assert!(DynFixedFormat::new(0, 0).is_err());
+        assert!(DynFixedFormat::new(17, 0).is_err());
+        assert!(DynFixedFormat::new(3, -5).is_ok());
+    }
+
+    #[test]
+    fn for_range_covers_the_range() {
+        for bits in 2..=8u8 {
+            for range in [0.01f32, 0.5, 1.0, 3.7, 100.0] {
+                let fmt = DynFixedFormat::for_range(bits, range).unwrap();
+                let q = fmt.quantize(range);
+                let back = fmt.dequantize(q);
+                assert!(
+                    (back - range).abs() <= fmt.step(),
+                    "bits {bits} range {range}: got {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = DynFixedFormat::new(4, 0).unwrap();
+        assert_eq!(fmt.quantize(100.0), 7);
+        assert_eq!(fmt.quantize(-100.0), -8);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let fmt = DynFixedFormat::for_range(6, 1.0).unwrap();
+        for i in -100..=100 {
+            let v = i as f32 / 100.0;
+            assert!((fmt.round_trip(v) - v).abs() <= fmt.max_error() + 1e-7);
+        }
+    }
+
+    #[test]
+    fn zero_range_tensor_quantizes_to_zero() {
+        let t = Tensor::zeros(vec![4]);
+        let q = QuantizedTensor::quantize(&t, 3).unwrap();
+        assert!(q.codes().iter().all(|&c| c == 0));
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn quantized_tensor_round_trips_shape() {
+        let t = Tensor::from_vec(vec![2, 2], vec![0.1, -0.9, 0.5, 0.0]).unwrap();
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert_eq!(q.shape(), &[2, 2]);
+        let back = q.dequantize();
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() <= q.format().max_error() + 1e-7);
+        }
+    }
+
+    #[test]
+    fn one_bit_format_is_degenerate_but_valid() {
+        let fmt = DynFixedFormat::for_range(1, 1.0).unwrap();
+        // 1-bit two's complement: codes {-1, 0}.
+        assert_eq!(fmt.max_code(), 0);
+        assert_eq!(fmt.min_code(), -1);
+    }
+
+    #[test]
+    fn quantize_in_place_matches_round_trip() {
+        let mut t = Tensor::from_vec(vec![3], vec![0.3, -0.7, 0.05]).unwrap();
+        let orig = t.clone();
+        let fmt = quantize_in_place(&mut t, 5).unwrap();
+        for (q, o) in t.data().iter().zip(orig.data()) {
+            assert_eq!(*q, fmt.round_trip(*o));
+        }
+    }
+}

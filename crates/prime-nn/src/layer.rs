@@ -1,0 +1,805 @@
+//! Executable NN layers: fully-connected, 2-D convolution, and pooling —
+//! the layer types PRIME supports in hardware (paper §III-E).
+//!
+//! Every layer provides an inference path (`forward`) and a training path
+//! (`forward_cache` / `backward` / `apply_grads`) so the workloads used in
+//! the accuracy experiments can be trained offline, exactly as the paper
+//! assumes ("the training of NN is done off-line", §IV-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// Activation functions PRIME implements in its peripheral circuits:
+/// sigmoid (column-multiplexer unit) and ReLU (SA-side unit); `Identity`
+/// corresponds to bypassing both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// No activation (both units bypassed).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, given both the
+    /// pre-activation `x` and the activation output `y`.
+    pub fn derivative(&self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Pooling flavours supported by the PRIME hardware (4:1 max-pooling unit;
+/// mean pooling via 1/n ReRAM weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window.
+    Mean,
+}
+
+/// A fully-connected layer: `y = act(W x + b)` with `W: [outputs, inputs]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullyConnected {
+    weights: Tensor,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+/// Cached intermediates for one fully-connected forward pass.
+#[derive(Debug, Clone)]
+pub struct FcCache {
+    input: Vec<f32>,
+    preact: Vec<f32>,
+    output: Vec<f32>,
+}
+
+impl FcCache {
+    /// The layer output held by this cache.
+    pub fn output(&self) -> &[f32] {
+        &self.output
+    }
+}
+
+/// Parameter gradients of a fully-connected layer.
+#[derive(Debug, Clone)]
+pub struct FcGrads {
+    /// `dL/dW`, same shape as the weights.
+    pub weights: Vec<f32>,
+    /// `dL/db`.
+    pub bias: Vec<f32>,
+}
+
+impl FullyConnected {
+    /// Creates a zero-initialized layer.
+    pub fn new(inputs: usize, outputs: usize, activation: Activation) -> Self {
+        FullyConnected {
+            weights: Tensor::zeros(vec![outputs, inputs]),
+            bias: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `weights` is not a
+    /// `[outputs, inputs]` matrix matching `bias`.
+    pub fn from_params(
+        weights: Tensor,
+        bias: Vec<f32>,
+        activation: Activation,
+    ) -> Result<Self, NnError> {
+        if weights.shape().len() != 2 || weights.shape()[0] != bias.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![bias.len(), 0],
+                got: weights.shape().to_vec(),
+            });
+        }
+        Ok(FullyConnected { weights, bias, activation })
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.weights.shape()[1]
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.weights.shape()[0]
+    }
+
+    /// The activation applied after the affine transform.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The weight matrix (`[outputs, inputs]`).
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable weight matrix, for initialization and quantization sweeps.
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, NnError> {
+        Ok(self.forward_cache(input)?.output)
+    }
+
+    /// Forward pass that keeps intermediates for backpropagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward_cache(&self, input: &[f32]) -> Result<FcCache, NnError> {
+        if input.len() != self.inputs() {
+            return Err(NnError::BadInput {
+                layer: format!("fc {}-{}", self.inputs(), self.outputs()),
+                expected: self.inputs(),
+                got: input.len(),
+            });
+        }
+        let mut preact = self.weights.matvec(input).expect("validated shape");
+        for (p, b) in preact.iter_mut().zip(&self.bias) {
+            *p += b;
+        }
+        let output = preact.iter().map(|&x| self.activation.apply(x)).collect();
+        Ok(FcCache { input: input.to_vec(), preact, output })
+    }
+
+    /// Backpropagates `grad_out = dL/dy` through the layer, returning
+    /// `dL/dx` and the parameter gradients.
+    pub fn backward(&self, cache: &FcCache, grad_out: &[f32]) -> (Vec<f32>, FcGrads) {
+        let (outputs, inputs) = (self.outputs(), self.inputs());
+        let mut grad_pre = vec![0.0f32; outputs];
+        for o in 0..outputs {
+            grad_pre[o] =
+                grad_out[o] * self.activation.derivative(cache.preact[o], cache.output[o]);
+        }
+        let mut grad_w = vec![0.0f32; outputs * inputs];
+        let mut grad_in = vec![0.0f32; inputs];
+        let w = self.weights.data();
+        for o in 0..outputs {
+            let g = grad_pre[o];
+            if g == 0.0 {
+                continue;
+            }
+            for i in 0..inputs {
+                grad_w[o * inputs + i] = g * cache.input[i];
+                grad_in[i] += g * w[o * inputs + i];
+            }
+        }
+        (grad_in, FcGrads { weights: grad_w, bias: grad_pre })
+    }
+
+    /// Applies an SGD step with learning rate `lr`.
+    pub fn apply_grads(&mut self, grads: &FcGrads, lr: f32) {
+        for (w, g) in self.weights.data_mut().iter_mut().zip(&grads.weights) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&grads.bias) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// A valid (no-padding unless specified) 2-D convolution layer over
+/// `[channels, height, width]` inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    in_h: usize,
+    in_w: usize,
+    padding: usize,
+    /// `[out_ch, in_ch, kernel, kernel]`.
+    weights: Tensor,
+    bias: Vec<f32>,
+    activation: Activation,
+}
+
+/// Cached intermediates for one convolution forward pass.
+#[derive(Debug, Clone)]
+pub struct ConvCache {
+    input: Vec<f32>,
+    preact: Vec<f32>,
+    output: Vec<f32>,
+}
+
+impl ConvCache {
+    /// The layer output held by this cache.
+    pub fn output(&self) -> &[f32] {
+        &self.output
+    }
+}
+
+/// Parameter gradients of a convolution layer.
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// `dL/dW`, same layout as the kernel tensor.
+    pub weights: Vec<f32>,
+    /// `dL/db`, one per output channel.
+    pub bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a zero-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        in_h: usize,
+        in_w: usize,
+        padding: usize,
+        activation: Activation,
+    ) -> Self {
+        assert!(in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+            "kernel larger than padded input");
+        Conv2d {
+            in_ch,
+            out_ch,
+            kernel,
+            in_h,
+            in_w,
+            padding,
+            weights: Tensor::zeros(vec![out_ch, in_ch, kernel, kernel]),
+            bias: vec![0.0; out_ch],
+            activation,
+        }
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        self.in_h + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        self.in_w + 2 * self.padding - self.kernel + 1
+    }
+
+    /// Input element count (`in_ch * in_h * in_w`).
+    pub fn inputs(&self) -> usize {
+        self.in_ch * self.in_h * self.in_w
+    }
+
+    /// Output element count (`out_ch * out_h * out_w`).
+    pub fn outputs(&self) -> usize {
+        self.out_ch * self.out_h() * self.out_w()
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Zero padding on each side.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// The kernel tensor (`[out_ch, in_ch, k, k]`).
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable kernel tensor.
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The bias vector (one per output channel).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// The activation applied to each output element.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    fn in_at(&self, input: &[f32], c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.in_h || x as usize >= self.in_w {
+            0.0 // zero padding
+        } else {
+            input[(c * self.in_h + y as usize) * self.in_w + x as usize]
+        }
+    }
+
+    /// Inference forward pass over a flattened `[in_ch, in_h, in_w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, NnError> {
+        Ok(self.forward_cache(input)?.output)
+    }
+
+    /// Forward pass keeping intermediates for backpropagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward_cache(&self, input: &[f32]) -> Result<ConvCache, NnError> {
+        if input.len() != self.inputs() {
+            return Err(NnError::BadInput {
+                layer: format!("conv{}x{}", self.kernel, self.out_ch),
+                expected: self.inputs(),
+                got: input.len(),
+            });
+        }
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = self.kernel;
+        let w = self.weights.data();
+        let mut preact = vec![0.0f32; self.out_ch * oh * ow];
+        for oc in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize + ky as isize - self.padding as isize;
+                                let ix = ox as isize + kx as isize - self.padding as isize;
+                                let wv = w[((oc * self.in_ch + ic) * k + ky) * k + kx];
+                                acc += wv * self.in_at(input, ic, iy, ix);
+                            }
+                        }
+                    }
+                    preact[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        let output = preact.iter().map(|&x| self.activation.apply(x)).collect();
+        Ok(ConvCache { input: input.to_vec(), preact, output })
+    }
+
+    /// Backpropagates `grad_out = dL/dy`, returning `dL/dx` and parameter
+    /// gradients.
+    #[allow(clippy::needless_range_loop)] // oc indexes grad_b and the weight tensor together
+    pub fn backward(&self, cache: &ConvCache, grad_out: &[f32]) -> (Vec<f32>, ConvGrads) {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let k = self.kernel;
+        let w = self.weights.data();
+        let mut grad_w = vec![0.0f32; w.len()];
+        let mut grad_b = vec![0.0f32; self.out_ch];
+        let mut grad_in = vec![0.0f32; self.inputs()];
+        for oc in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = (oc * oh + oy) * ow + ox;
+                    let g = grad_out[oidx]
+                        * self.activation.derivative(cache.preact[oidx], cache.output[oidx]);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grad_b[oc] += g;
+                    for ic in 0..self.in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize + ky as isize - self.padding as isize;
+                                let ix = ox as isize + kx as isize - self.padding as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy as usize >= self.in_h
+                                    || ix as usize >= self.in_w
+                                {
+                                    continue;
+                                }
+                                let widx = ((oc * self.in_ch + ic) * k + ky) * k + kx;
+                                let iidx =
+                                    (ic * self.in_h + iy as usize) * self.in_w + ix as usize;
+                                grad_w[widx] += g * cache.input[iidx];
+                                grad_in[iidx] += g * w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (grad_in, ConvGrads { weights: grad_w, bias: grad_b })
+    }
+
+    /// Applies an SGD step with learning rate `lr`.
+    pub fn apply_grads(&mut self, grads: &ConvGrads, lr: f32) {
+        for (w, g) in self.weights.data_mut().iter_mut().zip(&grads.weights) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&grads.bias) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// A non-overlapping 2-D pooling layer over `[channels, h, w]` inputs with
+/// a square `window` and stride equal to the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pool2d {
+    kind: PoolKind,
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    window: usize,
+}
+
+/// Cached intermediates for one pooling forward pass.
+#[derive(Debug, Clone)]
+pub struct PoolCache {
+    /// For max pooling: the input index that won each output element.
+    argmax: Vec<usize>,
+    output: Vec<f32>,
+}
+
+impl PoolCache {
+    /// The layer output held by this cache.
+    pub fn output(&self) -> &[f32] {
+        &self.output
+    }
+}
+
+impl Pool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not evenly tile the input (the paper's
+    /// networks all pool evenly).
+    pub fn new(kind: PoolKind, channels: usize, in_h: usize, in_w: usize, window: usize) -> Self {
+        assert!(window > 0 && in_h.is_multiple_of(window) && in_w.is_multiple_of(window),
+            "pooling window must evenly tile the input");
+        Pool2d { kind, channels, in_h, in_w, window }
+    }
+
+    /// The pooling flavour.
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// Window edge length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.window
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.window
+    }
+
+    /// Input element count.
+    pub fn inputs(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+
+    /// Output element count.
+    pub fn outputs(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, NnError> {
+        Ok(self.forward_cache(input)?.output)
+    }
+
+    /// Forward pass keeping the winner indices for backpropagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a wrong-length input.
+    pub fn forward_cache(&self, input: &[f32]) -> Result<PoolCache, NnError> {
+        if input.len() != self.inputs() {
+            return Err(NnError::BadInput {
+                layer: format!("pool{}x{}", self.window, self.window),
+                expected: self.inputs(),
+                got: input.len(),
+            });
+        }
+        let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
+        let mut output = vec![0.0f32; self.outputs()];
+        let mut argmax = vec![0usize; self.outputs()];
+        for c in 0..self.channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = (c * oh + oy) * ow + ox;
+                    match self.kind {
+                        PoolKind::Max => {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0;
+                            for wy in 0..win {
+                                for wx in 0..win {
+                                    let iidx = (c * self.in_h + oy * win + wy) * self.in_w
+                                        + ox * win
+                                        + wx;
+                                    if input[iidx] > best {
+                                        best = input[iidx];
+                                        best_idx = iidx;
+                                    }
+                                }
+                            }
+                            output[oidx] = best;
+                            argmax[oidx] = best_idx;
+                        }
+                        PoolKind::Mean => {
+                            let mut acc = 0.0f32;
+                            for wy in 0..win {
+                                for wx in 0..win {
+                                    acc += input[(c * self.in_h + oy * win + wy) * self.in_w
+                                        + ox * win
+                                        + wx];
+                                }
+                            }
+                            output[oidx] = acc / (win * win) as f32;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PoolCache { argmax, output })
+    }
+
+    /// Backpropagates `grad_out`, returning `dL/dx` (pooling has no
+    /// parameters).
+    pub fn backward(&self, cache: &PoolCache, grad_out: &[f32]) -> Vec<f32> {
+        let mut grad_in = vec![0.0f32; self.inputs()];
+        match self.kind {
+            PoolKind::Max => {
+                for (oidx, &g) in grad_out.iter().enumerate() {
+                    grad_in[cache.argmax[oidx]] += g;
+                }
+            }
+            PoolKind::Mean => {
+                let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
+                let scale = 1.0 / (win * win) as f32;
+                for c in 0..self.channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = grad_out[(c * oh + oy) * ow + ox] * scale;
+                            for wy in 0..win {
+                                for wx in 0..win {
+                                    grad_in[(c * self.in_h + oy * win + wy) * self.in_w
+                                        + ox * win
+                                        + wx] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_values_and_derivatives() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+        let y = Activation::Sigmoid.apply(0.0);
+        assert!((y - 0.5).abs() < 1e-6);
+        assert!((Activation::Sigmoid.derivative(0.0, y) - 0.25).abs() < 1e-6);
+        assert_eq!(Activation::Relu.derivative(-1.0, 0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn fc_forward_matches_manual() {
+        let w = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]).unwrap();
+        let fc = FullyConnected::from_params(w, vec![0.5, -0.5], Activation::Identity).unwrap();
+        let y = fc.forward(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(y, vec![2.0 - 6.0 + 0.5, 6.0 - 0.5]);
+    }
+
+    #[test]
+    fn fc_rejects_bad_input() {
+        let fc = FullyConnected::new(3, 2, Activation::Identity);
+        assert!(fc.forward(&[1.0]).is_err());
+    }
+
+    /// Numerical gradient check for the fully-connected layer.
+    #[test]
+    fn fc_gradients_match_finite_differences() {
+        let mut fc = FullyConnected::new(4, 3, Activation::Sigmoid);
+        // Deterministic pseudo-random parameters.
+        for (i, w) in fc.weights_mut().data_mut().iter_mut().enumerate() {
+            *w = ((i * 37 % 13) as f32 - 6.0) / 10.0;
+        }
+        for (i, b) in fc.bias_mut().iter_mut().enumerate() {
+            *b = (i as f32 - 1.0) / 5.0;
+        }
+        let x = [0.3f32, -0.8, 0.1, 0.9];
+        // Loss: sum of outputs; dL/dy = 1.
+        let cache = fc.forward_cache(&x).unwrap();
+        let ones = vec![1.0f32; 3];
+        let (grad_in, grads) = fc.backward(&cache, &ones);
+        let eps = 1e-3f32;
+        // Check input gradient.
+        for i in 0..4 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let lp: f32 = fc.forward(&xp).unwrap().iter().sum();
+            let lm: f32 = fc.forward(&xm).unwrap().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad_in[i]).abs() < 1e-3, "input grad {i}: {num} vs {}", grad_in[i]);
+        }
+        // Check a few weight gradients.
+        for wi in [0usize, 5, 11] {
+            let orig = fc.weights().data()[wi];
+            fc.weights_mut().data_mut()[wi] = orig + eps;
+            let lp: f32 = fc.forward(&x).unwrap().iter().sum();
+            fc.weights_mut().data_mut()[wi] = orig - eps;
+            let lm: f32 = fc.forward(&x).unwrap().iter().sum();
+            fc.weights_mut().data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grads.weights[wi]).abs() < 1e-3,
+                "weight grad {wi}: {num} vs {}",
+                grads.weights[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_output_shape_matches_formula() {
+        let conv = Conv2d::new(1, 5, 5, 28, 28, 0, Activation::Relu);
+        assert_eq!(conv.out_h(), 24);
+        assert_eq!(conv.out_w(), 24);
+        assert_eq!(conv.outputs(), 5 * 24 * 24);
+        let padded = Conv2d::new(3, 64, 3, 224, 224, 1, Activation::Relu);
+        assert_eq!(padded.out_h(), 224);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1: output equals input.
+        let mut conv = Conv2d::new(1, 1, 1, 4, 4, 0, Activation::Identity);
+        conv.weights_mut().data_mut()[0] = 1.0;
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(conv.forward(&input).unwrap(), input);
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 2, 3, 5, 5, 0, Activation::Relu);
+        for (i, w) in conv.weights_mut().data_mut().iter_mut().enumerate() {
+            *w = ((i * 31 % 17) as f32 - 8.0) / 20.0;
+        }
+        for (i, b) in conv.bias_mut().iter_mut().enumerate() {
+            *b = (i as f32) / 10.0 + 0.05;
+        }
+        let input: Vec<f32> = (0..50).map(|i| ((i * 7 % 11) as f32 - 5.0) / 6.0).collect();
+        let cache = conv.forward_cache(&input).unwrap();
+        let ones = vec![1.0f32; conv.outputs()];
+        let (grad_in, grads) = conv.backward(&cache, &ones);
+        let eps = 1e-3f32;
+        for ii in [0usize, 13, 49] {
+            let mut ip = input.clone();
+            ip[ii] += eps;
+            let mut im = input.clone();
+            im[ii] -= eps;
+            let lp: f32 = conv.forward(&ip).unwrap().iter().sum();
+            let lm: f32 = conv.forward(&im).unwrap().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad_in[ii]).abs() < 2e-3, "input grad {ii}: {num} vs {}", grad_in[ii]);
+        }
+        for wi in [0usize, 9, 35] {
+            let orig = conv.weights().data()[wi];
+            conv.weights_mut().data_mut()[wi] = orig + eps;
+            let lp: f32 = conv.forward(&input).unwrap().iter().sum();
+            conv.weights_mut().data_mut()[wi] = orig - eps;
+            let lm: f32 = conv.forward(&input).unwrap().iter().sum();
+            conv.weights_mut().data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grads.weights[wi]).abs() < 2e-3,
+                "weight grad {wi}: {num} vs {}",
+                grads.weights[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let pool = Pool2d::new(PoolKind::Max, 1, 4, 4, 2);
+        let input: Vec<f32> =
+            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 10.0, 13.0, 14.0, 11.0, 12.0, 15.0, 16.0];
+        let cache = pool.forward_cache(&input).unwrap();
+        assert_eq!(cache.output, vec![4.0, 8.0, 12.0, 16.0]);
+        let grad_in = pool.backward(&cache, &[1.0, 2.0, 3.0, 4.0]);
+        // Gradient flows only to the winners.
+        assert_eq!(grad_in.iter().filter(|&&g| g != 0.0).count(), 4);
+        assert_eq!(grad_in[5], 1.0); // position of 4.0
+        assert_eq!(grad_in[15], 4.0); // position of 16.0
+    }
+
+    #[test]
+    fn mean_pool_averages_windows() {
+        let pool = Pool2d::new(PoolKind::Mean, 1, 2, 2, 2);
+        let out = pool.forward(&[1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert_eq!(out, vec![3.0]);
+        let cache = pool.forward_cache(&[1.0, 2.0, 3.0, 6.0]).unwrap();
+        let grad_in = pool.backward(&cache, &[4.0]);
+        assert_eq!(grad_in, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn pool_rejects_bad_input() {
+        let pool = Pool2d::new(PoolKind::Max, 1, 4, 4, 2);
+        assert!(pool.forward(&[0.0; 15]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Neural-network substrate for the PRIME reproduction.
+//!
+//! PRIME accelerates MLP and CNN inference inside ReRAM main memory; this
+//! crate supplies everything the architecture needs to *have* networks to
+//! run: dense tensors, the dynamic fixed-point quantization the paper's
+//! precision study uses (Fig. 6), executable layers with offline SGD
+//! training (paper §IV-A trains off-line), a synthetic MNIST-substitute
+//! digit dataset, and the six MlBench workload topologies of Table III.
+//!
+//! # Examples
+//!
+//! Training a small digit classifier and checking its accuracy under the
+//! paper's 3-bit input / 3-bit weight dynamic fixed-point assumption:
+//!
+//! ```no_run
+//! use prime_nn::{
+//!     evaluate_quantized, train_sgd, Activation, DigitGenerator, FullyConnected, Layer,
+//!     Network, TrainConfig, IMAGE_PIXELS, NUM_CLASSES,
+//! };
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let data = DigitGenerator::default().dataset(1000, &mut rng);
+//! let mut net = Network::new(vec![
+//!     Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 64, Activation::Sigmoid)),
+//!     Layer::Fc(FullyConnected::new(64, NUM_CLASSES, Activation::Identity)),
+//! ])?;
+//! net.init_random(&mut rng);
+//! train_sgd(&mut net, &data, TrainConfig::quick(), &mut rng)?;
+//! let acc = evaluate_quantized(&net, &data, 3, 3)?;
+//! assert!(acc > 0.9);
+//! # Ok::<(), prime_nn::NnError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod fixed;
+mod layer;
+mod metrics;
+mod network;
+mod snn;
+mod tensor;
+mod train;
+mod workloads;
+
+pub use dataset::{DigitGenerator, Sample, IMAGE_DIM, IMAGE_PIXELS, NUM_CLASSES};
+pub use error::NnError;
+pub use fixed::{quantize_in_place, DynFixedFormat, QuantizedTensor};
+pub use layer::{
+    Activation, Conv2d, ConvCache, ConvGrads, FcCache, FcGrads, FullyConnected, Pool2d,
+    PoolCache, PoolKind,
+};
+pub use metrics::ConfusionMatrix;
+pub use network::{Layer, LayerCache, Network};
+pub use snn::{SnnConfig, SpikingNetwork};
+pub use tensor::Tensor;
+pub use train::{
+    cross_entropy, evaluate, evaluate_quantized, softmax, train_sgd, EpochStats, TrainConfig,
+};
+pub use workloads::{cnn1_with_lrn, LayerSpec, MlBench, NetworkSpec};

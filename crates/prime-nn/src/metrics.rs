@@ -1,0 +1,184 @@
+//! Classification metrics: confusion matrix and per-class statistics for
+//! the accuracy experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A confusion matrix over `classes` labels: `counts[actual][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use prime_nn::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0)?;
+/// cm.record(0, 1)?;
+/// cm.record(1, 1)?;
+/// assert_eq!(cm.accuracy(), 2.0 / 3.0);
+/// assert_eq!(cm.recall(0), 0.5);
+/// # Ok::<(), prime_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(actual, predicted)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) -> Result<(), NnError> {
+        if actual >= self.classes || predicted >= self.classes {
+            return Err(NnError::BadInput {
+                layer: "confusion matrix".to_string(),
+                expected: self.classes,
+                got: actual.max(predicted),
+            });
+        }
+        self.counts[actual * self.classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// The count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of one class: correct / actual occurrences (0 when unseen).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / actual as f64
+        }
+    }
+
+    /// Precision of one class: correct / predicted occurrences (0 when
+    /// never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: u64 = (0..self.classes).map(|a| self.count(a, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / predicted as f64
+        }
+    }
+
+    /// The most-confused pair `(actual, predicted, count)` off the
+    /// diagonal, if any misclassification was recorded.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut worst = None;
+        for a in 0..self.classes {
+            for p in 0..self.classes {
+                if a != p && self.count(a, p) > 0 {
+                    let candidate = (a, p, self.count(a, p));
+                    if worst.is_none_or(|(_, _, c)| candidate.2 > c) {
+                        worst = Some(candidate);
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(3);
+        // Class 0: 3 correct, 1 -> class 2.
+        for _ in 0..3 {
+            cm.record(0, 0).unwrap();
+        }
+        cm.record(0, 2).unwrap();
+        // Class 1: 2 correct.
+        cm.record(1, 1).unwrap();
+        cm.record(1, 1).unwrap();
+        // Class 2: 1 correct, 2 -> class 0.
+        cm.record(2, 2).unwrap();
+        cm.record(2, 0).unwrap();
+        cm.record(2, 0).unwrap();
+        cm
+    }
+
+    #[test]
+    fn accuracy_counts_the_diagonal() {
+        let cm = sample_matrix();
+        assert_eq!(cm.total(), 9);
+        assert!((cm.accuracy() - 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_and_precision_per_class() {
+        let cm = sample_matrix();
+        assert!((cm.recall(0) - 0.75).abs() < 1e-12);
+        assert_eq!(cm.recall(1), 1.0);
+        assert!((cm.recall(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(cm.precision(1), 1.0);
+        assert!((cm.precision(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_confusion_finds_the_biggest_off_diagonal() {
+        let cm = sample_matrix();
+        assert_eq!(cm.worst_confusion(), Some((2, 0, 2)));
+        let clean = ConfusionMatrix::new(2);
+        assert_eq!(clean.worst_confusion(), None);
+    }
+
+    #[test]
+    fn record_validates_labels() {
+        let mut cm = ConfusionMatrix::new(2);
+        assert!(cm.record(2, 0).is_err());
+        assert!(cm.record(0, 2).is_err());
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_metrics() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+}

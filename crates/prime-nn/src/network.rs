@@ -1,0 +1,453 @@
+//! Networks: ordered layer stacks with inference, training, and the
+//! quantized-inference path used for the paper's precision study (Fig. 6).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::fixed::DynFixedFormat;
+use crate::layer::{Conv2d, ConvCache, FcCache, FullyConnected, Pool2d, PoolCache};
+
+/// One layer of a [`Network`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected layer.
+    Fc(FullyConnected),
+    /// 2-D convolution layer.
+    Conv(Conv2d),
+    /// 2-D pooling layer.
+    Pool(Pool2d),
+}
+
+impl Layer {
+    /// Input element count.
+    pub fn inputs(&self) -> usize {
+        match self {
+            Layer::Fc(l) => l.inputs(),
+            Layer::Conv(l) => l.inputs(),
+            Layer::Pool(l) => l.inputs(),
+        }
+    }
+
+    /// Output element count.
+    pub fn outputs(&self) -> usize {
+        match self {
+            Layer::Fc(l) => l.outputs(),
+            Layer::Conv(l) => l.outputs(),
+            Layer::Pool(l) => l.outputs(),
+        }
+    }
+
+    /// Number of trainable synaptic weights (pooling has none).
+    pub fn synapses(&self) -> usize {
+        match self {
+            Layer::Fc(l) => l.inputs() * l.outputs(),
+            Layer::Conv(l) => l.weights().len(),
+            Layer::Pool(_) => 0,
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Layer::Fc(l) => format!("fc {}-{}", l.inputs(), l.outputs()),
+            Layer::Conv(l) => format!("conv{}x{}", l.kernel(), l.out_channels()),
+            Layer::Pool(l) => format!("pool{0}x{0}", l.window()),
+        }
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the layer's input-validation error.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, NnError> {
+        match self {
+            Layer::Fc(l) => l.forward(input),
+            Layer::Conv(l) => l.forward(input),
+            Layer::Pool(l) => l.forward(input),
+        }
+    }
+}
+
+/// Per-layer cache for one training forward pass.
+#[derive(Debug, Clone)]
+pub enum LayerCache {
+    /// Fully-connected cache.
+    Fc(FcCache),
+    /// Convolution cache.
+    Conv(ConvCache),
+    /// Pooling cache.
+    Pool(PoolCache),
+}
+
+/// A feed-forward network: an ordered stack of layers with matching
+/// interface widths.
+///
+/// # Examples
+///
+/// ```
+/// use prime_nn::{Activation, FullyConnected, Layer, Network};
+///
+/// let net = Network::new(vec![
+///     Layer::Fc(FullyConnected::new(4, 8, Activation::Sigmoid)),
+///     Layer::Fc(FullyConnected::new(8, 2, Activation::Identity)),
+/// ])?;
+/// let out = net.forward(&[0.1, 0.2, 0.3, 0.4])?;
+/// assert_eq!(out.len(), 2);
+/// # Ok::<(), prime_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network, validating that consecutive layer widths match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] for an empty stack or
+    /// [`NnError::ShapeMismatch`] for incompatible neighbours.
+    pub fn new(layers: Vec<Layer>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].outputs() != pair[1].inputs() {
+                return Err(NnError::ShapeMismatch {
+                    expected: vec![pair[0].outputs()],
+                    got: vec![pair[1].inputs()],
+                });
+            }
+        }
+        Ok(Network { layers })
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (for quantization sweeps).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Network input width.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Network output width.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("validated non-empty").outputs()
+    }
+
+    /// Total synaptic weights across all layers.
+    pub fn synapses(&self) -> usize {
+        self.layers.iter().map(Layer::synapses).sum()
+    }
+
+    /// Randomizes all weights with scaled uniform init (He-style bound),
+    /// reproducibly from the caller's RNG.
+    pub fn init_random<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Fc(l) => {
+                    let bound = (2.0 / l.inputs() as f32).sqrt();
+                    for w in l.weights_mut().data_mut() {
+                        *w = rng.gen_range(-bound..bound);
+                    }
+                    for b in l.bias_mut() {
+                        *b = 0.0;
+                    }
+                }
+                Layer::Conv(l) => {
+                    let fan_in = (l.inputs() / l.in_channels().max(1)).max(1);
+                    let bound = (2.0 / fan_in as f32).sqrt();
+                    for w in l.weights_mut().data_mut() {
+                        *w = rng.gen_range(-bound..bound);
+                    }
+                    for b in l.bias_mut() {
+                        *b = 0.0;
+                    }
+                }
+                Layer::Pool(_) => {}
+            }
+        }
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer input-validation errors.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, NnError> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass collecting per-layer caches for backpropagation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer input-validation errors.
+    pub fn forward_cache(&self, input: &[f32]) -> Result<(Vec<f32>, Vec<LayerCache>), NnError> {
+        let mut x = input.to_vec();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            match layer {
+                Layer::Fc(l) => {
+                    let c = l.forward_cache(&x)?;
+                    x = c.output().to_vec();
+                    caches.push(LayerCache::Fc(c));
+                }
+                Layer::Conv(l) => {
+                    let c = l.forward_cache(&x)?;
+                    x = c.output().to_vec();
+                    caches.push(LayerCache::Conv(c));
+                }
+                Layer::Pool(l) => {
+                    let c = l.forward_cache(&x)?;
+                    x = c.output().to_vec();
+                    caches.push(LayerCache::Pool(c));
+                }
+            }
+        }
+        Ok((x, caches))
+    }
+
+    /// Backpropagates `grad_out` through every layer and applies SGD
+    /// updates with learning rate `lr`. Returns the gradient with respect
+    /// to the network input.
+    pub fn backward_update(
+        &mut self,
+        caches: &[LayerCache],
+        grad_out: &[f32],
+        lr: f32,
+    ) -> Vec<f32> {
+        let mut grad = grad_out.to_vec();
+        for (layer, cache) in self.layers.iter_mut().zip(caches.iter()).rev() {
+            grad = match (layer, cache) {
+                (Layer::Fc(l), LayerCache::Fc(c)) => {
+                    let (g_in, grads) = l.backward(c, &grad);
+                    l.apply_grads(&grads, lr);
+                    g_in
+                }
+                (Layer::Conv(l), LayerCache::Conv(c)) => {
+                    let (g_in, grads) = l.backward(c, &grad);
+                    l.apply_grads(&grads, lr);
+                    g_in
+                }
+                (Layer::Pool(l), LayerCache::Pool(c)) => l.backward(c, &grad),
+                _ => unreachable!("cache kind always matches its layer"),
+            };
+        }
+        grad
+    }
+
+    /// Returns a copy of the network whose weights and biases are
+    /// round-tripped through `weight_bits`-bit dynamic fixed point with
+    /// outlier clipping — the offline weight-programming step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization-format errors.
+    pub fn weight_quantized_clone(&self, weight_bits: u8) -> Result<Network, NnError> {
+        // Fewer mantissa bits tolerate (and need) harder outlier clipping;
+        // at 6+ bits the full range is kept.
+        let quantile = match weight_bits {
+            0..=2 => 0.95,
+            3 => 0.97,
+            4 => 0.985,
+            5 => 0.995,
+            _ => 1.0,
+        };
+        let mut net = self.clone();
+        for layer in &mut net.layers {
+            match layer {
+                Layer::Fc(l) => {
+                    let all: Vec<f32> =
+                        l.weights().data().iter().chain(l.bias()).copied().collect();
+                    let fmt = DynFixedFormat::for_values_clipped(weight_bits, &all, quantile)?;
+                    for w in l.weights_mut().data_mut() {
+                        *w = fmt.round_trip(*w);
+                    }
+                    for b in l.bias_mut() {
+                        *b = fmt.round_trip(*b);
+                    }
+                }
+                Layer::Conv(l) => {
+                    let all: Vec<f32> =
+                        l.weights().data().iter().chain(l.bias()).copied().collect();
+                    let fmt = DynFixedFormat::for_values_clipped(weight_bits, &all, quantile)?;
+                    for w in l.weights_mut().data_mut() {
+                        *w = fmt.round_trip(*w);
+                    }
+                    for b in l.bias_mut() {
+                        *b = fmt.round_trip(*b);
+                    }
+                }
+                Layer::Pool(_) => {}
+            }
+        }
+        Ok(net)
+    }
+
+    /// Inference with every layer input quantized to `input_bits`.
+    /// Non-negative activations (images, sigmoid, ReLU outputs) use the
+    /// full unsigned code range — PRIME's input voltages are unsigned, so
+    /// 3 bits means 8 voltage levels (paper §III-D); signed activations
+    /// fall back to two's-complement dynamic fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization-format and input-validation errors.
+    pub fn forward_activation_quantized(
+        &self,
+        input: &[f32],
+        input_bits: u8,
+    ) -> Result<Vec<f32>, NnError> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            quantize_activations(&mut x, input_bits)?;
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Quantized inference with dynamic fixed point: weights quantized to
+    /// `weight_bits` (per-layer exponent, outlier-clipped) and every layer
+    /// input to `input_bits` — the hardware view of the network under the
+    /// paper's precision assumptions (Fig. 6 sweep). For sweeping many
+    /// samples, quantize the weights once with
+    /// [`weight_quantized_clone`](Self::weight_quantized_clone) and call
+    /// [`forward_activation_quantized`](Self::forward_activation_quantized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization-format and input-validation errors.
+    pub fn forward_quantized(
+        &self,
+        input: &[f32],
+        input_bits: u8,
+        weight_bits: u8,
+    ) -> Result<Vec<f32>, NnError> {
+        self.weight_quantized_clone(weight_bits)?.forward_activation_quantized(input, input_bits)
+    }
+}
+
+/// Quantizes an activation vector in place: unsigned full-range codes for
+/// non-negative data, signed dynamic fixed point otherwise.
+fn quantize_activations(values: &mut [f32], bits: u8) -> Result<(), NnError> {
+    let min = values.iter().fold(f32::INFINITY, |m, &v| m.min(v));
+    let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return Ok(());
+    }
+    if min >= 0.0 {
+        let levels = ((1u32 << bits) - 1) as f32;
+        let scale = max_abs / levels;
+        for v in values.iter_mut() {
+            *v = (*v / scale).round().clamp(0.0, levels) * scale;
+        }
+    } else {
+        let fmt = DynFixedFormat::for_range(bits, max_abs)?;
+        for v in values.iter_mut() {
+            *v = fmt.round_trip(*v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, PoolKind};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(4, 6, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(6, 3, Activation::Identity)),
+        ])
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        net.init_random(&mut rng);
+        net
+    }
+
+    #[test]
+    fn new_validates_interfaces() {
+        let bad = Network::new(vec![
+            Layer::Fc(FullyConnected::new(4, 6, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(5, 3, Activation::Identity)),
+        ]);
+        assert!(bad.is_err());
+        assert!(matches!(Network::new(vec![]), Err(NnError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn forward_produces_output_width() {
+        let net = tiny_net();
+        let out = net.forward(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(net.inputs(), 4);
+        assert_eq!(net.outputs(), 3);
+        assert_eq!(net.synapses(), 4 * 6 + 6 * 3);
+    }
+
+    #[test]
+    fn conv_pool_fc_stack_composes() {
+        let net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 5, 5, 28, 28, 0, Activation::Relu)),
+            Layer::Pool(Pool2d::new(PoolKind::Max, 5, 24, 24, 2)),
+            Layer::Fc(FullyConnected::new(720, 70, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(70, 10, Activation::Identity)),
+        ])
+        .unwrap();
+        let out = net.forward(&vec![0.5; 784]).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn backward_update_reduces_loss() {
+        let mut net = tiny_net();
+        let x = [0.2f32, -0.4, 0.8, 0.6];
+        let target = [1.0f32, 0.0, -1.0];
+        let loss = |out: &[f32]| -> f32 {
+            out.iter().zip(&target).map(|(o, t)| (o - t) * (o - t)).sum::<f32>() / 2.0
+        };
+        let (out0, caches) = net.forward_cache(&x).unwrap();
+        let l0 = loss(&out0);
+        let grad: Vec<f32> = out0.iter().zip(&target).map(|(o, t)| o - t).collect();
+        net.backward_update(&caches, &grad, 0.5);
+        let out1 = net.forward(&x).unwrap();
+        assert!(loss(&out1) < l0, "loss did not decrease: {l0} -> {}", loss(&out1));
+    }
+
+    #[test]
+    fn quantized_forward_approaches_float_with_more_bits() {
+        let net = tiny_net();
+        let x = [0.3f32, 0.1, -0.5, 0.9];
+        let exact = net.forward(&x).unwrap();
+        let q8 = net.forward_quantized(&x, 8, 8).unwrap();
+        let q2 = net.forward_quantized(&x, 2, 2).unwrap();
+        let err = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        };
+        assert!(err(&exact, &q8) < err(&exact, &q2).max(1e-6) + 1e-6);
+        assert!(err(&exact, &q8) < 0.05, "8-bit error too large: {}", err(&exact, &q8));
+    }
+
+    #[test]
+    fn describe_names_layers() {
+        let net = tiny_net();
+        assert_eq!(net.layers()[0].describe(), "fc 4-6");
+    }
+}

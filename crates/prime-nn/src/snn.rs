@@ -1,0 +1,372 @@
+//! Spiking neural networks — PRIME's second stated future work
+//! ("Making PRIME to support SNN is our future work", §II-B; ReRAM can
+//! implement SNNs, ref \[13\]).
+//!
+//! The module provides the standard rate-coded ANN-to-SNN conversion:
+//! a trained ReLU network's weights are reused unchanged; inputs are
+//! presented as deterministic spike trains whose rate is proportional to
+//! intensity; each neuron integrates weighted spikes into a leaky
+//! membrane and fires when it crosses threshold; class scores are output
+//! spike counts. Because spikes are *binary*, every synaptic event is a
+//! plain weight read — exactly the operation a ReRAM crossbar performs
+//! with single-level (1-bit) wordline drivers, which is why SNNs map
+//! naturally onto PRIME's FF subarrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::layer::Activation;
+use crate::network::{Layer, Network};
+
+/// Configuration of a rate-coded SNN inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnnConfig {
+    /// Simulation timesteps per inference (more = closer to the ANN).
+    pub timesteps: usize,
+    /// Firing threshold as a fraction of the layer's maximum observed
+    /// pre-activation (1.0 reproduces the ANN's scaling).
+    pub threshold_scale: f32,
+    /// Membrane leak per timestep (0 = perfect integrator).
+    pub leak: f32,
+}
+
+impl SnnConfig {
+    /// A profile that recovers ANN accuracy on the digit task.
+    pub fn accurate() -> Self {
+        SnnConfig { timesteps: 64, threshold_scale: 1.0, leak: 0.0 }
+    }
+
+    /// A low-latency profile (fewer timesteps, slightly lossier).
+    pub fn fast() -> Self {
+        SnnConfig { timesteps: 16, threshold_scale: 1.0, leak: 0.0 }
+    }
+}
+
+impl Default for SnnConfig {
+    fn default() -> Self {
+        SnnConfig::accurate()
+    }
+}
+
+/// One spiking fully-connected layer: weights from the source ANN, one
+/// leaky integrate-and-fire neuron per output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SpikingLayer {
+    /// `[outputs, inputs]` row-major weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+    threshold: f32,
+}
+
+impl SpikingLayer {
+    /// One timestep: integrates binary input spikes, fires, resets by
+    /// subtraction (the conversion-friendly reset).
+    fn step(&self, spikes_in: &[bool], membrane: &mut [f32], leak: f32) -> Vec<bool> {
+        let mut out = vec![false; self.outputs];
+        for o in 0..self.outputs {
+            let mut current = self.bias[o];
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for (i, &spike) in spikes_in.iter().enumerate() {
+                if spike {
+                    current += row[i];
+                }
+            }
+            membrane[o] = membrane[o] * (1.0 - leak) + current;
+            if membrane[o] >= self.threshold {
+                membrane[o] -= self.threshold;
+                out[o] = true;
+            }
+        }
+        out
+    }
+}
+
+/// A rate-coded spiking network converted from a trained ANN.
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_nn::{Activation, FullyConnected, Layer, Network, SnnConfig, SpikingNetwork};
+///
+/// let ann = Network::new(vec![
+///     Layer::Fc(FullyConnected::new(4, 8, Activation::Relu)),
+///     Layer::Fc(FullyConnected::new(8, 2, Activation::Identity)),
+/// ])?;
+/// let snn = SpikingNetwork::from_network(&ann, SnnConfig::fast(), &[vec![0.5; 4]])?;
+/// let counts = snn.infer(&[0.1, 0.9, 0.4, 0.2]);
+/// assert_eq!(counts.len(), 2);
+/// # Ok::<(), prime_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikingNetwork {
+    layers: Vec<SpikingLayer>,
+    config: SnnConfig,
+}
+
+impl SpikingNetwork {
+    /// Converts a trained ReLU/identity fully-connected ANN into a
+    /// spiking network, calibrating each layer's threshold from the
+    /// maximum pre-activation observed on `calibration_inputs`
+    /// (the standard data-based threshold balancing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Untrainable`] for convolution/pooling layers or
+    /// sigmoid activations (rate coding approximates ReLU only).
+    pub fn from_network(
+        ann: &Network,
+        config: SnnConfig,
+        calibration_inputs: &[Vec<f32>],
+    ) -> Result<Self, NnError> {
+        let mut layers = Vec::new();
+        for layer in ann.layers() {
+            let Layer::Fc(fc) = layer else {
+                return Err(NnError::Untrainable { layer: layer.describe() });
+            };
+            if fc.activation() == Activation::Sigmoid {
+                return Err(NnError::Untrainable { layer: layer.describe() });
+            }
+            layers.push(SpikingLayer {
+                weights: fc.weights().data().to_vec(),
+                bias: fc.bias().to_vec(),
+                inputs: fc.inputs(),
+                outputs: fc.outputs(),
+                threshold: 1.0,
+            });
+        }
+        let mut snn = SpikingNetwork { layers, config };
+        snn.calibrate(ann, calibration_inputs)?;
+        Ok(snn)
+    }
+
+    /// Data-based threshold balancing (Diehl-style): with spike rates
+    /// representing activations normalized by each layer's maximum
+    /// `lambda_l`, weights stay unchanged if the threshold becomes
+    /// `lambda_l / lambda_{l-1}` and biases are rescaled by
+    /// `1 / lambda_{l-1}` (inputs are already in `[0, 1]`, so
+    /// `lambda_0 = 1`).
+    fn calibrate(&mut self, ann: &Network, inputs: &[Vec<f32>]) -> Result<(), NnError> {
+        let mut max_pre = vec![1e-6f32; self.layers.len()];
+        for input in inputs {
+            let mut x = input.clone();
+            for (idx, layer) in ann.layers().iter().enumerate() {
+                let Layer::Fc(fc) = layer else { unreachable!("validated FC") };
+                // Pre-activations before the nonlinearity.
+                let mut pre = fc.weights().matvec(&x)?;
+                for (p, b) in pre.iter_mut().zip(fc.bias()) {
+                    *p += b;
+                }
+                for &p in &pre {
+                    max_pre[idx] = max_pre[idx].max(p);
+                }
+                x = layer.forward(&x)?;
+            }
+        }
+        let mut prev_lambda = 1.0f32;
+        for (layer, &lambda) in self.layers.iter_mut().zip(&max_pre) {
+            layer.threshold = lambda / prev_lambda * self.config.threshold_scale;
+            for b in &mut layer.bias {
+                *b /= prev_lambda;
+            }
+            prev_lambda = lambda;
+        }
+        Ok(())
+    }
+
+    /// The configured timesteps.
+    pub fn timesteps(&self) -> usize {
+        self.config.timesteps
+    }
+
+    /// Rate-coded inference: returns per-class output spike counts.
+    /// Inputs in `[0, 1]` spike deterministically at a rate proportional
+    /// to their intensity (phase accumulation, jitter-free).
+    pub fn infer(&self, input: &[f32]) -> Vec<u32> {
+        let mut phase = vec![0.0f32; input.len()];
+        let mut membranes: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0; l.outputs]).collect();
+        let outputs = self.layers.last().map_or(0, |l| l.outputs);
+        let mut counts = vec![0u32; outputs];
+        for _ in 0..self.config.timesteps {
+            // Deterministic rate coding of the input.
+            let mut spikes: Vec<bool> = input
+                .iter()
+                .zip(phase.iter_mut())
+                .map(|(&v, p)| {
+                    *p += v.clamp(0.0, 1.0);
+                    if *p >= 1.0 {
+                        *p -= 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect();
+            for (layer, membrane) in self.layers.iter().zip(membranes.iter_mut()) {
+                spikes = layer.step(&spikes, membrane, self.config.leak);
+            }
+            for (count, &s) in counts.iter_mut().zip(&spikes) {
+                if s {
+                    *count += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Classification by maximum spike count.
+    pub fn classify(&self, input: &[f32]) -> usize {
+        let counts = self.infer(input);
+        let mut best = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Synaptic events (weight reads) for one inference given observed
+    /// spike activity — the quantity a ReRAM crossbar implementation
+    /// would bill per bitline evaluation.
+    pub fn synaptic_events(&self, input: &[f32]) -> u64 {
+        let mut phase = vec![0.0f32; input.len()];
+        let mut membranes: Vec<Vec<f32>> =
+            self.layers.iter().map(|l| vec![0.0; l.outputs]).collect();
+        let mut events = 0u64;
+        for _ in 0..self.config.timesteps {
+            let mut spikes: Vec<bool> = input
+                .iter()
+                .zip(phase.iter_mut())
+                .map(|(&v, p)| {
+                    *p += v.clamp(0.0, 1.0);
+                    if *p >= 1.0 {
+                        *p -= 1.0;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect();
+            for (layer, membrane) in self.layers.iter().zip(membranes.iter_mut()) {
+                let active = spikes.iter().filter(|&&s| s).count() as u64;
+                events += active * layer.outputs as u64;
+                spikes = layer.step(&spikes, membrane, self.config.leak);
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DigitGenerator, IMAGE_PIXELS, NUM_CLASSES};
+    use crate::layer::FullyConnected;
+    use crate::train::{evaluate, train_sgd, TrainConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn trained_relu_ann(rng: &mut SmallRng) -> (Network, Vec<crate::dataset::Sample>) {
+        let generator = DigitGenerator::default();
+        let train_set = generator.dataset(600, rng);
+        let test_set = generator.dataset(150, rng);
+        let mut ann = Network::new(vec![
+            Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 24, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(24, NUM_CLASSES, Activation::Identity)),
+        ])
+        .unwrap();
+        ann.init_random(rng);
+        train_sgd(&mut ann, &train_set, TrainConfig::quick(), rng).unwrap();
+        (ann, test_set)
+    }
+
+    #[test]
+    fn snn_conversion_preserves_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        let (ann, test_set) = trained_relu_ann(&mut rng);
+        let ann_acc = evaluate(&ann, &test_set).unwrap();
+        assert!(ann_acc > 0.9, "ANN accuracy too low: {ann_acc}");
+        let calib: Vec<Vec<f32>> =
+            test_set.iter().take(20).map(|s| s.pixels.clone()).collect();
+        let snn = SpikingNetwork::from_network(&ann, SnnConfig::accurate(), &calib).unwrap();
+        let mut correct = 0;
+        for sample in &test_set {
+            if snn.classify(&sample.pixels) == sample.label {
+                correct += 1;
+            }
+        }
+        let snn_acc = correct as f64 / test_set.len() as f64;
+        assert!(
+            snn_acc >= ann_acc - 0.1,
+            "SNN accuracy {snn_acc} dropped too far below ANN {ann_acc}"
+        );
+    }
+
+    #[test]
+    fn more_timesteps_never_hurt_much() {
+        let mut rng = SmallRng::seed_from_u64(72);
+        let (ann, test_set) = trained_relu_ann(&mut rng);
+        let calib: Vec<Vec<f32>> =
+            test_set.iter().take(10).map(|s| s.pixels.clone()).collect();
+        let accuracy = |config: SnnConfig| {
+            let snn = SpikingNetwork::from_network(&ann, config, &calib).unwrap();
+            let subset = &test_set[..60];
+            subset.iter().filter(|s| snn.classify(&s.pixels) == s.label).count() as f64
+                / subset.len() as f64
+        };
+        let fast = accuracy(SnnConfig::fast());
+        let slow = accuracy(SnnConfig::accurate());
+        assert!(slow >= fast - 0.05, "fast {fast} vs accurate {slow}");
+    }
+
+    #[test]
+    fn conversion_rejects_unsupported_networks() {
+        let sigmoid_net = Network::new(vec![Layer::Fc(FullyConnected::new(
+            4,
+            2,
+            Activation::Sigmoid,
+        ))])
+        .unwrap();
+        assert!(matches!(
+            SpikingNetwork::from_network(&sigmoid_net, SnnConfig::fast(), &[vec![0.0; 4]]),
+            Err(NnError::Untrainable { .. })
+        ));
+    }
+
+    #[test]
+    fn synaptic_events_scale_with_activity() {
+        let mut rng = SmallRng::seed_from_u64(73);
+        let (ann, test_set) = trained_relu_ann(&mut rng);
+        let calib: Vec<Vec<f32>> =
+            test_set.iter().take(5).map(|s| s.pixels.clone()).collect();
+        let snn = SpikingNetwork::from_network(&ann, SnnConfig::fast(), &calib).unwrap();
+        let bright = snn.synaptic_events(&vec![1.0; IMAGE_PIXELS]);
+        let dark = snn.synaptic_events(&vec![0.05; IMAGE_PIXELS]);
+        assert!(bright > dark, "brighter inputs must spike more: {bright} vs {dark}");
+        let dense_equivalent =
+            (IMAGE_PIXELS * 24 + 24 * NUM_CLASSES) as u64 * snn.timesteps() as u64;
+        assert!(dark < dense_equivalent, "sparse activity must beat dense MACs");
+    }
+
+    #[test]
+    fn zero_input_produces_no_spikes() {
+        let mut rng = SmallRng::seed_from_u64(74);
+        let (ann, test_set) = trained_relu_ann(&mut rng);
+        let calib: Vec<Vec<f32>> =
+            test_set.iter().take(3).map(|s| s.pixels.clone()).collect();
+        let mut no_bias = ann.clone();
+        for layer in no_bias.layers_mut() {
+            if let Layer::Fc(fc) = layer {
+                for b in fc.bias_mut() {
+                    *b = 0.0;
+                }
+            }
+        }
+        let snn = SpikingNetwork::from_network(&no_bias, SnnConfig::fast(), &calib).unwrap();
+        let counts = snn.infer(&vec![0.0; IMAGE_PIXELS]);
+        assert!(counts.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,223 @@
+//! A minimal dense tensor.
+//!
+//! The NN substrate needs only contiguous `f32` storage with a shape and a
+//! handful of linear-algebra helpers — enough to express the MLP and CNN
+//! workloads of Table III without an external numerics dependency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A dense row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use prime_nn::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2]), 6.0);
+/// # Ok::<(), prime_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        let len = shape.iter().product();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len()` does not equal
+    /// the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, NnError> {
+        let len: usize = shape.iter().product();
+        if data.len() != len {
+            return Err(NnError::ShapeMismatch { expected: shape, got: vec![data.len()] });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&idx, &dim)) in index.iter().zip(self.shape.iter()).enumerate() {
+            debug_assert!(idx < dim, "index {idx} out of bounds for dim {i} ({dim})");
+            off = off * dim + idx;
+        }
+        off
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank or bounds are wrong.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Writes one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank or bounds are wrong.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Reshapes in place (element count must be preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if element counts differ.
+    pub fn reshape(&mut self, shape: Vec<usize>) -> Result<(), NnError> {
+        let len: usize = shape.iter().product();
+        if len != self.data.len() {
+            return Err(NnError::ShapeMismatch { expected: shape, got: self.shape.clone() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Largest absolute value (0 for an all-zero tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Index of the maximum element (first occurrence), for classification
+    /// argmax.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Matrix-vector product: `self` is `[rows, cols]`, `x` has `cols`
+    /// elements; returns `rows` sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `self` is not a matrix or the
+    /// vector length differs from `cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, NnError> {
+        if self.shape.len() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![0, x.len()],
+                got: self.shape.clone(),
+            });
+        }
+        let (rows, cols) = (self.shape[0], self.shape[1]);
+        if x.len() != cols {
+            return Err(NnError::ShapeMismatch { expected: vec![cols], got: vec![x.len()] });
+        }
+        let mut out = vec![0.0f32; rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            *o = row.iter().zip(x).map(|(&w, &v)| w * v).sum();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_len() {
+        let t = Tensor::zeros(vec![3, 4]);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert_eq!(t.len(), 12);
+        assert!(!t.is_empty());
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(vec![2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5);
+        assert_eq!(t.get(&[1, 2, 3]), 7.5);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        t.reshape(vec![6]).unwrap();
+        assert_eq!(t.shape(), &[6]);
+        assert_eq!(t.get(&[5]), 5.0);
+        assert!(t.reshape(vec![4]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn abs_max_and_argmax() {
+        let t = Tensor::from_vec(vec![4], vec![-5.0, 2.0, 4.9, -0.1]).unwrap();
+        assert_eq!(t.abs_max(), 5.0);
+        assert_eq!(t.argmax(), 2);
+    }
+}

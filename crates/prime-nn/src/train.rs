@@ -1,0 +1,206 @@
+//! Offline SGD training with softmax cross-entropy.
+//!
+//! PRIME executes inference in memory; training happens offline and the
+//! resulting weights are programmed into FF mats (paper §IV-A: "the
+//! training of NN is done off-line"). This module provides that offline
+//! trainer for the accuracy experiments.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Sample;
+use crate::error::NnError;
+use crate::network::Network;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+}
+
+impl TrainConfig {
+    /// A profile that converges on the synthetic-digit task in seconds.
+    pub fn quick() -> Self {
+        TrainConfig { epochs: 4, learning_rate: 0.1, lr_decay: 0.7 }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig::quick()
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss of softmax probabilities against a class label.
+pub fn cross_entropy(probs: &[f32], label: usize) -> f32 {
+    -probs[label].max(1e-12).ln()
+}
+
+/// Per-epoch training progress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Trains `net` with plain SGD and softmax cross-entropy, shuffling the
+/// sample order each epoch with `rng`.
+///
+/// # Errors
+///
+/// Propagates layer input-validation errors ([`NnError::BadInput`]).
+pub fn train_sgd<R: Rng + ?Sized>(
+    net: &mut Network,
+    samples: &[Sample],
+    config: TrainConfig,
+    rng: &mut R,
+) -> Result<Vec<EpochStats>, NnError> {
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut lr = config.learning_rate;
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        order.shuffle(rng);
+        let mut loss_sum = 0.0f32;
+        let mut correct = 0usize;
+        for &idx in &order {
+            let sample = &samples[idx];
+            let (logits, caches) = net.forward_cache(&sample.pixels)?;
+            let probs = softmax(&logits);
+            loss_sum += cross_entropy(&probs, sample.label);
+            if argmax(&probs) == sample.label {
+                correct += 1;
+            }
+            // dL/dlogits for softmax cross-entropy: probs - one_hot.
+            let mut grad = probs;
+            grad[sample.label] -= 1.0;
+            net.backward_update(&caches, &grad, lr);
+        }
+        history.push(EpochStats {
+            epoch,
+            mean_loss: loss_sum / samples.len().max(1) as f32,
+            accuracy: correct as f64 / samples.len().max(1) as f64,
+        });
+        lr *= config.lr_decay;
+    }
+    Ok(history)
+}
+
+/// Classification accuracy of full-precision inference on `samples`.
+///
+/// # Errors
+///
+/// Propagates layer input-validation errors.
+pub fn evaluate(net: &Network, samples: &[Sample]) -> Result<f64, NnError> {
+    let mut correct = 0usize;
+    for sample in samples {
+        let logits = net.forward(&sample.pixels)?;
+        if argmax(&logits) == sample.label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / samples.len().max(1) as f64)
+}
+
+/// Classification accuracy of dynamic-fixed-point inference at the given
+/// input/weight precisions — one point of the Fig. 6 sweep.
+///
+/// # Errors
+///
+/// Propagates quantization and input-validation errors.
+pub fn evaluate_quantized(
+    net: &Network,
+    samples: &[Sample],
+    input_bits: u8,
+    weight_bits: u8,
+) -> Result<f64, NnError> {
+    // Weights are programmed once; only activations quantize per sample.
+    let quantized = net.weight_quantized_clone(weight_bits)?;
+    let mut correct = 0usize;
+    for sample in samples {
+        let logits = quantized.forward_activation_quantized(&sample.pixels, input_bits)?;
+        if argmax(&logits) == sample.label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / samples.len().max(1) as f64)
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DigitGenerator, IMAGE_PIXELS, NUM_CLASSES};
+    use crate::layer::{Activation, FullyConnected};
+    use crate::network::{Layer, Network};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_penalizes_wrong_confidence() {
+        assert!(cross_entropy(&[0.9, 0.1], 0) < cross_entropy(&[0.1, 0.9], 0));
+    }
+
+    #[test]
+    fn training_learns_the_digit_task() {
+        let gen = DigitGenerator::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let train_set = gen.dataset(600, &mut rng);
+        let test_set = gen.dataset(200, &mut rng);
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 32, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(32, NUM_CLASSES, Activation::Identity)),
+        ])
+        .unwrap();
+        net.init_random(&mut rng);
+        let history = train_sgd(&mut net, &train_set, TrainConfig::quick(), &mut rng).unwrap();
+        assert!(history.last().unwrap().accuracy > 0.9, "training failed: {history:?}");
+        let acc = evaluate(&net, &test_set).unwrap();
+        assert!(acc > 0.9, "test accuracy too low: {acc}");
+        // Quantized inference at generous precision should match closely.
+        let qacc = evaluate_quantized(&net, &test_set, 8, 8).unwrap();
+        assert!((acc - qacc).abs() < 0.05, "8-bit quantization broke accuracy: {acc} vs {qacc}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the NN substrate.
+
+use proptest::prelude::*;
+
+use prime_nn::{
+    softmax, Activation, DynFixedFormat, FullyConnected, Layer, Network, Pool2d, PoolKind,
+    Tensor,
+};
+
+proptest! {
+    /// Dynamic fixed-point round trips stay within half a step for any
+    /// in-range value at any width.
+    #[test]
+    fn fixed_point_round_trip_error_bounded(
+        bits in 2u8..=12,
+        range in 0.01f32..100.0,
+        frac in -1.0f32..1.0,
+    ) {
+        let fmt = DynFixedFormat::for_range(bits, range).unwrap();
+        let value = range * frac;
+        let err = (fmt.round_trip(value) - value).abs();
+        prop_assert!(err <= fmt.max_error() * 1.0001, "err {err} step {}", fmt.step());
+    }
+
+    /// Quantization codes always stay within the two's-complement range.
+    #[test]
+    fn fixed_point_codes_in_range(bits in 1u8..=12, value in -1e6f32..1e6) {
+        let fmt = DynFixedFormat::for_range(bits, 1.0).unwrap();
+        let code = fmt.quantize(value);
+        prop_assert!(code >= fmt.min_code() && code <= fmt.max_code());
+    }
+
+    /// Softmax always produces a probability distribution.
+    #[test]
+    fn softmax_is_normalized(logits in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Max pooling then upsampled gradient: the backward pass routes each
+    /// output gradient to exactly one input position, conserving mass.
+    #[test]
+    fn max_pool_backward_conserves_gradient(
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let pool = Pool2d::new(PoolKind::Max, 2, 4, 4, 2);
+        let input: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let cache = pool.forward_cache(&input).unwrap();
+        let grad_out: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let grad_in = pool.backward(&cache, &grad_out);
+        let sum_out: f32 = grad_out.iter().sum();
+        let sum_in: f32 = grad_in.iter().sum();
+        prop_assert!((sum_out - sum_in).abs() < 1e-4);
+    }
+
+    /// A fully-connected layer is linear (before activation): scaling the
+    /// input scales the pre-activation output.
+    #[test]
+    fn fc_identity_layer_is_linear(scale in 0.1f32..4.0, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut fc = FullyConnected::new(6, 4, Activation::Identity);
+        for w in fc.weights_mut().data_mut() {
+            *w = rng.gen_range(-1.0f32..1.0);
+        }
+        let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let xs: Vec<f32> = x.iter().map(|&v| v * scale).collect();
+        let y = fc.forward(&x).unwrap();
+        let ys = fc.forward(&xs).unwrap();
+        for (a, b) in y.iter().zip(&ys) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + a.abs() * scale));
+        }
+    }
+
+    /// Network construction succeeds iff all interfaces match.
+    #[test]
+    fn network_width_validation(hidden in 1usize..64, mismatch in 1usize..64) {
+        let ok = Network::new(vec![
+            Layer::Fc(FullyConnected::new(8, hidden, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(hidden, 3, Activation::Identity)),
+        ]);
+        prop_assert!(ok.is_ok());
+        if mismatch != hidden {
+            let bad = Network::new(vec![
+                Layer::Fc(FullyConnected::new(8, hidden, Activation::Sigmoid)),
+                Layer::Fc(FullyConnected::new(mismatch, 3, Activation::Identity)),
+            ]);
+            prop_assert!(bad.is_err());
+        }
+    }
+
+    /// Tensor reshape preserves data for any compatible factorization.
+    #[test]
+    fn tensor_reshape_preserves_elements(rows in 1usize..16, cols in 1usize..16) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        let mut t = Tensor::from_vec(vec![rows, cols], data.clone()).unwrap();
+        t.reshape(vec![cols, rows]).unwrap();
+        prop_assert_eq!(t.data(), &data[..]);
+        t.reshape(vec![rows * cols]).unwrap();
+        prop_assert_eq!(t.data(), &data[..]);
+    }
+}

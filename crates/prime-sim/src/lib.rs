@@ -1,0 +1,44 @@
+//! Trace-based performance/energy/area simulator for the PRIME
+//! evaluation (paper §V).
+//!
+//! Reproduces the paper's methodology: machine models for the CPU-only
+//! baseline, the pNPU co-processor/PIM comparatives (Table V), and PRIME
+//! itself, driven by per-operation constants (Table IV + literature) and
+//! the compile-time mapping from `prime-compiler`. The [`experiments`]
+//! module regenerates every evaluation figure; the [`area`] module covers
+//! Fig. 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use prime_nn::MlBench;
+//! use prime_sim::{CpuMachine, Machine, PrimeMachine, EVAL_BATCH};
+//!
+//! let spec = MlBench::MlpS.spec();
+//! let cpu = CpuMachine::new().run(&spec, EVAL_BATCH);
+//! let prime = PrimeMachine::new().run(&spec, EVAL_BATCH);
+//! assert!(prime.speedup_vs(&cpu) > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Area-overhead model (Fig. 12).
+pub mod area;
+/// Figure-regeneration experiments.
+pub mod experiments;
+/// Machine models.
+pub mod machines;
+/// Text/JSON reporting helpers.
+pub mod report;
+/// Trace-driven memory-model validation.
+pub mod trace;
+/// Model constants.
+pub mod params;
+/// Result types.
+pub mod result;
+/// Traffic accounting.
+pub mod traffic;
+
+pub use machines::{CpuMachine, Machine, NpuMachine, NpuPlacement, PrimeMachine};
+pub use params::{CpuParams, MemPathParams, NpuParams, PrimeParams, EVAL_BATCH};
+pub use result::{geomean, Breakdown, RunResult};

@@ -1,0 +1,562 @@
+//! The four evaluated machines (paper §V-A, Tables IV/V):
+//!
+//! * **CPU-only** — the Table IV baseline: a 4-core 3 GHz out-of-order
+//!   processor in front of the ReRAM main memory;
+//! * **pNPU-co** — the Table V parallel NPU attached as a co-processor:
+//!   all weights and activations cross the off-chip memory bus;
+//! * **pNPU-pim** — the same NPU 3D-stacked on top of each bank, riding
+//!   the internal bandwidth; evaluated as one unit (x1) and one per bank
+//!   (x64);
+//! * **PRIME** — FF subarrays computing in place: weights never move,
+//!   inputs/outputs stage through the Buffer subarrays, banks provide
+//!   64-way image parallelism, and large NNs pipeline across banks.
+
+use prime_compiler::{map_network, CompileOptions, HwTarget, NetworkMapping, NnScale};
+use prime_nn::{LayerSpec, NetworkSpec};
+
+use crate::params::{CpuParams, MemPathParams, NpuParams, PrimeParams};
+use crate::result::{Breakdown, RunResult};
+use crate::traffic::{layer_traffic, network_traffic};
+
+/// A machine model that can run an inference workload.
+pub trait Machine {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Runs `batch` independent inferences of `spec`.
+    fn run(&self, spec: &NetworkSpec, batch: u32) -> RunResult;
+}
+
+/// The CPU-only baseline.
+#[derive(Debug, Clone)]
+pub struct CpuMachine {
+    params: CpuParams,
+    mem: MemPathParams,
+}
+
+impl CpuMachine {
+    /// Creates the Table IV CPU over the default memory path.
+    pub fn new() -> Self {
+        CpuMachine { params: CpuParams::table_iv(), mem: MemPathParams::prime_default() }
+    }
+}
+
+impl Default for CpuMachine {
+    fn default() -> Self {
+        CpuMachine::new()
+    }
+}
+
+impl Machine for CpuMachine {
+    fn name(&self) -> &str {
+        "CPU"
+    }
+
+    fn run(&self, spec: &NetworkSpec, batch: u32) -> RunResult {
+        let t = network_traffic(spec);
+        let p = &self.params;
+        let mut compute_ns = 0.0;
+        for layer in spec.layers() {
+            let macs = layer.mac_ops() as f64;
+            let penalty = match layer {
+                LayerSpec::Conv { .. } => p.conv_penalty,
+                _ => 1.0,
+            };
+            compute_ns += macs * penalty / p.macs_per_ns() + p.layer_overhead_ns;
+        }
+        // NN inference streams the full model every image (weight reuse
+        // within an image is already counted in `macs`; across layers the
+        // working set exceeds the LLC for all but toy networks). Models
+        // that fit the LLC stay resident across the batch.
+        let weight_bytes = t.weights * p.element_bytes;
+        // The LLC is shared with the OS and activation working set;
+        // roughly half is available to hold model weights.
+        let streamed_weights = if weight_bytes > p.llc_bytes / 2 { weight_bytes } else { 0 };
+        let activation_bytes =
+            (t.network_inputs + t.network_outputs + 2 * t.intermediate) * p.element_bytes;
+        let mem_bytes = streamed_weights + activation_bytes;
+        let memory_ns = mem_bytes as f64 / self.mem.external_gbps;
+        // Cache-hierarchy traffic: each MAC touches one weight element.
+        let cache_bytes = t.macs * p.element_bytes;
+        let per_image = Breakdown {
+            compute: compute_ns,
+            buffer: 0.0, // cache time is overlapped with compute on OoO cores
+            memory: memory_ns,
+        };
+        let energy = Breakdown {
+            compute: t.macs as f64 * p.mac_energy_pj,
+            buffer: cache_bytes as f64 * p.cache_energy_pj_per_byte,
+            memory: mem_bytes as f64 * p.mem_energy_pj_per_byte
+                + if streamed_weights == 0 {
+                    // Cached models still pay one memory fill per batch.
+                    weight_bytes as f64 * p.mem_energy_pj_per_byte / f64::from(batch.max(1))
+                } else {
+                    0.0
+                },
+        };
+        let b = f64::from(batch);
+        RunResult {
+            machine: self.name().to_string(),
+            benchmark: spec.name().to_string(),
+            batch,
+            latency_ns: per_image.total() * b,
+            time_ns: per_image.scale(b),
+            energy_pj: energy.scale(b),
+        }
+    }
+}
+
+/// Where the pNPU sits relative to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpuPlacement {
+    /// Co-processor behind the off-chip bus (pNPU-co).
+    CoProcessor,
+    /// 3D-stacked PIM processor on the internal path (pNPU-pim).
+    Pim {
+        /// Parallel NPU instances (1 or 64 in the paper).
+        units: u32,
+    },
+}
+
+/// The DianNao-class parallel NPU in either placement.
+#[derive(Debug, Clone)]
+pub struct NpuMachine {
+    params: NpuParams,
+    mem: MemPathParams,
+    placement: NpuPlacement,
+    name: String,
+}
+
+impl NpuMachine {
+    /// The pNPU-co configuration.
+    pub fn co_processor() -> Self {
+        NpuMachine {
+            params: NpuParams::table_v(),
+            mem: MemPathParams::prime_default(),
+            placement: NpuPlacement::CoProcessor,
+            name: "pNPU-co".to_string(),
+        }
+    }
+
+    /// The pNPU-pim configuration with `units` stacked NPUs.
+    pub fn pim(units: u32) -> Self {
+        NpuMachine {
+            params: NpuParams::table_v(),
+            mem: MemPathParams::prime_default(),
+            placement: NpuPlacement::Pim { units },
+            name: format!("pNPU-pim-x{units}"),
+        }
+    }
+
+    fn bandwidth_gbps(&self) -> f64 {
+        match self.placement {
+            NpuPlacement::CoProcessor => self.mem.external_gbps,
+            NpuPlacement::Pim { .. } => self.mem.internal_gbps,
+        }
+    }
+
+    fn mem_pj_per_byte(&self) -> f64 {
+        match self.placement {
+            NpuPlacement::CoProcessor => self.mem.external_pj_per_byte,
+            NpuPlacement::Pim { .. } => self.mem.internal_pj_per_byte,
+        }
+    }
+}
+
+impl Machine for NpuMachine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, spec: &NetworkSpec, batch: u32) -> RunResult {
+        let p = &self.params;
+        let mut compute_ns = 0.0;
+        let mut mem_bytes = 0u64;
+        let mut buffer_bytes = 0u64;
+        for layer in spec.layers() {
+            let t = layer_traffic(layer);
+            // Array-utilization-aware cycle count plus per-layer control
+            // overhead (16x16 lanes; narrow layers underutilize).
+            let cycles = match *layer {
+                LayerSpec::FullyConnected { inputs, outputs } => {
+                    p.layer_cycles(inputs as u64, outputs as u64, 1)
+                }
+                LayerSpec::Conv { in_ch, out_ch, kernel, .. } => {
+                    let positions = (layer.outputs() / out_ch) as u64;
+                    p.layer_cycles((in_ch * kernel * kernel) as u64, out_ch as u64, positions)
+                }
+                LayerSpec::Pool { .. } => layer.outputs() as u64 / 16 + 1,
+                // LRN runs on the NPU's nonlinear units at element rate.
+                LayerSpec::Lrn { .. } => layer.mac_ops() / 16 + 1,
+            };
+            compute_ns += cycles as f64 / p.ghz + p.layer_overhead_ns;
+            // Weights stream from memory whenever the layer exceeds the
+            // 32 KB weight buffer; inside the buffer they are fetched once
+            // per image (no batch reuse: images are processed one by one).
+            let w_bytes = t.weights * p.element_bytes;
+            mem_bytes += w_bytes;
+            // Activations spill to memory when they exceed the 2 KB
+            // input/output buffers (write + read back).
+            let in_bytes = t.inputs * p.element_bytes;
+            let out_bytes = t.outputs * p.element_bytes;
+            if in_bytes > p.io_buffer_bytes {
+                mem_bytes += in_bytes;
+            }
+            if out_bytes > p.io_buffer_bytes {
+                mem_bytes += out_bytes;
+            }
+            // Every operand passes the on-chip buffers regardless.
+            buffer_bytes += w_bytes + in_bytes + out_bytes;
+        }
+        let memory_ns = mem_bytes as f64 / self.bandwidth_gbps();
+        let per_image = Breakdown { compute: compute_ns, buffer: 0.0, memory: memory_ns };
+        let energy = Breakdown {
+            compute: {
+                let t = network_traffic(spec);
+                t.macs as f64 * p.mac_energy_pj
+            },
+            buffer: buffer_bytes as f64 * p.buffer_energy_pj_per_byte,
+            memory: mem_bytes as f64 * self.mem_pj_per_byte(),
+        };
+        let units = match self.placement {
+            NpuPlacement::CoProcessor => 1,
+            NpuPlacement::Pim { units } => units,
+        };
+        let rounds = batch.div_ceil(units).max(1);
+        let b = f64::from(batch);
+        RunResult {
+            machine: self.name.clone(),
+            benchmark: spec.name().to_string(),
+            batch,
+            latency_ns: per_image.total() * f64::from(rounds),
+            time_ns: per_image.scale(b),
+            energy_pj: energy.scale(b),
+        }
+    }
+}
+
+/// The PRIME machine: computation in the FF subarrays, driven by the
+/// compile-time mapping.
+#[derive(Debug, Clone)]
+pub struct PrimeMachine {
+    params: PrimeParams,
+    target: HwTarget,
+    options: CompileOptions,
+    /// Disable bank-level parallelism (the Fig. 9 breakdown variant).
+    single_bank: bool,
+    name: String,
+}
+
+impl PrimeMachine {
+    /// The full PRIME configuration (64-way bank parallelism).
+    pub fn new() -> Self {
+        PrimeMachine {
+            params: PrimeParams::prime_default(),
+            target: HwTarget::prime_default(),
+            options: CompileOptions::default(),
+            single_bank: false,
+            name: "PRIME".to_string(),
+        }
+    }
+
+    /// PRIME restricted to one copy of the NN (no bank-level image
+    /// parallelism), used by the Fig. 9 time-breakdown comparison.
+    pub fn without_bank_parallelism() -> Self {
+        PrimeMachine { single_bank: true, name: "PRIME-1bank".to_string(), ..Self::new() }
+    }
+
+    /// PRIME with the compile-time replication optimization disabled —
+    /// the §IV-B1 ablation.
+    pub fn without_replication() -> Self {
+        PrimeMachine {
+            options: CompileOptions { replicate: false },
+            name: "PRIME-no-repl".to_string(),
+            ..Self::new()
+        }
+    }
+
+    /// PRIME scaled to a memory with `banks` banks (bank-parallelism
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn with_banks(banks: u32) -> Self {
+        assert!(banks > 0, "at least one bank required");
+        let mut target = HwTarget::prime_default();
+        target.banks = banks as usize;
+        let mut params = PrimeParams::prime_default();
+        params.banks = banks;
+        PrimeMachine {
+            params,
+            target,
+            options: CompileOptions::default(),
+            single_bank: false,
+            name: format!("PRIME-{banks}bank"),
+        }
+    }
+
+    /// The compiled mapping for a workload (exposed for the experiments).
+    pub fn mapping(&self, spec: &NetworkSpec) -> NetworkMapping {
+        map_network(spec, &self.target, self.options)
+            .expect("evaluated workloads fit PRIME")
+    }
+
+    /// Serial compute time of one layer for one image.
+    fn layer_compute_ns(
+        &self,
+        layer: &LayerSpec,
+        lm: &prime_compiler::LayerMapping,
+    ) -> f64 {
+        let p = &self.params;
+        match layer {
+            LayerSpec::Lrn { .. } => {
+                // CPU fallback (paper §III-E): the activations round-trip
+                // over the external bus and the CPU computes the
+                // normalization.
+                let cpu = CpuParams::table_iv();
+                let mem = MemPathParams::prime_default();
+                let bytes = (layer.inputs() + layer.outputs()) as u64; // 6-bit codes
+                layer.mac_ops() as f64 / cpu.macs_per_ns()
+                    + bytes as f64 / mem.external_gbps
+            }
+            LayerSpec::Pool { .. } => {
+                let steps =
+                    (lm.vectors_per_inference as u64).div_ceil(u64::from(p.sas_per_mat));
+                steps as f64 * p.merge_add_ns
+            }
+            _ => {
+                let cols_per_mat =
+                    lm.cols_needed.div_ceil(lm.col_tiles.max(1)) * lm.in_mat_replication;
+                lm.passes_per_inference() as f64 * p.pass_ns(cols_per_mat as u64)
+                    + (lm.row_tiles.saturating_sub(1)) as f64 * p.merge_add_ns
+            }
+        }
+    }
+
+    /// Latency of the slowest pipeline stage (large-scale NNs). A stage
+    /// can always be subdivided down to one layer per bank, so the
+    /// bottleneck is the slowest single layer.
+    fn bottleneck_stage_ns(&self, spec: &NetworkSpec, mapping: &NetworkMapping) -> f64 {
+        spec.layers()
+            .iter()
+            .zip(&mapping.layers)
+            .map(|(l, lm)| self.layer_compute_ns(l, lm))
+            .fold(1.0f64, f64::max)
+    }
+
+    /// Per-image latency decomposition (compute, buffer, memory-visible),
+    /// plus the inter-bank bytes for large-scale NNs.
+    fn per_image(&self, spec: &NetworkSpec, mapping: &NetworkMapping) -> (Breakdown, u64) {
+        let p = &self.params;
+        let mut compute_ns = 0.0;
+        let mut buffer_bytes = 0u64;
+        for (layer, lm) in spec.layers().iter().zip(&mapping.layers) {
+            // All tiles of a copy operate in parallel; passes are the
+            // vector-sequential count after replication, each sensing its
+            // active columns through the mat's eight shared SAs.
+            compute_ns += self.layer_compute_ns(layer, lm);
+            // 6-bit activations: one byte per element through the Buffer
+            // subarray, both directions.
+            buffer_bytes += (layer.inputs() + layer.outputs()) as u64;
+        }
+        let buffer_ns = buffer_bytes.div_ceil(p.buffer_beat_bytes) as f64 * p.buffer_beat_ns;
+        // Input fetch from Mem subarrays overlaps with computation via the
+        // Buffer subarrays (paper Fig. 9 reports zero visible memory
+        // time); the traffic still costs energy.
+        let memory_visible_ns = 0.0;
+        // Large-scale NNs move activations between banks at stage
+        // boundaries; in the worst case every inter-layer transfer crosses
+        // a bank (one byte per 6-bit activation).
+        let interbank_bytes = if mapping.scale == NnScale::Large {
+            network_traffic(spec).intermediate
+        } else {
+            0
+        };
+        let interbank_ns = interbank_bytes as f64 / p.interbank_gbps;
+        (
+            Breakdown {
+                compute: compute_ns + interbank_ns,
+                buffer: buffer_ns,
+                memory: memory_visible_ns,
+            },
+            interbank_bytes,
+        )
+    }
+
+    /// Per-image energy decomposition.
+    fn per_image_energy(
+        &self,
+        spec: &NetworkSpec,
+        mapping: &NetworkMapping,
+        interbank_bytes: u64,
+    ) -> Breakdown {
+        let p = &self.params;
+        let mem = MemPathParams::prime_default();
+        let mut compute_pj = 0.0;
+        let mut buffer_bytes = 0u64;
+        for (layer, lm) in spec.layers().iter().zip(&mapping.layers) {
+            match layer {
+                LayerSpec::Lrn { .. } => {
+                    // CPU fallback: CPU MAC energy plus the bus round trip.
+                    let cpu = CpuParams::table_iv();
+                    compute_pj += layer.mac_ops() as f64 * cpu.mac_energy_pj;
+                    let bytes = (layer.inputs() + layer.outputs()) as u64;
+                    compute_pj += bytes as f64 * mem.external_pj_per_byte;
+                }
+                LayerSpec::Pool { .. } => {
+                    compute_pj += lm.vectors_per_inference as f64 * p.merge_add_pj;
+                    buffer_bytes += (layer.inputs() + layer.outputs()) as u64;
+                }
+                _ => {
+                    // Every input vector excites every tile of one copy;
+                    // energy scales with each tile's active rows/columns.
+                    let evaluations = lm.vectors_per_inference as f64 * lm.base_mats as f64;
+                    let rows_per_mat = lm.rows_needed.div_ceil(lm.row_tiles.max(1));
+                    let cols_per_mat = lm.cols_needed.div_ceil(lm.col_tiles.max(1));
+                    compute_pj +=
+                        evaluations * p.pass_pj(rows_per_mat as u64, cols_per_mat as u64);
+                    compute_pj += lm.merge_adds as f64 * p.merge_add_pj;
+                    buffer_bytes += (layer.inputs() + layer.outputs()) as u64;
+                }
+            }
+        }
+        // Network input fetch / output commit through the in-bank path.
+        let t = network_traffic(spec);
+        let mem_bytes = t.network_inputs + t.network_outputs + interbank_bytes;
+        Breakdown {
+            compute: compute_pj,
+            buffer: buffer_bytes as f64 * p.buffer_pj_per_byte,
+            memory: mem_bytes as f64 * mem.internal_pj_per_byte
+                + interbank_bytes as f64 * p.interbank_pj_per_byte,
+        }
+    }
+}
+
+impl Default for PrimeMachine {
+    fn default() -> Self {
+        PrimeMachine::new()
+    }
+}
+
+impl Machine for PrimeMachine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, spec: &NetworkSpec, batch: u32) -> RunResult {
+        let mapping = self.mapping(spec);
+        let (per_image, interbank_bytes) = self.per_image(spec, &mapping);
+        let energy = self.per_image_energy(spec, &mapping, interbank_bytes);
+        let copies = if self.single_bank { 1 } else { mapping.copies_across_memory as u32 };
+        let latency_ns = match mapping.scale {
+            NnScale::Large => {
+                // Inter-bank pipeline: after the fill, one image completes
+                // per interval, where the interval is the slower of the
+                // bottleneck stage and the image's share of the internal
+                // bus (shared by all banks, so transfers serialize).
+                let stage = self.bottleneck_stage_ns(spec, &mapping);
+                let bus = interbank_bytes as f64 / self.params.interbank_gbps;
+                let interval = stage.max(bus);
+                let rounds = batch.div_ceil(copies).max(1) as f64;
+                per_image.total() + interval * (rounds - 1.0)
+            }
+            _ => {
+                let rounds = batch.div_ceil(copies).max(1) as f64;
+                per_image.total() * rounds
+            }
+        };
+        let b = f64::from(batch);
+        RunResult {
+            machine: self.name.clone(),
+            benchmark: spec.name().to_string(),
+            batch,
+            latency_ns,
+            time_ns: per_image.scale(b),
+            energy_pj: energy.scale(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EVAL_BATCH;
+    use prime_nn::MlBench;
+
+    #[test]
+    fn machines_report_names_from_the_paper() {
+        assert_eq!(CpuMachine::new().name(), "CPU");
+        assert_eq!(NpuMachine::co_processor().name(), "pNPU-co");
+        assert_eq!(NpuMachine::pim(64).name(), "pNPU-pim-x64");
+        assert_eq!(PrimeMachine::new().name(), "PRIME");
+    }
+
+    #[test]
+    fn ordering_holds_on_every_benchmark() {
+        let cpu = CpuMachine::new();
+        let co = NpuMachine::co_processor();
+        let pim1 = NpuMachine::pim(1);
+        let pim64 = NpuMachine::pim(64);
+        let prime = PrimeMachine::new();
+        for bench in MlBench::ALL {
+            let spec = bench.spec();
+            let l_cpu = cpu.run(&spec, EVAL_BATCH).latency_ns;
+            let l_co = co.run(&spec, EVAL_BATCH).latency_ns;
+            let l_p1 = pim1.run(&spec, EVAL_BATCH).latency_ns;
+            let l_p64 = pim64.run(&spec, EVAL_BATCH).latency_ns;
+            let l_prime = prime.run(&spec, EVAL_BATCH).latency_ns;
+            assert!(l_cpu > l_co, "{}: CPU vs co", bench.name());
+            assert!(l_co > l_p1, "{}: co vs pim-x1", bench.name());
+            assert!(l_p1 >= l_p64, "{}: pim-x1 vs pim-x64", bench.name());
+            assert!(l_p64 > l_prime, "{}: pim-x64 vs PRIME", bench.name());
+        }
+    }
+
+    #[test]
+    fn prime_memory_time_is_hidden() {
+        let prime = PrimeMachine::new();
+        let r = prime.run(&MlBench::MlpM.spec(), EVAL_BATCH);
+        assert_eq!(r.time_ns.memory, 0.0);
+        assert!(r.time_ns.compute > 0.0);
+        assert!(r.time_ns.buffer > 0.0);
+    }
+
+    #[test]
+    fn pim_reduces_memory_share_vs_co() {
+        let co = NpuMachine::co_processor();
+        let pim = NpuMachine::pim(1);
+        for bench in MlBench::ALL {
+            let spec = bench.spec();
+            let r_co = co.run(&spec, 1);
+            let r_pim = pim.run(&spec, 1);
+            let (_, _, m_co) = r_co.time_ns.fractions();
+            let (_, _, m_pim) = r_pim.time_ns.fractions();
+            assert!(m_pim < m_co, "{}: pim memory share must shrink", bench.name());
+        }
+    }
+
+    #[test]
+    fn vgg_prime_speedup_is_smallest() {
+        let cpu = CpuMachine::new();
+        let prime = PrimeMachine::new();
+        let speedup = |bench: MlBench| {
+            let spec = bench.spec();
+            cpu.run(&spec, EVAL_BATCH).latency_ns / prime.run(&spec, EVAL_BATCH).latency_ns
+        };
+        let vgg = speedup(MlBench::VggD);
+        for bench in [MlBench::Cnn1, MlBench::Cnn2, MlBench::MlpS, MlBench::MlpM, MlBench::MlpL] {
+            assert!(speedup(bench) > vgg, "{} should outpace VGG-D", bench.name());
+        }
+    }
+
+    #[test]
+    fn single_bank_variant_is_slower_on_batches() {
+        let full = PrimeMachine::new();
+        let single = PrimeMachine::without_bank_parallelism();
+        let spec = MlBench::MlpS.spec();
+        assert!(
+            single.run(&spec, EVAL_BATCH).latency_ns > full.run(&spec, EVAL_BATCH).latency_ns
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain-text and JSON reporting helpers for the figure binaries.
+
+use serde::Serialize;
+
+/// Formats a table: a header row plus data rows, columns padded to the
+/// widest cell, separated by two spaces. The first column is
+/// left-aligned, the rest right-aligned (numeric convention).
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |row: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a speedup/factor value the way the paper's figures label bars:
+/// one decimal below 100, whole numbers above.
+pub fn format_factor(value: f64) -> String {
+    if value < 100.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+/// Serializes any experiment result to pretty JSON for machine-readable
+/// archiving next to the printed table.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (never for the
+/// plain data types used by the experiments).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["bench".into(), "speedup".into()],
+            &[
+                vec!["CNN-1".into(), "8.2".into()],
+                vec!["MLP-L".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[2].ends_with("8.2"));
+        assert!(lines[3].ends_with("12345"));
+        // All data lines are equally wide.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn factor_formatting_matches_figures() {
+        assert_eq!(format_factor(8.26), "8.3");
+        assert_eq!(format_factor(2360.4), "2360");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        #[derive(serde::Serialize)]
+        struct S {
+            x: u32,
+        }
+        let json = to_json(&S { x: 7 }).unwrap();
+        assert!(json.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Result types shared by all machine models.
+
+use serde::{Deserialize, Serialize};
+
+/// A compute/buffer/memory split of time or energy — the axes of the
+/// paper's Fig. 9 (execution-time breakdown) and Fig. 11 (energy
+/// breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Arithmetic (CPU/NPU datapath or ReRAM crossbar evaluation).
+    pub compute: f64,
+    /// On-chip buffers (NPU SRAM buffers or PRIME's Buffer subarrays).
+    pub buffer: f64,
+    /// Main-memory access (off-chip bus, in-stack path, or GDL traffic).
+    pub memory: f64,
+}
+
+impl Breakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.compute + self.buffer + self.memory
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Breakdown) -> Breakdown {
+        Breakdown {
+            compute: self.compute + other.compute,
+            buffer: self.buffer + other.buffer,
+            memory: self.memory + other.memory,
+        }
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(&self, factor: f64) -> Breakdown {
+        Breakdown {
+            compute: self.compute * factor,
+            buffer: self.buffer * factor,
+            memory: self.memory * factor,
+        }
+    }
+
+    /// Fraction of the total in each component (zeros when empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (self.compute / t, self.buffer / t, self.memory / t)
+        }
+    }
+}
+
+/// The outcome of running one benchmark on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Machine name (as it appears in the figures).
+    pub machine: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Images in the batch.
+    pub batch: u32,
+    /// Wall-clock latency for the whole batch, ns (parallel hardware
+    /// overlaps images; serial components accumulate).
+    pub latency_ns: f64,
+    /// Serial time decomposition for the whole batch, ns. `time.total()`
+    /// can exceed `latency_ns` on parallel machines.
+    pub time_ns: Breakdown,
+    /// Energy for the whole batch, pJ.
+    pub energy_pj: Breakdown,
+}
+
+impl RunResult {
+    /// Total energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy_pj.total()
+    }
+
+    /// Per-image latency in ns.
+    pub fn latency_per_image_ns(&self) -> f64 {
+        self.latency_ns / f64::from(self.batch.max(1))
+    }
+
+    /// Speedup of this run relative to a baseline run of the same
+    /// benchmark and batch.
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.latency_ns / self.latency_ns
+    }
+
+    /// Energy saving factor relative to a baseline run.
+    pub fn energy_saving_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.total_energy_pj() / self.total_energy_pj()
+    }
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = Breakdown { compute: 1.0, buffer: 2.0, memory: 3.0 };
+        let b = a.add(&a).scale(0.5);
+        assert_eq!(b, a);
+        assert_eq!(a.total(), 6.0);
+        let (c, bu, m) = a.fractions();
+        assert!((c - 1.0 / 6.0).abs() < 1e-12);
+        assert!((bu - 2.0 / 6.0).abs() < 1e-12);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_energy_saving() {
+        let base = RunResult {
+            machine: "cpu".into(),
+            benchmark: "x".into(),
+            batch: 1,
+            latency_ns: 100.0,
+            time_ns: Breakdown::default(),
+            energy_pj: Breakdown { compute: 1000.0, buffer: 0.0, memory: 0.0 },
+        };
+        let fast = RunResult {
+            machine: "prime".into(),
+            benchmark: "x".into(),
+            batch: 1,
+            latency_ns: 2.0,
+            time_ns: Breakdown::default(),
+            energy_pj: Breakdown { compute: 10.0, buffer: 0.0, memory: 0.0 },
+        };
+        assert_eq!(fast.speedup_vs(&base), 50.0);
+        assert_eq!(fast.energy_saving_vs(&base), 100.0);
+    }
+
+    #[test]
+    fn geomean_matches_definition() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+}

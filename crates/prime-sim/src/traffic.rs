@@ -1,0 +1,91 @@
+//! Per-layer data-traffic accounting derived from a network's shape.
+//!
+//! Every machine model consumes the same per-inference quantities: MAC
+//! operations, weight bytes, and activation bytes, at the machine's own
+//! element width. This module derives them from `NetworkSpec`s so VGG-D
+//! never needs materialized weights.
+
+use prime_nn::{LayerSpec, NetworkSpec};
+
+/// Traffic of one layer for one inference, in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// MAC operations.
+    pub macs: u64,
+    /// Synaptic weights read.
+    pub weights: u64,
+    /// Input activations read.
+    pub inputs: u64,
+    /// Output activations written.
+    pub outputs: u64,
+}
+
+/// Computes the per-layer traffic of one inference.
+pub fn layer_traffic(layer: &LayerSpec) -> LayerTraffic {
+    LayerTraffic {
+        macs: layer.mac_ops(),
+        weights: layer.synapses(),
+        inputs: layer.inputs() as u64,
+        outputs: layer.outputs() as u64,
+    }
+}
+
+/// Whole-network traffic summary for one inference, in elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkTraffic {
+    /// Total MACs.
+    pub macs: u64,
+    /// Total weights (the model size).
+    pub weights: u64,
+    /// Network input elements.
+    pub network_inputs: u64,
+    /// Network output elements.
+    pub network_outputs: u64,
+    /// Inter-layer activation elements (written by one layer, read by the
+    /// next; spills to memory when buffers are too small).
+    pub intermediate: u64,
+}
+
+/// Computes whole-network traffic for one inference.
+pub fn network_traffic(spec: &NetworkSpec) -> NetworkTraffic {
+    let layers = spec.layers();
+    let macs = layers.iter().map(|l| l.mac_ops()).sum();
+    let weights = layers.iter().map(|l| l.synapses()).sum();
+    let network_inputs = spec.inputs() as u64;
+    let network_outputs = spec.outputs() as u64;
+    let intermediate: u64 =
+        layers.iter().take(layers.len().saturating_sub(1)).map(|l| l.outputs() as u64).sum();
+    NetworkTraffic { macs, weights, network_inputs, network_outputs, intermediate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::MlBench;
+
+    #[test]
+    fn mlp_s_traffic_matches_topology() {
+        let t = network_traffic(&MlBench::MlpS.spec());
+        assert_eq!(t.macs, 784 * 500 + 500 * 250 + 250 * 10);
+        assert_eq!(t.weights, t.macs); // every FC weight is used once
+        assert_eq!(t.network_inputs, 784);
+        assert_eq!(t.network_outputs, 10);
+        assert_eq!(t.intermediate, 500 + 250);
+    }
+
+    #[test]
+    fn conv_reuses_weights_across_positions() {
+        let spec = MlBench::Cnn1.spec();
+        let conv = layer_traffic(&spec.layers()[0]);
+        // 24x24 output positions reuse the same 125 kernel weights.
+        assert_eq!(conv.weights, 5 * 25);
+        assert_eq!(conv.macs, 5 * 24 * 24 * 25);
+        assert!(conv.macs > conv.weights * 100);
+    }
+
+    #[test]
+    fn vgg_model_size_matches_paper() {
+        let t = network_traffic(&MlBench::VggD.spec());
+        assert!((t.weights as f64 / 1.38e8 - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,53 @@
+//! In-situ training on FF mats — PRIME's stated future work (§IV-A),
+//! implemented with gradient-proportional conductance pulses: the forward
+//! pass runs on the device, the host computes gradients from read-back
+//! codes, and weight updates are in-place cell writes whose endurance
+//! cost is tracked.
+//!
+//! Run with: `cargo run --release --example insitu_training`
+
+use prime::core::InSituMlp;
+use prime::device::DEFAULT_ENDURANCE_WRITES;
+use prime::nn::DigitGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(61);
+    let generator = DigitGenerator::default();
+    let train_set = generator.dataset(300, &mut rng);
+    let test_set = generator.dataset(100, &mut rng);
+
+    // 14x14 pooled digits -> 16 hidden -> 10 classes, all weights living
+    // in FF-mat conductances from the first update on.
+    let mut mlp = InSituMlp::new(196, 16, 10, &mut rng)?;
+    println!("training in situ (device forward, pulse updates)...");
+    let history = mlp.train(&train_set, 15, 8, &mut rng)?;
+    for epoch in history.iter().step_by(3) {
+        println!(
+            "  epoch {:>2}: train accuracy {:>5.1}%, {} cell writes",
+            epoch.epoch,
+            100.0 * epoch.accuracy,
+            epoch.cell_writes
+        );
+    }
+
+    let mut correct = 0;
+    for sample in &test_set {
+        if mlp.classify(&sample.pixels)? == sample.label {
+            correct += 1;
+        }
+    }
+    println!("\ntest accuracy (device inference): {}/{}", correct, test_set.len());
+
+    // Endurance accounting: whole-training wear vs the 10^12 budget.
+    let writes = mlp.total_writes();
+    let weights = 196 * 16 + 16 * 10;
+    let writes_per_cell = writes as f64 / weights as f64;
+    println!(
+        "endurance: {writes} cell writes total (~{writes_per_cell:.0} per weight); \
+         {:.1e} such trainings fit in the 10^12 budget",
+        DEFAULT_ENDURANCE_WRITES as f64 / writes_per_cell
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: one FF mat computing a signed matrix-vector product in
+//! memory, then the full PRIME programming flow on an MLP.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use prime::core::{FfMat, NnParamFile, PrimeProgram};
+use prime::mem::MatFunction;
+use prime::nn::MlBench;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A single full-function mat -----------------------------------
+    // Program a 3x2 signed weight matrix (composed 8-bit weights across
+    // adjacent 4-bit cells, sign via the positive/negative crossbar pair)
+    // and evaluate composed 6-bit inputs.
+    let mut mat = FfMat::new();
+    mat.set_function(MatFunction::Program);
+    #[rustfmt::skip]
+    mat.program_composed(&[
+        120, -80,
+        -40,  60,
+        200,  10,
+    ], 3, 2)?;
+    mat.set_function(MatFunction::Compute);
+    let outputs = mat.compute(&[63, 10, 32])?;
+    println!("FF mat outputs (composed, truncated): {outputs:?}");
+
+    // --- 2. The Fig. 7 software/hardware interface ------------------------
+    let spec = MlBench::MlpS.spec();
+    let mut network = spec.to_network()?;
+    let mut rng = SmallRng::seed_from_u64(42);
+    network.init_random(&mut rng); // stands in for offline training
+    let params = NnParamFile { spec, network };
+
+    let mut program = PrimeProgram::new();
+    let mapping = program.map_topology(&params)?; // Map_Topology(..)
+    println!(
+        "mapped {}: {:?} scale, {} mats, {} bank(s) per copy, {} copies across memory",
+        mapping.name,
+        mapping.scale,
+        mapping.base_mats,
+        mapping.banks_per_copy,
+        mapping.copies_across_memory
+    );
+    program.program_weight(&params)?; // Program_Weight(..)
+    let compiled = program.config_datapath()?; // Config_Datapath(..)
+    println!(
+        "datapath configuration: {} commands; per-inference data flow: {} commands",
+        compiled.datapath_commands.len(),
+        compiled.dataflow_commands.len()
+    );
+    println!("first commands: {}", compiled.datapath_commands[0]);
+    println!("               {}", compiled.dataflow_commands[0]);
+
+    let input = vec![0.5f32; 784];
+    let output = program.run(&input)?; // Run(input_data)
+    let class = PrimeProgram::post_proc(&output); // Post_Proc()
+    println!("inference produced {} outputs; argmax class {class}", output.len());
+    println!(
+        "work: {} mat passes, {} merge adds, {} buffer words",
+        program.stats().mat_passes,
+        program.stats().merge_adds,
+        program.stats().buffer_words
+    );
+    Ok(())
+}

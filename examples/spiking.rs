@@ -1,0 +1,51 @@
+//! Spiking neural networks on PRIME — the paper's §II-B future work:
+//! a trained ReLU network is converted to a rate-coded SNN (weights
+//! unchanged, data-based threshold balancing) and compared against the
+//! ANN; spike sparsity is reported as crossbar synaptic events, since
+//! binary spikes are exactly 1-bit wordline inputs.
+//!
+//! Run with: `cargo run --release --example spiking`
+
+use prime::nn::{
+    evaluate, train_sgd, Activation, DigitGenerator, FullyConnected, Layer, Network, SnnConfig,
+    SpikingNetwork, TrainConfig, IMAGE_PIXELS, NUM_CLASSES,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(2023);
+    let generator = DigitGenerator::default();
+    let train_set = generator.dataset(1000, &mut rng);
+    let test_set = generator.dataset(250, &mut rng);
+
+    let mut ann = Network::new(vec![
+        Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 32, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(32, NUM_CLASSES, Activation::Identity)),
+    ])?;
+    ann.init_random(&mut rng);
+    train_sgd(&mut ann, &train_set, TrainConfig::quick(), &mut rng)?;
+    let ann_acc = evaluate(&ann, &test_set)?;
+    println!("ANN test accuracy: {:.1}%", 100.0 * ann_acc);
+
+    let calib: Vec<Vec<f32>> = train_set.iter().take(30).map(|s| s.pixels.clone()).collect();
+    for (name, config) in [("fast (16 steps)", SnnConfig::fast()), ("accurate (64 steps)", SnnConfig::accurate())] {
+        let snn = SpikingNetwork::from_network(&ann, config, &calib)?;
+        let correct =
+            test_set.iter().filter(|s| snn.classify(&s.pixels) == s.label).count();
+        let events: u64 =
+            test_set.iter().take(20).map(|s| snn.synaptic_events(&s.pixels)).sum::<u64>() / 20;
+        let dense =
+            (IMAGE_PIXELS * 32 + 32 * NUM_CLASSES) as u64 * snn.timesteps() as u64;
+        println!(
+            "SNN {name}: accuracy {:.1}%, ~{events} synaptic events/inference \
+             ({:.0}% of a dense {}-step evaluation)",
+            100.0 * correct as f64 / test_set.len() as f64,
+            100.0 * events as f64 / dense as f64,
+            snn.timesteps()
+        );
+    }
+    println!("\nBinary spikes are 1-bit wordline inputs: each timestep is one crossbar");
+    println!("evaluation, so spike sparsity converts directly into saved FF-mat energy.");
+    Ok(())
+}

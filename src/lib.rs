@@ -1,0 +1,53 @@
+//! # PRIME — processing in ReRAM-based main memory
+//!
+//! A from-scratch Rust reproduction of *PRIME: A Novel
+//! Processing-in-Memory Architecture for Neural Network Computation in
+//! ReRAM-Based Main Memory* (Chi et al., ISCA 2016).
+//!
+//! PRIME turns part of a ReRAM main memory into a neural-network
+//! accelerator: *full-function (FF) subarrays* morph between ordinary
+//! storage and analog matrix-vector computation, reusing the memory's own
+//! peripheral circuits instead of adding a processor. This crate is a
+//! façade re-exporting the whole stack:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`device`] | `prime-device` | ReRAM cells, MLC encoding, crossbar arrays |
+//! | [`circuits`] | `prime-circuits` | drivers, reconfigurable SAs, sigmoid/ReLU/pooling, the precision composing scheme |
+//! | [`mem`] | `prime-mem` | memory geometry, timing, Table I commands, OS runtime |
+//! | [`nn`] | `prime-nn` | tensors, dynamic fixed point, layers, training, MlBench workloads |
+//! | [`compiler`] | `prime-compiler` | NN-to-crossbar mapping (replication / split-merge / inter-bank) |
+//! | [`core`] | `prime-core` | FF mats, Buffer subarrays, the PRIME controller, the Fig. 7 API |
+//! | [`sim`] | `prime-sim` | machine models and the figure-regeneration experiments |
+//!
+//! # Examples
+//!
+//! The five-call software/hardware interface of the paper's Fig. 7:
+//!
+//! ```no_run
+//! use prime::core::{NnParamFile, PrimeProgram};
+//! use prime::nn::MlBench;
+//!
+//! let spec = MlBench::MlpS.spec();
+//! let network = spec.to_network()?; // weights would come from offline training
+//! let params = NnParamFile { spec, network };
+//!
+//! let mut program = PrimeProgram::new();
+//! program.map_topology(&params)?;
+//! program.program_weight(&params)?;
+//! let compiled = program.config_datapath()?;
+//! let output = program.run(&vec![0.5; 784])?;
+//! let class = PrimeProgram::post_proc(&output);
+//! println!("{} commands, class {class}", compiled.dataflow_commands.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use prime_circuits as circuits;
+pub use prime_compiler as compiler;
+pub use prime_core as core;
+pub use prime_device as device;
+pub use prime_mem as mem;
+pub use prime_nn as nn;
+pub use prime_sim as sim;

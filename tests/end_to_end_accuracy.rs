@@ -1,0 +1,119 @@
+//! End-to-end fidelity: a digit classifier trained offline keeps its
+//! accuracy when executed on the functional FF-mat hardware pipeline —
+//! crossbars, composing scheme, truncating SAs and all.
+
+use prime::core::{FfExecutor, NnParamFile, PrimeProgram};
+use prime::nn::{
+    evaluate, train_sgd, Activation, DigitGenerator, FullyConnected, Layer, LayerSpec, Network,
+    NetworkSpec, TrainConfig, IMAGE_PIXELS, NUM_CLASSES,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn trained_classifier(rng: &mut SmallRng) -> (Network, Vec<prime::nn::Sample>) {
+    let generator = DigitGenerator::default();
+    let train_set = generator.dataset(600, rng);
+    let test_set = generator.dataset(120, rng);
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 32, Activation::Sigmoid)),
+        Layer::Fc(FullyConnected::new(32, NUM_CLASSES, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(rng);
+    train_sgd(&mut net, &train_set, TrainConfig::quick(), rng).expect("training succeeds");
+    (net, test_set)
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[test]
+fn ff_hardware_matches_software_accuracy() {
+    let mut rng = SmallRng::seed_from_u64(404);
+    let (net, test_set) = trained_classifier(&mut rng);
+    let sw_acc = evaluate(&net, &test_set).expect("software evaluation");
+    assert!(sw_acc > 0.9, "software accuracy too low: {sw_acc}");
+
+    let mut executor = FfExecutor::new();
+    let subset = &test_set[..40];
+    let mut correct = 0usize;
+    for sample in subset {
+        let (out, _) = executor.run(&net, &sample.pixels).expect("hardware execution");
+        if argmax(&out) == sample.label {
+            correct += 1;
+        }
+    }
+    let hw_acc = correct as f64 / subset.len() as f64;
+    assert!(
+        hw_acc >= sw_acc - 0.1,
+        "hardware accuracy {hw_acc} dropped more than 10 points below software {sw_acc}"
+    );
+}
+
+#[test]
+fn prime_program_classifies_through_the_full_api() {
+    let mut rng = SmallRng::seed_from_u64(505);
+    let (net, test_set) = trained_classifier(&mut rng);
+    let spec = NetworkSpec::new(
+        "digit-mlp",
+        vec![
+            LayerSpec::FullyConnected { inputs: IMAGE_PIXELS, outputs: 32 },
+            LayerSpec::FullyConnected { inputs: 32, outputs: NUM_CLASSES },
+        ],
+    )
+    .expect("valid topology");
+    let params = NnParamFile { spec, network: net.clone() };
+    let mut program = PrimeProgram::new();
+    program.map_topology(&params).expect("mapping fits");
+    program.program_weight(&params).expect("weights match topology");
+    let compiled = program.config_datapath().expect("datapath configuration");
+    assert!(!compiled.datapath_commands.is_empty());
+    assert!(!compiled.dataflow_commands.is_empty());
+
+    let mut agree = 0usize;
+    let subset = &test_set[..20];
+    for sample in subset {
+        let hw_class = PrimeProgram::post_proc(&program.run(&sample.pixels).expect("run"));
+        let sw_class = argmax(&net.forward(&sample.pixels).expect("software forward"));
+        if hw_class == sw_class {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree >= subset.len() - 2,
+        "hardware and software classifications diverge: {agree}/{}",
+        subset.len()
+    );
+}
+
+#[test]
+fn cnn_executes_on_ff_mats() {
+    // A small conv-pool-fc network (CNN-1 shaped, scaled down) runs
+    // through the hardware pipeline and tracks the software output.
+    let mut rng = SmallRng::seed_from_u64(606);
+    let mut net = Network::new(vec![
+        Layer::Conv(prime::nn::Conv2d::new(1, 3, 5, 12, 12, 0, Activation::Relu)),
+        Layer::Pool(prime::nn::Pool2d::new(prime::nn::PoolKind::Max, 3, 8, 8, 2)),
+        Layer::Fc(FullyConnected::new(48, 10, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut rng);
+    let input: Vec<f32> = (0..144).map(|i| ((i * 13 % 29) as f32) / 29.0).collect();
+    let sw = net.forward(&input).expect("software forward");
+    let mut executor = FfExecutor::new();
+    let (hw, stats) = executor.run(&net, &input).expect("hardware run");
+    assert_eq!(hw.len(), 10);
+    assert!(stats.pool_steps > 0, "max pooling must use the pooling hardware");
+    // Outputs track software within the composing scheme's error budget.
+    let sw_max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.1);
+    for (a, b) in hw.iter().zip(&sw) {
+        assert!((a - b).abs() / sw_max < 0.35, "hw {a} vs sw {b}");
+    }
+}

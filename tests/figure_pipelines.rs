@@ -1,0 +1,92 @@
+//! Integration tests running the full figure pipelines through the facade
+//! crate and asserting the paper-shape criteria of DESIGN.md §6.
+
+use prime::nn::MlBench;
+use prime::sim::experiments::{fig10, fig11, fig12, fig8, fig9};
+
+#[test]
+fn figure_8_headline_numbers_hold() {
+    let fig = fig8::run();
+    assert_eq!(fig.rows.len(), 6);
+    // Abstract: PRIME improves performance by ~2360x over the NPU
+    // co-processor across the benchmarks. Accept the right order of
+    // magnitude.
+    let prime_over_co = fig.gmean.prime / fig.gmean.pnpu_co;
+    assert!(
+        (1000.0..6000.0).contains(&prime_over_co),
+        "PRIME/pNPU-co gmean {prime_over_co} outside the paper's magnitude"
+    );
+}
+
+#[test]
+fn figure_9_and_11_breakdowns_are_normalized() {
+    let f9 = fig9::run();
+    let f11 = fig11::run();
+    // The pNPU-co bars are the normalization reference: total 1.0.
+    for bar in f9.bars.iter().filter(|b| b.machine == "pNPU-co") {
+        assert!((bar.compute + bar.memory - 1.0).abs() < 1e-9, "{}", bar.benchmark);
+    }
+    for bar in f11.bars.iter().filter(|b| b.machine == "pNPU-co") {
+        assert!(
+            (bar.compute + bar.buffer + bar.memory - 1.0).abs() < 1e-9,
+            "{}",
+            bar.benchmark
+        );
+    }
+    // Every other bar is below its reference (both figures show savings).
+    for bar in &f9.bars {
+        assert!(bar.compute + bar.memory <= 1.0 + 1e-9);
+    }
+    for bar in &f11.bars {
+        assert!(bar.compute + bar.buffer + bar.memory <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn figure_10_energy_savings_match_abstract_magnitude() {
+    let fig = fig10::run();
+    let prime_over_co = fig.gmean.prime / fig.gmean.pnpu_co;
+    // Abstract: ~895x energy saving vs the NPU co-processor.
+    assert!(
+        (300.0..2000.0).contains(&prime_over_co),
+        "PRIME/pNPU-co energy gmean {prime_over_co} outside the paper's magnitude"
+    );
+}
+
+#[test]
+fn figure_12_covers_every_benchmark() {
+    let fig = fig12::run();
+    for bench in MlBench::ALL {
+        assert!(
+            fig.utilization.iter().any(|r| r.benchmark == bench.name()),
+            "missing utilization row for {}",
+            bench.name()
+        );
+    }
+    assert!((fig.model.chip_overhead() - 0.0576).abs() < 1e-3);
+}
+
+#[test]
+fn every_benchmark_fits_and_classifies_consistently() {
+    // The compiler and the simulator agree on what fits where.
+    use prime::compiler::{map_network, CompileOptions, HwTarget, NnScale};
+    let hw = HwTarget::prime_default();
+    for bench in MlBench::ALL {
+        let mapping = map_network(&bench.spec(), &hw, CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{} must fit PRIME: {e}", bench.name()));
+        match bench {
+            MlBench::VggD => assert_eq!(mapping.scale, NnScale::Large),
+            _ => assert_eq!(mapping.scale, NnScale::Medium, "{}", bench.name()),
+        }
+        // Synapse capacity accounting is consistent: the mats hold at
+        // least the network's synapses.
+        let capacity = mapping.base_mats as u64 * hw.synapses_per_mat();
+        assert!(
+            capacity >= bench.spec().synapses(),
+            "{}: {} mats cannot hold {} synapses",
+            bench.name(),
+            mapping.base_mats,
+            bench.spec().synapses()
+        );
+    }
+}

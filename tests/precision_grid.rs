@@ -1,0 +1,111 @@
+//! Precision-scheme grid: the FF mat honours the composing contract not
+//! only at the paper's default (6-bit inputs / 8-bit weights / 6-bit
+//! outputs) but across the design space of plausible schemes — the
+//! ablation surface §III-D opens ("PRIME can be adapted to different
+//! assumptions of input precision, synaptic weight precision, and output
+//! precision").
+
+use prime::circuits::ComposingScheme;
+use prime::core::FfMat;
+use prime::mem::MatFunction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs one scheme over random weights/inputs and checks the mat output
+/// against the exact shifted dot product within the scheme's bound.
+fn exercise_scheme(pin: u8, pw: u8, po: u8, seed: u64) {
+    let scheme = ComposingScheme::new(pin, pw, po, 8).expect("valid scheme");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows = 48usize;
+    let cols = 6usize;
+    let w_max = (1i32 << pw) - 1;
+    let in_max = (1u16 << pin) - 1;
+    let weights: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-w_max..=w_max)).collect();
+    let inputs: Vec<u16> = (0..rows).map(|_| rng.gen_range(0..=in_max)).collect();
+
+    let mut mat = FfMat::with_scheme(scheme);
+    mat.set_function(MatFunction::Program);
+    mat.program_composed(&weights, rows, cols).expect("fits");
+    mat.set_function(MatFunction::Compute);
+    let got = mat.compute(&inputs).expect("computes");
+    // The mat re-derives PN from the programmed row count.
+    let effective = mat.scheme();
+    let shift = mat.output_shift();
+    let sat = (1i64 << effective.output_bits()) - 1;
+    for c in 0..cols {
+        let exact: i64 = (0..rows)
+            .map(|r| i64::from(inputs[r]) * i64::from(weights[r * cols + c]))
+            .sum();
+        let target = (exact >> shift).clamp(-sat, sat);
+        let bound = effective.max_composition_error() + 1;
+        assert!(
+            (got[c] - target).abs() <= bound,
+            "scheme pin={pin} pw={pw} po={po} col {c}: got {} target {target} bound {bound}",
+            got[c]
+        );
+    }
+}
+
+#[test]
+fn default_paper_scheme_holds() {
+    exercise_scheme(6, 8, 6, 1);
+}
+
+#[test]
+fn narrow_schemes_hold() {
+    exercise_scheme(2, 2, 4, 2);
+    exercise_scheme(2, 4, 4, 3);
+    exercise_scheme(4, 4, 6, 4);
+}
+
+#[test]
+fn wide_schemes_hold() {
+    exercise_scheme(6, 6, 8, 5);
+    exercise_scheme(8, 8, 8, 6);
+    exercise_scheme(4, 8, 8, 7);
+}
+
+#[test]
+fn output_precision_sweep_holds_at_fixed_io() {
+    // Fixed 6/8 composed operands, outputs swept 2..8 bits — the SA's
+    // reconfigurable-precision axis.
+    for po in 2..=8u8 {
+        exercise_scheme(6, 8, po, 100 + u64::from(po));
+    }
+}
+
+#[test]
+fn higher_output_precision_tightens_results() {
+    // At more SA bits, the mat's quantization unit shrinks, so outputs
+    // approximate the real dot product strictly better (in aggregate).
+    let mut rng = SmallRng::seed_from_u64(11);
+    let rows = 64usize;
+    let cols = 8usize;
+    let weights: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-255..=255)).collect();
+    let inputs: Vec<u16> = (0..rows).map(|_| rng.gen_range(0..64)).collect();
+    let mut error_at = |po: u8| -> f64 {
+        let scheme = ComposingScheme::new(6, 8, po, 8).unwrap();
+        let mut mat = FfMat::with_scheme(scheme);
+        mat.set_function(MatFunction::Program);
+        mat.program_composed(&weights, rows, cols).unwrap();
+        mat.set_function(MatFunction::Compute);
+        let shift = mat.output_shift();
+        let got = mat.compute(&inputs).unwrap();
+        let mut total = 0.0f64;
+        for c in 0..cols {
+            let exact: i64 = (0..rows)
+                .map(|r| i64::from(inputs[r]) * i64::from(weights[r * cols + c]))
+                .sum();
+            // Reconstruct in full-precision units for a fair comparison.
+            let reconstructed = got[c] << shift;
+            total += (exact - reconstructed).abs() as f64;
+        }
+        total
+    };
+    let coarse = error_at(3);
+    let fine = error_at(8);
+    assert!(
+        fine < coarse,
+        "8-bit outputs should reconstruct better than 3-bit: {fine} vs {coarse}"
+    );
+}

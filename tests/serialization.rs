@@ -1,0 +1,84 @@
+//! Serialization round trips: configurations, mappings, and even
+//! programmed hardware state survive JSON round trips unchanged — the
+//! property that makes experiment results and checkpoints archivable.
+
+use prime::compiler::{map_network, CompileOptions, HwTarget};
+use prime::core::FfMat;
+use prime::mem::{Command, MatAddr, MatFunction, MemGeometry};
+use prime::nn::{Activation, FullyConnected, Layer, MlBench, Network};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn geometry_and_target_round_trip() {
+    let geo = MemGeometry::prime_default();
+    assert_eq!(round_trip(&geo), geo);
+    let hw = HwTarget::prime_default();
+    assert_eq!(round_trip(&hw), hw);
+}
+
+#[test]
+fn commands_round_trip() {
+    let mat = MatAddr { subarray: 1, mat: 42 };
+    let cmd = Command::SetFunction { mat, function: MatFunction::Compute };
+    assert_eq!(round_trip(&cmd), cmd);
+}
+
+#[test]
+fn network_mapping_round_trips() {
+    let mapping = map_network(
+        &MlBench::Cnn2.spec(),
+        &HwTarget::prime_default(),
+        CompileOptions::default(),
+    )
+    .expect("fits");
+    let restored = round_trip(&mapping);
+    // Floats can differ in the last ulp through JSON; compare them with
+    // tolerance and everything else exactly.
+    assert_eq!(restored.layers, mapping.layers);
+    assert_eq!(restored.scale, mapping.scale);
+    assert_eq!(restored.base_mats, mapping.base_mats);
+    assert_eq!(restored.banks_per_copy, mapping.banks_per_copy);
+    assert_eq!(restored.copies_across_memory, mapping.copies_across_memory);
+    assert_eq!(restored.pipeline, mapping.pipeline);
+    assert!((restored.utilization_before - mapping.utilization_before).abs() < 1e-12);
+    assert!((restored.utilization_after - mapping.utilization_after).abs() < 1e-12);
+}
+
+#[test]
+fn trained_network_round_trips_functionally() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(91);
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(8, 6, Activation::Sigmoid)),
+        Layer::Fc(FullyConnected::new(6, 3, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut rng);
+    let restored: Network = round_trip(&net);
+    let input = [0.3f32, 0.7, 0.1, 0.9, 0.5, 0.2, 0.8, 0.4];
+    assert_eq!(net.forward(&input).unwrap(), restored.forward(&input).unwrap());
+}
+
+#[test]
+fn programmed_ff_mat_round_trips_with_identical_outputs() {
+    let mut mat = FfMat::new();
+    mat.set_function(MatFunction::Program);
+    let weights: Vec<i32> = (0..16 * 4).map(|i| (i as i32 * 13 % 300) - 150).collect();
+    mat.program_composed(&weights, 16, 4).expect("fits");
+    mat.set_function(MatFunction::Compute);
+    let mut restored: FfMat = round_trip(&mat);
+    let inputs: Vec<u16> = (0..16).map(|i| (i * 3 % 64) as u16).collect();
+    assert_eq!(
+        mat.compute(&inputs).expect("compute"),
+        restored.compute(&inputs).expect("compute restored"),
+        "serialized hardware state must compute identically"
+    );
+}

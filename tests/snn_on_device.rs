@@ -1,0 +1,132 @@
+//! SNN-on-device integration: binary spike trains drive real crossbar
+//! models. Spikes are 1-bit wordline inputs, so each timestep's synaptic
+//! current is exactly one crossbar evaluation — the natural fit between
+//! SNNs and PRIME's FF subarrays that the paper's future-work note
+//! (§II-B) points at.
+
+use prime::device::{MlcSpec, PairedCrossbar};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Quantizes signed f32 weights to crossbar codes and returns the scale.
+fn quantize(weights: &[f32]) -> (Vec<i32>, f32) {
+    let max = weights.iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+    let scale = max / 15.0; // single 4-bit cell per weight (SNN needs no composing)
+    (weights.iter().map(|&w| ((w / scale).round()) as i32).collect(), scale)
+}
+
+#[test]
+fn crossbar_current_equals_software_current_for_spikes() {
+    let mut rng = SmallRng::seed_from_u64(81);
+    let (inputs, outputs) = (96usize, 24usize);
+    let weights: Vec<f32> = (0..inputs * outputs).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let (codes, _scale) = quantize(&weights);
+    let mut pair = PairedCrossbar::new(inputs, outputs, MlcSpec::new(4).unwrap());
+    // Crossbar orientation: row-major [inputs, outputs].
+    let mut device_codes = vec![0i32; inputs * outputs];
+    for o in 0..outputs {
+        for i in 0..inputs {
+            device_codes[i * outputs + o] = codes[o * inputs + i];
+        }
+    }
+    pair.program_signed_matrix(&device_codes).unwrap();
+    for trial in 0..20 {
+        let spikes: Vec<bool> = (0..inputs).map(|i| (i * 7 + trial) % 3 == 0).collect();
+        let spike_codes: Vec<u16> = spikes.iter().map(|&s| u16::from(s)).collect();
+        let device = pair.dot_signed(&spike_codes).unwrap();
+        for o in 0..outputs {
+            let software: i64 = (0..inputs)
+                .filter(|&i| spikes[i])
+                .map(|i| i64::from(codes[o * inputs + i]))
+                .sum();
+            assert_eq!(device[o], software, "output {o}, trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn lif_dynamics_on_device_match_software_reference() {
+    // A full spiking layer over 40 timesteps: the device supplies the
+    // synaptic current, the host integrates the membrane. The software
+    // reference uses the same quantized weights; spike trains must match
+    // exactly (integer currents, identical thresholds).
+    let mut rng = SmallRng::seed_from_u64(82);
+    let (inputs, outputs) = (64usize, 16usize);
+    let weights: Vec<f32> = (0..inputs * outputs).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let (codes, scale) = quantize(&weights);
+    let mut pair = PairedCrossbar::new(inputs, outputs, MlcSpec::new(4).unwrap());
+    let mut device_codes = vec![0i32; inputs * outputs];
+    for o in 0..outputs {
+        for i in 0..inputs {
+            device_codes[i * outputs + o] = codes[o * inputs + i];
+        }
+    }
+    pair.program_signed_matrix(&device_codes).unwrap();
+
+    let rates: Vec<f32> = (0..inputs).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let threshold_real = 2.0f32;
+    let threshold_units = (threshold_real / scale).round() as i64;
+
+    let mut phase = vec![0.0f32; inputs];
+    let mut membrane_dev = vec![0i64; outputs];
+    let mut membrane_sw = vec![0i64; outputs];
+    let mut spikes_dev = vec![0u32; outputs];
+    let mut spikes_sw = vec![0u32; outputs];
+    for _ in 0..40 {
+        let spikes: Vec<bool> = rates
+            .iter()
+            .zip(phase.iter_mut())
+            .map(|(&r, p)| {
+                *p += r;
+                if *p >= 1.0 {
+                    *p -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect();
+        let spike_codes: Vec<u16> = spikes.iter().map(|&s| u16::from(s)).collect();
+        let device_current = pair.dot_signed(&spike_codes).unwrap();
+        for o in 0..outputs {
+            let software_current: i64 = (0..inputs)
+                .filter(|&i| spikes[i])
+                .map(|i| i64::from(codes[o * inputs + i]))
+                .sum();
+            membrane_dev[o] += device_current[o];
+            membrane_sw[o] += software_current;
+            if membrane_dev[o] >= threshold_units {
+                membrane_dev[o] -= threshold_units;
+                spikes_dev[o] += 1;
+            }
+            if membrane_sw[o] >= threshold_units {
+                membrane_sw[o] -= threshold_units;
+                spikes_sw[o] += 1;
+            }
+        }
+    }
+    assert_eq!(spikes_dev, spikes_sw, "device and software spike trains diverged");
+    assert!(spikes_dev.iter().any(|&c| c > 0), "no neuron ever fired");
+}
+
+#[test]
+fn snn_conversion_integrates_with_the_nn_stack() {
+    use prime::nn::{
+        train_sgd, Activation, DigitGenerator, FullyConnected, Layer, Network, SnnConfig,
+        SpikingNetwork, TrainConfig, IMAGE_PIXELS, NUM_CLASSES,
+    };
+    let mut rng = SmallRng::seed_from_u64(83);
+    let data = DigitGenerator::default().dataset(400, &mut rng);
+    let mut ann = Network::new(vec![
+        Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 16, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(16, NUM_CLASSES, Activation::Identity)),
+    ])
+    .unwrap();
+    ann.init_random(&mut rng);
+    train_sgd(&mut ann, &data, TrainConfig::quick(), &mut rng).unwrap();
+    let calib: Vec<Vec<f32>> = data.iter().take(10).map(|s| s.pixels.clone()).collect();
+    let snn = SpikingNetwork::from_network(&ann, SnnConfig::fast(), &calib).unwrap();
+    let subset = &data[..40];
+    let correct = subset.iter().filter(|s| snn.classify(&s.pixels) == s.label).count();
+    assert!(correct >= 28, "SNN classified only {correct}/40");
+}

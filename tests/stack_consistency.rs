@@ -1,0 +1,89 @@
+//! Cross-crate consistency: the same physical quantities derived in
+//! different crates must agree (geometry vs compiler target, FF mat vs
+//! composing scheme, command streams vs mapping).
+
+use prime::compiler::HwTarget;
+use prime::core::{FfMat, NnParamFile, PrimeProgram};
+use prime::mem::{MatFunction, MemGeometry};
+use prime::nn::{MlBench, NetworkSpec};
+
+#[test]
+fn compiler_target_matches_memory_geometry() {
+    let geo = MemGeometry::prime_default();
+    let hw = HwTarget::from_geometry(&geo).expect("valid geometry");
+    assert_eq!(hw.mat_rows, geo.mat_rows);
+    assert_eq!(hw.mat_cols, geo.mat_cols / 2); // composed weights
+    assert_eq!(hw.banks, geo.total_banks());
+    assert_eq!(
+        hw.total_mats() as u64 * hw.synapses_per_mat(),
+        geo.max_synapses(),
+        "compiler and geometry disagree on total synapse capacity"
+    );
+}
+
+#[test]
+fn ff_mat_capacity_matches_compiler_assumptions() {
+    let hw = HwTarget::prime_default();
+    let mat = FfMat::new();
+    assert_eq!(mat.max_rows(), hw.mat_rows);
+    assert_eq!(mat.max_cols(), hw.mat_cols);
+    // A full-capacity weight matrix programs successfully.
+    let mut mat = FfMat::new();
+    mat.set_function(MatFunction::Program);
+    let weights = vec![1i32; hw.mat_rows * hw.mat_cols];
+    mat.program_composed(&weights, hw.mat_rows, hw.mat_cols).expect("fits exactly");
+    // One more column does not.
+    let mut mat = FfMat::new();
+    mat.set_function(MatFunction::Program);
+    let too_many = vec![1i32; hw.mat_rows * (hw.mat_cols + 1)];
+    assert!(mat.program_composed(&too_many, hw.mat_rows, hw.mat_cols + 1).is_err());
+}
+
+#[test]
+fn command_stream_length_tracks_the_mapping() {
+    for bench in [MlBench::MlpS, MlBench::Cnn1] {
+        let spec = bench.spec();
+        let network = spec.to_network().expect("executable benchmark");
+        let params = NnParamFile { spec, network };
+        let mut program = PrimeProgram::new();
+        let mapping = program.map_topology(&params).expect("fits").clone();
+        program.program_weight(&params).expect("consistent");
+        let compiled = program.config_datapath().expect("configured");
+        // Four datapath-configure commands per mapped tile (function,
+        // two bypasses, input source).
+        let tiles: usize = mapping.layers.iter().map(|l| l.base_mats).sum();
+        assert_eq!(compiled.datapath_commands.len(), 4 * tiles, "{}", bench.name());
+        // Data flow: one fetch + one commit + load/store per tile.
+        assert_eq!(compiled.dataflow_commands.len(), 2 + 2 * tiles, "{}", bench.name());
+    }
+}
+
+#[test]
+fn spec_and_network_agree_on_synapses() {
+    for bench in MlBench::ALL {
+        let spec = bench.spec();
+        if bench.is_executable() {
+            let net = spec.to_network().expect("executable");
+            assert_eq!(
+                net.synapses() as u64,
+                spec.synapses(),
+                "{}: spec and network disagree",
+                bench.name()
+            );
+            assert_eq!(net.inputs(), spec.inputs());
+            assert_eq!(net.outputs(), spec.outputs());
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade's module paths interoperate: a spec built through
+    // `prime::nn` maps through `prime::compiler` and runs on
+    // `prime::sim` machines.
+    use prime::sim::{Machine, PrimeMachine};
+    let spec: NetworkSpec = MlBench::MlpM.spec();
+    let result = PrimeMachine::new().run(&spec, 8);
+    assert_eq!(result.benchmark, "MLP-M");
+    assert!(result.latency_ns > 0.0);
+}

@@ -1,0 +1,148 @@
+//! Throughput of the bank-parallel batched inference engine.
+//!
+//! Deploys MLP-M-class and CNN-1-class fully-connected workloads across
+//! 1, 2, 4, and 8 banks and measures `PrimeSystem::infer_batch` in both
+//! execution modes — serial round-robin vs one thread per bank (paper §V
+//! bank-level parallelism) — verifying on every configuration that the
+//! two engines produce bit-identical outputs. Writes
+//! `BENCH_throughput.json` to the working directory (repo root under
+//! `cargo run`).
+//!
+//! `--smoke` runs a single fast configuration and skips the JSON (CI
+//! does-it-run check: it fails on panic, not on regression).
+
+use std::time::Instant;
+
+use prime_core::PrimeSystem;
+use prime_nn::{Activation, FullyConnected, Layer, Network};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One measured (workload, bank-count) configuration.
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    topology: String,
+    banks: usize,
+    batch: usize,
+    serial_ns_per_inference: f64,
+    parallel_ns_per_inference: f64,
+    serial_inferences_per_s: f64,
+    parallel_inferences_per_s: f64,
+    speedup: f64,
+}
+
+/// A fully-connected ReLU workload the command runner can execute
+/// (hidden layers ReLU, final layer identity).
+fn fc_net(widths: &[usize], seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let layers = widths
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| {
+            let act =
+                if i + 2 == widths.len() { Activation::Identity } else { Activation::Relu };
+            Layer::Fc(FullyConnected::new(w[0], w[1], act))
+        })
+        .collect();
+    let mut net = Network::new(layers).expect("chained widths match");
+    net.init_random(&mut rng);
+    net
+}
+
+fn pseudo_batch(len: usize, width: usize) -> Vec<Vec<f32>> {
+    (0..len)
+        .map(|i| (0..width).map(|j| ((i * 7 + j * 5) % 13) as f32 / 13.0).collect())
+        .collect()
+}
+
+fn time_batch(system: &mut PrimeSystem, inputs: &[Vec<f32>], reps: usize) -> (f64, Vec<Vec<f32>>) {
+    // Warm-up grows every scratch buffer to its steady-state size.
+    let outputs = system.infer_batch(inputs).expect("deployed");
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let got = system.infer_batch(inputs).expect("deployed");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(got, outputs, "engine is not deterministic across repetitions");
+        best = best.min(elapsed);
+    }
+    (best, outputs)
+}
+
+fn measure(name: &str, widths: &[usize], banks: usize, batch: usize, reps: usize) -> Row {
+    let net = fc_net(widths, 0x5EED);
+    let calibration = vec![0.5f32; widths[0]];
+    let mut system = PrimeSystem::new(banks, 2, 32, 4096);
+    system.deploy(&net, &calibration).expect("workload fits the bank");
+    let inputs = pseudo_batch(batch, widths[0]);
+
+    system.set_parallel(false);
+    let (serial_s, serial_out) = time_batch(&mut system, &inputs, reps);
+    system.set_parallel(true);
+    let (parallel_s, parallel_out) = time_batch(&mut system, &inputs, reps);
+    assert_eq!(
+        serial_out, parallel_out,
+        "{name} on {banks} banks: parallel outputs diverge from serial"
+    );
+
+    let per_inf = |s: f64| s / batch as f64 * 1e9;
+    Row {
+        workload: name.to_string(),
+        topology: widths.iter().map(usize::to_string).collect::<Vec<_>>().join("-"),
+        banks,
+        batch,
+        serial_ns_per_inference: per_inf(serial_s),
+        parallel_ns_per_inference: per_inf(parallel_s),
+        serial_inferences_per_s: batch as f64 / serial_s,
+        parallel_inferences_per_s: batch as f64 / parallel_s,
+        speedup: serial_s / parallel_s,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // MLP-M-class: the paper's 784-1000-500-250-10 MLP-M as a pure
+    // ReLU/identity FC stack. CNN-1-class: CNN-1's fully-connected
+    // classifier head (720-70-10).
+    let workloads: &[(&str, &[usize])] = if smoke {
+        &[("CNN-1-class", &[720, 70, 10])]
+    } else {
+        &[("MLP-M-class", &[784, 1000, 500, 250, 10]), ("CNN-1-class", &[720, 70, 10])]
+    };
+    let bank_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    let (batch_per_bank, reps) = if smoke { (2, 1) } else { (6, 3) };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:>5} {:>6} {:>14} {:>14} {:>8}",
+        "workload", "banks", "batch", "serial ns/inf", "parallel ns/inf", "speedup"
+    );
+    // One fixed batch size per run (divisible by every bank count) so
+    // ns/inference is comparable across rows.
+    let batch = batch_per_bank * bank_counts.last().copied().unwrap_or(1);
+    for (name, widths) in workloads {
+        for &banks in bank_counts {
+            let row = measure(name, widths, banks, batch, reps);
+            println!(
+                "{:<12} {:>5} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+                row.workload,
+                row.banks,
+                row.batch,
+                row.serial_ns_per_inference,
+                row.parallel_ns_per_inference,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_throughput.json");
+        return;
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("\n[wrote BENCH_throughput.json]");
+}

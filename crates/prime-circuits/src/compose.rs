@@ -185,7 +185,27 @@ impl ComposingScheme {
 
     /// The parts the hardware actually evaluates (kept bits > 0), in order.
     pub fn included_parts(&self) -> Vec<Part> {
-        Part::ALL.iter().copied().filter(|&p| self.kept_bits(p) > 0).collect()
+        self.included_parts_iter().collect()
+    }
+
+    /// Allocation-free form of [`included_parts`](Self::included_parts),
+    /// for hot kernels.
+    pub fn included_parts_iter(self) -> impl Iterator<Item = Part> {
+        Part::ALL.iter().copied().filter(move |&p| self.kept_bits(p) > 0)
+    }
+
+    /// Largest representable composed input code: `2^Pin - 1` (63 for the
+    /// paper's 6-bit inputs). The single source of truth for input
+    /// quantization clamps.
+    pub fn input_code_max(&self) -> u16 {
+        ((1u32 << self.pin) - 1) as u16
+    }
+
+    /// Largest representable output magnitude: `2^Po - 1` (63 for the
+    /// paper's 6-bit outputs); the sign is carried by the subtraction
+    /// unit. The single source of truth for output/requantization clamps.
+    pub fn output_code_max(&self) -> i64 {
+        (1i64 << self.po) - 1
     }
 
     /// Splits a composed input code into (HIGH, LOW) physical signals.
@@ -404,7 +424,7 @@ mod tests {
     fn compose_approximates_exact_target() {
         let s = ComposingScheme::prime_default();
         let inputs: Vec<u16> = (0..256).map(|i| (i % 64) as u16).collect();
-        let weights: Vec<i32> = (0..256).map(|i| ((i * 13) % 511) as i32 - 255).collect();
+        let weights: Vec<i32> = (0..256).map(|i| ((i * 13) % 511) - 255).collect();
         let parts = part_sums(&s, &inputs, &weights, 1).unwrap();
         let exact = s.exact_target(s.full_from_parts(parts[0]));
         let composed = s.compose(parts[0]);

@@ -82,7 +82,12 @@ impl PrimeProgram {
 
     /// Creates a program against a custom hardware target.
     pub fn with_target(target: HwTarget) -> Self {
-        PrimeProgram { target, mapping: None, network: None, executor: FfExecutor::new() }
+        PrimeProgram {
+            target,
+            mapping: None,
+            network: None,
+            executor: FfExecutor::new(),
+        }
     }
 
     /// `Map_Topology(..)`: maps the NN topology onto FF subarrays, running
@@ -93,8 +98,12 @@ impl PrimeProgram {
     /// Returns [`PrimeError::MappingMismatch`] if the network does not fit
     /// the hardware.
     pub fn map_topology(&mut self, params: &NnParamFile) -> Result<&NetworkMapping, PrimeError> {
-        let mapping = map_network(&params.spec, &self.target, CompileOptions::default())
-            .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
+        let mapping =
+            map_network(&params.spec, &self.target, CompileOptions::default()).map_err(|e| {
+                PrimeError::MappingMismatch {
+                    reason: e.to_string(),
+                }
+            })?;
         self.mapping = Some(mapping);
         Ok(self.mapping.as_ref().expect("just set"))
     }
@@ -154,13 +163,19 @@ impl PrimeProgram {
                     subarray: flat / mats_per_subarray,
                     mat: flat % mats_per_subarray,
                 };
-                datapath.push(Command::SetFunction { mat, function: MatFunction::Compute });
+                datapath.push(Command::SetFunction {
+                    mat,
+                    function: MatFunction::Compute,
+                });
                 // Sigmoid only on the final merged output of a layer whose
                 // activation needs it; split tiles always bypass.
                 let bypass = layer.row_tiles > 1 || !is_last;
                 datapath.push(Command::BypassSigmoid { mat, bypass });
                 datapath.push(Command::BypassSa { mat, bypass: false });
-                datapath.push(Command::SetInputSource { mat, source: InputSource::Buffer });
+                datapath.push(Command::SetInputSource {
+                    mat,
+                    source: InputSource::Buffer,
+                });
                 dataflow.push(Command::Load {
                     from: BufAddr(0),
                     to: FfAddr { mat, offset: 0 },
@@ -233,8 +248,14 @@ mod tests {
         let spec = NetworkSpec::new(
             "tiny",
             vec![
-                prime_nn::LayerSpec::FullyConnected { inputs: 8, outputs: 6 },
-                prime_nn::LayerSpec::FullyConnected { inputs: 6, outputs: 3 },
+                prime_nn::LayerSpec::FullyConnected {
+                    inputs: 8,
+                    outputs: 6,
+                },
+                prime_nn::LayerSpec::FullyConnected {
+                    inputs: 6,
+                    outputs: 3,
+                },
             ],
         )
         .unwrap();
@@ -264,8 +285,14 @@ mod tests {
         prog.map_topology(&params).unwrap();
         prog.program_weight(&params).unwrap();
         let compiled = prog.config_datapath().unwrap();
-        assert!(compiled.datapath_commands.iter().all(Command::is_datapath_configure));
-        assert!(compiled.dataflow_commands.iter().all(|c| !c.is_datapath_configure()));
+        assert!(compiled
+            .datapath_commands
+            .iter()
+            .all(Command::is_datapath_configure));
+        assert!(compiled
+            .dataflow_commands
+            .iter()
+            .all(|c| !c.is_datapath_configure()));
         // fetch + (load + store) per weight tile + commit.
         assert!(compiled.dataflow_commands.len() >= 4);
     }

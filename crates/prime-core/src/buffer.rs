@@ -116,9 +116,29 @@ impl BufferSubarray {
     /// Returns [`PrimeError::BufferOverflow`] when the range exceeds
     /// capacity.
     pub fn load(&mut self, addr: BufAddr, len: usize) -> Result<Vec<i64>, PrimeError> {
+        let mut out = Vec::new();
+        self.load_into(addr, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`load`](Self::load) into a caller-owned buffer: `out` is cleared
+    /// and refilled, so reused buffers incur no steady-state allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when the range exceeds
+    /// capacity.
+    pub fn load_into(
+        &mut self,
+        addr: BufAddr,
+        len: usize,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
         let start = self.check_range(addr, len)?;
         self.words_read += len as u64;
-        Ok(self.data[start..start + len].to_vec())
+        out.clear();
+        out.extend_from_slice(&self.data[start..start + len]);
+        Ok(())
     }
 
     /// Random-access gather: the buffer-connection unit can deliver any
@@ -179,7 +199,8 @@ mod tests {
     #[test]
     fn gather_supports_random_access() {
         let mut buf = BufferSubarray::new(8);
-        buf.store(BufAddr(0), &[10, 11, 12, 13, 14, 15, 16, 17]).unwrap();
+        buf.store(BufAddr(0), &[10, 11, 12, 13, 14, 15, 16, 17])
+            .unwrap();
         assert_eq!(buf.gather(&[7, 0, 3]).unwrap(), vec![17, 10, 13]);
     }
 

@@ -16,7 +16,7 @@ use prime_mem::{Command, InputSource, MatAddr, MatFunction};
 
 use crate::buffer::BufferSubarray;
 use crate::error::PrimeError;
-use crate::ff_mat::FfMat;
+use crate::ff_mat::{FfMat, MatScratch};
 
 /// Words per memory row modelled by the controller's Mem-subarray space.
 const MEM_ROW_WORDS: usize = 32;
@@ -26,6 +26,27 @@ const MEM_ROW_WORDS: usize = 32;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct MigratedMat {
     rows: Vec<Vec<bool>>,
+}
+
+/// Reusable buffers for [`BankController::compute_mat_into`].
+///
+/// Holds the clamped input codes, the mat-level scratch, and the raw
+/// composed outputs. Buffers only grow (the `prime-device` scratch-buffer
+/// contract), so after the first compute at a given geometry repeated
+/// calls perform zero heap allocation. One scratch serves every mat of a
+/// bank.
+#[derive(Debug, Default, Clone)]
+pub struct BankScratch {
+    codes: Vec<u16>,
+    mat: MatScratch,
+    raw: Vec<i64>,
+}
+
+impl BankScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BankScratch::default()
+    }
 }
 
 /// The per-bank PRIME controller with its FF subarrays, Buffer subarray,
@@ -60,6 +81,9 @@ pub struct BankController {
     input_sources: HashMap<(usize, usize), InputSource>,
     /// Data migrated out of FF subarrays during computation.
     migrated: HashMap<(usize, usize), MigratedMat>,
+    /// Recycled latch storage: `load` reuses the vector the previous
+    /// `compute_mat` consumed, so steady-state staging allocates nothing.
+    spare_latch: Vec<i64>,
     /// Every command executed, in order (for inspection and tests).
     log: Vec<Command>,
 }
@@ -85,6 +109,7 @@ impl BankController {
             outputs: HashMap::new(),
             input_sources: HashMap::new(),
             migrated: HashMap::new(),
+            spare_latch: Vec::new(),
             log: Vec::new(),
         }
     }
@@ -195,21 +220,36 @@ impl BankController {
             }
             Command::Load { from, to, bytes } => {
                 let words = (bytes / 8) as usize;
+                let key = (to.mat.subarray, to.mat.mat);
                 let source = self
                     .input_sources
-                    .get(&(to.mat.subarray, to.mat.mat))
+                    .get(&key)
                     .copied()
                     .unwrap_or(InputSource::Buffer);
                 let data = match source {
-                    InputSource::Buffer => self.buffer.load(from, words)?,
+                    InputSource::Buffer => {
+                        // Recycle the latch vector the last compute
+                        // consumed: steady-state staging allocates nothing.
+                        let mut data = std::mem::take(&mut self.spare_latch);
+                        if let Err(e) = self.buffer.load_into(from, words, &mut data) {
+                            self.spare_latch = data;
+                            return Err(e);
+                        }
+                        data
+                    }
                     InputSource::PreviousLayer => {
-                        self.buffer.bypass_take().ok_or(PrimeError::MappingMismatch {
-                            reason: "input source is previous-layer but bypass register is empty"
-                                .to_string(),
-                        })?
+                        self.buffer
+                            .bypass_take()
+                            .ok_or(PrimeError::MappingMismatch {
+                                reason:
+                                    "input source is previous-layer but bypass register is empty"
+                                        .to_string(),
+                            })?
                     }
                 };
-                self.latches.insert((to.mat.subarray, to.mat.mat), data);
+                if let Some(old) = self.latches.insert(key, data) {
+                    self.spare_latch = old;
+                }
                 Ok(())
             }
             Command::Store { from, to, bytes } => {
@@ -238,17 +278,101 @@ impl BankController {
     /// Returns [`PrimeError::MappingMismatch`] if no data was loaded, or
     /// mode errors from the mat.
     pub fn compute_mat(&mut self, addr: MatAddr) -> Result<Vec<i64>, PrimeError> {
-        let key = (addr.subarray, addr.mat);
-        let staged = self.latches.remove(&key).ok_or(PrimeError::MappingMismatch {
-            reason: "compute issued before load".to_string(),
-        })?;
-        let max_code = (1i64 << self.ff[addr.subarray][addr.mat].scheme().input_bits()) - 1;
-        let codes: Vec<u16> =
-            staged.iter().map(|&v| v.clamp(0, max_code) as u16).collect();
-        let raw = self.ff[addr.subarray][addr.mat].compute(&codes)?;
-        let out = self.ff[addr.subarray][addr.mat].apply_output_units(&raw);
-        self.outputs.insert(key, out.clone());
+        let mut scratch = BankScratch::new();
+        let mut out = Vec::new();
+        self.compute_mat_into(addr, &mut scratch, &mut out)?;
         Ok(out)
+    }
+
+    /// [`compute_mat`](Self::compute_mat) into caller-owned buffers.
+    ///
+    /// `out` is cleared and refilled with the mat's post-output-unit
+    /// results; the output register kept for `store` reuses its previous
+    /// storage, and the consumed latch vector is recycled for the next
+    /// `load` — with a reused `scratch`, the whole
+    /// load→compute→merge path performs zero steady-state heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] if no data was loaded, or
+    /// mode errors from the mat.
+    pub fn compute_mat_into(
+        &mut self,
+        addr: MatAddr,
+        scratch: &mut BankScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.stage_latch_codes(addr, scratch)?;
+        self.ff[addr.subarray][addr.mat].compute_into(
+            &scratch.codes,
+            &mut scratch.mat,
+            &mut scratch.raw,
+        )?;
+        self.finish_compute(addr, scratch, out);
+        Ok(())
+    }
+
+    /// Analog variant of [`compute_mat_into`](Self::compute_mat_into):
+    /// the mat evaluates through the voltage/conductance domain with read
+    /// noise from `noise`, drawing from `rng`. Same scratch contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] if no data was loaded, or
+    /// mode errors from the mat.
+    pub fn compute_mat_analog_into<R: rand::Rng + ?Sized>(
+        &mut self,
+        addr: MatAddr,
+        noise: &prime_device::NoiseModel,
+        rng: &mut R,
+        scratch: &mut BankScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.stage_latch_codes(addr, scratch)?;
+        self.ff[addr.subarray][addr.mat].compute_analog_into(
+            &scratch.codes,
+            noise,
+            rng,
+            &mut scratch.mat,
+            &mut scratch.raw,
+        )?;
+        self.finish_compute(addr, scratch, out);
+        Ok(())
+    }
+
+    /// Consumes the mat's staged latch into `scratch.codes` (clamped to
+    /// the scheme's input-code range), recycling the latch vector.
+    fn stage_latch_codes(
+        &mut self,
+        addr: MatAddr,
+        scratch: &mut BankScratch,
+    ) -> Result<(), PrimeError> {
+        let key = (addr.subarray, addr.mat);
+        let staged = self
+            .latches
+            .remove(&key)
+            .ok_or(PrimeError::MappingMismatch {
+                reason: "compute issued before load".to_string(),
+            })?;
+        let max_code = i64::from(self.ff[addr.subarray][addr.mat].scheme().input_code_max());
+        scratch.codes.clear();
+        scratch
+            .codes
+            .extend(staged.iter().map(|&v| v.clamp(0, max_code) as u16));
+        // Hand the consumed latch back to the pool for the next `load`.
+        self.spare_latch = staged;
+        Ok(())
+    }
+
+    /// Routes raw composed results through the output units into `out`
+    /// and the mat's output register (for `store`), reusing storage.
+    fn finish_compute(&mut self, addr: MatAddr, scratch: &BankScratch, out: &mut Vec<i64>) {
+        let key = (addr.subarray, addr.mat);
+        self.ff[addr.subarray][addr.mat].apply_output_units_into(&scratch.raw, out);
+        let register = self.outputs.entry(key).or_default();
+        register.clear();
+        register.extend_from_slice(out);
     }
 
     /// §III-A2 morphing, step 1: migrate the subarray's memory-mode data
@@ -259,10 +383,12 @@ impl BankController {
         for m in 0..mats {
             let mat = &self.ff[subarray][m];
             if mat.function() == MatFunction::Memory {
-                let rows =
-                    (0..2 * prime_device::MAT_DIM)
-                        .map(|r| mat.read_memory_row(r, prime_device::MAT_DIM).expect("memory mode"))
-                        .collect();
+                let rows = (0..2 * prime_device::MAT_DIM)
+                    .map(|r| {
+                        mat.read_memory_row(r, prime_device::MAT_DIM)
+                            .expect("memory mode")
+                    })
+                    .collect();
                 self.migrated.insert((subarray, m), MigratedMat { rows });
             }
             self.ff[subarray][m].set_function(MatFunction::Program);
@@ -320,31 +446,62 @@ mod tests {
     fn fetch_commit_round_trip_through_buffer() {
         let mut ctrl = small_controller();
         ctrl.write_mem(MemAddr(64), &[9, 8, 7, 6]);
-        ctrl.execute(Command::Fetch { from: MemAddr(64), to: BufAddr(10), bytes: 32 }).unwrap();
-        ctrl.execute(Command::Commit { from: BufAddr(10), to: MemAddr(0), bytes: 32 }).unwrap();
+        ctrl.execute(Command::Fetch {
+            from: MemAddr(64),
+            to: BufAddr(10),
+            bytes: 32,
+        })
+        .unwrap();
+        ctrl.execute(Command::Commit {
+            from: BufAddr(10),
+            to: MemAddr(0),
+            bytes: 32,
+        })
+        .unwrap();
         assert_eq!(ctrl.read_mem(MemAddr(0), 4), vec![9, 8, 7, 6]);
     }
 
     #[test]
     fn load_compute_store_pipeline() {
         let mut ctrl = small_controller();
-        let addr = MatAddr { subarray: 0, mat: 0 };
+        let addr = MatAddr {
+            subarray: 0,
+            mat: 0,
+        };
         // Program a 4x2 weight matrix.
-        ctrl.execute(Command::SetFunction { mat: addr, function: MatFunction::Program }).unwrap();
-        ctrl.mat_mut(addr).program_composed(&[16, -16, 32, 0, 0, 32, -16, 16], 4, 2).unwrap();
-        ctrl.execute(Command::SetFunction { mat: addr, function: MatFunction::Compute }).unwrap();
+        ctrl.execute(Command::SetFunction {
+            mat: addr,
+            function: MatFunction::Program,
+        })
+        .unwrap();
+        ctrl.mat_mut(addr)
+            .program_composed(&[16, -16, 32, 0, 0, 32, -16, 16], 4, 2)
+            .unwrap();
+        ctrl.execute(Command::SetFunction {
+            mat: addr,
+            function: MatFunction::Compute,
+        })
+        .unwrap();
         // Stage inputs through the buffer and run.
-        ctrl.buffer_mut().store(BufAddr(0), &[8, 16, 24, 32]).unwrap();
+        ctrl.buffer_mut()
+            .store(BufAddr(0), &[8, 16, 24, 32])
+            .unwrap();
         ctrl.execute(Command::Load {
             from: BufAddr(0),
-            to: FfAddr { mat: addr, offset: 0 },
+            to: FfAddr {
+                mat: addr,
+                offset: 0,
+            },
             bytes: 32,
         })
         .unwrap();
         let out = ctrl.compute_mat(addr).unwrap();
         assert_eq!(out.len(), 2);
         ctrl.execute(Command::Store {
-            from: FfAddr { mat: addr, offset: 0 },
+            from: FfAddr {
+                mat: addr,
+                offset: 0,
+            },
             to: BufAddr(100),
             bytes: 16,
         })
@@ -355,9 +512,15 @@ mod tests {
     #[test]
     fn store_before_compute_fails() {
         let mut ctrl = small_controller();
-        let addr = MatAddr { subarray: 0, mat: 0 };
+        let addr = MatAddr {
+            subarray: 0,
+            mat: 0,
+        };
         let err = ctrl.execute(Command::Store {
-            from: FfAddr { mat: addr, offset: 0 },
+            from: FfAddr {
+                mat: addr,
+                offset: 0,
+            },
             to: BufAddr(0),
             bytes: 8,
         });
@@ -367,13 +530,18 @@ mod tests {
     #[test]
     fn morphing_protocol_preserves_memory_data() {
         let mut ctrl = small_controller();
-        let addr = MatAddr { subarray: 0, mat: 0 };
+        let addr = MatAddr {
+            subarray: 0,
+            mat: 0,
+        };
         let bits: Vec<bool> = (0..256).map(|i| i % 7 == 0).collect();
         ctrl.mat_mut(addr).write_memory_row(5, &bits).unwrap();
         ctrl.mat_mut(addr).write_memory_row(400, &bits).unwrap();
         // Morph to compute, run something, morph back.
         ctrl.morph_to_compute(0);
-        ctrl.mat_mut(addr).program_composed(&[100, -100], 2, 1).unwrap();
+        ctrl.mat_mut(addr)
+            .program_composed(&[100, -100], 2, 1)
+            .unwrap();
         ctrl.start_compute(0);
         assert_eq!(ctrl.mat(addr).function(), MatFunction::Compute);
         ctrl.morph_to_memory(0).unwrap();
@@ -384,7 +552,10 @@ mod tests {
     #[test]
     fn input_source_previous_layer_uses_bypass_register() {
         let mut ctrl = small_controller();
-        let addr = MatAddr { subarray: 0, mat: 0 };
+        let addr = MatAddr {
+            subarray: 0,
+            mat: 0,
+        };
         ctrl.execute(Command::SetInputSource {
             mat: addr,
             source: InputSource::PreviousLayer,
@@ -393,14 +564,20 @@ mod tests {
         // Without the bypass register filled, load fails.
         let err = ctrl.execute(Command::Load {
             from: BufAddr(0),
-            to: FfAddr { mat: addr, offset: 0 },
+            to: FfAddr {
+                mat: addr,
+                offset: 0,
+            },
             bytes: 16,
         });
         assert!(err.is_err());
         ctrl.buffer_mut().bypass_store(vec![1, 2]);
         ctrl.execute(Command::Load {
             from: BufAddr(0),
-            to: FfAddr { mat: addr, offset: 0 },
+            to: FfAddr {
+                mat: addr,
+                offset: 0,
+            },
             bytes: 16,
         })
         .unwrap();
@@ -409,9 +586,20 @@ mod tests {
     #[test]
     fn command_log_records_execution_order() {
         let mut ctrl = small_controller();
-        let addr = MatAddr { subarray: 0, mat: 0 };
-        ctrl.execute(Command::SetFunction { mat: addr, function: MatFunction::Program }).unwrap();
-        ctrl.execute(Command::BypassSigmoid { mat: addr, bypass: true }).unwrap();
+        let addr = MatAddr {
+            subarray: 0,
+            mat: 0,
+        };
+        ctrl.execute(Command::SetFunction {
+            mat: addr,
+            function: MatFunction::Program,
+        })
+        .unwrap();
+        ctrl.execute(Command::BypassSigmoid {
+            mat: addr,
+            bypass: true,
+        })
+        .unwrap();
         assert_eq!(ctrl.log().len(), 2);
         assert!(ctrl.log()[0].is_datapath_configure());
     }

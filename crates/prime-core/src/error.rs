@@ -54,12 +54,18 @@ impl fmt::Display for PrimeError {
             PrimeError::Mem(e) => write!(f, "memory error: {e}"),
             PrimeError::Nn(e) => write!(f, "nn error: {e}"),
             PrimeError::WrongMode { expected, found } => {
-                write!(f, "mat is in {found} mode but the operation requires {expected}")
+                write!(
+                    f,
+                    "mat is in {found} mode but the operation requires {expected}"
+                )
             }
             PrimeError::MatOverflow { rows, cols } => {
                 write!(f, "{rows}x{cols} weights do not fit one FF mat")
             }
-            PrimeError::BufferOverflow { requested, capacity } => {
+            PrimeError::BufferOverflow {
+                requested,
+                capacity,
+            } => {
                 write!(f, "buffer needs {requested} bytes but holds {capacity}")
             }
             PrimeError::MappingMismatch { reason } => write!(f, "mapping mismatch: {reason}"),

@@ -20,9 +20,9 @@ use serde::{Deserialize, Serialize};
 use prime_circuits::{ComposingScheme, MaxPoolUnit};
 use prime_device::NoiseModel;
 use prime_mem::MatFunction;
+use prime_nn::{Layer, Network, PoolKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use prime_nn::{Layer, Network, PoolKind};
 
 use crate::error::PrimeError;
 use crate::ff_mat::FfMat;
@@ -166,10 +166,12 @@ impl FfExecutor {
         let (codes, w_scale) = self.quantize_weights(weights);
         let mat_rows = 256;
         let mat_cols = 128;
-        let row_spans: Vec<(usize, usize)> =
-            (0..rows.div_ceil(mat_rows)).map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(rows))).collect();
-        let col_spans: Vec<(usize, usize)> =
-            (0..cols.div_ceil(mat_cols)).map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(cols))).collect();
+        let row_spans: Vec<(usize, usize)> = (0..rows.div_ceil(mat_rows))
+            .map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(rows)))
+            .collect();
+        let col_spans: Vec<(usize, usize)> = (0..cols.div_ceil(mat_cols))
+            .map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(cols)))
+            .collect();
         let mut tiles = Vec::with_capacity(row_spans.len());
         let mut code_tiles = Vec::with_capacity(row_spans.len());
         for &(r0, r1) in &row_spans {
@@ -276,7 +278,11 @@ impl FfExecutor {
     ///
     /// Returns [`PrimeError`] for malformed inputs or unsupported layer
     /// configurations.
-    pub fn run(&mut self, net: &Network, input: &[f32]) -> Result<(Vec<f32>, ExecutionStats), PrimeError> {
+    pub fn run(
+        &mut self,
+        net: &Network,
+        input: &[f32],
+    ) -> Result<(Vec<f32>, ExecutionStats), PrimeError> {
         if input.len() != net.inputs() {
             return Err(PrimeError::MappingMismatch {
                 reason: format!(
@@ -342,8 +348,8 @@ impl FfExecutor {
                     let mut tiled = self.tile_matrix(&km, rows, out_ch, in_scale)?;
                     let (oh, ow) = (conv.out_h(), conv.out_w());
                     let (src_h, src_w) = (oh + k - 1, ow + k - 1); // valid convolution
-                    // Gather all windows once: used both for SA-window
-                    // calibration (on a sample) and for evaluation.
+                                                                   // Gather all windows once: used both for SA-window
+                                                                   // calibration (on a sample) and for evaluation.
                     let mut windows: Vec<Vec<u16>> = Vec::with_capacity(oh * ow);
                     for oy in 0..oh {
                         for ox in 0..ow {
@@ -360,8 +366,11 @@ impl FfExecutor {
                         }
                     }
                     let sample_stride = (windows.len() / 32).max(1);
-                    let samples: Vec<&[u16]> =
-                        windows.iter().step_by(sample_stride).map(|w| w.as_slice()).collect();
+                    let samples: Vec<&[u16]> = windows
+                        .iter()
+                        .step_by(sample_stride)
+                        .map(|w| w.as_slice())
+                        .collect();
                     self.calibrate_tiles(&mut tiled, &samples);
                     let mut out = vec![0.0f32; out_ch * oh * ow];
                     for oy in 0..oh {
@@ -371,8 +380,7 @@ impl FfExecutor {
                             let y = self.eval_tiles(&mut tiled, window, out_ch)?;
                             for (oc, &v) in y.iter().enumerate() {
                                 let val = v + conv.bias()[oc];
-                                out[(oc * oh + oy) * ow + ox] =
-                                    conv.activation().apply(val);
+                                out[(oc * oh + oy) * ow + ox] = conv.activation().apply(val);
                             }
                         }
                     }
@@ -432,7 +440,9 @@ mod tests {
     fn fc_layer_matches_software_within_quantization_error() {
         let weights = Tensor::from_vec(
             vec![3, 4],
-            vec![0.5, -0.25, 0.125, 0.75, -0.5, 0.3, 0.2, -0.1, 0.05, 0.6, -0.7, 0.45],
+            vec![
+                0.5, -0.25, 0.125, 0.75, -0.5, 0.3, 0.2, -0.1, 0.05, 0.6, -0.7, 0.45,
+            ],
         )
         .unwrap();
         let fc = FullyConnected::from_params(weights, vec![0.1, -0.2, 0.0], Activation::Identity)
@@ -517,8 +527,7 @@ mod tests {
 
     #[test]
     fn conv_layer_matches_software_within_quantization_error() {
-        let mut conv =
-            prime_nn::Conv2d::new(1, 2, 3, 6, 6, 0, Activation::Relu);
+        let mut conv = prime_nn::Conv2d::new(1, 2, 3, 6, 6, 0, Activation::Relu);
         for (i, w) in conv.weights_mut().data_mut().iter_mut().enumerate() {
             *w = (((i * 23) % 19) as f32 - 9.0) / 18.0;
         }

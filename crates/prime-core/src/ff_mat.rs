@@ -13,10 +13,34 @@ use serde::{Deserialize, Serialize};
 use prime_circuits::{
     ComposingScheme, Part, PartSums, PrecisionController, ReluUnit, SigmoidUnit, WordlineDriver,
 };
-use prime_device::{MlcSpec, PairedCrossbar, MAT_DIM};
+use prime_device::{MlcSpec, PairScratch, PairedCrossbar, MAT_DIM};
 use prime_mem::MatFunction;
 
 use crate::error::PrimeError;
+
+/// Reusable buffers for [`FfMat::compute_into`] /
+/// [`FfMat::compute_analog_into`].
+///
+/// Holds the split input halves, the two driver passes' bitline sums, and
+/// the paired-crossbar scratch. Following the `prime-device`
+/// scratch-buffer contract, buffers only grow: after the first compute at
+/// a given geometry, repeated calls perform zero heap allocation. One
+/// scratch may be shared across mats (buffers are cleared per call).
+#[derive(Debug, Default, Clone)]
+pub struct MatScratch {
+    hi: Vec<u16>,
+    lo: Vec<u16>,
+    pass_hi: Vec<i64>,
+    pass_lo: Vec<i64>,
+    pair: PairScratch,
+}
+
+impl MatScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MatScratch::default()
+    }
+}
 
 /// Configuration switches of an FF mat's datapath, set by the Table I
 /// datapath-configure commands.
@@ -33,7 +57,11 @@ pub struct MatDatapath {
 
 impl Default for MatDatapath {
     fn default() -> Self {
-        MatDatapath { bypass_sigmoid: true, bypass_sa: false, relu: false }
+        MatDatapath {
+            bypass_sigmoid: true,
+            bypass_sa: false,
+            relu: false,
+        }
     }
 }
 
@@ -216,15 +244,18 @@ impl FfMat {
             let (r, c) = (idx / cols, idx % cols);
             let magnitude = w.unsigned_abs();
             if magnitude >= (1 << self.scheme.weight_bits()) {
-                return Err(PrimeError::Circuit(prime_circuits::CircuitError::CodeOutOfRange {
-                    code: magnitude,
-                    codes: 1 << self.scheme.weight_bits(),
-                }));
+                return Err(PrimeError::Circuit(
+                    prime_circuits::CircuitError::CodeOutOfRange {
+                        code: magnitude,
+                        codes: 1 << self.scheme.weight_bits(),
+                    },
+                ));
             }
             let (wh, wl) = self.scheme.split_weight(magnitude as u16)?;
             let sign = if w < 0 { -1i32 } else { 1 };
             self.pair.program_signed(r, 2 * c, sign * i32::from(wh))?;
-            self.pair.program_signed(r, 2 * c + 1, sign * i32::from(wl))?;
+            self.pair
+                .program_signed(r, 2 * c + 1, sign * i32::from(wl))?;
         }
         self.weight_rows = rows;
         self.weight_cols = cols;
@@ -245,6 +276,48 @@ impl FfMat {
     /// Returns [`PrimeError::WrongMode`] unless in `Compute` mode, or
     /// circuit/device errors for malformed inputs.
     pub fn compute(&mut self, inputs: &[u16]) -> Result<Vec<i64>, PrimeError> {
+        let mut scratch = MatScratch::new();
+        let mut out = Vec::new();
+        self.compute_into(inputs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`compute`](Self::compute) into caller-owned buffers.
+    ///
+    /// `out` is cleared and resized to the programmed column count; with a
+    /// reused `scratch`, repeated calls perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Compute` mode, or
+    /// circuit/device errors for malformed inputs.
+    pub fn compute_into(
+        &mut self,
+        inputs: &[u16],
+        scratch: &mut MatScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.check_compute(inputs)?;
+        self.split_into_halves(inputs, scratch)?;
+        // Pass 1: HIGH input halves latched and driven.
+        self.driver.latch(&scratch.hi)?;
+        self.pair.dot_signed_into(
+            self.driver.driven_codes(),
+            &mut scratch.pair,
+            &mut scratch.pass_hi,
+        )?;
+        // Pass 2: LOW input halves.
+        self.driver.latch(&scratch.lo)?;
+        self.pair.dot_signed_into(
+            self.driver.driven_codes(),
+            &mut scratch.pair,
+            &mut scratch.pass_lo,
+        )?;
+        self.compose_passes(&scratch.pass_hi, &scratch.pass_lo, out);
+        Ok(())
+    }
+
+    fn check_compute(&self, inputs: &[u16]) -> Result<(), PrimeError> {
         if self.function != MatFunction::Compute {
             return Err(PrimeError::WrongMode {
                 expected: "compute",
@@ -260,25 +333,34 @@ impl FfMat {
                 ),
             });
         }
-        let mut hi = vec![0u16; MAT_DIM];
-        let mut lo = vec![0u16; MAT_DIM];
+        Ok(())
+    }
+
+    fn split_into_halves(
+        &self,
+        inputs: &[u16],
+        scratch: &mut MatScratch,
+    ) -> Result<(), PrimeError> {
+        scratch.hi.clear();
+        scratch.hi.resize(MAT_DIM, 0);
+        scratch.lo.clear();
+        scratch.lo.resize(MAT_DIM, 0);
         for (i, &code) in inputs.iter().enumerate() {
             let (h, l) = self.scheme.split_input(code)?;
-            hi[i] = h;
-            lo[i] = l;
+            scratch.hi[i] = h;
+            scratch.lo[i] = l;
         }
-        // Pass 1: HIGH input halves latched and driven.
-        self.driver.latch(&hi)?;
-        let pass_hi = self.pair.dot_signed(self.driver.driven_codes())?;
-        // Pass 2: LOW input halves.
-        self.driver.latch(&lo)?;
-        let pass_lo = self.pair.dot_signed(self.driver.driven_codes())?;
+        Ok(())
+    }
+
+    /// The precision-control accumulation shared by the digital and analog
+    /// paths: merges the two passes' bitline sums into composed outputs.
+    fn compose_passes(&self, pass_hi: &[i64], pass_lo: &[i64], out: &mut Vec<i64>) {
         let shift = self.output_shift;
-        let included = self.scheme.included_parts();
         // Signed output-register range at Po bits (plus sign from the
         // subtraction unit).
-        let sat = (1i64 << self.scheme.output_bits()) - 1;
-        let mut out = Vec::with_capacity(self.weight_cols);
+        let sat = self.scheme.output_code_max();
+        out.clear();
         for c in 0..self.weight_cols {
             let parts = PartSums {
                 hh: pass_hi[2 * c],
@@ -288,14 +370,14 @@ impl FfMat {
             };
             // Accumulate with the precision-control register/adder.
             let mut acc = PrecisionController::new();
-            for part in &included {
+            for part in self.scheme.included_parts_iter() {
                 let value = match part {
                     Part::Hh => parts.hh,
                     Part::Hl => parts.hl,
                     Part::Lh => parts.lh,
                     Part::Ll => parts.ll,
                 };
-                let scale = self.scheme.part_scale(*part);
+                let scale = self.scheme.part_scale(part);
                 if shift >= scale {
                     acc.accumulate_truncated(value, shift - scale);
                 } else {
@@ -304,7 +386,6 @@ impl FfMat {
             }
             out.push(acc.value().clamp(-sat, sat));
         }
-        Ok(out)
     }
 
     /// Re-programs the mat's cells through noisy writes, modelling the
@@ -337,78 +418,77 @@ impl FfMat {
         noise: &prime_device::NoiseModel,
         rng: &mut R,
     ) -> Result<Vec<i64>, PrimeError> {
-        if self.function != MatFunction::Compute {
-            return Err(PrimeError::WrongMode {
-                expected: "compute",
-                found: function_name(self.function),
-            });
-        }
-        if inputs.len() != self.weight_rows {
-            return Err(PrimeError::MappingMismatch {
-                reason: format!(
-                    "{} inputs for {} programmed rows",
-                    inputs.len(),
-                    self.weight_rows
-                ),
-            });
-        }
-        let mut hi = vec![0u16; MAT_DIM];
-        let mut lo = vec![0u16; MAT_DIM];
-        for (i, &code) in inputs.iter().enumerate() {
-            let (h, l) = self.scheme.split_input(code)?;
-            hi[i] = h;
-            lo[i] = l;
-        }
-        let bits = self.scheme.input_half_bits();
-        self.driver.latch(&hi)?;
-        let pass_hi = self.pair.dot_signed_analog(self.driver.driven_codes(), bits, noise, rng)?;
-        self.driver.latch(&lo)?;
-        let pass_lo = self.pair.dot_signed_analog(self.driver.driven_codes(), bits, noise, rng)?;
-        let shift = self.output_shift;
-        let included = self.scheme.included_parts();
-        let sat = (1i64 << self.scheme.output_bits()) - 1;
-        let mut out = Vec::with_capacity(self.weight_cols);
-        for c in 0..self.weight_cols {
-            let parts = PartSums {
-                hh: pass_hi[2 * c],
-                hl: pass_lo[2 * c],
-                lh: pass_hi[2 * c + 1],
-                ll: pass_lo[2 * c + 1],
-            };
-            let mut acc = PrecisionController::new();
-            for part in &included {
-                let value = match part {
-                    Part::Hh => parts.hh,
-                    Part::Hl => parts.hl,
-                    Part::Lh => parts.lh,
-                    Part::Ll => parts.ll,
-                };
-                let scale = self.scheme.part_scale(*part);
-                if shift >= scale {
-                    acc.accumulate_truncated(value, shift - scale);
-                } else {
-                    acc.accumulate(value, scale - shift);
-                }
-            }
-            out.push(acc.value().clamp(-sat, sat));
-        }
+        let mut scratch = MatScratch::new();
+        let mut out = Vec::new();
+        self.compute_analog_into(inputs, noise, rng, &mut scratch, &mut out)?;
         Ok(out)
+    }
+
+    /// [`compute_analog`](Self::compute_analog) into caller-owned buffers.
+    ///
+    /// `out` is cleared and resized to the programmed column count; with a
+    /// reused `scratch`, repeated calls perform no heap allocation. Draws
+    /// from `rng` in exactly the same order as `compute_analog`, so the
+    /// two forms are bit-identical for equal RNG states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] unless in `Compute` mode, or
+    /// circuit/device errors for malformed inputs.
+    pub fn compute_analog_into<R: rand::Rng + ?Sized>(
+        &mut self,
+        inputs: &[u16],
+        noise: &prime_device::NoiseModel,
+        rng: &mut R,
+        scratch: &mut MatScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.check_compute(inputs)?;
+        self.split_into_halves(inputs, scratch)?;
+        let bits = self.scheme.input_half_bits();
+        self.driver.latch(&scratch.hi)?;
+        self.pair.dot_signed_analog_into(
+            self.driver.driven_codes(),
+            bits,
+            noise,
+            rng,
+            &mut scratch.pair,
+            &mut scratch.pass_hi,
+        )?;
+        self.driver.latch(&scratch.lo)?;
+        self.pair.dot_signed_analog_into(
+            self.driver.driven_codes(),
+            bits,
+            noise,
+            rng,
+            &mut scratch.pair,
+            &mut scratch.pass_lo,
+        )?;
+        self.compose_passes(&scratch.pass_hi, &scratch.pass_lo, out);
+        Ok(())
     }
 
     /// Applies the configured output units (ReLU and/or sigmoid) to raw
     /// composed results, exactly as the Fig. 5(a) dataflow routes them.
     pub fn apply_output_units(&self, values: &[i64]) -> Vec<i64> {
-        values
-            .iter()
-            .map(|&v| {
-                let v = self.relu.apply(v);
-                if self.datapath.bypass_sigmoid {
-                    v
-                } else {
-                    self.sigmoid.apply(v) as i64
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.apply_output_units_into(values, &mut out);
+        out
+    }
+
+    /// [`apply_output_units`](Self::apply_output_units) into a
+    /// caller-owned buffer (cleared and refilled; no steady-state
+    /// allocation on reuse).
+    pub fn apply_output_units_into(&self, values: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        out.extend(values.iter().map(|&v| {
+            let v = self.relu.apply(v);
+            if self.datapath.bypass_sigmoid {
+                v
+            } else {
+                self.sigmoid.apply(v) as i64
+            }
+        }));
     }
 
     /// Memory-mode row write: rows `0..256` live in the positive array,
@@ -429,7 +509,9 @@ impl FfMat {
             if row < MAT_DIM {
                 self.pair.positive_mut().program(row, col, level(bit))?;
             } else {
-                self.pair.negative_mut().program(row - MAT_DIM, col, level(bit))?;
+                self.pair
+                    .negative_mut()
+                    .program(row - MAT_DIM, col, level(bit))?;
             }
         }
         Ok(())
@@ -492,7 +574,9 @@ mod tests {
     fn compute_matches_composing_reference() {
         let rows = 32;
         let cols = 4;
-        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 29) % 511) as i32 - 255).collect();
+        let weights: Vec<i32> = (0..rows * cols)
+            .map(|i| ((i * 29) % 511) as i32 - 255)
+            .collect();
         let inputs: Vec<u16> = (0..rows).map(|i| ((i * 11) % 64) as u16).collect();
         let mut mat = programmed_mat(&weights, rows, cols);
         let got = mat.compute(&inputs).unwrap();
@@ -507,7 +591,9 @@ mod tests {
     fn compute_approximates_exact_matvec() {
         let rows = 64;
         let cols = 8;
-        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 13) % 201) as i32 - 100).collect();
+        let weights: Vec<i32> = (0..rows * cols)
+            .map(|i| ((i * 13) % 201) as i32 - 100)
+            .collect();
         let inputs: Vec<u16> = (0..rows).map(|i| ((i * 7) % 64) as u16).collect();
         let mut mat = programmed_mat(&weights, rows, cols);
         let got = mat.compute(&inputs).unwrap();
@@ -530,7 +616,10 @@ mod tests {
         let mut mat = FfMat::new();
         assert!(matches!(
             mat.program_composed(&[1], 1, 1),
-            Err(PrimeError::WrongMode { expected: "program", .. })
+            Err(PrimeError::WrongMode {
+                expected: "program",
+                ..
+            })
         ));
     }
 
@@ -541,7 +630,10 @@ mod tests {
         mat.program_composed(&[1], 1, 1).unwrap();
         assert!(matches!(
             mat.compute(&[1]),
-            Err(PrimeError::WrongMode { expected: "compute", .. })
+            Err(PrimeError::WrongMode {
+                expected: "compute",
+                ..
+            })
         ));
     }
 
@@ -570,9 +662,17 @@ mod tests {
     #[test]
     fn output_units_follow_datapath_config() {
         let mut mat = FfMat::new();
-        mat.set_datapath(MatDatapath { bypass_sigmoid: true, bypass_sa: false, relu: true });
+        mat.set_datapath(MatDatapath {
+            bypass_sigmoid: true,
+            bypass_sa: false,
+            relu: true,
+        });
         assert_eq!(mat.apply_output_units(&[-5, 7]), vec![0, 7]);
-        mat.set_datapath(MatDatapath { bypass_sigmoid: false, bypass_sa: false, relu: false });
+        mat.set_datapath(MatDatapath {
+            bypass_sigmoid: false,
+            bypass_sa: false,
+            relu: false,
+        });
         let out = mat.apply_output_units(&[0]);
         assert_eq!(out, vec![32]); // sigmoid mid-code at 6 bits
     }
@@ -583,12 +683,16 @@ mod tests {
         use rand::SeedableRng;
         let rows = 48;
         let cols = 6;
-        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 37) % 511) as i32 - 255).collect();
+        let weights: Vec<i32> = (0..rows * cols)
+            .map(|i| ((i * 37) % 511) as i32 - 255)
+            .collect();
         let inputs: Vec<u16> = (0..rows).map(|i| ((i * 5) % 64) as u16).collect();
         let mut mat = programmed_mat(&weights, rows, cols);
         let digital = mat.compute(&inputs).unwrap();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
-        let analog = mat.compute_analog(&inputs, &NoiseModel::ideal(), &mut rng).unwrap();
+        let analog = mat
+            .compute_analog(&inputs, &NoiseModel::ideal(), &mut rng)
+            .unwrap();
         assert_eq!(digital, analog);
     }
 
@@ -598,13 +702,17 @@ mod tests {
         use rand::SeedableRng;
         let rows = 64;
         let cols = 8;
-        let weights: Vec<i32> = (0..rows * cols).map(|i| ((i * 11) % 401) as i32 - 200).collect();
+        let weights: Vec<i32> = (0..rows * cols)
+            .map(|i| ((i * 11) % 401) as i32 - 200)
+            .collect();
         let inputs: Vec<u16> = (0..rows).map(|i| ((i * 3) % 64) as u16).collect();
         let mut mat = programmed_mat(&weights, rows, cols);
         let digital = mat.compute(&inputs).unwrap();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
         mat.apply_program_noise(&NoiseModel::crossbar_default(), &mut rng);
-        let noisy = mat.compute_analog(&inputs, &NoiseModel::ideal(), &mut rng).unwrap();
+        let noisy = mat
+            .compute_analog(&inputs, &NoiseModel::ideal(), &mut rng)
+            .unwrap();
         let sat = (1i64 << mat.scheme().output_bits()) - 1;
         for (d, n) in digital.iter().zip(&noisy) {
             // 3% conductance noise shifts the 6-bit output by a few codes.

@@ -47,10 +47,10 @@ mod system;
 
 pub use api::{CompiledProgram, NnParamFile, PrimeProgram};
 pub use buffer::BufferSubarray;
-pub use controller::BankController;
+pub use controller::{BankController, BankScratch};
 pub use error::PrimeError;
 pub use executor::{ExecutionStats, FfExecutor};
+pub use ff_mat::{FfMat, MatDatapath, MatScratch};
 pub use insitu::{InSituEpoch, InSituMlp};
-pub use runner::CommandRunner;
+pub use runner::{CommandRunner, InferScratch};
 pub use system::{PrimeSystem, SystemStats};
-pub use ff_mat::{FfMat, MatDatapath};

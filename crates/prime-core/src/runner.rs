@@ -17,12 +17,52 @@
 
 use serde::{Deserialize, Serialize};
 
-use prime_circuits::PrecisionController;
+use prime_circuits::{ComposingScheme, PrecisionController};
+use prime_device::NoiseModel;
 use prime_mem::{BufAddr, Command, FfAddr, MatAddr, MatFunction};
 use prime_nn::{Activation, Layer, Network};
 
-use crate::controller::BankController;
+use crate::controller::{BankController, BankScratch};
 use crate::error::PrimeError;
+
+/// The analog-evaluation knob threaded through the merge kernel: `None`
+/// evaluates tiles digitally, `Some` routes every tile through the noisy
+/// voltage/conductance domain with the given read-noise model and RNG.
+type Analog<'a, R> = Option<(&'a NoiseModel, &'a mut R)>;
+
+/// Concrete digital instantiation for call sites without an RNG.
+type NoAnalog<'a> = Analog<'a, rand::rngs::SmallRng>;
+
+/// Reusable buffers for [`CommandRunner::infer_into`].
+///
+/// Bundles everything one inference needs — staged layer codes, the
+/// per-output precision-control registers of the tile merge, and the
+/// bank-level compute scratch. Buffers only grow, so after the first
+/// inference a reused scratch makes the whole forward pass perform zero
+/// steady-state heap allocation. One scratch belongs with one bank
+/// (thread-per-bank execution keeps them paired).
+#[derive(Debug, Default, Clone)]
+pub struct InferScratch {
+    /// Current layer's input codes.
+    codes: Vec<i64>,
+    /// Next layer's codes (swapped with `codes` between layers).
+    next_codes: Vec<i64>,
+    /// Per-output precision-control registers of the merge adder.
+    merge_acc: Vec<PrecisionController>,
+    /// Full-precision merged sums of the current layer.
+    merged: Vec<i64>,
+    /// One tile's post-output-unit results.
+    tile_out: Vec<i64>,
+    /// Controller-side compute buffers.
+    bank: BankScratch,
+}
+
+impl InferScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        InferScratch::default()
+    }
+}
 
 /// One mat-sized tile of a planned layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +120,9 @@ pub struct CommandRunner {
     /// Combined output scale: real value = merged units * this.
     output_scale: f32,
     mats_used: usize,
+    /// The composing scheme of the mats the plan was compiled for — the
+    /// single source of truth for input/output code bounds.
+    scheme: ComposingScheme,
 }
 
 impl CommandRunner {
@@ -99,16 +142,33 @@ impl CommandRunner {
     ) -> Result<Self, PrimeError> {
         let mats_per_subarray = controller.mats_per_subarray();
         let total_mats = controller.ff_subarrays() * mats_per_subarray;
+        // Code bounds come from the mats' composing scheme (Pin/Po), not
+        // hard-coded constants — the quantizer and every downstream clamp
+        // share this single source of truth.
+        let scheme = if total_mats > 0 {
+            controller
+                .mat(MatAddr {
+                    subarray: 0,
+                    mat: 0,
+                })
+                .scheme()
+        } else {
+            ComposingScheme::prime_default()
+        };
+        let in_code_max = f32::from(scheme.input_code_max());
         let mut next_mat = 0usize;
         let mut planned = Vec::new();
         let mut buf_cursor: u64 = 0;
 
         // Input quantization scale from the calibration vector.
-        let in_max = calibration_input.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
-        let input_scale = in_max / 63.0;
+        let in_max = calibration_input
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(1e-6);
+        let input_scale = in_max / in_code_max;
         let mut codes: Vec<i64> = calibration_input
             .iter()
-            .map(|&v| ((v / input_scale).round().clamp(0.0, 63.0)) as i64)
+            .map(|&v| ((v / input_scale).round().clamp(0.0, in_code_max)) as i64)
             .collect();
         let mut value_scale = input_scale; // real value of one input code unit
 
@@ -149,8 +209,7 @@ impl CommandRunner {
                 for &(c0, c1) in &col_spans {
                     if next_mat >= total_mats {
                         return Err(PrimeError::MappingMismatch {
-                            reason: "network needs more FF mats than the bank provides"
-                                .to_string(),
+                            reason: "network needs more FF mats than the bank provides".to_string(),
                         });
                     }
                     let mat = MatAddr {
@@ -169,11 +228,17 @@ impl CommandRunner {
                                 .push(((value / w_scale).round().clamp(-255.0, 255.0)) as i32);
                         }
                     }
+                    controller.execute(Command::SetFunction {
+                        mat,
+                        function: MatFunction::Program,
+                    })?;
                     controller
-                        .execute(Command::SetFunction { mat, function: MatFunction::Program })?;
-                    controller.mat_mut(mat).program_composed(&tile_codes, tr, tc)?;
-                    controller
-                        .execute(Command::SetFunction { mat, function: MatFunction::Compute })?;
+                        .mat_mut(mat)
+                        .program_composed(&tile_codes, tr, tc)?;
+                    controller.execute(Command::SetFunction {
+                        mat,
+                        function: MatFunction::Compute,
+                    })?;
                     // Calibrate the SA window on the calibration codes.
                     let mut max_abs = 1i64;
                     for c in 0..tc {
@@ -185,19 +250,29 @@ impl CommandRunner {
                     }
                     controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
                     let shift = controller.mat(mat).output_shift();
-                    tiles.push(PlannedTile { mat, rows: (r0, r1), cols: (c0, c1), shift });
+                    tiles.push(PlannedTile {
+                        mat,
+                        rows: (r0, r1),
+                        cols: (c0, c1),
+                        shift,
+                    });
                 }
             }
             // Bias in full-precision units: bias_real / (value_scale * w_scale).
             let unit = value_scale * w_scale;
-            let bias_units: Vec<i64> =
-                fc.bias().iter().map(|&b| (b / unit).round() as i64).collect();
+            let bias_units: Vec<i64> = fc
+                .bias()
+                .iter()
+                .map(|&b| (b / unit).round() as i64)
+                .collect();
             // Calibrate the requantization shift from the merged
             // calibration activations.
             let merged = Self::merge_reference(&tiles, controller, &codes, outputs, &bias_units)?;
             let out_max = merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
             let bits = 64 - out_max.leading_zeros() as i64;
-            let requant_shift = (bits - 6).max(0) as u8;
+            // Requantize down to the scheme's input precision so the next
+            // layer's codes fit its Pin-bit drivers.
+            let requant_shift = (bits - i64::from(scheme.input_bits())).max(0) as u8;
             let in_addr = BufAddr(buf_cursor);
             buf_cursor += inputs as u64;
             let out_addr = BufAddr(buf_cursor);
@@ -212,7 +287,7 @@ impl CommandRunner {
                 out_addr,
             };
             // Advance the calibration activations through this layer.
-            codes = Self::forward_codes(&plan, controller, &codes)?;
+            codes = Self::forward_codes(&plan, controller, &codes, &scheme)?;
             value_scale = unit * (plan.requant_shift as f32).exp2();
             planned.push(plan);
         }
@@ -221,6 +296,7 @@ impl CommandRunner {
             input_scale,
             output_scale: value_scale,
             mats_used: next_mat,
+            scheme,
         })
     }
 
@@ -238,9 +314,45 @@ impl CommandRunner {
         outputs: usize,
         bias_units: &[i64],
     ) -> Result<Vec<i64>, PrimeError> {
-        let mut merged: Vec<PrecisionController> =
-            (0..outputs).map(|_| PrecisionController::new()).collect();
-        for (o, &b) in merged.iter_mut().zip(bias_units) {
+        let mut acc = Vec::new();
+        let mut bank = BankScratch::new();
+        let mut tile_out = Vec::new();
+        let mut out = Vec::new();
+        Self::merge_reference_into(
+            tiles,
+            controller,
+            codes,
+            outputs,
+            bias_units,
+            NoAnalog::None,
+            &mut acc,
+            &mut bank,
+            &mut tile_out,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// [`merge_reference`](Self::merge_reference) into caller-owned
+    /// buffers: the merge adder's precision-control registers, the bank
+    /// compute scratch, and the output all reuse their storage, so the
+    /// merge kernel performs zero steady-state heap allocation.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_reference_into<R: rand::Rng + ?Sized>(
+        tiles: &[PlannedTile],
+        controller: &mut BankController,
+        codes: &[i64],
+        outputs: usize,
+        bias_units: &[i64],
+        mut analog: Analog<'_, R>,
+        acc: &mut Vec<PrecisionController>,
+        bank: &mut BankScratch,
+        tile_out: &mut Vec<i64>,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        acc.clear();
+        acc.resize_with(outputs, PrecisionController::new);
+        for (o, &b) in acc.iter_mut().zip(bias_units) {
             o.accumulate(b, 0);
         }
         for tile in tiles {
@@ -251,33 +363,50 @@ impl CommandRunner {
             controller.buffer_mut().store(BufAddr(0), slice)?;
             controller.execute(Command::Load {
                 from: BufAddr(0),
-                to: FfAddr { mat: tile.mat, offset: 0 },
+                to: FfAddr {
+                    mat: tile.mat,
+                    offset: 0,
+                },
                 bytes: (slice.len() * 8) as u64,
             })?;
-            let out = controller.compute_mat(tile.mat)?;
+            match analog.as_mut() {
+                None => controller.compute_mat_into(tile.mat, bank, tile_out)?,
+                Some((noise, rng)) => controller
+                    .compute_mat_analog_into(tile.mat, noise, &mut **rng, bank, tile_out)?,
+            }
             let (c0, c1) = tile.cols;
-            for (i, &v) in out.iter().enumerate().take(c1 - c0) {
+            for (i, &v) in tile_out.iter().enumerate().take(c1 - c0) {
                 // Expand the tile's truncated code back to full-precision
                 // units before the merge add.
-                merged[c0 + i].accumulate(v, tile.shift);
+                acc[c0 + i].accumulate(v, tile.shift);
             }
         }
-        Ok(merged.into_iter().map(|m| m.value()).collect())
+        out.clear();
+        out.extend(acc.iter().map(|m| m.value()));
+        Ok(())
     }
 
-    /// Runs one layer on input codes, returning the next layer's codes.
+    /// Runs one layer on input codes, returning the next layer's codes
+    /// clamped to the scheme's input-code range.
     fn forward_codes(
         plan: &PlannedLayer,
         controller: &mut BankController,
         codes: &[i64],
+        scheme: &ComposingScheme,
     ) -> Result<Vec<i64>, PrimeError> {
-        let merged =
-            Self::merge_reference(&plan.tiles, controller, codes, plan.outputs, &plan.bias_units)?;
+        let code_max = i64::from(scheme.input_code_max());
+        let merged = Self::merge_reference(
+            &plan.tiles,
+            controller,
+            codes,
+            plan.outputs,
+            &plan.bias_units,
+        )?;
         Ok(merged
             .into_iter()
             .map(|v| {
                 let v = if plan.relu { v.max(0) } else { v };
-                (v >> plan.requant_shift).clamp(-63, 63)
+                (v >> plan.requant_shift).clamp(-code_max, code_max)
             })
             .collect())
     }
@@ -296,6 +425,65 @@ impl CommandRunner {
         controller: &mut BankController,
         input: &[f32],
     ) -> Result<Vec<f32>, PrimeError> {
+        let mut scratch = InferScratch::new();
+        let mut out = Vec::new();
+        self.infer_into(controller, input, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`infer`](Self::infer) into caller-owned buffers.
+    ///
+    /// `out` is cleared and refilled with the real-valued outputs. With a
+    /// reused `scratch`, every buffer the forward pass touches — layer
+    /// codes, mat latches, driver passes, the merge adder's registers —
+    /// reuses its storage, so steady-state inference performs zero heap
+    /// allocation (the command log is the only growth). Bit-identical to
+    /// [`infer`](Self::infer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] or mat errors on a
+    /// mis-sized input.
+    pub fn infer_into(
+        &self,
+        controller: &mut BankController,
+        input: &[f32],
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), PrimeError> {
+        self.infer_impl(controller, input, NoAnalog::None, scratch, out)
+    }
+
+    /// Noisy-hardware variant of [`infer_into`](Self::infer_into): every
+    /// tile evaluates through the analog voltage/conductance domain with
+    /// read noise drawn from `rng` (plus any programming noise already
+    /// applied to the mats). Tiles draw from `rng` in plan order, so a
+    /// given RNG state makes the inference reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] or mat errors on a
+    /// mis-sized input.
+    pub fn infer_noisy_into<R: rand::Rng + ?Sized>(
+        &self,
+        controller: &mut BankController,
+        input: &[f32],
+        noise: &NoiseModel,
+        rng: &mut R,
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), PrimeError> {
+        self.infer_impl(controller, input, Some((noise, rng)), scratch, out)
+    }
+
+    fn infer_impl<R: rand::Rng + ?Sized>(
+        &self,
+        controller: &mut BankController,
+        input: &[f32],
+        mut analog: Analog<'_, R>,
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), PrimeError> {
         let first = self.layers.first().ok_or(PrimeError::MappingMismatch {
             reason: "empty plan".to_string(),
         })?;
@@ -304,34 +492,55 @@ impl CommandRunner {
                 reason: format!("{} inputs for a {}-input plan", input.len(), first.inputs),
             });
         }
-        let mut codes: Vec<i64> = input
-            .iter()
-            .map(|&v| ((v / self.input_scale).round().clamp(0.0, 63.0)) as i64)
-            .collect();
+        let in_code_max = f32::from(self.scheme.input_code_max());
+        let fwd_code_max = i64::from(self.scheme.input_code_max());
+        let InferScratch {
+            codes,
+            next_codes,
+            merge_acc,
+            merged,
+            tile_out,
+            bank,
+        } = scratch;
+        codes.clear();
+        codes.extend(
+            input
+                .iter()
+                .map(|&v| ((v / self.input_scale).round().clamp(0.0, in_code_max)) as i64),
+        );
         let last = self.layers.len() - 1;
         for (i, plan) in self.layers.iter().enumerate() {
-            controller.buffer_mut().store(plan.in_addr, &codes)?;
+            controller.buffer_mut().store(plan.in_addr, codes)?;
+            Self::merge_reference_into(
+                &plan.tiles,
+                controller,
+                codes,
+                plan.outputs,
+                &plan.bias_units,
+                analog.as_mut().map(|(noise, rng)| (*noise, &mut **rng)),
+                merge_acc,
+                bank,
+                tile_out,
+                merged,
+            )?;
             if i == last {
                 // Final layer: keep full-precision merged values for the
                 // real-valued output.
-                let merged = Self::merge_reference(
-                    &plan.tiles,
-                    controller,
-                    &codes,
-                    plan.outputs,
-                    &plan.bias_units,
-                )?;
                 let unit = self.output_scale / (plan.requant_shift as f32).exp2();
-                return Ok(merged
-                    .into_iter()
-                    .map(|v| {
-                        let v = if plan.relu { v.max(0) } else { v };
-                        v as f32 * unit
-                    })
-                    .collect());
+                out.clear();
+                out.extend(merged.iter().map(|&v| {
+                    let v = if plan.relu { v.max(0) } else { v };
+                    v as f32 * unit
+                }));
+                return Ok(());
             }
-            codes = Self::forward_codes(plan, controller, &codes)?;
-            controller.buffer_mut().store(plan.out_addr, &codes)?;
+            next_codes.clear();
+            next_codes.extend(merged.iter().map(|&v| {
+                let v = if plan.relu { v.max(0) } else { v };
+                (v >> plan.requant_shift).clamp(-fwd_code_max, fwd_code_max)
+            }));
+            std::mem::swap(codes, next_codes);
+            controller.buffer_mut().store(plan.out_addr, codes)?;
         }
         unreachable!("loop returns on the last layer")
     }
@@ -380,15 +589,19 @@ mod tests {
         let mut agree = 0;
         let trials = 10;
         for t in 0..trials {
-            let input: Vec<f32> =
-                (0..20).map(|i| (((i + t) * 11 % 17) as f32) / 17.0).collect();
+            let input: Vec<f32> = (0..20)
+                .map(|i| (((i + t) * 11 % 17) as f32) / 17.0)
+                .collect();
             let hw = runner.infer(&mut controller, &input).unwrap();
             let sw = net.forward(&input).unwrap();
             if argmax(&hw) == argmax(&sw) {
                 agree += 1;
             }
         }
-        assert!(agree >= trials - 2, "only {agree}/{trials} argmax agreements");
+        assert!(
+            agree >= trials - 2,
+            "only {agree}/{trials} argmax agreements"
+        );
     }
 
     #[test]
@@ -433,7 +646,10 @@ mod tests {
         runner.infer(&mut controller, &input).unwrap();
         let issued = controller.log().len() - before;
         // At least one load per tile per layer.
-        assert!(issued >= runner.mats_used(), "only {issued} commands issued");
+        assert!(
+            issued >= runner.mats_used(),
+            "only {issued} commands issued"
+        );
     }
 
     fn argmax(v: &[f32]) -> usize {

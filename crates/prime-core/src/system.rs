@@ -8,14 +8,21 @@
 //! the copies; and the OS hooks decide at run time whether FF capacity
 //! should be released back to memory under page-miss pressure (§IV-C).
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use prime_device::NoiseModel;
 use prime_mem::{FfReservationMap, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
 use prime_nn::Network;
 
 use crate::controller::BankController;
 use crate::error::PrimeError;
-use crate::runner::CommandRunner;
+use crate::runner::{CommandRunner, InferScratch};
+
+/// Per-bank outcome of a batched run: the (input index, output) pairs the
+/// bank completed, or the first (input index, error) it hit.
+type BankBatch = Result<Vec<(usize, Vec<f32>)>, (usize, PrimeError)>;
 
 /// Aggregate statistics of a PRIME system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,6 +59,13 @@ pub struct SystemStats {
 pub struct PrimeSystem {
     banks: Vec<BankController>,
     runners: Vec<CommandRunner>,
+    /// One reusable inference scratch per bank (paired with its thread in
+    /// parallel execution; buffers only grow, so steady-state batches
+    /// allocate nothing inside the compute kernels).
+    scratches: Vec<InferScratch>,
+    /// Drive the banks concurrently (one thread per bank). Bit-identical
+    /// to serial execution; see [`set_parallel`](Self::set_parallel).
+    parallel: bool,
     reservations: FfReservationMap,
     policy: MorphPolicy,
     tracker: PageMissTracker,
@@ -79,11 +93,11 @@ impl PrimeSystem {
         let total_mats = banks * mats_per_bank;
         PrimeSystem {
             banks: (0..banks)
-                .map(|_| {
-                    BankController::new(ff_subarrays, mats_per_subarray, buffer_words, 4096)
-                })
+                .map(|_| BankController::new(ff_subarrays, mats_per_subarray, buffer_words, 4096))
                 .collect(),
             runners: Vec::new(),
+            scratches: (0..banks).map(|_| InferScratch::new()).collect(),
+            parallel: true,
             reservations: FfReservationMap::new(total_mats),
             policy: MorphPolicy::prime_default(),
             tracker: PageMissTracker::new(256),
@@ -138,24 +152,173 @@ impl PrimeSystem {
         Ok(())
     }
 
-    /// Runs a batch of inferences, round-robin over the banks.
+    /// Whether batches drive the banks concurrently (default: `true`).
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Selects the execution engine for [`infer_batch`](Self::infer_batch)
+    /// and [`infer_batch_noisy`](Self::infer_batch_noisy): serial
+    /// round-robin, or one thread per bank (paper §V bank-level
+    /// parallelism). Input `i` runs on bank `i % banks` with that bank's
+    /// scratch and RNG stream in *both* modes, so outputs are
+    /// bit-identical — the knob trades wall-clock time only.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Runs a batch of inferences, round-robin over the banks — serially
+    /// or with one thread per bank, per
+    /// [`set_parallel`](Self::set_parallel). Outputs are returned in
+    /// input order and are identical in both modes.
     ///
     /// # Errors
     ///
     /// Returns [`PrimeError::MappingMismatch`] before any deployment.
     pub fn infer_batch(&mut self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, PrimeError> {
+        self.infer_batch_impl(inputs, None)
+    }
+
+    /// Noisy-hardware variant of [`infer_batch`](Self::infer_batch):
+    /// every tile evaluates through the analog domain with read noise.
+    /// Bank `b` draws from its own RNG stream seeded
+    /// `seed.wrapping_add(b)`; since input `i` always runs on bank
+    /// `i % banks`, the serial and parallel engines consume identical
+    /// streams and stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] before any deployment.
+    pub fn infer_batch_noisy(
+        &mut self,
+        inputs: &[Vec<f32>],
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> Result<Vec<Vec<f32>>, PrimeError> {
+        self.infer_batch_impl(inputs, Some((noise, seed)))
+    }
+
+    fn infer_batch_impl(
+        &mut self,
+        inputs: &[Vec<f32>],
+        analog: Option<(&NoiseModel, u64)>,
+    ) -> Result<Vec<Vec<f32>>, PrimeError> {
         if self.runners.is_empty() {
             return Err(PrimeError::MappingMismatch {
                 reason: "no network deployed".to_string(),
             });
         }
-        let mut outputs = Vec::with_capacity(inputs.len());
-        for (i, input) in inputs.iter().enumerate() {
-            let bank = i % self.banks.len();
-            outputs.push(self.runners[bank].infer(&mut self.banks[bank], input)?);
-            self.stats.inferences += 1;
+        let n = self.banks.len();
+        // Per-bank RNG streams for the noisy path (None slots: digital).
+        let mut rngs: Vec<Option<SmallRng>> = match analog {
+            Some((_, seed)) => (0..n)
+                .map(|b| Some(SmallRng::seed_from_u64(seed.wrapping_add(b as u64))))
+                .collect(),
+            None => (0..n).map(|_| None).collect(),
+        };
+        let noise = analog.map(|(m, _)| m);
+        if !self.parallel || n == 1 || inputs.len() <= 1 {
+            let mut outputs = Vec::with_capacity(inputs.len());
+            for (i, input) in inputs.iter().enumerate() {
+                let b = i % n;
+                let mut out = Vec::new();
+                Self::infer_one(
+                    &self.runners[b],
+                    &mut self.banks[b],
+                    &mut self.scratches[b],
+                    noise,
+                    &mut rngs[b],
+                    input,
+                    &mut out,
+                )?;
+                outputs.push(out);
+                self.stats.inferences += 1;
+            }
+            return Ok(outputs);
         }
-        Ok(outputs)
+        // One thread per bank. Each bank owns its controller, scratch,
+        // and RNG stream and processes exactly the inputs the serial
+        // round-robin would hand it (i % banks == b), so outputs and
+        // RNG draws match the serial engine bit for bit.
+        let runners = &self.runners;
+        let results: Vec<BankBatch> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .banks
+                .iter_mut()
+                .zip(self.scratches.iter_mut())
+                .zip(rngs.iter_mut())
+                .enumerate()
+                .map(|(b, ((bank, scratch), rng))| {
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        for (i, input) in inputs.iter().enumerate().skip(b).step_by(n) {
+                            let mut out = Vec::new();
+                            Self::infer_one(
+                                &runners[b],
+                                bank,
+                                scratch,
+                                noise,
+                                rng,
+                                input,
+                                &mut out,
+                            )
+                            .map_err(|e| (i, e))?;
+                            done.push((i, out));
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bank thread panicked"))
+                .collect()
+        });
+        let mut outputs: Vec<Option<Vec<f32>>> = (0..inputs.len()).map(|_| None).collect();
+        let mut first_err: Option<(usize, PrimeError)> = None;
+        for result in results {
+            match result {
+                Ok(done) => {
+                    for (i, out) in done {
+                        outputs[i] = Some(out);
+                    }
+                }
+                Err((i, e)) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((i, e)) = first_err {
+            // Match the serial engine's accounting: every input before
+            // the first failing index completed.
+            self.stats.inferences += i as u64;
+            return Err(e);
+        }
+        self.stats.inferences += inputs.len() as u64;
+        Ok(outputs
+            .into_iter()
+            .map(|o| o.expect("all input indices covered"))
+            .collect())
+    }
+
+    /// One inference on one bank, digital or analog per `noise`/`rng`.
+    fn infer_one(
+        runner: &CommandRunner,
+        bank: &mut BankController,
+        scratch: &mut InferScratch,
+        noise: Option<&NoiseModel>,
+        rng: &mut Option<SmallRng>,
+        input: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), PrimeError> {
+        match (noise, rng) {
+            (Some(noise), Some(rng)) => {
+                runner.infer_noisy_into(bank, input, noise, rng, scratch, out)
+            }
+            _ => runner.infer_into(bank, input, scratch, out),
+        }
     }
 
     /// OS hook: records one page access and applies the §IV-C policy —
@@ -163,8 +326,9 @@ impl PrimeSystem {
     /// released back to normal memory.
     pub fn record_page_access(&mut self, miss: bool) -> MorphDecision {
         self.tracker.record(miss);
-        let decision =
-            self.policy.decide(self.tracker.miss_rate(), self.reservations.utilization());
+        let decision = self
+            .policy
+            .decide(self.tracker.miss_rate(), self.reservations.utilization());
         if decision == MorphDecision::ReleaseToMemory {
             // Release anything idle; deployed-but-unused mats qualify.
             let releasable = self.reservations.reserved_count();
@@ -201,14 +365,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let net = relu_net(&mut rng);
         let mut system = PrimeSystem::new(3, 2, 4, 2048);
-        system.deploy(&net, &vec![0.5; 12]).unwrap();
-        let inputs: Vec<Vec<f32>> =
-            (0..6).map(|i| (0..12).map(|j| ((i + j) % 7) as f32 / 7.0).collect()).collect();
+        system.deploy(&net, &[0.5; 12]).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..12).map(|j| ((i + j) % 7) as f32 / 7.0).collect())
+            .collect();
         let outputs = system.infer_batch(&inputs).unwrap();
         assert_eq!(outputs.len(), 6);
         // All banks hold the same weights: identical inputs landing on
         // different banks produce identical outputs.
-        let dup = system.infer_batch(&[inputs[0].clone(), inputs[0].clone(), inputs[0].clone(), inputs[0].clone()]).unwrap();
+        let dup = system
+            .infer_batch(&[
+                inputs[0].clone(),
+                inputs[0].clone(),
+                inputs[0].clone(),
+                inputs[0].clone(),
+            ])
+            .unwrap();
         assert_eq!(dup[0], dup[1]);
         assert_eq!(dup[0], dup[3]);
         let stats = system.stats();
@@ -230,7 +402,7 @@ mod tests {
         // A large pool keeps deployed utilization under the policy's
         // low-utilization threshold, the §IV-C release precondition.
         let mut system = PrimeSystem::new(2, 2, 16, 2048);
-        system.deploy(&net, &vec![0.5; 12]).unwrap();
+        system.deploy(&net, &[0.5; 12]).unwrap();
         let before = system.ff_utilization();
         assert!(before > 0.0 && before < 0.10, "utilization {before}");
         // Sustained page misses with low FF utilization trigger release.
@@ -250,7 +422,7 @@ mod tests {
         let mut system = PrimeSystem::new(2, 2, 4, 2048);
         for _ in 0..3 {
             let net = relu_net(&mut rng);
-            system.deploy(&net, &vec![0.5; 12]).unwrap();
+            system.deploy(&net, &[0.5; 12]).unwrap();
         }
         let stats = system.stats();
         assert_eq!(stats.reconfigurations, 3);

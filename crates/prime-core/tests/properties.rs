@@ -92,11 +92,7 @@ proptest! {
 
 /// Reference composition at an explicit SA shift (mirrors the hardware
 /// accumulation in `FfMat::compute`).
-fn compose_with_shift(
-    scheme: &ComposingScheme,
-    parts: prime_circuits::PartSums,
-    shift: u8,
-) -> i64 {
+fn compose_with_shift(scheme: &ComposingScheme, parts: prime_circuits::PartSums, shift: u8) -> i64 {
     use prime_circuits::Part;
     let mut acc = 0i64;
     for part in scheme.included_parts() {

@@ -200,13 +200,29 @@ impl Crossbar {
     ///
     /// Returns [`DeviceError::InputLengthMismatch`] if `input.len() != rows`.
     pub fn dot(&self, input: &[u16]) -> Result<Vec<u64>, DeviceError> {
+        let mut out = Vec::new();
+        self.dot_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`dot`](Self::dot) into a caller-owned buffer.
+    ///
+    /// `out` is cleared and resized to `cols`; once its capacity has grown
+    /// to `cols` no further heap allocation occurs on repeated calls (see
+    /// the crate-level scratch-buffer contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] if `input.len() != rows`.
+    pub fn dot_into(&self, input: &[u16], out: &mut Vec<u64>) -> Result<(), DeviceError> {
         if input.len() != self.rows {
             return Err(DeviceError::InputLengthMismatch {
                 got: input.len(),
                 expected: self.rows,
             });
         }
-        let mut out = vec![0u64; self.cols];
+        out.clear();
+        out.resize(self.cols, 0);
         for (row, &a) in input.iter().enumerate() {
             if a == 0 {
                 continue;
@@ -218,7 +234,7 @@ impl Crossbar {
                 *o += a * u64::from(w);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Analog matrix-vector product through the voltage/conductance domain.
@@ -240,6 +256,29 @@ impl Crossbar {
         noise: &NoiseModel,
         rng: &mut R,
     ) -> Result<Vec<f64>, DeviceError> {
+        let mut currents = Vec::new();
+        self.dot_analog_into(input, input_bits, noise, rng, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// [`dot_analog`](Self::dot_analog) into a caller-owned buffer.
+    ///
+    /// `currents` is cleared and resized to `cols`; repeated calls at the
+    /// same geometry perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] for a wrong-length
+    /// input, or [`DeviceError::InputLevelOutOfRange`] if a code exceeds
+    /// the DAC resolution.
+    pub fn dot_analog_into<R: Rng + ?Sized>(
+        &self,
+        input: &[u16],
+        input_bits: u8,
+        noise: &NoiseModel,
+        rng: &mut R,
+        currents: &mut Vec<f64>,
+    ) -> Result<(), DeviceError> {
         if input.len() != self.rows {
             return Err(DeviceError::InputLengthMismatch {
                 got: input.len(),
@@ -255,7 +294,8 @@ impl Crossbar {
                 });
             }
         }
-        let mut currents = vec![0.0f64; self.cols];
+        currents.clear();
+        currents.resize(self.cols, 0.0);
         for (row, &a) in input.iter().enumerate() {
             if a == 0 {
                 continue;
@@ -267,10 +307,10 @@ impl Crossbar {
                 *c += v * g;
             }
         }
-        for c in &mut currents {
+        for c in currents.iter_mut() {
             *c = noise.perturb_current(*c, rng);
         }
-        Ok(currents)
+        Ok(())
     }
 
     /// Recovers the digital dot product from an analog bitline current.
@@ -334,6 +374,26 @@ impl Crossbar {
             *level = (*level).min(spec.max_level());
             self.conductances[idx] = spec.conductance(*level);
         }
+    }
+}
+
+/// Reusable per-polarity buffers for [`PairedCrossbar`] dot products.
+///
+/// Holding one of these across calls makes `dot_signed_into` /
+/// `dot_signed_analog_into` allocation-free in steady state: each buffer
+/// grows to the pair's column count on first use and is then reused.
+#[derive(Debug, Default, Clone)]
+pub struct PairScratch {
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+    pos_currents: Vec<f64>,
+    neg_currents: Vec<f64>,
+}
+
+impl PairScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PairScratch::default()
     }
 }
 
@@ -471,9 +531,37 @@ impl PairedCrossbar {
     ///
     /// Returns [`DeviceError::InputLengthMismatch`].
     pub fn dot_signed(&self, input: &[u16]) -> Result<Vec<i64>, DeviceError> {
-        let pos = self.positive.dot(input)?;
-        let neg = self.negative.dot(input)?;
-        Ok(pos.into_iter().zip(neg).map(|(p, n)| p as i64 - n as i64).collect())
+        let mut scratch = PairScratch::new();
+        let mut out = Vec::new();
+        self.dot_signed_into(input, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`dot_signed`](Self::dot_signed) into caller-owned buffers.
+    ///
+    /// `out` is cleared and resized to `cols`; with a reused `scratch`,
+    /// repeated calls at the same geometry perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`].
+    pub fn dot_signed_into(
+        &self,
+        input: &[u16],
+        scratch: &mut PairScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), DeviceError> {
+        self.positive.dot_into(input, &mut scratch.pos)?;
+        self.negative.dot_into(input, &mut scratch.neg)?;
+        out.clear();
+        out.extend(
+            scratch
+                .pos
+                .iter()
+                .zip(&scratch.neg)
+                .map(|(&p, &n)| p as i64 - n as i64),
+        );
+        Ok(())
     }
 
     /// Applies programming noise to both polarity arrays.
@@ -496,17 +584,41 @@ impl PairedCrossbar {
         noise: &NoiseModel,
         rng: &mut R,
     ) -> Result<Vec<i64>, DeviceError> {
+        let mut scratch = PairScratch::new();
+        let mut out = Vec::new();
+        self.dot_signed_analog_into(input, input_bits, noise, rng, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`dot_signed_analog`](Self::dot_signed_analog) into caller-owned
+    /// buffers.
+    ///
+    /// `out` is cleared and resized to `cols`; with a reused `scratch`,
+    /// repeated calls at the same geometry perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Crossbar::dot_analog_into`].
+    pub fn dot_signed_analog_into<R: Rng + ?Sized>(
+        &self,
+        input: &[u16],
+        input_bits: u8,
+        noise: &NoiseModel,
+        rng: &mut R,
+        scratch: &mut PairScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), DeviceError> {
         let input_sum: u64 = input.iter().map(|&a| u64::from(a)).sum();
-        let pos = self.positive.dot_analog(input, input_bits, noise, rng)?;
-        let neg = self.negative.dot_analog(input, input_bits, noise, rng)?;
-        Ok(pos
-            .into_iter()
-            .zip(neg)
-            .map(|(p, n)| {
-                self.positive.decode_current(p, input_sum, input_bits)
-                    - self.negative.decode_current(n, input_sum, input_bits)
-            })
-            .collect())
+        self.positive
+            .dot_analog_into(input, input_bits, noise, rng, &mut scratch.pos_currents)?;
+        self.negative
+            .dot_analog_into(input, input_bits, noise, rng, &mut scratch.neg_currents)?;
+        out.clear();
+        out.extend(scratch.pos_currents.iter().zip(&scratch.neg_currents).map(|(&p, &n)| {
+            self.positive.decode_current(p, input_sum, input_bits)
+                - self.negative.decode_current(n, input_sum, input_bits)
+        }));
+        Ok(())
     }
 }
 
@@ -645,7 +757,7 @@ mod tests {
     fn paired_analog_matches_exact_without_noise() {
         let mut rng = SmallRng::seed_from_u64(13);
         let mut pair = PairedCrossbar::new(8, 4, MlcSpec::new(4).unwrap());
-        let matrix: Vec<i32> = (0..32).map(|i| ((i % 21) as i32) - 10).collect();
+        let matrix: Vec<i32> = (0..32).map(|i| (i % 21) - 10).collect();
         pair.program_signed_matrix(&matrix).unwrap();
         let input: Vec<u16> = (0..8).map(|i| (i % 8) as u16).collect();
         let exact = pair.dot_signed(&input).unwrap();

@@ -73,13 +73,34 @@ impl IrDropModel {
     /// Returns [`DeviceError::InputLengthMismatch`] for a wrong-length
     /// input.
     pub fn dot_attenuated(&self, xbar: &Crossbar, input: &[u16]) -> Result<Vec<f64>, DeviceError> {
+        let mut out = Vec::new();
+        self.dot_attenuated_into(xbar, input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`dot_attenuated`](Self::dot_attenuated) into a caller-owned buffer.
+    ///
+    /// `out` is cleared and resized to `cols`; repeated calls at the same
+    /// geometry perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] for a wrong-length
+    /// input.
+    pub fn dot_attenuated_into(
+        &self,
+        xbar: &Crossbar,
+        input: &[u16],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DeviceError> {
         if input.len() != xbar.rows() {
             return Err(DeviceError::InputLengthMismatch {
                 got: input.len(),
                 expected: xbar.rows(),
             });
         }
-        let mut out = vec![0.0f64; xbar.cols()];
+        out.clear();
+        out.resize(xbar.cols(), 0.0);
         for (r, &a) in input.iter().enumerate() {
             if a == 0 {
                 continue;
@@ -89,7 +110,7 @@ impl IrDropModel {
                 *o += f64::from(a) * w * self.attenuation(r, c);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The compensation scheme of ref \[74\]: pre-scale each weight so its

@@ -25,6 +25,32 @@
 //! assert_eq!(bitline_sums, vec![1 * 2 - 1 * 3, -1 + 2 * 4 + 1]);
 //! # Ok::<(), prime_device::DeviceError>(())
 //! ```
+//!
+//! # Scratch-buffer contract
+//!
+//! Every dot-product kernel has an allocating form (`dot`, `dot_analog`,
+//! `dot_signed`, `dot_signed_analog`, `dot_attenuated`) and an `*_into`
+//! form writing into caller-owned buffers ([`Crossbar::dot_into`],
+//! [`Crossbar::dot_analog_into`], [`PairedCrossbar::dot_signed_into`],
+//! [`PairedCrossbar::dot_signed_analog_into`],
+//! [`IrDropModel::dot_attenuated_into`]). The `*_into` forms share one
+//! contract:
+//!
+//! * Output buffers are **cleared and resized** to the kernel's column
+//!   count — callers never need to pre-size them, and stale contents are
+//!   never read.
+//! * Buffers only ever **grow**. After the first call at a given
+//!   geometry, repeated calls perform **zero heap allocation**; this is
+//!   what the batched inference engine in `prime-core` relies on for its
+//!   steady-state allocation-free guarantee.
+//! * On error the output buffer contents are unspecified (but the buffer
+//!   stays valid for reuse).
+//! * The two forms are **bit-identical**: `dot(x)` equals the buffer
+//!   `dot_into(x, &mut out)` produces, RNG draw for RNG draw on the
+//!   analog paths.
+//!
+//! [`PairScratch`] bundles the per-polarity intermediates the paired
+//! kernels need, so callers hold a single reusable object.
 
 #![warn(missing_docs)]
 
@@ -39,7 +65,7 @@ mod retention;
 mod timing;
 
 pub use cell::{ReramCell, DEFAULT_ENDURANCE_WRITES, RESET_VOLTAGE_V, SET_VOLTAGE_V};
-pub use crossbar::{Crossbar, PairedCrossbar, MAT_DIM, READ_VOLTAGE_V};
+pub use crossbar::{Crossbar, PairScratch, PairedCrossbar, MAT_DIM, READ_VOLTAGE_V};
 pub use energy::DeviceEnergy;
 pub use error::DeviceError;
 pub use ir_drop::IrDropModel;

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use prime_device::{Crossbar, MlcSpec, NoiseModel, PairedCrossbar};
+use prime_device::{Crossbar, IrDropModel, MlcSpec, NoiseModel, PairScratch, PairedCrossbar};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -66,7 +66,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut pair = PairedCrossbar::new(rows, cols, MlcSpec::new(4).unwrap());
         let weights: Vec<i32> = (0..rows * cols)
-            .map(|_| (rand::Rng::gen_range(&mut rng, -15i32..=15)))
+            .map(|_| rand::Rng::gen_range(&mut rng, -15i32..=15))
             .collect();
         pair.program_signed_matrix(&weights).unwrap();
         let input: Vec<u16> = (0..rows).map(|_| rand::Rng::gen_range(&mut rng, 0u16..8)).collect();
@@ -109,5 +109,66 @@ proptest! {
             let g = spec.conductance(level) + frac * lsb;
             prop_assert_eq!(spec.quantize_conductance(g), level);
         }
+    }
+
+    /// Every single-crossbar `*_into` kernel writes exactly what its
+    /// allocating twin returns — including through pre-dirtied buffers
+    /// (the clear-and-resize half of the scratch-buffer contract) and RNG
+    /// draw for RNG draw on the analog path.
+    #[test]
+    fn into_kernels_match_allocating_kernels(
+        (rows, cols, weights, input, wbits, ibits) in crossbar_case(),
+    ) {
+        let mut xbar = Crossbar::new(rows, cols, MlcSpec::new(wbits).unwrap());
+        xbar.program_matrix(&weights).unwrap();
+
+        let mut out = vec![99u64; 3]; // stale contents must be ignored
+        xbar.dot_into(&input, &mut out).unwrap();
+        prop_assert_eq!(&out, &xbar.dot(&input).unwrap());
+
+        let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+        let mut rng_a = SmallRng::seed_from_u64(0xA11A);
+        let mut rng_b = SmallRng::seed_from_u64(0xA11A);
+        let currents = xbar.dot_analog(&input, ibits, &noise, &mut rng_a).unwrap();
+        let mut currents_into = vec![f64::NAN; 1];
+        xbar.dot_analog_into(&input, ibits, &noise, &mut rng_b, &mut currents_into).unwrap();
+        prop_assert_eq!(currents, currents_into);
+
+        let model = IrDropModel::new(1e-3);
+        let mut attenuated = vec![f64::NAN; 2];
+        model.dot_attenuated_into(&xbar, &input, &mut attenuated).unwrap();
+        prop_assert_eq!(model.dot_attenuated(&xbar, &input).unwrap(), attenuated);
+    }
+
+    /// Paired (signed) `*_into` kernels are bit-identical to their
+    /// allocating twins, digital and analog, with one scratch reused
+    /// across both calls.
+    #[test]
+    fn paired_into_kernels_match(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pair = PairedCrossbar::new(rows, cols, MlcSpec::new(4).unwrap());
+        let weights: Vec<i32> = (0..rows * cols)
+            .map(|_| rand::Rng::gen_range(&mut rng, -15i32..=15))
+            .collect();
+        pair.program_signed_matrix(&weights).unwrap();
+        let input: Vec<u16> = (0..rows).map(|_| rand::Rng::gen_range(&mut rng, 0u16..8)).collect();
+
+        let mut scratch = PairScratch::new();
+        let mut out = Vec::new();
+        pair.dot_signed_into(&input, &mut scratch, &mut out).unwrap();
+        prop_assert_eq!(&out, &pair.dot_signed(&input).unwrap());
+
+        let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.02 };
+        let mut rng_a = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let mut rng_b = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let reference = pair.dot_signed_analog(&input, 3, &noise, &mut rng_a).unwrap();
+        let mut analog_out = Vec::new();
+        pair.dot_signed_analog_into(&input, 3, &noise, &mut rng_b, &mut scratch, &mut analog_out)
+            .unwrap();
+        prop_assert_eq!(reference, analog_out);
     }
 }

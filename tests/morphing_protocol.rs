@@ -24,7 +24,7 @@ fn repeated_morphing_preserves_data_across_all_mats() {
         for sub in 0..2 {
             ctrl.morph_to_compute(sub);
             let mat = MatAddr { subarray: sub, mat: 0 };
-            ctrl.mat_mut(mat).program_composed(&[10 * (cycle as i32 + 1), -5], 2, 1).unwrap();
+            ctrl.mat_mut(mat).program_composed(&[10 * (cycle + 1), -5], 2, 1).unwrap();
             ctrl.start_compute(sub);
             ctrl.buffer_mut().store(BufAddr(0), &[30, 20]).unwrap();
             ctrl.execute(Command::Load {

@@ -83,7 +83,7 @@ fn higher_output_precision_tightens_results() {
     let cols = 8usize;
     let weights: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-255..=255)).collect();
     let inputs: Vec<u16> = (0..rows).map(|_| rng.gen_range(0..64)).collect();
-    let mut error_at = |po: u8| -> f64 {
+    let error_at = |po: u8| -> f64 {
         let scheme = ComposingScheme::new(6, 8, po, 8).unwrap();
         let mut mat = FfMat::with_scheme(scheme);
         mat.set_function(MatFunction::Program);

@@ -71,7 +71,7 @@ fn trained_network_round_trips_functionally() {
 fn programmed_ff_mat_round_trips_with_identical_outputs() {
     let mut mat = FfMat::new();
     mat.set_function(MatFunction::Program);
-    let weights: Vec<i32> = (0..16 * 4).map(|i| (i as i32 * 13 % 300) - 150).collect();
+    let weights: Vec<i32> = (0..16 * 4).map(|i| (i * 13 % 300) - 150).collect();
     mat.program_composed(&weights, 16, 4).expect("fits");
     mat.set_function(MatFunction::Compute);
     let mut restored: FfMat = round_trip(&mat);

@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and type surface this workspace's benches use —
+//! [`Criterion`], [`Bencher::iter`], [`BenchmarkId`], benchmark groups,
+//! `criterion_group!` / `criterion_main!`, and [`black_box`] — backed by
+//! a simple wall-clock timer instead of criterion's statistical engine.
+//!
+//! Each benchmark warms up briefly, then runs enough iterations to fill
+//! a short measurement window and prints the mean time per iteration.
+//! Passing `--quick` (or setting `CRITERION_SMOKE=1`) runs every closure
+//! exactly once, which CI uses as a does-it-run smoke check. Unknown
+//! CLI flags (as passed by `cargo bench`) are ignored; a positional
+//! argument filters benchmarks by substring, like the real harness.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How a benchmark run measures.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Warm up, then measure a timed window.
+    Measure,
+    /// Run each closure once (smoke/CI mode).
+    Smoke,
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    mode: Mode,
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut mode = Mode::Measure;
+        if std::env::var_os("CRITERION_SMOKE").is_some() {
+            mode = Mode::Smoke;
+        }
+        for arg in &args {
+            match arg.as_str() {
+                "--quick" | "--test" | "--smoke" => mode = Mode::Smoke,
+                a if a.starts_with("--") => {} // cargo-bench plumbing; ignored
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            mode,
+            measurement_window: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            window: self.measurement_window,
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(report) => println!("{id:<48} {report}"),
+            None => println!("{id:<48} (no measurement)"),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.criterion.run_one(&full, routine);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.criterion.run_one(&full, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing handle passed to benchmark routines.
+pub struct Bencher {
+    mode: Mode,
+    window: Duration,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Times the routine and records the mean time per iteration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if matches!(self.mode, Mode::Smoke) {
+            let start = Instant::now();
+            black_box(routine());
+            self.report = Some(format!("smoke ok ({:?})", start.elapsed()));
+            return;
+        }
+
+        // Warm-up: discover an iteration count that fills the window.
+        let mut iters_per_batch: u64 = 1;
+        let warmup_deadline = Instant::now() + self.window / 4;
+        let mut last_batch;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            last_batch = start.elapsed();
+            if Instant::now() >= warmup_deadline || last_batch >= self.window / 8 {
+                break;
+            }
+            iters_per_batch = iters_per_batch.saturating_mul(2);
+        }
+
+        // Measurement: repeat batches until the window is spent.
+        let mut total = last_batch;
+        let mut iterations = iters_per_batch;
+        while total < self.window {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += iters_per_batch;
+        }
+
+        let ns_per_iter = total.as_nanos() as f64 / iterations as f64;
+        let mut report = String::new();
+        let _ = write!(report, "{} /iter ({iterations} iters)", format_ns(ns_per_iter));
+        self.report = Some(report);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            mode: Mode::Measure,
+            measurement_window: Duration::from_millis(2),
+        };
+        let mut counter = 0u64;
+        c.bench_function("tiny", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        assert!(counter > 0, "routine should have run at least once");
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once_per_iter_call() {
+        let mut c = Criterion {
+            filter: None,
+            mode: Mode::Smoke,
+            measurement_window: Duration::from_millis(40),
+        };
+        let mut runs = 0u32;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            mode: Mode::Smoke,
+            measurement_window: Duration::from_millis(40),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes-match-me", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion {
+            filter: Some("grp/7".into()),
+            mode: Mode::Smoke,
+            measurement_window: Duration::from_millis(40),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| ran = n == 7)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

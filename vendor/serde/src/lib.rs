@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a serialization framework with the same *names* as serde —
+//! [`Serialize`], [`Deserialize`], `serde::de::DeserializeOwned`, derive
+//! macros re-exported from `serde_derive` — but a much simpler data
+//! model: every serializable type converts to and from a self-describing
+//! [`Value`] tree, and `serde_json` renders that tree as JSON text.
+//!
+//! Supported type shapes match what this workspace derives: named, tuple,
+//! and unit structs; enums with unit, newtype, tuple, and struct variants
+//! (externally tagged, as real serde encodes them); and the std types
+//! used in fields (integers, floats, `bool`, `String`, `Vec`, `Option`,
+//! tuples, and `HashMap` — maps serialize as sequences of `[key, value]`
+//! pairs so non-string keys round-trip).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stand-in's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (used when the value is negative).
+    I64(i64),
+    /// Unsigned integer (used for all non-negative integers).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, maps-as-pair-lists).
+    Seq(Vec<Value>),
+    /// Ordered string-keyed map (structs and enum payloads).
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization traits namespace, mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization — in this stand-in every [`Deserialize`]
+    /// type qualifies, matching how the workspace uses the bound.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+
+    pub use super::{DeError, Deserialize};
+}
+
+/// Serialization traits namespace, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Looks up a struct field by name (used by derive-generated code).
+///
+/// # Errors
+///
+/// Returns [`DeError`] if `v` is not a map or lacks the field.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, inner)) => T::from_value(inner),
+            None => Err(DeError::msg(format!("missing field `{name}`"))),
+        },
+        _ => Err(DeError::msg(format!("expected a map with field `{name}`"))),
+    }
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    _ => return Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let raw = *self as i64;
+                if raw >= 0 { Value::U64(raw as u64) } else { Value::I64(raw) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| DeError::msg(concat!(stringify!($t), " out of range")))?,
+                    _ => return Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            _ => Err(DeError::msg("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the round trip is lossless.
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::msg("expected tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+);
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Pair-list encoding: key order is not significant, and non-string
+        // keys (this workspace uses tuple keys) round-trip unchanged.
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Seq(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    _ => Err(DeError::msg("expected [key, value] pair")),
+                })
+                .collect(),
+            _ => Err(DeError::msg("expected map pair list")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::msg("expected null")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.25f32.to_value()).unwrap(), 1.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hello".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1i64, -2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u8> = Some(9);
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), o);
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&none.to_value()).unwrap(), none);
+        let t = (1usize, 2usize);
+        assert_eq!(<(usize, usize)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn hash_maps_with_tuple_keys_round_trip() {
+        let mut m: HashMap<(usize, usize), Vec<i64>> = HashMap::new();
+        m.insert((1, 2), vec![3, 4]);
+        m.insert((0, 0), vec![]);
+        let back = HashMap::<(usize, usize), Vec<i64>>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(field::<u64>(&v, "a").unwrap(), 1);
+        assert!(field::<u64>(&v, "b").is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's value-based
+//! `Serialize`/`Deserialize` traits for the type shapes this workspace
+//! uses: named/tuple/unit structs and enums with unit, tuple, and struct
+//! variants. Generic types and `#[serde(...)]` attributes are not
+//! supported (the workspace uses neither).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or an enum variant's payload.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed type definition.
+struct Def {
+    name: String,
+    /// `Some(variants)` for enums, `None` for structs.
+    variants: Option<Vec<(String, Shape)>>,
+    /// Body shape for structs.
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Def {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unsupported struct body for {name}: {other:?}"),
+            };
+            Def { name, variants: None, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Def { name, variants: Some(parse_variants(body)), shape: Shape::Unit }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ .. }` body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( .. )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Shape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((vname, shape));
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.variants {
+        None => match &def.shape {
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Named(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+        },
+        Some(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.variants {
+        None => match &def.shape {
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                             \"expected a {n}-element sequence for {name}\")),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(__v, \"{f}\")?"))
+                    .collect();
+                format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+            }
+        },
+        Some(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match __inner {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     \"malformed payload for variant {v}\")),\n\
+                             }},",
+                            items.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__inner, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                format!(
+                    "::serde::Value::Str(_) => ::std::result::Result::Err(\
+                     ::serde::DeError::msg(\"{name} has no unit variants\")),"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             \"unknown {name} variant\")),\n\
+                     }},",
+                    unit_arms.join("\n")
+                )
+            };
+            let map_arm = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __inner) = &__entries[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 \"unknown {name} variant\")),\n\
+                         }}\n\
+                     }}",
+                    payload_arms.join("\n")
+                )
+            };
+            format!(
+                "match __v {{\n\
+                     {str_arm}\n\
+                     {map_arm}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                         \"malformed value for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

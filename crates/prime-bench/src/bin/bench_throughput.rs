@@ -1,15 +1,23 @@
-//! Throughput of the bank-parallel batched inference engine.
+//! Throughput of the batched inference engines.
 //!
 //! Deploys MLP-M-class and CNN-1-class fully-connected workloads across
-//! 1, 2, 4, and 8 banks and measures `PrimeSystem::infer_batch` in both
-//! execution modes — serial round-robin vs one thread per bank (paper §V
-//! bank-level parallelism) — verifying on every configuration that the
-//! two engines produce bit-identical outputs. Writes
-//! `BENCH_throughput.json` to the working directory (repo root under
-//! `cargo run`).
+//! 1, 2, 4, and 8 banks, plus a VGG-D-class deep stack that cannot fit
+//! one bank and deploys as an inter-bank pipeline (paper §IV-B), and
+//! measures `PrimeSystem::infer_batch` in both execution modes — serial
+//! round-robin vs one thread per stage bank (paper §V bank-level
+//! parallelism, stage overlap for pipelined plans) — verifying on every
+//! configuration that the two engines produce bit-identical outputs.
+//! For pipelined rows the per-batch fill/drain overhead is estimated by
+//! timing two batch sizes (`overhead = 2*T(B) - T(2B)`, the intercept of
+//! the linear batch-time model). Writes `BENCH_throughput.json` (object
+//! with `meta` + `rows`) to the working directory (repo root under
+//! `cargo run`); `meta.host_cpu_cores` records the parallelism the host
+//! actually offers, so ~1x speedups on a 1-core container are
+//! self-explaining.
 //!
-//! `--smoke` runs a single fast configuration and skips the JSON (CI
-//! does-it-run check: it fails on panic, not on regression).
+//! `--smoke` runs two fast configurations (one flat, one pipelined) and
+//! skips the JSON (CI does-it-run check: it fails on panic, not on
+//! regression).
 
 use std::time::Instant;
 
@@ -19,18 +27,38 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
+/// Run-level metadata.
+#[derive(Serialize)]
+struct Meta {
+    /// `std::thread::available_parallelism` on the measuring host: the
+    /// hard ceiling on any serial-vs-parallel speedup below.
+    host_cpu_cores: Option<usize>,
+    note: String,
+}
+
 /// One measured (workload, bank-count) configuration.
 #[derive(Serialize)]
 struct Row {
     workload: String,
     topology: String,
     banks: usize,
+    /// Pipeline stages one deployed copy executes (1 = fits a bank).
+    stages: usize,
     batch: usize,
     serial_ns_per_inference: f64,
     parallel_ns_per_inference: f64,
     serial_inferences_per_s: f64,
     parallel_inferences_per_s: f64,
     speedup: f64,
+    /// Estimated per-batch pipeline fill/drain overhead in ns (parallel
+    /// engine, pipelined rows only).
+    fill_drain_ns: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    meta: Meta,
+    rows: Vec<Row>,
 }
 
 /// A fully-connected ReLU workload the command runner can execute
@@ -71,11 +99,20 @@ fn time_batch(system: &mut PrimeSystem, inputs: &[Vec<f32>], reps: usize) -> (f6
     (best, outputs)
 }
 
-fn measure(name: &str, widths: &[usize], banks: usize, batch: usize, reps: usize) -> Row {
+/// Geometry of each bank: (FF subarrays, mats per subarray).
+struct Config<'a> {
+    name: &'a str,
+    widths: &'a [usize],
+    bank_geometry: (usize, usize),
+}
+
+fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row {
+    let Config { name, widths, bank_geometry: (subarrays, mats) } = *config;
     let net = fc_net(widths, 0x5EED);
     let calibration = vec![0.5f32; widths[0]];
-    let mut system = PrimeSystem::new(banks, 2, 32, 4096);
-    system.deploy(&net, &calibration).expect("workload fits the bank");
+    let mut system = PrimeSystem::new(banks, subarrays, mats, 8192);
+    system.deploy(&net, &calibration).expect("workload fits the memory");
+    let stages = system.deployed_stages().expect("deployed");
     let inputs = pseudo_batch(batch, widths[0]);
 
     system.set_parallel(false);
@@ -86,18 +123,27 @@ fn measure(name: &str, widths: &[usize], banks: usize, batch: usize, reps: usize
         serial_out, parallel_out,
         "{name} on {banks} banks: parallel outputs diverge from serial"
     );
+    // Pipelined rows: the intercept of the linear batch-time model
+    // T(B) = fill_drain + steady * B, from a second (doubled) batch.
+    let fill_drain_ns = (stages > 1).then(|| {
+        let doubled = pseudo_batch(2 * batch, widths[0]);
+        let (doubled_s, _) = time_batch(&mut system, &doubled, reps);
+        ((2.0 * parallel_s - doubled_s) * 1e9).max(0.0)
+    });
 
     let per_inf = |s: f64| s / batch as f64 * 1e9;
     Row {
         workload: name.to_string(),
         topology: widths.iter().map(usize::to_string).collect::<Vec<_>>().join("-"),
         banks,
+        stages,
         batch,
         serial_ns_per_inference: per_inf(serial_s),
         parallel_ns_per_inference: per_inf(parallel_s),
         serial_inferences_per_s: batch as f64 / serial_s,
         parallel_inferences_per_s: batch as f64 / parallel_s,
         speedup: serial_s / parallel_s,
+        fill_drain_ns,
     }
 }
 
@@ -105,30 +151,79 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // MLP-M-class: the paper's 784-1000-500-250-10 MLP-M as a pure
     // ReLU/identity FC stack. CNN-1-class: CNN-1's fully-connected
-    // classifier head (720-70-10).
-    let workloads: &[(&str, &[usize])] = if smoke {
-        &[("CNN-1-class", &[720, 70, 10])]
+    // classifier head (720-70-10). VGG-D-class: a deep FC stack whose 23
+    // compiler mats overflow an 8-mat bank, so it deploys as a 4-stage
+    // inter-bank pipeline — the paper's §IV-B large-scale case.
+    let flat_geometry = (2, 32);
+    let deep_widths: &[usize] = &[192, 384, 384, 384, 256, 128, 64, 10];
+    let smoke_deep_widths: &[usize] = &[48, 100, 90, 80, 70, 60, 50, 40, 6];
+    let configs: Vec<(Config<'_>, Vec<usize>)> = if smoke {
+        vec![
+            (
+                Config {
+                    name: "CNN-1-class",
+                    widths: &[720, 70, 10],
+                    bank_geometry: flat_geometry,
+                },
+                vec![2],
+            ),
+            (
+                Config {
+                    name: "VGG-D-class",
+                    widths: smoke_deep_widths,
+                    bank_geometry: (1, 2),
+                },
+                vec![4],
+            ),
+        ]
     } else {
-        &[("MLP-M-class", &[784, 1000, 500, 250, 10]), ("CNN-1-class", &[720, 70, 10])]
+        vec![
+            (
+                Config {
+                    name: "MLP-M-class",
+                    widths: &[784, 1000, 500, 250, 10],
+                    bank_geometry: flat_geometry,
+                },
+                vec![1, 2, 4, 8],
+            ),
+            (
+                Config {
+                    name: "CNN-1-class",
+                    widths: &[720, 70, 10],
+                    bank_geometry: flat_geometry,
+                },
+                vec![1, 2, 4, 8],
+            ),
+            // 8-mat banks; one copy spans 4 banks, so 4 banks = one
+            // pipelined copy and 8 banks = two.
+            (
+                Config {
+                    name: "VGG-D-class",
+                    widths: deep_widths,
+                    bank_geometry: (1, 8),
+                },
+                vec![4, 8],
+            ),
+        ]
     };
-    let bank_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
     let (batch_per_bank, reps) = if smoke { (2, 1) } else { (6, 3) };
 
     let mut rows = Vec::new();
     println!(
-        "{:<12} {:>5} {:>6} {:>14} {:>14} {:>8}",
-        "workload", "banks", "batch", "serial ns/inf", "parallel ns/inf", "speedup"
+        "{:<12} {:>5} {:>6} {:>6} {:>14} {:>14} {:>8}",
+        "workload", "banks", "stages", "batch", "serial ns/inf", "parallel ns/inf", "speedup"
     );
-    // One fixed batch size per run (divisible by every bank count) so
-    // ns/inference is comparable across rows.
-    let batch = batch_per_bank * bank_counts.last().copied().unwrap_or(1);
-    for (name, widths) in workloads {
+    for (config, bank_counts) in &configs {
+        // One fixed batch size per workload (divisible by every bank
+        // count) so ns/inference is comparable across rows.
+        let batch = batch_per_bank * bank_counts.last().copied().unwrap_or(1);
         for &banks in bank_counts {
-            let row = measure(name, widths, banks, batch, reps);
+            let row = measure(config, banks, batch, reps);
             println!(
-                "{:<12} {:>5} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
+                "{:<12} {:>5} {:>6} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
                 row.workload,
                 row.banks,
+                row.stages,
                 row.batch,
                 row.serial_ns_per_inference,
                 row.parallel_ns_per_inference,
@@ -142,7 +237,16 @@ fn main() {
         println!("\nsmoke mode: skipping BENCH_throughput.json");
         return;
     }
-    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    let report = Report {
+        meta: Meta {
+            host_cpu_cores: std::thread::available_parallelism().ok().map(|n| n.get()),
+            note: "serial-vs-parallel speedup is bounded by host_cpu_cores; on a 1-core \
+                   host the engines are expected to tie"
+                .to_string(),
+        },
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
     println!("\n[wrote BENCH_throughput.json]");
 }

@@ -427,6 +427,62 @@ mod tests {
     }
 
     #[test]
+    fn oversized_layer_gets_its_own_multibank_stage() {
+        // Two-mat banks; a 1000x500 FC layer tiles to 4x4 = 16 mats —
+        // eight banks on its own — followed by a two-mat layer.
+        let target = HwTarget {
+            mat_rows: 256,
+            mat_cols: 128,
+            mats_per_ff_subarray: 1,
+            ff_subarrays_per_bank: 2,
+            banks: 16,
+        };
+        let spec = prime_nn::NetworkSpec::new(
+            "oversized",
+            vec![
+                LayerSpec::FullyConnected { inputs: 1000, outputs: 500 },
+                LayerSpec::FullyConnected { inputs: 500, outputs: 10 },
+            ],
+        )
+        .unwrap();
+        let m = map_network(&spec, &target, CompileOptions { replicate: false }).unwrap();
+        assert_eq!(m.scale, NnScale::Large);
+        assert_eq!(m.layers[0].base_mats, 16);
+        assert_eq!(m.pipeline.len(), 2);
+        assert_eq!(m.pipeline[0].bank, 0);
+        assert_eq!(m.pipeline[0].layers, vec![0]);
+        assert_eq!(m.pipeline[0].mats, 16);
+        // The next stage's bank skips every bank the oversized stage
+        // spans (16 mats / 2 mats per bank = 8 banks).
+        assert_eq!(m.pipeline[1].bank, 8);
+        assert_eq!(m.pipeline[1].layers, vec![1]);
+    }
+
+    #[test]
+    fn pipeline_banks_strictly_increase_with_contiguous_coverage() {
+        for options in [CompileOptions { replicate: false }, CompileOptions::default()] {
+            let m = map_network(&MlBench::VggD.spec(), &hw(), options).unwrap();
+            assert!(!m.pipeline.is_empty());
+            let mut next_layer = 0usize;
+            let mut prev_bank: Option<usize> = None;
+            for stage in &m.pipeline {
+                assert!(
+                    prev_bank.is_none_or(|p| stage.bank > p),
+                    "stage banks must strictly increase: {:?}",
+                    m.pipeline
+                );
+                prev_bank = Some(stage.bank);
+                assert!(!stage.layers.is_empty(), "empty stage");
+                for &l in &stage.layers {
+                    assert_eq!(l, next_layer, "layer coverage must be contiguous in order");
+                    next_layer += 1;
+                }
+            }
+            assert_eq!(next_layer, m.layers.len(), "pipeline must cover every layer");
+        }
+    }
+
+    #[test]
     fn capacity_errors_on_impossible_networks() {
         let tiny = HwTarget {
             mat_rows: 16,

@@ -144,6 +144,17 @@ impl PrimeProgram {
         let mats_per_subarray = self.target.mats_per_ff_subarray;
         let weight_layers = mapping.layers.iter().filter(|l| l.base_mats > 0).count();
         let mut weight_idx = 0usize;
+        // Mat addresses are bank-relative and each inter-bank pipeline
+        // stage owns its bank's mats (§IV-B large-scale mapping), so the
+        // cursor restarts at every stage boundary — the same per-stage
+        // allocation `CommandRunner::compile_pipeline` performs.
+        let mut stage_of_layer = vec![0usize; mapping.layers.len()];
+        for (s, stage) in mapping.pipeline.iter().enumerate() {
+            for &l in &stage.layers {
+                stage_of_layer[l] = s;
+            }
+        }
+        let mut current_stage = 0usize;
         // Stage the network input into the buffer.
         if let Some(first) = mapping.layers.first() {
             dataflow.push(Command::Fetch {
@@ -152,7 +163,11 @@ impl PrimeProgram {
                 bytes: (first.layer.inputs() * 8) as u64,
             });
         }
-        for layer in &mapping.layers {
+        for (li, layer) in mapping.layers.iter().enumerate() {
+            if stage_of_layer[li] != current_stage {
+                current_stage = stage_of_layer[li];
+                mat_cursor = 0;
+            }
             if layer.base_mats == 0 {
                 continue; // pooling layers run on the pooling hardware
             }
@@ -295,6 +310,30 @@ mod tests {
             .all(|c| !c.is_datapath_configure()));
         // fetch + (load + store) per weight tile + commit.
         assert!(compiled.dataflow_commands.len() >= 4);
+    }
+
+    #[test]
+    fn pipelined_datapath_restarts_mat_cursor_per_stage() {
+        // One mat per bank: each FC layer becomes its own pipeline stage.
+        let target = HwTarget {
+            mat_rows: 256,
+            mat_cols: 128,
+            mats_per_ff_subarray: 1,
+            ff_subarrays_per_bank: 1,
+            banks: 4,
+        };
+        let mut prog = PrimeProgram::with_target(target);
+        let params = tiny_params();
+        let mapping = prog.map_topology(&params).unwrap().clone();
+        assert_eq!(mapping.pipeline.len(), 2, "expected a 2-stage pipeline");
+        let compiled = prog.config_datapath().unwrap();
+        // Mat addresses are bank-relative: with the cursor restarting per
+        // stage, every command targets the bank's single mat.
+        for cmd in &compiled.datapath_commands {
+            if let Command::SetFunction { mat, .. } = cmd {
+                assert_eq!((mat.subarray, mat.mat), (0, 0), "address escaped the bank");
+            }
+        }
     }
 
     #[test]

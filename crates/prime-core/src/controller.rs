@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use prime_mem::{Command, InputSource, MatAddr, MatFunction};
+use prime_mem::{BufAddr, Command, InputSource, MatAddr, MatFunction};
 
 use crate::buffer::BufferSubarray;
 use crate::error::PrimeError;
@@ -375,6 +375,61 @@ impl BankController {
         register.extend_from_slice(out);
     }
 
+    /// Read half of an inter-bank transfer (paper §IV-B large-scale
+    /// mapping): loads `words` data words of a stage's output vector from
+    /// this bank's Buffer subarray into `via`, ready to travel over the
+    /// memory-internal bus. `via` is cleared and refilled, so a reused
+    /// vector incurs no steady-state allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when the range exceeds the
+    /// buffer.
+    pub fn transfer_out(
+        &mut self,
+        from: BufAddr,
+        words: usize,
+        via: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.buffer.load_into(from, words, via)
+    }
+
+    /// Write half of an inter-bank transfer: stores an arriving stage
+    /// input vector into this bank's Buffer subarray at `to` (the next
+    /// stage's input address).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when the range exceeds the
+    /// buffer.
+    pub fn transfer_in(&mut self, to: BufAddr, data: &[i64]) -> Result<(), PrimeError> {
+        self.buffer.store(to, data)
+    }
+
+    /// Full inter-bank transfer: moves `words` data words from `src`'s
+    /// Buffer subarray at `from` into `dst`'s Buffer subarray at `to`,
+    /// staging them through `via` (the modelled memory-internal bus
+    /// beat). Composes [`transfer_out`](Self::transfer_out) and
+    /// [`transfer_in`](Self::transfer_in), so serial execution and the
+    /// split halves used by the overlapped pipeline engine account buffer
+    /// traffic identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] when either range exceeds
+    /// its buffer.
+    pub fn transfer(
+        src: &mut BankController,
+        dst: &mut BankController,
+        from: BufAddr,
+        to: BufAddr,
+        words: usize,
+        via: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        src.transfer_out(from, words, via)?;
+        dst.transfer_in(to, via)
+    }
+
     /// §III-A2 morphing, step 1: migrate the subarray's memory-mode data
     /// to Mem-subarray space (modelled as an internal backup) and switch
     /// every mat to weight-programming mode.
@@ -581,6 +636,23 @@ mod tests {
             bytes: 16,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn interbank_transfer_moves_buffer_contents() {
+        let mut src = small_controller();
+        let mut dst = small_controller();
+        src.buffer_mut().store(BufAddr(5), &[3, 1, 4, 1, 5]).unwrap();
+        let mut via = Vec::new();
+        BankController::transfer(&mut src, &mut dst, BufAddr(5), BufAddr(9), 5, &mut via)
+            .unwrap();
+        assert_eq!(
+            dst.buffer_mut().load(BufAddr(9), 5).unwrap(),
+            vec![3, 1, 4, 1, 5]
+        );
+        // Out-of-range transfers fail on either half.
+        assert!(src.transfer_out(BufAddr(2047), 5, &mut via).is_err());
+        assert!(dst.transfer_in(BufAddr(2046), &[1, 2, 3]).is_err());
     }
 
     #[test]

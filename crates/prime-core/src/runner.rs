@@ -14,10 +14,21 @@
 //! implement exactly in the integer domain (ReLU and identity); sigmoid
 //! networks are covered by the analog-calibrated
 //! [`FfExecutor`](crate::FfExecutor) path.
+//!
+//! Large-scale networks (paper §IV-B) do not fit one bank: the compiler's
+//! [`Mapping::pipeline`](prime_compiler::NetworkMapping) splits them into
+//! stages, each assigned to a bank. [`CommandRunner::compile_pipeline`]
+//! consumes that stage list as the single source of truth for *where*
+//! layers run, placing each stage's tiles on its assigned bank, and the
+//! stage-level execution API ([`run_stage`](CommandRunner::run_stage) and
+//! friends) lets [`PrimeSystem`](crate::PrimeSystem) move activation
+//! vectors between banks at stage boundaries and overlap stages across a
+//! batch.
 
 use serde::{Deserialize, Serialize};
 
 use prime_circuits::{ComposingScheme, PrecisionController};
+use prime_compiler::PipelineStage;
 use prime_device::NoiseModel;
 use prime_mem::{BufAddr, Command, FfAddr, MatAddr, MatFunction};
 use prime_nn::{Activation, Layer, Network};
@@ -76,6 +87,17 @@ struct PlannedTile {
     shift: u8,
 }
 
+/// One stage of the compiled plan: a contiguous run of layers placed on
+/// one bank of the slice the plan was compiled against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PlannedStage {
+    /// Index into the bank slice handed to
+    /// [`CommandRunner::compile_pipeline`].
+    bank: usize,
+    /// Layer span [start, end) within the plan's layer list.
+    layers: (usize, usize),
+}
+
 /// One planned fully-connected layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PlannedLayer {
@@ -115,6 +137,9 @@ struct PlannedLayer {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommandRunner {
     layers: Vec<PlannedLayer>,
+    /// Stage placement: contiguous layer spans on strictly increasing
+    /// banks (a single stage on bank 0 for single-bank plans).
+    stages: Vec<PlannedStage>,
     /// Scale of the network-input quantization (codes = value / scale).
     input_scale: f32,
     /// Combined output scale: real value = merged units * this.
@@ -131,6 +156,10 @@ impl CommandRunner {
     /// and calibrates every SA window and requantization shift with the
     /// representative `calibration_input`.
     ///
+    /// The whole network is placed as one stage on this bank; use
+    /// [`compile_pipeline`](Self::compile_pipeline) for networks that
+    /// span banks.
+    ///
     /// # Errors
     ///
     /// Returns [`PrimeError::MappingMismatch`] for unsupported layers or
@@ -140,25 +169,116 @@ impl CommandRunner {
         controller: &mut BankController,
         calibration_input: &[f32],
     ) -> Result<Self, PrimeError> {
-        let mats_per_subarray = controller.mats_per_subarray();
-        let total_mats = controller.ff_subarrays() * mats_per_subarray;
+        Self::compile_pipeline(net, std::slice::from_mut(controller), &[], calibration_input)
+    }
+
+    /// Resolves a compiler [`PipelineStage`] list into per-stage layer
+    /// spans, validating that banks strictly increase and layers are
+    /// covered contiguously in order. An empty `pipeline` means one stage
+    /// holding every layer on bank 0.
+    fn resolve_stages(
+        pipeline: &[PipelineStage],
+        n_layers: usize,
+        n_banks: usize,
+    ) -> Result<Vec<PlannedStage>, PrimeError> {
+        if pipeline.is_empty() {
+            return Ok(vec![PlannedStage {
+                bank: 0,
+                layers: (0, n_layers),
+            }]);
+        }
+        let mut stages = Vec::with_capacity(pipeline.len());
+        let mut next_layer = 0usize;
+        let mut prev_bank: Option<usize> = None;
+        for stage in pipeline {
+            if prev_bank.is_some_and(|p| stage.bank <= p) {
+                return Err(PrimeError::MappingMismatch {
+                    reason: "pipeline stage banks must be strictly increasing".to_string(),
+                });
+            }
+            prev_bank = Some(stage.bank);
+            if stage.bank >= n_banks {
+                return Err(PrimeError::MappingMismatch {
+                    reason: format!(
+                        "pipeline stage targets bank {} but only {n_banks} banks were provided",
+                        stage.bank
+                    ),
+                });
+            }
+            let start = next_layer;
+            for &l in &stage.layers {
+                if l != next_layer {
+                    return Err(PrimeError::MappingMismatch {
+                        reason: "pipeline stages must cover layers contiguously in order"
+                            .to_string(),
+                    });
+                }
+                next_layer += 1;
+            }
+            if start == next_layer {
+                return Err(PrimeError::MappingMismatch {
+                    reason: "pipeline contains an empty stage".to_string(),
+                });
+            }
+            stages.push(PlannedStage {
+                bank: stage.bank,
+                layers: (start, next_layer),
+            });
+        }
+        if next_layer != n_layers {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!("pipeline covers {next_layer} of {n_layers} layers"),
+            });
+        }
+        Ok(stages)
+    }
+
+    /// Compiles `net` across `banks` following the compiler's
+    /// `Mapping::pipeline` stage list (paper §IV-B large-scale mapping):
+    /// each stage's layers are tiled, programmed, and calibrated on the
+    /// stage's assigned bank. The stage list is the single source of
+    /// truth for *where* layers run; an empty `pipeline` places the whole
+    /// network on `banks[0]` (the small/medium-scale case).
+    ///
+    /// Placement does not change arithmetic: a pipelined plan produces
+    /// bit-identical outputs to the same network compiled onto one
+    /// sufficiently large bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] for unsupported layers, a
+    /// malformed stage list, or a stage needing more FF mats than its
+    /// bank provides.
+    pub fn compile_pipeline(
+        net: &Network,
+        banks: &mut [BankController],
+        pipeline: &[PipelineStage],
+        calibration_input: &[f32],
+    ) -> Result<Self, PrimeError> {
+        if banks.is_empty() {
+            return Err(PrimeError::MappingMismatch {
+                reason: "cannot compile onto zero banks".to_string(),
+            });
+        }
+        let stages = Self::resolve_stages(pipeline, net.layers().len(), banks.len())?;
         // Code bounds come from the mats' composing scheme (Pin/Po), not
         // hard-coded constants — the quantizer and every downstream clamp
-        // share this single source of truth.
-        let scheme = if total_mats > 0 {
-            controller
-                .mat(MatAddr {
+        // share this single source of truth. All banks are constructed
+        // identically, so the first stage's bank is representative.
+        let first_bank = &banks[stages[0].bank];
+        let (scheme, mat_rows, mat_cols) =
+            if first_bank.ff_subarrays() * first_bank.mats_per_subarray() > 0 {
+                let mat = first_bank.mat(MatAddr {
                     subarray: 0,
                     mat: 0,
-                })
-                .scheme()
-        } else {
-            ComposingScheme::prime_default()
-        };
+                });
+                (mat.scheme(), mat.max_rows(), mat.max_cols())
+            } else {
+                (ComposingScheme::prime_default(), 256, 128)
+            };
         let in_code_max = f32::from(scheme.input_code_max());
-        let mut next_mat = 0usize;
         let mut planned = Vec::new();
-        let mut buf_cursor: u64 = 0;
+        let mut mats_used = 0usize;
 
         // Input quantization scale from the calibration vector.
         let in_max = calibration_input
@@ -172,132 +292,186 @@ impl CommandRunner {
             .collect();
         let mut value_scale = input_scale; // real value of one input code unit
 
-        for layer in net.layers() {
-            let Layer::Fc(fc) = layer else {
-                return Err(PrimeError::MappingMismatch {
-                    reason: format!(
-                        "command runner supports fully-connected layers; got {}",
-                        layer.describe()
-                    ),
-                });
-            };
-            let relu = match fc.activation() {
-                Activation::Relu => true,
-                Activation::Identity => false,
-                Activation::Sigmoid => {
+        for stage in &stages {
+            let controller = &mut banks[stage.bank];
+            let mats_per_subarray = controller.mats_per_subarray();
+            let total_mats = controller.ff_subarrays() * mats_per_subarray;
+            // Mat allocation and buffer addressing restart per bank: each
+            // stage owns its bank's FF mats and Buffer subarray.
+            let mut next_mat = 0usize;
+            let mut buf_cursor: u64 = 0;
+            for layer in &net.layers()[stage.layers.0..stage.layers.1] {
+                let Layer::Fc(fc) = layer else {
                     return Err(PrimeError::MappingMismatch {
-                        reason: "command runner covers the integer-exact output units \
-                                 (ReLU/identity); use FfExecutor for sigmoid networks"
-                            .to_string(),
-                    })
-                }
-            };
-            let (inputs, outputs) = (fc.inputs(), fc.outputs());
-            // Quantize weights to composed 8-bit codes.
-            let w = fc.weights().data();
-            let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
-            let w_scale = w_max / 255.0;
-            // Tile and program.
-            let row_spans: Vec<(usize, usize)> = (0..inputs.div_ceil(256))
-                .map(|t| (t * 256, ((t + 1) * 256).min(inputs)))
-                .collect();
-            let col_spans: Vec<(usize, usize)> = (0..outputs.div_ceil(128))
-                .map(|t| (t * 128, ((t + 1) * 128).min(outputs)))
-                .collect();
-            let mut tiles = Vec::new();
-            for &(r0, r1) in &row_spans {
-                for &(c0, c1) in &col_spans {
-                    if next_mat >= total_mats {
+                        reason: format!(
+                            "command runner supports fully-connected layers; got {}",
+                            layer.describe()
+                        ),
+                    });
+                };
+                let relu = match fc.activation() {
+                    Activation::Relu => true,
+                    Activation::Identity => false,
+                    Activation::Sigmoid => {
                         return Err(PrimeError::MappingMismatch {
-                            reason: "network needs more FF mats than the bank provides".to_string(),
+                            reason: "command runner covers the integer-exact output units \
+                                     (ReLU/identity); use FfExecutor for sigmoid networks"
+                                .to_string(),
+                        })
+                    }
+                };
+                let (inputs, outputs) = (fc.inputs(), fc.outputs());
+                // Quantize weights to composed 8-bit codes.
+                let w = fc.weights().data();
+                let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+                let w_scale = w_max / 255.0;
+                // Tile and program.
+                let row_spans: Vec<(usize, usize)> = (0..inputs.div_ceil(mat_rows))
+                    .map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(inputs)))
+                    .collect();
+                let col_spans: Vec<(usize, usize)> = (0..outputs.div_ceil(mat_cols))
+                    .map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(outputs)))
+                    .collect();
+                let mut tiles = Vec::new();
+                for &(r0, r1) in &row_spans {
+                    for &(c0, c1) in &col_spans {
+                        if next_mat >= total_mats {
+                            return Err(PrimeError::MappingMismatch {
+                                reason: "network needs more FF mats than the bank provides"
+                                    .to_string(),
+                            });
+                        }
+                        let mat = MatAddr {
+                            subarray: next_mat / mats_per_subarray,
+                            mat: next_mat % mats_per_subarray,
+                        };
+                        next_mat += 1;
+                        let (tr, tc) = (r1 - r0, c1 - c0);
+                        let mut tile_codes = Vec::with_capacity(tr * tc);
+                        for r in r0..r1 {
+                            for c in c0..c1 {
+                                // Weight matrix is [outputs, inputs]; the
+                                // crossbar wants [inputs, outputs].
+                                let value = w[c * inputs + r];
+                                tile_codes
+                                    .push(((value / w_scale).round().clamp(-255.0, 255.0)) as i32);
+                            }
+                        }
+                        controller.execute(Command::SetFunction {
+                            mat,
+                            function: MatFunction::Program,
+                        })?;
+                        controller
+                            .mat_mut(mat)
+                            .program_composed(&tile_codes, tr, tc)?;
+                        controller.execute(Command::SetFunction {
+                            mat,
+                            function: MatFunction::Compute,
+                        })?;
+                        // Calibrate the SA window on the calibration codes.
+                        let mut max_abs = 1i64;
+                        for c in 0..tc {
+                            let mut acc = 0i64;
+                            for (r, &x) in codes[r0..r1].iter().enumerate() {
+                                acc += x * i64::from(tile_codes[r * tc + c]);
+                            }
+                            max_abs = max_abs.max(acc.abs());
+                        }
+                        controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
+                        let shift = controller.mat(mat).output_shift();
+                        tiles.push(PlannedTile {
+                            mat,
+                            rows: (r0, r1),
+                            cols: (c0, c1),
+                            shift,
                         });
                     }
-                    let mat = MatAddr {
-                        subarray: next_mat / mats_per_subarray,
-                        mat: next_mat % mats_per_subarray,
-                    };
-                    next_mat += 1;
-                    let (tr, tc) = (r1 - r0, c1 - c0);
-                    let mut tile_codes = Vec::with_capacity(tr * tc);
-                    for r in r0..r1 {
-                        for c in c0..c1 {
-                            // Weight matrix is [outputs, inputs]; the
-                            // crossbar wants [inputs, outputs].
-                            let value = w[c * inputs + r];
-                            tile_codes
-                                .push(((value / w_scale).round().clamp(-255.0, 255.0)) as i32);
-                        }
-                    }
-                    controller.execute(Command::SetFunction {
-                        mat,
-                        function: MatFunction::Program,
-                    })?;
-                    controller
-                        .mat_mut(mat)
-                        .program_composed(&tile_codes, tr, tc)?;
-                    controller.execute(Command::SetFunction {
-                        mat,
-                        function: MatFunction::Compute,
-                    })?;
-                    // Calibrate the SA window on the calibration codes.
-                    let mut max_abs = 1i64;
-                    for c in 0..tc {
-                        let mut acc = 0i64;
-                        for (r, &x) in codes[r0..r1].iter().enumerate() {
-                            acc += x * i64::from(tile_codes[r * tc + c]);
-                        }
-                        max_abs = max_abs.max(acc.abs());
-                    }
-                    controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
-                    let shift = controller.mat(mat).output_shift();
-                    tiles.push(PlannedTile {
-                        mat,
-                        rows: (r0, r1),
-                        cols: (c0, c1),
-                        shift,
-                    });
                 }
+                // Bias in full-precision units: bias_real / (value_scale * w_scale).
+                let unit = value_scale * w_scale;
+                let bias_units: Vec<i64> = fc
+                    .bias()
+                    .iter()
+                    .map(|&b| (b / unit).round() as i64)
+                    .collect();
+                // Calibrate the requantization shift from the merged
+                // calibration activations.
+                let merged =
+                    Self::merge_reference(&tiles, controller, &codes, outputs, &bias_units)?;
+                let out_max = merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
+                let bits = 64 - out_max.leading_zeros() as i64;
+                // Requantize down to the scheme's input precision so the next
+                // layer's codes fit its Pin-bit drivers.
+                let requant_shift = (bits - i64::from(scheme.input_bits())).max(0) as u8;
+                let in_addr = BufAddr(buf_cursor);
+                buf_cursor += inputs as u64;
+                let out_addr = BufAddr(buf_cursor);
+                let plan = PlannedLayer {
+                    tiles,
+                    inputs,
+                    outputs,
+                    bias_units,
+                    requant_shift,
+                    relu,
+                    in_addr,
+                    out_addr,
+                };
+                // Advance the calibration activations through this layer.
+                codes = Self::forward_codes(&plan, controller, &codes, &scheme)?;
+                value_scale = unit * (plan.requant_shift as f32).exp2();
+                planned.push(plan);
             }
-            // Bias in full-precision units: bias_real / (value_scale * w_scale).
-            let unit = value_scale * w_scale;
-            let bias_units: Vec<i64> = fc
-                .bias()
-                .iter()
-                .map(|&b| (b / unit).round() as i64)
-                .collect();
-            // Calibrate the requantization shift from the merged
-            // calibration activations.
-            let merged = Self::merge_reference(&tiles, controller, &codes, outputs, &bias_units)?;
-            let out_max = merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
-            let bits = 64 - out_max.leading_zeros() as i64;
-            // Requantize down to the scheme's input precision so the next
-            // layer's codes fit its Pin-bit drivers.
-            let requant_shift = (bits - i64::from(scheme.input_bits())).max(0) as u8;
-            let in_addr = BufAddr(buf_cursor);
-            buf_cursor += inputs as u64;
-            let out_addr = BufAddr(buf_cursor);
-            let plan = PlannedLayer {
-                tiles,
-                inputs,
-                outputs,
-                bias_units,
-                requant_shift,
-                relu,
-                in_addr,
-                out_addr,
-            };
-            // Advance the calibration activations through this layer.
-            codes = Self::forward_codes(&plan, controller, &codes, &scheme)?;
-            value_scale = unit * (plan.requant_shift as f32).exp2();
-            planned.push(plan);
+            mats_used += next_mat;
         }
         Ok(CommandRunner {
             layers: planned,
+            stages,
             input_scale,
             output_scale: value_scale,
-            mats_used: next_mat,
+            mats_used,
             scheme,
         })
+    }
+
+    /// Number of pipeline stages the plan executes (1 for single-bank
+    /// plans).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The bank (index into the compile-time bank slice) hosting `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_bank(&self, stage: usize) -> usize {
+        self.stages[stage].bank
+    }
+
+    /// Banks the plan occupies (`last stage bank + 1`).
+    pub fn banks_spanned(&self) -> usize {
+        self.stages.last().map_or(1, |s| s.bank + 1)
+    }
+
+    /// Buffer address and width of `stage`'s input vector in its bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_input(&self, stage: usize) -> (BufAddr, usize) {
+        let layer = &self.layers[self.stages[stage].layers.0];
+        (layer.in_addr, layer.inputs)
+    }
+
+    /// Buffer address and width of `stage`'s output vector in its bank
+    /// (the source of the inter-bank transfer into the next stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_output(&self, stage: usize) -> (BufAddr, usize) {
+        let layer = &self.layers[self.stages[stage].layers.1 - 1];
+        (layer.out_addr, layer.outputs)
     }
 
     /// FF mats the plan occupies.
@@ -480,10 +654,37 @@ impl CommandRunner {
         &self,
         controller: &mut BankController,
         input: &[f32],
-        mut analog: Analog<'_, R>,
+        analog: Analog<'_, R>,
         scratch: &mut InferScratch,
         out: &mut Vec<f32>,
     ) -> Result<(), PrimeError> {
+        if self.banks_spanned() > 1 {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "plan spans {} banks; drive it stage by stage or via PrimeSystem",
+                    self.banks_spanned()
+                ),
+            });
+        }
+        // Single-bank plans hold exactly one stage covering every layer;
+        // the scratch's resident code vector is the traveling activation.
+        let mut codes = std::mem::take(&mut scratch.codes);
+        let result = self.quantize_input(input, &mut codes).and_then(|()| {
+            self.run_stage_impl(0, controller, analog, scratch, &mut codes, Some(out))
+        });
+        scratch.codes = codes;
+        result
+    }
+
+    /// Quantizes a real-valued network input into stage-0 input codes
+    /// using the plan's calibrated input scale. `codes` is cleared and
+    /// refilled (no steady-state allocation when reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] on a mis-sized input or an
+    /// empty plan.
+    pub fn quantize_input(&self, input: &[f32], codes: &mut Vec<i64>) -> Result<(), PrimeError> {
         let first = self.layers.first().ok_or(PrimeError::MappingMismatch {
             reason: "empty plan".to_string(),
         })?;
@@ -493,39 +694,100 @@ impl CommandRunner {
             });
         }
         let in_code_max = f32::from(self.scheme.input_code_max());
-        let fwd_code_max = i64::from(self.scheme.input_code_max());
-        let InferScratch {
-            codes,
-            next_codes,
-            merge_acc,
-            merged,
-            tile_out,
-            bank,
-        } = scratch;
         codes.clear();
         codes.extend(
             input
                 .iter()
                 .map(|&v| ((v / self.input_scale).round().clamp(0.0, in_code_max)) as i64),
         );
-        let last = self.layers.len() - 1;
-        for (i, plan) in self.layers.iter().enumerate() {
-            controller.buffer_mut().store(plan.in_addr, codes)?;
+        Ok(())
+    }
+
+    /// Runs one pipeline stage on its bank: `codes` enters holding the
+    /// stage's input activation codes and leaves holding its output codes
+    /// (non-final stages) with the bank's buffer updated at the stage
+    /// output address. The final stage instead fills `out` with the
+    /// real-valued network outputs. Digital path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] for a missing `out` on the
+    /// final stage, or buffer/mat errors.
+    pub fn run_stage(
+        &self,
+        stage: usize,
+        bank: &mut BankController,
+        scratch: &mut InferScratch,
+        codes: &mut Vec<i64>,
+        out: Option<&mut Vec<f32>>,
+    ) -> Result<(), PrimeError> {
+        self.run_stage_impl(stage, bank, NoAnalog::None, scratch, codes, out)
+    }
+
+    /// Noisy-hardware variant of [`run_stage`](Self::run_stage): every
+    /// tile of the stage evaluates through the analog domain drawing read
+    /// noise from `rng`. Each stage's bank owns its own RNG stream, so
+    /// overlapped (pipelined) and serial execution consume identical
+    /// per-bank sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] for a missing `out` on the
+    /// final stage, or buffer/mat errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stage_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        stage: usize,
+        bank: &mut BankController,
+        noise: &NoiseModel,
+        rng: &mut R,
+        scratch: &mut InferScratch,
+        codes: &mut Vec<i64>,
+        out: Option<&mut Vec<f32>>,
+    ) -> Result<(), PrimeError> {
+        self.run_stage_impl(stage, bank, Some((noise, rng)), scratch, codes, out)
+    }
+
+    fn run_stage_impl<R: rand::Rng + ?Sized>(
+        &self,
+        stage: usize,
+        bank: &mut BankController,
+        mut analog: Analog<'_, R>,
+        scratch: &mut InferScratch,
+        codes: &mut Vec<i64>,
+        mut out: Option<&mut Vec<f32>>,
+    ) -> Result<(), PrimeError> {
+        let (start, end) = self.stages[stage].layers;
+        let last_global = self.layers.len() - 1;
+        let fwd_code_max = i64::from(self.scheme.input_code_max());
+        let InferScratch {
+            next_codes,
+            merge_acc,
+            merged,
+            tile_out,
+            bank: bank_scratch,
+            ..
+        } = scratch;
+        for (i, plan) in self.layers[start..end].iter().enumerate() {
+            bank.buffer_mut().store(plan.in_addr, codes)?;
             Self::merge_reference_into(
                 &plan.tiles,
-                controller,
+                bank,
                 codes,
                 plan.outputs,
                 &plan.bias_units,
                 analog.as_mut().map(|(noise, rng)| (*noise, &mut **rng)),
                 merge_acc,
-                bank,
+                bank_scratch,
                 tile_out,
                 merged,
             )?;
-            if i == last {
+            if start + i == last_global {
                 // Final layer: keep full-precision merged values for the
                 // real-valued output.
+                let out = out.as_deref_mut().ok_or(PrimeError::MappingMismatch {
+                    reason: "final stage requires an output buffer".to_string(),
+                })?;
                 let unit = self.output_scale / (plan.requant_shift as f32).exp2();
                 out.clear();
                 out.extend(merged.iter().map(|&v| {
@@ -540,9 +802,60 @@ impl CommandRunner {
                 (v >> plan.requant_shift).clamp(-fwd_code_max, fwd_code_max)
             }));
             std::mem::swap(codes, next_codes);
-            controller.buffer_mut().store(plan.out_addr, codes)?;
+            bank.buffer_mut().store(plan.out_addr, codes)?;
         }
-        unreachable!("loop returns on the last layer")
+        Ok(())
+    }
+
+    /// Runs one inference through a multi-bank pipelined plan serially:
+    /// stage by stage, moving the activation vector between banks with
+    /// [`BankController::transfer`] at each stage boundary. Allocating
+    /// convenience wrapper (the batched engines in
+    /// [`PrimeSystem`](crate::PrimeSystem) reuse scratches instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::MappingMismatch`] if `banks` is shorter than
+    /// the plan's span, or buffer/mat errors.
+    pub fn infer_pipelined(
+        &self,
+        banks: &mut [BankController],
+        input: &[f32],
+    ) -> Result<Vec<f32>, PrimeError> {
+        if banks.len() < self.banks_spanned() {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "plan spans {} banks but {} were provided",
+                    self.banks_spanned(),
+                    banks.len()
+                ),
+            });
+        }
+        let mut scratch = InferScratch::new();
+        let mut codes = Vec::new();
+        let mut out = Vec::new();
+        self.quantize_input(input, &mut codes)?;
+        let last = self.stage_count() - 1;
+        for s in 0..=last {
+            let bank_idx = self.stage_bank(s);
+            if s > 0 {
+                let prev = self.stage_bank(s - 1);
+                let (from, words) = self.stage_output(s - 1);
+                let (to, _) = self.stage_input(s);
+                let (head, tail) = banks.split_at_mut(bank_idx);
+                BankController::transfer(&mut head[prev], &mut tail[0], from, to, words, &mut codes)?;
+            }
+            let out_opt = if s == last { Some(&mut out) } else { None };
+            self.run_stage_impl(
+                s,
+                &mut banks[bank_idx],
+                NoAnalog::None,
+                &mut scratch,
+                &mut codes,
+                out_opt,
+            )?;
+        }
+        Ok(out)
     }
 }
 

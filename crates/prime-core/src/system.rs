@@ -3,26 +3,41 @@
 //! and reconfiguration wear leveling — the whole §III/§IV machinery in
 //! one object.
 //!
-//! Deploying a network compiles and programs one [`CommandRunner`] copy
-//! per bank (bank-level parallelism, §IV-B2); batches round-robin over
-//! the copies; and the OS hooks decide at run time whether FF capacity
-//! should be released back to memory under page-miss pressure (§IV-C).
+//! Deployment runs the network through the mapping compiler
+//! ([`map_network`]) and treats the resulting [`Mapping`'s pipeline
+//! stages](prime_compiler::NetworkMapping) as the single source of truth
+//! for *where* layers run: small networks place one [`CommandRunner`]
+//! copy per bank (bank-level parallelism, §IV-B2), while large-scale
+//! networks split into inter-bank pipeline stages (§IV-B) whose
+//! activations move between banks through
+//! [`BankController::transfer_out`]/[`transfer_in`](BankController::transfer_in).
+//! Batches round-robin over the copies; the parallel engine overlaps
+//! pipeline stages across the batch (image *i+1* enters stage 0 while
+//! image *i* runs in stage 1). The OS hooks decide at run time whether
+//! FF capacity should be released back to memory under page-miss
+//! pressure (§IV-C).
+
+use std::sync::mpsc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use prime_compiler::{map_network, CompileOptions, HwTarget};
 use prime_device::NoiseModel;
-use prime_mem::{FfReservationMap, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
+use prime_mem::{FfReservationMap, MatAddr, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
 use prime_nn::Network;
 
 use crate::controller::BankController;
 use crate::error::PrimeError;
 use crate::runner::{CommandRunner, InferScratch};
 
-/// Per-bank outcome of a batched run: the (input index, output) pairs the
-/// bank completed, or the first (input index, error) it hit.
-type BankBatch = Result<Vec<(usize, Vec<f32>)>, (usize, PrimeError)>;
+/// Per-copy outcome of a batched run: the (input index, output) pairs the
+/// copy completed, or the first (input index, error) it hit.
+type CopyBatch = Result<Vec<(usize, Vec<f32>)>, (usize, PrimeError)>;
+
+/// (input index, activation codes) forwarded between pipeline stages.
+type StagePacket = (usize, Vec<i64>);
 
 /// Aggregate statistics of a PRIME system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,13 +73,23 @@ pub struct SystemStats {
 #[derive(Debug)]
 pub struct PrimeSystem {
     banks: Vec<BankController>,
+    /// One compiled runner per deployed NN copy. A copy occupies the
+    /// consecutive bank group `[c * banks_per_copy, (c+1) *
+    /// banks_per_copy)`; within the group the runner's stage list says
+    /// which bank hosts which layers.
     runners: Vec<CommandRunner>,
+    /// Banks one copy spans (1 for small/medium-scale networks, the
+    /// pipeline depth for large-scale ones).
+    banks_per_copy: usize,
     /// One reusable inference scratch per bank (paired with its thread in
     /// parallel execution; buffers only grow, so steady-state batches
     /// allocate nothing inside the compute kernels).
     scratches: Vec<InferScratch>,
-    /// Drive the banks concurrently (one thread per bank). Bit-identical
-    /// to serial execution; see [`set_parallel`](Self::set_parallel).
+    /// Reusable traveling activation vector for the serial engine.
+    carry: Vec<i64>,
+    /// Drive the copies concurrently (one thread per stage bank).
+    /// Bit-identical to serial execution; see
+    /// [`set_parallel`](Self::set_parallel).
     parallel: bool,
     reservations: FfReservationMap,
     policy: MorphPolicy,
@@ -96,7 +121,9 @@ impl PrimeSystem {
                 .map(|_| BankController::new(ff_subarrays, mats_per_subarray, buffer_words, 4096))
                 .collect(),
             runners: Vec::new(),
+            banks_per_copy: 1,
             scratches: (0..banks).map(|_| InferScratch::new()).collect(),
+            carry: Vec::new(),
             parallel: true,
             reservations: FfReservationMap::new(total_mats),
             policy: MorphPolicy::prime_default(),
@@ -112,9 +139,40 @@ impl PrimeSystem {
         }
     }
 
-    /// Number of banks (independent NN copies after deployment).
+    /// Number of banks.
     pub fn banks(&self) -> usize {
         self.banks.len()
+    }
+
+    /// Independent NN copies after deployment (0 before any deploy).
+    pub fn copies(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// Banks one deployed copy spans: 1 for networks that fit a bank,
+    /// the inter-bank pipeline depth for large-scale ones (`None` before
+    /// any deploy).
+    pub fn banks_per_copy(&self) -> Option<usize> {
+        (!self.runners.is_empty()).then_some(self.banks_per_copy)
+    }
+
+    /// Pipeline stages the deployed plan executes per inference (`None`
+    /// before any deploy). This is the stage count the analytical
+    /// simulator's pipeline latency term must agree with.
+    pub fn deployed_stages(&self) -> Option<usize> {
+        self.runners.first().map(CommandRunner::stage_count)
+    }
+
+    /// The compiler target equivalent to this system's geometry.
+    fn hw_target(&self) -> HwTarget {
+        let mat = self.banks[0].mat(MatAddr { subarray: 0, mat: 0 });
+        HwTarget {
+            mat_rows: mat.max_rows(),
+            mat_cols: mat.max_cols(),
+            mats_per_ff_subarray: self.banks[0].mats_per_subarray(),
+            ff_subarrays_per_bank: self.banks[0].ff_subarrays(),
+            banks: self.banks.len(),
+        }
     }
 
     /// Aggregate statistics.
@@ -126,51 +184,82 @@ impl PrimeSystem {
         }
     }
 
-    /// Deploys `net` to every bank (one copy per bank): reserves FF mats
-    /// with the OS, compiles and programs a command runner per bank, and
+    /// Deploys `net`: maps it with the compiler to decide stage
+    /// placement, compiles and programs one [`CommandRunner`] copy per
+    /// consecutive bank group, reserves the FF mats with the OS, and
     /// charges the wear leveler for the reconfiguration.
+    ///
+    /// Networks that fit one bank deploy one copy per bank (the §IV-B2
+    /// bank-parallel case, `Mapping::pipeline` empty). Large-scale
+    /// networks follow `Mapping::pipeline`: each copy spans
+    /// `banks_per_copy` consecutive banks, one stage per bank (§IV-B).
     ///
     /// # Errors
     ///
-    /// Returns [`PrimeError`] if the network does not fit a bank's FF
-    /// mats or uses unsupported layers.
+    /// Returns [`PrimeError`] if the network does not fit the memory's
+    /// FF mats or uses unsupported layers.
     pub fn deploy(&mut self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
-        // Compile into every bank first (failure leaves no partial state
-        // visible to the OS bookkeeping).
-        let mut runners = Vec::with_capacity(self.banks.len());
-        for bank in &mut self.banks {
-            runners.push(CommandRunner::compile(net, bank, calibration)?);
+        let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
+        let mapping = map_network(&spec, &self.hw_target(), CompileOptions { replicate: false })
+            .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
+        // Compile every copy first (failure leaves no partial state
+        // visible to the OS bookkeeping). The bank group is sized by the
+        // stage list itself, not `mapping.banks_per_copy`: greedy packing
+        // can fragment and span more banks than the capacity bound.
+        let bpc = mapping.pipeline.last().map_or(1, |s| {
+            s.bank + s.mats.div_ceil(self.mats_per_bank).max(1)
+        });
+        let copies = self.banks.len() / bpc;
+        if copies == 0 {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "one copy spans {bpc} banks but the memory has {}",
+                    self.banks.len()
+                ),
+            });
         }
-        let per_bank = runners[0].mats_used();
+        let mut runners = Vec::with_capacity(copies);
+        for c in 0..copies {
+            let group = &mut self.banks[c * bpc..(c + 1) * bpc];
+            runners.push(CommandRunner::compile_pipeline(
+                net,
+                group,
+                &mapping.pipeline,
+                calibration,
+            )?);
+        }
+        let total: usize = runners.iter().map(CommandRunner::mats_used).sum();
         self.reservations = FfReservationMap::new(self.banks.len() * self.mats_per_bank);
-        self.reservations
-            .reserve(per_bank * self.banks.len())
-            .map_err(PrimeError::Mem)?;
+        self.reservations.reserve(total).map_err(PrimeError::Mem)?;
         self.runners = runners;
+        self.banks_per_copy = bpc;
         self.wear.on_reconfiguration();
         self.stats.reconfigurations += 1;
         Ok(())
     }
 
-    /// Whether batches drive the banks concurrently (default: `true`).
+    /// Whether batches drive the copies concurrently (default: `true`).
     pub fn parallel(&self) -> bool {
         self.parallel
     }
 
     /// Selects the execution engine for [`infer_batch`](Self::infer_batch)
     /// and [`infer_batch_noisy`](Self::infer_batch_noisy): serial
-    /// round-robin, or one thread per bank (paper §V bank-level
-    /// parallelism). Input `i` runs on bank `i % banks` with that bank's
-    /// scratch and RNG stream in *both* modes, so outputs are
-    /// bit-identical — the knob trades wall-clock time only.
+    /// round-robin, or one thread per stage bank (paper §V bank-level
+    /// parallelism, plus inter-bank stage overlap for pipelined plans).
+    /// Input `i` runs on copy `i % copies`, and every pipeline stage uses
+    /// its own bank's scratch and RNG stream in *both* modes, so outputs
+    /// are bit-identical — the knob trades wall-clock time only.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
     }
 
-    /// Runs a batch of inferences, round-robin over the banks — serially
-    /// or with one thread per bank, per
-    /// [`set_parallel`](Self::set_parallel). Outputs are returned in
-    /// input order and are identical in both modes.
+    /// Runs a batch of inferences, round-robin over the deployed copies —
+    /// serially or with one thread per stage bank, per
+    /// [`set_parallel`](Self::set_parallel). For pipelined plans the
+    /// parallel engine overlaps stages across the batch: input *i+1*
+    /// enters stage 0 while input *i* runs in stage 1. Outputs are
+    /// returned in input order and are identical in both modes.
     ///
     /// # Errors
     ///
@@ -182,9 +271,10 @@ impl PrimeSystem {
     /// Noisy-hardware variant of [`infer_batch`](Self::infer_batch):
     /// every tile evaluates through the analog domain with read noise.
     /// Bank `b` draws from its own RNG stream seeded
-    /// `seed.wrapping_add(b)`; since input `i` always runs on bank
-    /// `i % banks`, the serial and parallel engines consume identical
-    /// streams and stay bit-identical.
+    /// `seed.wrapping_add(b)`; since input `i` always runs on copy
+    /// `i % copies` and each pipeline stage owns one bank, the serial and
+    /// overlapped engines consume identical per-bank streams and stay
+    /// bit-identical.
     ///
     /// # Errors
     ///
@@ -208,27 +298,31 @@ impl PrimeSystem {
                 reason: "no network deployed".to_string(),
             });
         }
-        let n = self.banks.len();
+        let bpc = self.banks_per_copy;
+        let copies = self.runners.len();
+        let stages = self.runners[0].stage_count();
         // Per-bank RNG streams for the noisy path (None slots: digital).
         let mut rngs: Vec<Option<SmallRng>> = match analog {
-            Some((_, seed)) => (0..n)
+            Some((_, seed)) => (0..self.banks.len())
                 .map(|b| Some(SmallRng::seed_from_u64(seed.wrapping_add(b as u64))))
                 .collect(),
-            None => (0..n).map(|_| None).collect(),
+            None => (0..self.banks.len()).map(|_| None).collect(),
         };
         let noise = analog.map(|(m, _)| m);
-        if !self.parallel || n == 1 || inputs.len() <= 1 {
+        if !self.parallel || inputs.len() <= 1 || (copies == 1 && stages == 1) {
             let mut outputs = Vec::with_capacity(inputs.len());
             for (i, input) in inputs.iter().enumerate() {
-                let b = i % n;
+                let c = i % copies;
+                let span = c * bpc..(c + 1) * bpc;
                 let mut out = Vec::new();
-                Self::infer_one(
-                    &self.runners[b],
-                    &mut self.banks[b],
-                    &mut self.scratches[b],
+                Self::infer_one_pipelined(
+                    &self.runners[c],
+                    &mut self.banks[span.clone()],
+                    &mut self.scratches[span.clone()],
                     noise,
-                    &mut rngs[b],
+                    &mut rngs[span],
                     input,
+                    &mut self.carry,
                     &mut out,
                 )?;
                 outputs.push(out);
@@ -236,42 +330,191 @@ impl PrimeSystem {
             }
             return Ok(outputs);
         }
-        // One thread per bank. Each bank owns its controller, scratch,
-        // and RNG stream and processes exactly the inputs the serial
-        // round-robin would hand it (i % banks == b), so outputs and
-        // RNG draws match the serial engine bit for bit.
+        // One thread per stage bank. Each copy owns a consecutive bank
+        // group and processes exactly the inputs the serial round-robin
+        // would hand it (i % copies == c), in order; within a copy the
+        // stage threads form a pipe connected by channels, so input i+1
+        // occupies stage 0 while input i runs in stage 1. Every bank's
+        // controller, scratch, and RNG stream stay thread-private and see
+        // the same per-bank work sequence as the serial engine, so
+        // outputs and RNG draws match it bit for bit.
         let runners = &self.runners;
-        let results: Vec<BankBatch> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
+        let results: Vec<CopyBatch> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (c, ((banks, scratches), rngs)) in self
                 .banks
-                .iter_mut()
-                .zip(self.scratches.iter_mut())
-                .zip(rngs.iter_mut())
+                .chunks_mut(bpc)
+                .zip(self.scratches.chunks_mut(bpc))
+                .zip(rngs.chunks_mut(bpc))
+                .take(copies)
                 .enumerate()
-                .map(|(b, ((bank, scratch), rng))| {
-                    s.spawn(move || {
+            {
+                let runner = &runners[c];
+                let s_count = runner.stage_count();
+                if s_count == 1 {
+                    // Single-stage copy: one thread runs whole inferences,
+                    // exactly the pre-pipeline bank-parallel engine.
+                    let (bank, scratch, rng) =
+                        (&mut banks[0], &mut scratches[0], &mut rngs[0]);
+                    handles.push(scope.spawn(move || {
                         let mut done = Vec::new();
-                        for (i, input) in inputs.iter().enumerate().skip(b).step_by(n) {
+                        for (i, input) in inputs.iter().enumerate().skip(c).step_by(copies) {
                             let mut out = Vec::new();
-                            Self::infer_one(
-                                &runners[b],
-                                bank,
-                                scratch,
-                                noise,
-                                rng,
-                                input,
-                                &mut out,
-                            )
+                            match (noise, rng.as_mut()) {
+                                (Some(noise), Some(rng)) => runner
+                                    .infer_noisy_into(bank, input, noise, rng, scratch, &mut out),
+                                _ => runner.infer_into(bank, input, scratch, &mut out),
+                            }
                             .map_err(|e| (i, e))?;
                             done.push((i, out));
                         }
                         Ok(done)
-                    })
-                })
-                .collect();
+                    }));
+                    continue;
+                }
+                // Forward channels between consecutive stages carry
+                // (input index, activation codes); a recycle channel
+                // returns spent code vectors from the final stage to
+                // stage 0 so the steady state allocates nothing.
+                let mut txs = Vec::with_capacity(s_count);
+                let mut rxs: Vec<Option<mpsc::Receiver<StagePacket>>> = vec![None];
+                for _ in 1..s_count {
+                    let (tx, rx) = mpsc::channel();
+                    txs.push(Some(tx));
+                    rxs.push(Some(rx));
+                }
+                txs.push(None);
+                let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<i64>>();
+                let mut recycle_tx = Some(recycle_tx);
+                let mut recycle_rx = Some(recycle_rx);
+                let mut bank_slots: Vec<_> = banks.iter_mut().map(Some).collect();
+                let mut scratch_slots: Vec<_> = scratches.iter_mut().map(Some).collect();
+                let mut rng_slots: Vec<_> = rngs.iter_mut().map(Some).collect();
+                for s in 0..s_count {
+                    let b = runner.stage_bank(s);
+                    let bank = bank_slots[b].take().expect("stage banks are distinct");
+                    let scratch = scratch_slots[b].take().expect("stage banks are distinct");
+                    let rng = rng_slots[b].take().expect("stage banks are distinct");
+                    let rx = rxs[s].take();
+                    let tx = txs[s].take();
+                    if s == 0 {
+                        let tx = tx.expect("stage 0 feeds a successor");
+                        let recycle_rx = recycle_rx.take().expect("one recycle receiver");
+                        handles.push(scope.spawn(move || {
+                            // Bound the in-flight vectors: allocate a few,
+                            // then block on recycling — the backpressure
+                            // keeps steady-state allocation at zero.
+                            let mut credits = 2 * s_count;
+                            for (i, input) in inputs.iter().enumerate().skip(c).step_by(copies) {
+                                let mut codes = match recycle_rx.try_recv() {
+                                    Ok(v) => v,
+                                    Err(_) if credits > 0 => {
+                                        credits -= 1;
+                                        Vec::new()
+                                    }
+                                    Err(_) => match recycle_rx.recv() {
+                                        Ok(v) => v,
+                                        // The pipe died downstream; the
+                                        // failing stage reports the error.
+                                        Err(_) => break,
+                                    },
+                                };
+                                if let Err(e) = runner.quantize_input(input, &mut codes) {
+                                    return Err((i, e));
+                                }
+                                let run = match (noise, rng.as_mut()) {
+                                    (Some(noise), Some(rng)) => runner.run_stage_noisy(
+                                        0, &mut *bank, noise, rng, &mut *scratch, &mut codes, None,
+                                    ),
+                                    _ => runner
+                                        .run_stage(0, &mut *bank, &mut *scratch, &mut codes, None),
+                                };
+                                if let Err(e) = run {
+                                    return Err((i, e));
+                                }
+                                let (from, words) = runner.stage_output(0);
+                                if let Err(e) = bank.transfer_out(from, words, &mut codes) {
+                                    return Err((i, e));
+                                }
+                                if tx.send((i, codes)).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(Vec::new())
+                        }));
+                    } else if s < s_count - 1 {
+                        let rx = rx.expect("interior stage has a predecessor");
+                        let tx = tx.expect("interior stage has a successor");
+                        handles.push(scope.spawn(move || {
+                            let (to, _) = runner.stage_input(s);
+                            let (from, words) = runner.stage_output(s);
+                            for (i, mut codes) in rx {
+                                if let Err(e) = bank.transfer_in(to, &codes) {
+                                    return Err((i, e));
+                                }
+                                let run = match (noise, rng.as_mut()) {
+                                    (Some(noise), Some(rng)) => runner.run_stage_noisy(
+                                        s, &mut *bank, noise, rng, &mut *scratch, &mut codes, None,
+                                    ),
+                                    _ => runner
+                                        .run_stage(s, &mut *bank, &mut *scratch, &mut codes, None),
+                                };
+                                if let Err(e) = run {
+                                    return Err((i, e));
+                                }
+                                if let Err(e) = bank.transfer_out(from, words, &mut codes) {
+                                    return Err((i, e));
+                                }
+                                if tx.send((i, codes)).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(Vec::new())
+                        }));
+                    } else {
+                        let rx = rx.expect("final stage has a predecessor");
+                        let recycle_tx = recycle_tx.take().expect("one recycle sender");
+                        handles.push(scope.spawn(move || {
+                            let (to, _) = runner.stage_input(s);
+                            let mut done = Vec::new();
+                            for (i, mut codes) in rx {
+                                if let Err(e) = bank.transfer_in(to, &codes) {
+                                    return Err((i, e));
+                                }
+                                let mut out = Vec::new();
+                                let run = match (noise, rng.as_mut()) {
+                                    (Some(noise), Some(rng)) => runner.run_stage_noisy(
+                                        s,
+                                        &mut *bank,
+                                        noise,
+                                        rng,
+                                        &mut *scratch,
+                                        &mut codes,
+                                        Some(&mut out),
+                                    ),
+                                    _ => runner.run_stage(
+                                        s,
+                                        &mut *bank,
+                                        &mut *scratch,
+                                        &mut codes,
+                                        Some(&mut out),
+                                    ),
+                                };
+                                if let Err(e) = run {
+                                    return Err((i, e));
+                                }
+                                done.push((i, out));
+                                // Stage 0 may already have exited.
+                                let _ = recycle_tx.send(codes);
+                            }
+                            Ok(done)
+                        }));
+                    }
+                }
+            }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("bank thread panicked"))
+                .map(|h| h.join().expect("stage thread panicked"))
                 .collect()
         });
         let mut outputs: Vec<Option<Vec<f32>>> = (0..inputs.len()).map(|_| None).collect();
@@ -303,22 +546,51 @@ impl PrimeSystem {
             .collect())
     }
 
-    /// One inference on one bank, digital or analog per `noise`/`rng`.
-    fn infer_one(
+    /// One inference through one copy's bank group, stage by stage:
+    /// quantize, run each stage on its bank, and move the activation
+    /// codes between banks at every stage boundary
+    /// ([`transfer_out`](BankController::transfer_out) on the upstream
+    /// bank, [`transfer_in`](BankController::transfer_in) on the
+    /// downstream one — the same two buffer operations the overlapped
+    /// engine performs, so both engines account identical traffic).
+    /// Digital or analog per `noise`/`rngs`.
+    #[allow(clippy::too_many_arguments)]
+    fn infer_one_pipelined(
         runner: &CommandRunner,
-        bank: &mut BankController,
-        scratch: &mut InferScratch,
+        banks: &mut [BankController],
+        scratches: &mut [InferScratch],
         noise: Option<&NoiseModel>,
-        rng: &mut Option<SmallRng>,
+        rngs: &mut [Option<SmallRng>],
         input: &[f32],
+        carry: &mut Vec<i64>,
         out: &mut Vec<f32>,
     ) -> Result<(), PrimeError> {
-        match (noise, rng) {
-            (Some(noise), Some(rng)) => {
-                runner.infer_noisy_into(bank, input, noise, rng, scratch, out)
+        runner.quantize_input(input, carry)?;
+        let last = runner.stage_count() - 1;
+        for s in 0..=last {
+            let b = runner.stage_bank(s);
+            if s > 0 {
+                let prev = runner.stage_bank(s - 1);
+                let (from, words) = runner.stage_output(s - 1);
+                let (to, _) = runner.stage_input(s);
+                banks[prev].transfer_out(from, words, carry)?;
+                banks[b].transfer_in(to, carry)?;
             }
-            _ => runner.infer_into(bank, input, scratch, out),
+            let out_opt = (s == last).then_some(&mut *out);
+            match (noise, rngs[b].as_mut()) {
+                (Some(noise), Some(rng)) => runner.run_stage_noisy(
+                    s,
+                    &mut banks[b],
+                    noise,
+                    rng,
+                    &mut scratches[b],
+                    carry,
+                    out_opt,
+                )?,
+                _ => runner.run_stage(s, &mut banks[b], &mut scratches[b], carry, out_opt)?,
+            }
         }
+        Ok(())
     }
 
     /// OS hook: records one page access and applies the §IV-C policy —
@@ -360,12 +632,26 @@ mod tests {
         net
     }
 
+    /// A net whose layers each fit one 2x4-mat bank but not together:
+    /// the compiler must split it into a two-bank pipeline.
+    fn pipelined_net(rng: &mut SmallRng) -> Network {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(24, 16, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(16, 6, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(rng);
+        net
+    }
+
     #[test]
     fn deploy_and_infer_across_banks() {
         let mut rng = SmallRng::seed_from_u64(99);
         let net = relu_net(&mut rng);
         let mut system = PrimeSystem::new(3, 2, 4, 2048);
         system.deploy(&net, &[0.5; 12]).unwrap();
+        assert_eq!(system.copies(), 3);
+        assert_eq!(system.banks_per_copy(), Some(1));
         let inputs: Vec<Vec<f32>> = (0..6)
             .map(|i| (0..12).map(|j| ((i + j) % 7) as f32 / 7.0).collect())
             .collect();
@@ -387,6 +673,30 @@ mod tests {
         assert_eq!(stats.reconfigurations, 1);
         assert_eq!(stats.inferences, 10);
         assert!(stats.reserved_mats > 0);
+    }
+
+    #[test]
+    fn oversized_network_deploys_as_interbank_pipeline() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let net = pipelined_net(&mut rng);
+        // Tiny mats (via the default 256x128 geometry the controller
+        // builds) still fit these layers; shrink the bank instead: 1
+        // subarray of 1 mat per bank forces one layer per bank.
+        let mut system = PrimeSystem::new(4, 1, 1, 2048);
+        system.deploy(&net, &[0.4; 24]).unwrap();
+        assert_eq!(system.banks_per_copy(), Some(2));
+        assert_eq!(system.deployed_stages(), Some(2));
+        assert_eq!(system.copies(), 2);
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..24).map(|j| ((i * 3 + j) % 11) as f32 / 11.0).collect())
+            .collect();
+        let piped = system.infer_batch(&inputs).unwrap();
+        // Reference: the same network on one bank big enough to hold it.
+        let mut single = PrimeSystem::new(1, 1, 2, 2048);
+        single.deploy(&net, &[0.4; 24]).unwrap();
+        assert_eq!(single.deployed_stages(), Some(1));
+        let flat = single.infer_batch(&inputs).unwrap();
+        assert_eq!(piped, flat, "pipelined placement changed the arithmetic");
     }
 
     #[test]

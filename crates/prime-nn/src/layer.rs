@@ -324,6 +324,16 @@ impl Conv2d {
         self.padding
     }
 
+    /// Input feature-map height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input feature-map width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
     /// Input channel count.
     pub fn in_channels(&self) -> usize {
         self.in_ch
@@ -519,6 +529,21 @@ impl Pool2d {
     /// Window edge length.
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
     }
 
     /// Output height.

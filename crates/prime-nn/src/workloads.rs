@@ -253,6 +253,43 @@ impl NetworkSpec {
     }
 }
 
+impl Network {
+    /// Extracts the shape-only [`NetworkSpec`] of an executable network —
+    /// the form the mapping compiler consumes, so deployment can derive
+    /// stage placement from the very network it is about to run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError`] from spec validation.
+    pub fn to_spec(&self, name: impl Into<String>) -> Result<NetworkSpec, NnError> {
+        let layers = self
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Fc(l) => {
+                    LayerSpec::FullyConnected { inputs: l.inputs(), outputs: l.outputs() }
+                }
+                Layer::Conv(l) => LayerSpec::Conv {
+                    in_ch: l.in_channels(),
+                    out_ch: l.out_channels(),
+                    kernel: l.kernel(),
+                    in_h: l.in_h(),
+                    in_w: l.in_w(),
+                    padding: l.padding(),
+                },
+                Layer::Pool(l) => LayerSpec::Pool {
+                    kind: l.kind(),
+                    channels: l.channels(),
+                    in_h: l.in_h(),
+                    in_w: l.in_w(),
+                    window: l.window(),
+                },
+            })
+            .collect();
+        NetworkSpec::new(name, layers)
+    }
+}
+
 /// The six MlBench workloads of Table III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MlBench {

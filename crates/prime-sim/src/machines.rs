@@ -296,10 +296,33 @@ impl PrimeMachine {
         }
     }
 
+    /// PRIME over an explicit compiler target and options — used by the
+    /// cross-stack tests that pin the simulator to the functional
+    /// engine's geometry.
+    pub fn with_target(target: HwTarget, options: CompileOptions) -> Self {
+        let mut params = PrimeParams::prime_default();
+        params.banks = target.banks as u32;
+        PrimeMachine {
+            params,
+            target,
+            options,
+            single_bank: false,
+            name: "PRIME-custom".to_string(),
+        }
+    }
+
     /// The compiled mapping for a workload (exposed for the experiments).
     pub fn mapping(&self, spec: &NetworkSpec) -> NetworkMapping {
         map_network(spec, &self.target, self.options)
             .expect("evaluated workloads fit PRIME")
+    }
+
+    /// Inter-bank pipeline stages the latency model charges for `spec`
+    /// (1 when the mapping has no pipeline). The functional engine
+    /// executes this same stage list, so its
+    /// `CommandRunner::stage_count` must agree.
+    pub fn pipeline_stage_count(&self, spec: &NetworkSpec) -> usize {
+        self.mapping(spec).pipeline.len().max(1)
     }
 
     /// Serial compute time of one layer for one image.
@@ -334,14 +357,26 @@ impl PrimeMachine {
         }
     }
 
-    /// Latency of the slowest pipeline stage (large-scale NNs). A stage
-    /// can always be subdivided down to one layer per bank, so the
-    /// bottleneck is the slowest single layer.
+    /// Latency of the slowest pipeline stage (large-scale NNs): the
+    /// pipeline interval is the maximum over `mapping.pipeline` stages of
+    /// the stage's summed layer times — the same stage list the
+    /// functional `CommandRunner` executes, so the latency model and the
+    /// execution engine count identical stages. Falls back to the
+    /// slowest single layer if the mapping carries no pipeline.
     fn bottleneck_stage_ns(&self, spec: &NetworkSpec, mapping: &NetworkMapping) -> f64 {
-        spec.layers()
+        let per_layer: Vec<f64> = spec
+            .layers()
             .iter()
             .zip(&mapping.layers)
             .map(|(l, lm)| self.layer_compute_ns(l, lm))
+            .collect();
+        if mapping.pipeline.is_empty() {
+            return per_layer.iter().copied().fold(1.0f64, f64::max);
+        }
+        mapping
+            .pipeline
+            .iter()
+            .map(|stage| stage.layers.iter().map(|&i| per_layer[i]).sum::<f64>())
             .fold(1.0f64, f64::max)
     }
 

@@ -1,12 +1,17 @@
-//! Serial/parallel equivalence of the bank-parallel batched inference
-//! engine: for every bank count, driving the banks with one thread each
-//! must produce bit-identical outputs to the serial round-robin — on the
-//! exact digital path and on the noisy analog path with seeded per-bank
-//! RNG streams.
+//! Serial/parallel equivalence of the batched inference engines: for
+//! every bank count, driving the banks with one thread each must produce
+//! bit-identical outputs to the serial round-robin — on the exact
+//! digital path and on the noisy analog path with seeded per-bank RNG
+//! streams. For large-scale deployments that follow the compiler's
+//! `Mapping::pipeline` across banks, the stage-overlapped engine must
+//! likewise match stage-by-stage serial execution, and the digital path
+//! must additionally match the same network flattened onto one
+//! sufficiently large bank (placement never changes arithmetic).
 
 use prime::core::PrimeSystem;
 use prime::device::NoiseModel;
 use prime::nn::{Activation, FullyConnected, Layer, Network};
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -77,4 +82,133 @@ fn inference_counters_agree_between_engines() {
     system.set_parallel(true);
     system.infer_batch(&inputs).unwrap();
     assert_eq!(system.stats().inferences, 18);
+}
+
+/// A VGG-D-class stack for the functional engine: a deep chain of
+/// fully-connected layers (the runner's executable subset) that cannot
+/// fit one small bank, so the compiler splits it into an inter-bank
+/// pipeline exactly as it splits VGG-D on the real geometry.
+fn deep_net(seed: u64) -> Network {
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(48, 100, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(100, 90, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(90, 80, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(80, 70, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(70, 60, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(60, 50, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(50, 40, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(40, 6, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(seed));
+    net
+}
+
+fn deep_batch(len: usize) -> Vec<Vec<f32>> {
+    (0..len)
+        .map(|i| (0..48).map(|j| ((i * 5 + j * 3) % 11) as f32 / 11.0).collect())
+        .collect()
+}
+
+/// Two-mat banks force one pipeline stage per layer pair; six banks give
+/// two independent pipelined copies.
+fn pipelined_system(banks: usize) -> PrimeSystem {
+    let net = deep_net(23);
+    let mut system = PrimeSystem::new(banks, 1, 2, 4096);
+    system.deploy(&net, &[0.5; 48]).expect("fits as a pipeline");
+    assert!(
+        system.deployed_stages().unwrap() >= 2,
+        "expected an inter-bank pipeline, got {:?} stages",
+        system.deployed_stages()
+    );
+    system
+}
+
+#[test]
+fn pipelined_digital_matches_single_bank_execution() {
+    let net = deep_net(23);
+    let inputs = deep_batch(9);
+    // Reference: the whole network flattened onto one bank big enough to
+    // hold it, run serially.
+    let mut flat = PrimeSystem::new(1, 1, 8, 4096);
+    flat.deploy(&net, &[0.5; 48]).expect("fits one large bank");
+    assert_eq!(flat.deployed_stages(), Some(1));
+    flat.set_parallel(false);
+    let reference = flat.infer_batch(&inputs).unwrap();
+    // Pipelined deployments of every span must reproduce it bit for bit,
+    // on both engines.
+    for banks in [4, 6, 8] {
+        let mut system = pipelined_system(banks);
+        system.set_parallel(false);
+        let serial = system.infer_batch(&inputs).unwrap();
+        assert_eq!(serial, reference, "serial pipeline diverged at banks={banks}");
+        system.set_parallel(true);
+        let overlapped = system.infer_batch(&inputs).unwrap();
+        assert_eq!(overlapped, reference, "overlapped pipeline diverged at banks={banks}");
+    }
+}
+
+#[test]
+fn pipelined_noisy_overlap_matches_serial_and_reproduces() {
+    let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+    for banks in [4, 6] {
+        let mut system = pipelined_system(banks);
+        let inputs = deep_batch(11);
+        system.set_parallel(false);
+        let serial = system.infer_batch_noisy(&inputs, &noise, 0xFEED).unwrap();
+        system.set_parallel(true);
+        let overlapped = system.infer_batch_noisy(&inputs, &noise, 0xFEED).unwrap();
+        assert_eq!(serial, overlapped, "noisy pipeline diverged at banks={banks}");
+        // Same seed again: every stage bank's stream restarts, so the
+        // overlapped batch reproduces exactly.
+        let repeat = system.infer_batch_noisy(&inputs, &noise, 0xFEED).unwrap();
+        assert_eq!(serial, repeat, "noisy pipeline not reproducible at banks={banks}");
+    }
+}
+
+#[test]
+fn pipelined_inference_counters_agree_between_engines() {
+    let mut system = pipelined_system(8);
+    let inputs = deep_batch(7);
+    system.set_parallel(false);
+    system.infer_batch(&inputs).unwrap();
+    assert_eq!(system.stats().inferences, 7);
+    system.set_parallel(true);
+    system.infer_batch(&inputs).unwrap();
+    assert_eq!(system.stats().inferences, 14);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary weights, batch lengths, and engines: splitting a network
+    /// into an inter-bank pipeline never changes the digital arithmetic
+    /// relative to the same network flattened onto one large bank.
+    #[test]
+    fn pipelined_placement_preserves_digital_outputs(
+        seed in any::<u64>(),
+        len in 1usize..6,
+        parallel in any::<bool>(),
+    ) {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(32, 80, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(80, 60, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(60, 40, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(40, 5, Activation::Identity)),
+        ]).expect("widths match");
+        net.init_random(&mut SmallRng::seed_from_u64(seed));
+        let inputs: Vec<Vec<f32>> = (0..len)
+            .map(|i| (0..32).map(|j| ((i * 7 + j) % 9) as f32 / 9.0).collect())
+            .collect();
+        let mut flat = PrimeSystem::new(1, 1, 4, 4096);
+        flat.deploy(&net, &[0.5; 32]).expect("fits one bank");
+        flat.set_parallel(false);
+        let reference = flat.infer_batch(&inputs).unwrap();
+        let mut piped = PrimeSystem::new(4, 1, 2, 4096);
+        piped.deploy(&net, &[0.5; 32]).expect("fits as a pipeline");
+        prop_assert!(piped.deployed_stages().unwrap() >= 2);
+        piped.set_parallel(parallel);
+        let outputs = piped.infer_batch(&inputs).unwrap();
+        prop_assert_eq!(outputs, reference);
+    }
 }

@@ -77,6 +77,56 @@ fn spec_and_network_agree_on_synapses() {
 }
 
 #[test]
+fn simulator_and_runner_execute_the_same_pipeline_stages() {
+    // A VGG-D-class deployment: a deep FC stack on two-mat banks, which
+    // the compiler must split into an inter-bank pipeline. The stage
+    // count the analytical simulator charges in its pipeline latency
+    // term must equal the stage count the functional CommandRunner
+    // actually executes — both consume the same `Mapping::pipeline`.
+    use prime::compiler::CompileOptions;
+    use prime::core::PrimeSystem;
+    use prime::nn::{Activation, FullyConnected, Layer, Network};
+    use prime::sim::PrimeMachine;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(48, 100, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(100, 90, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(90, 80, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(80, 70, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(70, 60, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(60, 50, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(50, 40, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(40, 6, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(11));
+
+    // The functional engine's geometry: 8 banks of 1x2 mats.
+    let mut system = PrimeSystem::new(8, 1, 2, 4096);
+    system.deploy(&net, &[0.5; 48]).expect("deploys as a pipeline");
+    let executed = system.deployed_stages().expect("deployed");
+    assert!(executed >= 2, "expected an inter-bank pipeline");
+
+    // The simulator pinned to the same target and options as deploy.
+    let target = HwTarget {
+        mat_rows: 256,
+        mat_cols: 128,
+        mats_per_ff_subarray: 2,
+        ff_subarrays_per_bank: 1,
+        banks: 8,
+    };
+    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false });
+    let spec = net.to_spec("deep-fc").expect("spec derivable");
+    assert_eq!(
+        machine.pipeline_stage_count(&spec),
+        executed,
+        "simulator and runner disagree on pipeline depth"
+    );
+}
+
+#[test]
 fn facade_reexports_compose() {
     // The facade's module paths interoperate: a spec built through
     // `prime::nn` maps through `prime::compiler` and runs on

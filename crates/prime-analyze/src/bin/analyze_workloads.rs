@@ -1,0 +1,62 @@
+//! Analyzer self-check: runs the deployment verifier over every MlBench
+//! workload against the paper's default target.
+//!
+//! CI runs this to guarantee the verifier never regresses into rejecting
+//! the paper's own benchmark suite. Exits nonzero if any workload fails
+//! to map or draws an `Error`-severity diagnostic.
+//!
+//! ```text
+//! analyze-workloads [--json]
+//! ```
+
+use std::process::ExitCode;
+
+use prime_analyze::{analyze, has_errors, render_human, render_json, Severity, Target};
+use prime_compiler::{map_network, CompileOptions};
+use prime_nn::MlBench;
+
+fn main() -> ExitCode {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let target = Target::prime_default();
+    // Deployment semantics: `PrimeSystem::deploy` maps without replication
+    // (replicas get placed at deploy time); the replicated mapping is an
+    // analytic utilization model, not a physical placement.
+    let options = CompileOptions { replicate: false };
+    let mut failed = false;
+    for bench in MlBench::ALL {
+        let spec = bench.spec();
+        let mapping = match map_network(&spec, &target.hw, options) {
+            Ok(mapping) => mapping,
+            Err(err) => {
+                eprintln!("{}: mapping failed: {err}", bench.name());
+                failed = true;
+                continue;
+            }
+        };
+        let diags = analyze(&spec, &target, &mapping);
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+        if json {
+            println!("{{\"workload\":\"{}\",\"diagnostics\":{}}}", bench.name(), render_json(&diags));
+        } else {
+            println!(
+                "{:8} {:24} errors={errors} warnings={warnings}",
+                bench.name(),
+                bench.topology()
+            );
+            if errors > 0 {
+                print!("{}", render_human(&diags));
+            }
+        }
+        if has_errors(&diags) {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("analyze-workloads: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("analyze-workloads: all workloads accepted");
+        ExitCode::SUCCESS
+    }
+}

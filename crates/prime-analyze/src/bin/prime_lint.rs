@@ -1,0 +1,64 @@
+//! `prime-lint`: the repo-specific source lint gate.
+//!
+//! Scans every first-party `.rs` file (skipping `vendor/` and `target/`)
+//! for the repo rules — P050 allocation-in-hot-kernel, P051
+//! panic-in-library, P052 unsafe — consulting the `prime-lint.allow`
+//! allowlist at the repo root. Exits nonzero when any `Error`-severity
+//! finding survives, so CI can gate on it.
+//!
+//! ```text
+//! prime-lint [--root DIR] [--allowlist FILE] [--json]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use prime_analyze::{has_errors, render_human, render_json, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
+            }
+            "--allowlist" => {
+                allow_path = args.next().map(PathBuf::from);
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: prime-lint [--root DIR] [--allowlist FILE] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("prime-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("prime-lint.allow"));
+    let mut allow = Allowlist::load(&allow_path);
+    let diags = match prime_analyze::lint_root(&root, &mut allow) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("prime-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", render_json(&diags));
+    } else if diags.is_empty() {
+        println!("prime-lint: clean");
+    } else {
+        print!("{}", render_human(&diags));
+        println!("prime-lint: {} finding(s)", diags.len());
+    }
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,735 @@
+//! Pass 2 — the repo-specific source lint.
+//!
+//! A line/token-level scanner (no external parser: the container is
+//! offline) that enforces the repo's coding discipline:
+//!
+//! * [`Code::P050`] — no allocation (`Vec::new`, `vec!`, `.collect`,
+//!   `.to_vec`, `.clone()`) inside `*_into` hot-kernel functions;
+//! * [`Code::P051`] — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test code of
+//!   library crates;
+//! * [`Code::P052`] — no `unsafe` anywhere in first-party code.
+//!
+//! Residual violations (documented constructor panics, etc.) live in the
+//! `prime-lint.allow` file at the repo root: one entry per line,
+//! `CODE path function  # reason`, where `function` may be `*`. Entries
+//! that match nothing are reported as [`Code::P053`] warnings so the
+//! allowlist can only shrink.
+//!
+//! The scanner strips line/block/doc comments and string literals with a
+//! small state machine, tracks brace depth to know the enclosing function
+//! and whether it is inside a `#[cfg(test)]` scope, and then looks for
+//! the banned token patterns on the stripped text.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// One allowlist entry: `CODE path function`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Diagnostic code the entry silences (e.g. `"P051"`).
+    pub code: String,
+    /// Repo-relative file path the entry applies to.
+    pub path: String,
+    /// Function name the entry applies to, or `"*"` for the whole file.
+    pub function: String,
+    /// One-based line in the allowlist file (for P053 reporting).
+    pub line: usize,
+}
+
+/// Parsed allowlist with usage tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parses the `prime-lint.allow` format: blank lines and `#` comments
+    /// ignored; otherwise `CODE path function` separated by whitespace,
+    /// with anything after `#` treated as a reason comment.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(code), Some(path), Some(function)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                entries.push(AllowEntry {
+                    code: code.to_string(),
+                    path: path.to_string(),
+                    function: function.to_string(),
+                    line: idx + 1,
+                });
+            }
+        }
+        let used = vec![false; entries.len()];
+        Allowlist { entries, used }
+    }
+
+    /// Loads the allowlist from a file; a missing file is an empty list.
+    pub fn load(path: &Path) -> Allowlist {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// Whether `(code, path, function)` is allowlisted; marks the entry used.
+    pub fn permits(&mut self, code: Code, path: &str, function: &str) -> bool {
+        let mut hit = false;
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.code == code.as_str()
+                && entry.path == path
+                && (entry.function == "*" || entry.function == function)
+            {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .zip(self.used.iter())
+            .filter_map(|(e, &u)| if u { None } else { Some(e) })
+            .collect()
+    }
+}
+
+/// How a file participates in the lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileClass {
+    /// Library source: all three rules apply.
+    Library,
+    /// Binaries, tests, benches, examples: only the `unsafe` rule applies.
+    Support,
+}
+
+fn classify(rel: &str) -> Option<FileClass> {
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.starts_with(".git/") {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let support = rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
+        || rel.contains("/src/bin/");
+    if support {
+        return Some(FileClass::Support);
+    }
+    let library = rel.starts_with("src/")
+        || (rel.starts_with("crates/") && rel.contains("/src/"));
+    if library { Some(FileClass::Library) } else { Some(FileClass::Support) }
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" || name == "node_modules" {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Carry-over lexical state between lines of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+}
+
+/// One brace scope.
+#[derive(Debug, Clone)]
+struct Scope {
+    test: bool,
+    fn_name: Option<String>,
+}
+
+/// Item declaration seen but whose `{` has not arrived yet.
+#[derive(Debug, Clone)]
+struct Pending {
+    fn_name: Option<String>,
+    test: bool,
+}
+
+struct FileScanner<'a> {
+    rel: String,
+    class: FileClass,
+    lex: LexState,
+    scopes: Vec<Scope>,
+    pending: Option<Pending>,
+    pending_test_attr: bool,
+    allow: &'a mut Allowlist,
+    diags: Vec<Diagnostic>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// keeping the line length stable so columns still line up. Returns the
+/// stripped text and the lexical state at end of line.
+fn strip_line(line: &str, mut state: LexState) -> (String, LexState) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        match state {
+            LexState::BlockComment(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth <= 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = LexState::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                if chars[i] == '\\' {
+                    out.push(' ');
+                    if i + 1 < chars.len() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    state = LexState::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                if chars[i] == '"' {
+                    let n = hashes as usize;
+                    let closes = (1..=n).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closes {
+                        state = LexState::Code;
+                        out.push('"');
+                        out.extend(std::iter::repeat_n(' ', n));
+                        i += 1 + n;
+                        continue;
+                    }
+                }
+                out.push(' ');
+                i += 1;
+            }
+            LexState::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line (or doc) comment: drop the rest of the line.
+                    break;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = LexState::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == 'r'
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                    && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
+                {
+                    // Possible raw string r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u8;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = LexState::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(' ', j - i));
+                        out.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    state = LexState::Str;
+                    out.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote one or two (escaped) chars later.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        out.extend(std::iter::repeat_n(' ', j.min(chars.len() - 1) + 1 - i));
+                        i = j + 1;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime: keep scanning.
+                    out.push('\'');
+                    i += 1;
+                    continue;
+                }
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out.into_iter().collect(), state)
+}
+
+/// Finds `needle` in `hay` at word-ish boundaries: the char before the
+/// match must not be an identifier char (so `.unwrap()` never matches
+/// inside `unwrap_or`, and `unsafe` never matches `unsafe_code`), and if
+/// `whole_word`, the char after must not be an identifier char either.
+fn find_token(hay: &str, needle: &str, whole_word: bool) -> bool {
+    let needs_before = needle.chars().next().is_some_and(is_ident_char);
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = !needs_before
+            || abs == 0
+            || !is_ident_char(hay[..abs].chars().next_back().unwrap_or(' '));
+        let end = abs + needle.len();
+        let after_ok =
+            !whole_word || end >= hay.len() || !is_ident_char(hay[end..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len().max(1);
+    }
+    false
+}
+
+impl FileScanner<'_> {
+    fn current_fn(&self) -> &str {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.fn_name.as_deref())
+            .unwrap_or("-")
+    }
+
+    fn in_test(&self) -> bool {
+        self.scopes.iter().any(|s| s.test)
+    }
+
+    fn report(&mut self, code: Code, line_no: usize, message: String) {
+        let function = self.current_fn().to_string();
+        if self.allow.permits(code, &self.rel, &function) {
+            return;
+        }
+        self.diags.push(Diagnostic::new(
+            code,
+            Span::Source { file: self.rel.clone(), line: line_no, function },
+            message,
+        ));
+    }
+
+    fn scan_line(&mut self, raw: &str, line_no: usize) {
+        let (stripped, next_state) = strip_line(raw, self.lex);
+        self.lex = next_state;
+        let text = stripped.as_str();
+
+        // Attributes that mark the next item (and its scope) as test-only.
+        if text.contains("#[cfg(test)]")
+            || text.contains("#[cfg(all(test")
+            || text.contains("#[test]")
+        {
+            self.pending_test_attr = true;
+        }
+
+        // Item declarations whose body brace may come later.
+        if let Some(name) = extract_decl_name(text, "fn ") {
+            self.pending = Some(Pending {
+                fn_name: Some(name),
+                test: self.pending_test_attr,
+            });
+            self.pending_test_attr = false;
+        } else if self.pending.is_none()
+            && (extract_decl_name(text, "mod ").is_some()
+                || find_token(text, "impl", true)
+                || extract_decl_name(text, "struct ").is_some()
+                || extract_decl_name(text, "enum ").is_some()
+                || extract_decl_name(text, "trait ").is_some())
+        {
+            self.pending = Some(Pending { fn_name: None, test: self.pending_test_attr });
+            self.pending_test_attr = false;
+        }
+
+        // Rules run before brace processing so a one-line fn body still
+        // attributes findings to that fn via `pending` resolution below;
+        // in practice bodies open on the declaration line, so process
+        // braces first, then apply the rules with the updated scope.
+        for c in text.chars() {
+            match c {
+                '{' => {
+                    let pending = self.pending.take();
+                    let inherited = self.in_test();
+                    match pending {
+                        Some(p) => self.scopes.push(Scope {
+                            test: inherited || p.test,
+                            fn_name: p.fn_name,
+                        }),
+                        None => self.scopes.push(Scope { test: inherited, fn_name: None }),
+                    }
+                }
+                '}' => {
+                    self.scopes.pop();
+                }
+                // An item ended without a body (`fn f();` in traits,
+                // `mod x;`, `struct X;`): drop the pending decl and any
+                // test attribute that was aimed at it.
+                ';' if self.scopes.iter().all(|s| s.fn_name.is_none()) => {
+                    self.pending = None;
+                    self.pending_test_attr = false;
+                }
+                _ => {}
+            }
+        }
+
+        // P052: unsafe anywhere, any file class, test or not.
+        if find_token(text, "unsafe", true) {
+            self.report(
+                Code::P052,
+                line_no,
+                "`unsafe` is forbidden in first-party code".to_string(),
+            );
+        }
+
+        if self.class != FileClass::Library || self.in_test() {
+            return;
+        }
+
+        // P051: panic paths in non-test library code.
+        for (pattern, whole, label) in [
+            (".unwrap()", false, "unwrap()"),
+            (".expect(", false, "expect()"),
+            ("panic!", true, "panic!"),
+            ("unreachable!", true, "unreachable!"),
+            ("todo!", true, "todo!"),
+            ("unimplemented!", true, "unimplemented!"),
+        ] {
+            if find_token(text, pattern, whole) {
+                self.report(
+                    Code::P051,
+                    line_no,
+                    format!("`{label}` in non-test library code; return a typed error instead"),
+                );
+            }
+        }
+
+        // P050: allocation inside *_into hot kernels.
+        let in_hot_kernel = self.current_fn().ends_with("_into");
+        if in_hot_kernel {
+            for (pattern, whole, label) in [
+                ("Vec::new", false, "Vec::new"),
+                ("vec!", true, "vec!"),
+                (".collect", false, "collect"),
+                (".to_vec", false, "to_vec"),
+                (".clone()", false, "clone()"),
+                ("String::new", false, "String::new"),
+                (".to_string", false, "to_string"),
+                ("format!", true, "format!"),
+                ("Box::new", false, "Box::new"),
+            ] {
+                if find_token(text, pattern, whole) {
+                    self.report(
+                        Code::P050,
+                        line_no,
+                        format!(
+                            "`{label}` allocates inside hot kernel `{}`; *_into functions \
+                             must be allocation-free",
+                            self.current_fn()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the identifier following `keyword` (e.g. `"fn "`) when the
+/// keyword appears at a word boundary; returns `None` for keyword-less
+/// lines and for function-pointer types (`fn(` with no name).
+fn extract_decl_name(text: &str, keyword: &str) -> Option<String> {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(keyword) {
+        let abs = start + pos;
+        let before_ok =
+            abs == 0 || !is_ident_char(text[..abs].chars().next_back().unwrap_or(' '));
+        if before_ok {
+            let rest = &text[abs + keyword.len()..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        start = abs + keyword.len();
+    }
+    None
+}
+
+/// Lints one file's contents (exposed for tests).
+pub fn lint_source(rel: &str, text: &str, allow: &mut Allowlist) -> Vec<Diagnostic> {
+    let class = match classify(rel) {
+        Some(c) => c,
+        None => return Vec::new(),
+    };
+    let mut scanner = FileScanner {
+        rel: rel.to_string(),
+        class,
+        lex: LexState::Code,
+        scopes: Vec::new(),
+        pending: None,
+        pending_test_attr: false,
+        allow,
+        diags: Vec::new(),
+    };
+    for (idx, line) in text.lines().enumerate() {
+        scanner.scan_line(line, idx + 1);
+    }
+    scanner.diags
+}
+
+/// Lints every first-party `.rs` file under `root`, consults and updates
+/// the allowlist, and appends a [`Code::P053`] warning for each unused
+/// allowlist entry.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the tree cannot be walked or a file read.
+pub fn lint_root(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for (path, rel) in files {
+        let text = fs::read_to_string(&path)?;
+        diags.extend(lint_source(&rel, &text, allow));
+    }
+    for entry in allow.unused() {
+        diags.push(Diagnostic::new(
+            Code::P053,
+            Span::Source {
+                file: "prime-lint.allow".to_string(),
+                line: entry.line,
+                function: "-".to_string(),
+            },
+            format!(
+                "allowlist entry `{} {} {}` matched nothing; remove it",
+                entry.code, entry.path, entry.function
+            ),
+        ));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, text: &str) -> Vec<Diagnostic> {
+        let mut allow = Allowlist::default();
+        lint_source(rel, text, &mut allow)
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::P051);
+        match &diags[0].span {
+            Span::Source { line, function, .. } => {
+                assert_eq!(*line, 2);
+                assert_eq!(function, "f");
+            }
+            other => panic!("wrong span {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ignores_test_modules_and_doc_comments() {
+        let src = "\
+//! `unwrap()` in docs is fine.\n\
+/// Also `panic!` here.\n\
+pub fn ok() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() {\n\
+        Some(1).unwrap();\n\
+        panic!(\"fine in tests\");\n\
+    }\n\
+}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn ignores_strings_and_comments() {
+        let src = "pub fn f() -> &'static str {\n    // a panic! in a comment\n    \"call unwrap() later\"\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or_else(|| 0)\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_alloc_in_into_kernels_only() {
+        let src = "\
+pub fn gather(xs: &[u8]) -> Vec<u8> {\n\
+    xs.iter().copied().collect()\n\
+}\n\
+pub fn gather_into(xs: &[u8], out: &mut Vec<u8>) {\n\
+    let v = xs.to_vec();\n\
+    out.extend_from_slice(&v);\n\
+}\n";
+        let diags = lint("crates/demo/src/kernels.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::P050);
+        match &diags[0].span {
+            Span::Source { function, .. } => assert_eq!(function, "gather_into"),
+            other => panic!("wrong span {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_unsafe_everywhere_even_tests() {
+        let src = "#[test]\nfn t() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n";
+        let diags = lint("crates/demo/tests/t.rs", src);
+        assert!(diags.iter().any(|d| d.code == Code::P052), "{diags:?}");
+        // forbid(unsafe_code) attribute does not trip the word check.
+        let attr = "#![forbid(unsafe_code)]\n";
+        assert!(lint("crates/demo/src/lib.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn test_files_and_bins_skip_panic_rule() {
+        let src = "fn main() {\n    std::fs::read(\"x\").unwrap();\n}\n";
+        assert!(lint("crates/demo/src/bin/tool.rs", src).is_empty());
+        assert!(lint("crates/demo/tests/integration.rs", src).is_empty());
+        assert!(lint("examples/demo.rs", src).is_empty());
+        assert!(lint("crates/demo/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vendor_is_skipped() {
+        let src = "pub fn f() { panic!() }\n";
+        assert!(lint("vendor/rand/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_silences_and_tracks_usage() {
+        let mut allow =
+            Allowlist::parse("P051 crates/demo/src/lib.rs f # documented panic\nP051 crates/demo/src/lib.rs ghost\n");
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/demo/src/lib.rs", src, &mut allow);
+        assert!(diags.is_empty(), "{diags:?}");
+        let unused = allow.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].function, "ghost");
+    }
+
+    #[test]
+    fn multiline_signatures_attribute_to_the_right_fn() {
+        let src = "\
+pub fn long_sig(\n\
+    x: Option<u8>,\n\
+) -> u8 {\n\
+    x.unwrap()\n\
+}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        match &diags[0].span {
+            Span::Source { function, line, .. } => {
+                assert_eq!(function, "long_sig");
+                assert_eq!(*line, 4);
+            }
+            other => panic!("wrong span {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_strings_stay_stripped() {
+        let src = "pub fn f() -> String {\n    let s = \"spans \\\n        unwrap() lines\";\n    s.into()\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn block_comments_can_nest() {
+        let src = "/* outer /* inner panic! */ still comment unwrap() */\npub fn f() {}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let src = "pub fn f() -> char {\n    let c = '\"';\n    let s = \"panic!\";\n    let _ = s;\n    c\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

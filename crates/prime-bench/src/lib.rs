@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md for paper-vs-measured results); the criterion benches
 //! in `benches/` measure the kernels behind them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;

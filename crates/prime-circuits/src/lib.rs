@@ -36,6 +36,7 @@
 //! # Ok::<(), prime_circuits::CircuitError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod activation;

@@ -19,6 +19,7 @@
 //! # Ok::<(), prime_compiler::CompileError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;

@@ -148,8 +148,9 @@ impl NetworkMapping {
 fn lower_layer(spec: &LayerSpec, hw: &HwTarget) -> Result<LayerMapping, CompileError> {
     let (rows_needed, cols_needed, vectors) = match *spec {
         LayerSpec::FullyConnected { inputs, outputs } => (inputs + 1, outputs, 1),
-        LayerSpec::Conv { in_ch, out_ch, kernel, .. } => {
-            let (oh, ow) = spec.conv_out_dims().expect("conv variant");
+        LayerSpec::Conv { in_ch, out_ch, kernel, in_h, in_w, padding } => {
+            let oh = in_h + 2 * padding - kernel + 1;
+            let ow = in_w + 2 * padding - kernel + 1;
             (in_ch * kernel * kernel + 1, out_ch, oh * ow)
         }
         LayerSpec::Pool { .. } | LayerSpec::Lrn { .. } => {

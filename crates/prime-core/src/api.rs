@@ -104,8 +104,7 @@ impl PrimeProgram {
                     reason: e.to_string(),
                 }
             })?;
-        self.mapping = Some(mapping);
-        Ok(self.mapping.as_ref().expect("just set"))
+        Ok(self.mapping.insert(mapping))
     }
 
     /// `Program_Weight(..)`: records the trained weights to program into

@@ -130,6 +130,11 @@ impl BankController {
     }
 
     /// The Buffer subarray.
+    pub fn buffer(&self) -> &BufferSubarray {
+        &self.buffer
+    }
+
+    /// Mutable access to the Buffer subarray.
     pub fn buffer_mut(&mut self) -> &mut BufferSubarray {
         &mut self.buffer
     }
@@ -433,21 +438,24 @@ impl BankController {
     /// §III-A2 morphing, step 1: migrate the subarray's memory-mode data
     /// to Mem-subarray space (modelled as an internal backup) and switch
     /// every mat to weight-programming mode.
-    pub fn morph_to_compute(&mut self, subarray: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::WrongMode`] if a mat's memory-mode data
+    /// cannot be read back during migration.
+    pub fn morph_to_compute(&mut self, subarray: usize) -> Result<(), PrimeError> {
         let mats = self.ff[subarray].len();
         for m in 0..mats {
             let mat = &self.ff[subarray][m];
             if mat.function() == MatFunction::Memory {
                 let rows = (0..2 * prime_device::MAT_DIM)
-                    .map(|r| {
-                        mat.read_memory_row(r, prime_device::MAT_DIM)
-                            .expect("memory mode")
-                    })
-                    .collect();
+                    .map(|r| mat.read_memory_row(r, prime_device::MAT_DIM))
+                    .collect::<Result<Vec<_>, _>>()?;
                 self.migrated.insert((subarray, m), MigratedMat { rows });
             }
             self.ff[subarray][m].set_function(MatFunction::Program);
         }
+        Ok(())
     }
 
     /// §III-A2 morphing, step 2: after weights are programmed, switch the
@@ -593,7 +601,7 @@ mod tests {
         ctrl.mat_mut(addr).write_memory_row(5, &bits).unwrap();
         ctrl.mat_mut(addr).write_memory_row(400, &bits).unwrap();
         // Morph to compute, run something, morph back.
-        ctrl.morph_to_compute(0);
+        ctrl.morph_to_compute(0).unwrap();
         ctrl.mat_mut(addr)
             .program_composed(&[100, -100], 2, 1)
             .unwrap();

@@ -44,6 +44,16 @@ pub enum PrimeError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The static deployment verifier refused the deployment.
+    Rejected {
+        /// The `Error`-severity diagnostics that blocked it.
+        diagnostics: Vec<prime_analyze::Diagnostic>,
+    },
+    /// An internal invariant broke (a bug, not a user error).
+    Internal {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PrimeError {
@@ -69,6 +79,14 @@ impl fmt::Display for PrimeError {
                 write!(f, "buffer needs {requested} bytes but holds {capacity}")
             }
             PrimeError::MappingMismatch { reason } => write!(f, "mapping mismatch: {reason}"),
+            PrimeError::Rejected { diagnostics } => {
+                write!(f, "deployment rejected by the static verifier:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            PrimeError::Internal { reason } => write!(f, "internal invariant broke: {reason}"),
         }
     }
 }

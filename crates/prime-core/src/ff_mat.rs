@@ -190,8 +190,11 @@ impl FfMat {
     pub fn set_function(&mut self, function: MatFunction) {
         let spec = match function {
             MatFunction::Memory => MlcSpec::slc(),
+            // The scheme validates pw as even and <= 16, so the half width
+            // is always a legal 1..=8-bit MLC spec; fall back to SLC
+            // rather than panic if that invariant ever breaks.
             MatFunction::Program | MatFunction::Compute => {
-                MlcSpec::new(self.scheme.weight_half_bits()).expect("scheme widths validated")
+                MlcSpec::new(self.scheme.weight_half_bits()).unwrap_or_else(|_| MlcSpec::slc())
             }
         };
         self.pair.positive_mut().morph(spec);

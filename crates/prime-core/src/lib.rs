@@ -33,6 +33,7 @@
 //! # Ok::<(), prime_core::PrimeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod api;

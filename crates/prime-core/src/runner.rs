@@ -173,9 +173,12 @@ impl CommandRunner {
     }
 
     /// Resolves a compiler [`PipelineStage`] list into per-stage layer
-    /// spans, validating that banks strictly increase and layers are
-    /// covered contiguously in order. An empty `pipeline` means one stage
-    /// holding every layer on bank 0.
+    /// spans. Stage legality (banks strictly increasing, contiguous layer
+    /// coverage, no empty stage, banks in range) is checked by the shared
+    /// [`prime_analyze::check_pipeline`] pass — the same rules the static
+    /// deployment verifier applies — so the runtime and the verifier can
+    /// never drift apart. An empty `pipeline` means one stage holding
+    /// every layer on bank 0.
     fn resolve_stages(
         pipeline: &[PipelineStage],
         n_layers: usize,
@@ -187,47 +190,23 @@ impl CommandRunner {
                 layers: (0, n_layers),
             }]);
         }
+        let diags = prime_analyze::check_pipeline(pipeline, n_layers, n_banks, None);
+        if let Some(err) = diags
+            .iter()
+            .find(|d| d.severity == prime_analyze::Severity::Error)
+        {
+            return Err(PrimeError::MappingMismatch {
+                reason: err.to_string(),
+            });
+        }
         let mut stages = Vec::with_capacity(pipeline.len());
         let mut next_layer = 0usize;
-        let mut prev_bank: Option<usize> = None;
         for stage in pipeline {
-            if prev_bank.is_some_and(|p| stage.bank <= p) {
-                return Err(PrimeError::MappingMismatch {
-                    reason: "pipeline stage banks must be strictly increasing".to_string(),
-                });
-            }
-            prev_bank = Some(stage.bank);
-            if stage.bank >= n_banks {
-                return Err(PrimeError::MappingMismatch {
-                    reason: format!(
-                        "pipeline stage targets bank {} but only {n_banks} banks were provided",
-                        stage.bank
-                    ),
-                });
-            }
             let start = next_layer;
-            for &l in &stage.layers {
-                if l != next_layer {
-                    return Err(PrimeError::MappingMismatch {
-                        reason: "pipeline stages must cover layers contiguously in order"
-                            .to_string(),
-                    });
-                }
-                next_layer += 1;
-            }
-            if start == next_layer {
-                return Err(PrimeError::MappingMismatch {
-                    reason: "pipeline contains an empty stage".to_string(),
-                });
-            }
+            next_layer += stage.layers.len();
             stages.push(PlannedStage {
                 bank: stage.bank,
                 layers: (start, next_layer),
-            });
-        }
-        if next_layer != n_layers {
-            return Err(PrimeError::MappingMismatch {
-                reason: format!("pipeline covers {next_layer} of {n_layers} layers"),
             });
         }
         Ok(stages)

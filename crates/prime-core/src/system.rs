@@ -39,6 +39,10 @@ type CopyBatch = Result<Vec<(usize, Vec<f32>)>, (usize, PrimeError)>;
 /// (input index, activation codes) forwarded between pipeline stages.
 type StagePacket = (usize, Vec<i64>);
 
+/// A stage thread's channel ends: receiver from the previous stage and
+/// sender to the next (absent at the pipe's boundaries).
+type StageLink = (Option<mpsc::Receiver<StagePacket>>, Option<mpsc::Sender<StagePacket>>);
+
 /// Aggregate statistics of a PRIME system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SystemStats {
@@ -196,28 +200,48 @@ impl PrimeSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`PrimeError`] if the network does not fit the memory's
-    /// FF mats or uses unsupported layers.
+    /// Returns [`PrimeError::Rejected`] carrying the verifier diagnostics
+    /// if the mapping breaks a deployment invariant (the network does not
+    /// fit the memory's FF mats, a pipeline stage is illegal, the
+    /// precision budgets overflow, ...), or another [`PrimeError`] for
+    /// unsupported layers.
     pub fn deploy(&mut self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
         let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
-        let mapping = map_network(&spec, &self.hw_target(), CompileOptions { replicate: false })
+        let hw = self.hw_target();
+        let mapping = map_network(&spec, &hw, CompileOptions { replicate: false })
             .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
+        // Static verification (prime-analyze pass 1): refuse before any
+        // bank state changes if the mapping breaks a deployment
+        // invariant. This replaces the ad-hoc capacity/pipeline checks
+        // that used to live here and in the runner.
+        let scheme = self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).scheme();
+        let target = prime_analyze::Target {
+            scheme,
+            buffer_words: self.banks[0].buffer().capacity(),
+            // The mats program MLC cells and encode input signals exactly
+            // per the scheme, so the physical budgets equal its halves.
+            cell_bits: scheme.weight_half_bits(),
+            input_signal_bits: scheme.input_half_bits(),
+            phys_mat_cols: 2 * self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).max_cols(),
+            hw,
+        };
+        let diagnostics: Vec<_> = prime_analyze::analyze(&spec, &target, &mapping)
+            .into_iter()
+            .filter(|d| d.severity == prime_analyze::Severity::Error)
+            .collect();
+        if !diagnostics.is_empty() {
+            return Err(PrimeError::Rejected { diagnostics });
+        }
         // Compile every copy first (failure leaves no partial state
         // visible to the OS bookkeeping). The bank group is sized by the
         // stage list itself, not `mapping.banks_per_copy`: greedy packing
-        // can fragment and span more banks than the capacity bound.
+        // can fragment and span more banks than the capacity bound. The
+        // verifier has already bounded every stage span to the memory, so
+        // at least one copy fits.
         let bpc = mapping.pipeline.last().map_or(1, |s| {
             s.bank + s.mats.div_ceil(self.mats_per_bank).max(1)
         });
         let copies = self.banks.len() / bpc;
-        if copies == 0 {
-            return Err(PrimeError::MappingMismatch {
-                reason: format!(
-                    "one copy spans {bpc} banks but the memory has {}",
-                    self.banks.len()
-                ),
-            });
-        }
         let mut runners = Vec::with_capacity(copies);
         for c in 0..copies {
             let group = &mut self.banks[c * bpc..(c + 1) * bpc];
@@ -376,30 +400,42 @@ impl PrimeSystem {
                 // (input index, activation codes); a recycle channel
                 // returns spent code vectors from the final stage to
                 // stage 0 so the steady state allocates nothing.
-                let mut txs = Vec::with_capacity(s_count);
-                let mut rxs: Vec<Option<mpsc::Receiver<StagePacket>>> = vec![None];
+                let mut links: Vec<StageLink> = Vec::with_capacity(s_count);
+                let mut prev_rx = None;
                 for _ in 1..s_count {
                     let (tx, rx) = mpsc::channel();
-                    txs.push(Some(tx));
-                    rxs.push(Some(rx));
+                    links.push((prev_rx.replace(rx), Some(tx)));
                 }
-                txs.push(None);
+                links.push((prev_rx.take(), None));
                 let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<i64>>();
                 let mut recycle_tx = Some(recycle_tx);
                 let mut recycle_rx = Some(recycle_rx);
-                let mut bank_slots: Vec<_> = banks.iter_mut().map(Some).collect();
-                let mut scratch_slots: Vec<_> = scratches.iter_mut().map(Some).collect();
-                let mut rng_slots: Vec<_> = rngs.iter_mut().map(Some).collect();
+                // Hand each stage its bank's controller, scratch, and RNG
+                // stream. Stage banks are distinct and in range (verified
+                // at deploy), so every resource reaches at most one stage.
+                let mut stage_res: Vec<
+                    Option<(&mut BankController, &mut InferScratch, &mut Option<SmallRng>)>,
+                > = (0..s_count).map(|_| None).collect();
+                for (b, ((bank, scratch), rng)) in banks
+                    .iter_mut()
+                    .zip(scratches.iter_mut())
+                    .zip(rngs.iter_mut())
+                    .enumerate()
+                {
+                    if let Some(s) = (0..s_count).find(|&s| runner.stage_bank(s) == b) {
+                        stage_res[s] = Some((bank, scratch, rng));
+                    }
+                }
                 for s in 0..s_count {
-                    let b = runner.stage_bank(s);
-                    let bank = bank_slots[b].take().expect("stage banks are distinct");
-                    let scratch = scratch_slots[b].take().expect("stage banks are distinct");
-                    let rng = rng_slots[b].take().expect("stage banks are distinct");
-                    let rx = rxs[s].take();
-                    let tx = txs[s].take();
+                    let Some((bank, scratch, rng)) = stage_res[s].take() else {
+                        continue;
+                    };
+                    let (rx, tx) = std::mem::take(&mut links[s]);
                     if s == 0 {
-                        let tx = tx.expect("stage 0 feeds a successor");
-                        let recycle_rx = recycle_rx.take().expect("one recycle receiver");
+                        // First stage: no predecessor, feeds a successor.
+                        let (Some(tx), Some(recycle_rx)) = (tx, recycle_rx.take()) else {
+                            continue;
+                        };
                         handles.push(scope.spawn(move || {
                             // Bound the in-flight vectors: allocate a few,
                             // then block on recycling — the backpressure
@@ -443,8 +479,10 @@ impl PrimeSystem {
                             Ok(Vec::new())
                         }));
                     } else if s < s_count - 1 {
-                        let rx = rx.expect("interior stage has a predecessor");
-                        let tx = tx.expect("interior stage has a successor");
+                        // Interior stage: a predecessor and a successor.
+                        let (Some(rx), Some(tx)) = (rx, tx) else {
+                            continue;
+                        };
                         handles.push(scope.spawn(move || {
                             let (to, _) = runner.stage_input(s);
                             let (from, words) = runner.stage_output(s);
@@ -472,8 +510,10 @@ impl PrimeSystem {
                             Ok(Vec::new())
                         }));
                     } else {
-                        let rx = rx.expect("final stage has a predecessor");
-                        let recycle_tx = recycle_tx.take().expect("one recycle sender");
+                        // Final stage: recycles spent vectors to stage 0.
+                        let (Some(rx), Some(recycle_tx)) = (rx, recycle_tx.take()) else {
+                            continue;
+                        };
                         handles.push(scope.spawn(move || {
                             let (to, _) = runner.stage_input(s);
                             let mut done = Vec::new();
@@ -514,7 +554,16 @@ impl PrimeSystem {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("stage thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err((
+                            0,
+                            PrimeError::Internal {
+                                reason: "a pipeline stage thread panicked".to_string(),
+                            },
+                        ))
+                    })
+                })
                 .collect()
         });
         let mut outputs: Vec<Option<Vec<f32>>> = (0..inputs.len()).map(|_| None).collect();
@@ -539,11 +588,17 @@ impl PrimeSystem {
             self.stats.inferences += i as u64;
             return Err(e);
         }
-        self.stats.inferences += inputs.len() as u64;
-        Ok(outputs
+        let outputs = outputs
             .into_iter()
-            .map(|o| o.expect("all input indices covered"))
-            .collect())
+            .enumerate()
+            .map(|(i, o)| {
+                o.ok_or_else(|| PrimeError::Internal {
+                    reason: format!("no pipeline stage produced an output for input {i}"),
+                })
+            })
+            .collect::<Result<Vec<_>, PrimeError>>()?;
+        self.stats.inferences += inputs.len() as u64;
+        Ok(outputs)
     }
 
     /// One inference through one copy's bank group, stage by stage:

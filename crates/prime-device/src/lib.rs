@@ -52,6 +52,7 @@
 //! [`PairScratch`] bundles the per-polarity intermediates the paired
 //! kernels need, so callers hold a single reusable object.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cell;

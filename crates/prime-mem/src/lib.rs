@@ -21,6 +21,7 @@
 //! # Ok::<(), prime_mem::MemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bank;

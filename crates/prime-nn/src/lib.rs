@@ -33,6 +33,7 @@
 //! # Ok::<(), prime_nn::NnError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dataset;

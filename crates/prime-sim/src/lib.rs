@@ -20,6 +20,7 @@
 //! assert!(prime.speedup_vs(&cpu) > 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Area-overhead model (Fig. 12).

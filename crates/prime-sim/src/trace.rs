@@ -4,7 +4,7 @@
 //! the paper's in-house simulator did. This module generates the actual
 //! cache-line access stream a CPU inference produces (streaming the
 //! weights layer by layer, reading inputs, writing outputs) and replays
-//! it through the stateful [`Rank`]/bank/row-buffer model — an
+//! it through the stateful [`Rank`](prime_mem::Rank)/bank/row-buffer model — an
 //! independent estimate that keeps the analytic constants honest. The
 //! two models measure different quantities (closed-bank latency vs
 //! sustained bandwidth), so agreement is expected within a small factor,

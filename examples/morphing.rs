@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: morph to computation (§III-A2): the controller migrates
     // the stored data to Mem-subarray space, then weights are programmed.
-    ctrl.morph_to_compute(0);
+    ctrl.morph_to_compute(0)?;
     println!("morphing: data migrated, mats in weight-programming mode");
     ctrl.mat_mut(mat).program_composed(&[90, -60, 45, 120, -30, 15], 3, 2)?;
     ctrl.start_compute(0);

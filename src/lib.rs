@@ -42,8 +42,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use prime_analyze as analyze;
 pub use prime_circuits as circuits;
 pub use prime_compiler as compiler;
 pub use prime_core as core;

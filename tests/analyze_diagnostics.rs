@@ -1,0 +1,222 @@
+//! Golden fixtures for the prime-analyze deployment verifier: each bad
+//! mapping must be rejected with its pinned `P0xx` code, every MlBench
+//! workload must be accepted on the paper's default target, and (by
+//! property) any deployment the verifier lets through must run to
+//! completion without a runtime error.
+
+use proptest::prelude::*;
+
+use prime::analyze::{analyze, check_pipeline, has_errors, Code, Severity, Target};
+use prime::compiler::{
+    map_network, CompileOptions, HwTarget, LayerMapping, NetworkMapping, NnScale, PipelineStage,
+};
+use prime::core::{PrimeError, PrimeSystem};
+use prime::nn::{Activation, FullyConnected, Layer, LayerSpec, MlBench, Network, NetworkSpec};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// `PrimeSystem::deploy` maps without replication (replicas would be an
+/// analytic utilization model, not a physical placement).
+const DEPLOY_OPTIONS: CompileOptions = CompileOptions { replicate: false };
+
+fn error_codes(diags: &[prime::analyze::Diagnostic]) -> Vec<Code> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code)
+        .collect()
+}
+
+/// An honest lowering of one FC layer, mirroring the compiler's tiling
+/// rules, so fixtures can describe layers the compiler itself refuses.
+fn fc_layer(inputs: usize, outputs: usize, hw: &HwTarget) -> LayerMapping {
+    let rows_needed = inputs + 1;
+    let row_tiles = rows_needed.div_ceil(hw.mat_rows);
+    let col_tiles = outputs.div_ceil(hw.mat_cols);
+    LayerMapping {
+        layer: LayerSpec::FullyConnected { inputs, outputs },
+        rows_needed,
+        cols_needed: outputs,
+        row_tiles,
+        col_tiles,
+        base_mats: row_tiles * col_tiles,
+        in_mat_replication: 1,
+        extra_replicas: 0,
+        vectors_per_inference: 1,
+        merge_adds: 0,
+    }
+}
+
+fn fixture_mapping(layers: Vec<LayerMapping>, pipeline: Vec<PipelineStage>) -> NetworkMapping {
+    let base_mats = layers.iter().map(|l| l.base_mats).sum();
+    NetworkMapping {
+        name: "fixture".to_string(),
+        scale: if pipeline.is_empty() { NnScale::Small } else { NnScale::Large },
+        layers,
+        base_mats,
+        banks_per_copy: 1,
+        allocated_mats: base_mats,
+        utilization_before: 0.5,
+        utilization_after: 0.5,
+        copies_across_memory: 1,
+        pipeline,
+    }
+}
+
+#[test]
+fn oversized_layer_is_rejected_with_p003() {
+    // One FC layer larger than the entire FF-mat pool of the memory.
+    let target = Target::prime_default();
+    let hw = &target.hw;
+    let inputs = hw.mat_rows * hw.mats_per_bank() * hw.banks;
+    let outputs = hw.mat_cols * 4;
+    let spec = NetworkSpec::new(
+        "oversized",
+        vec![LayerSpec::FullyConnected { inputs, outputs }],
+    )
+    .expect("spec is well formed");
+    let mapping = fixture_mapping(vec![fc_layer(inputs, outputs, hw)], Vec::new());
+    assert!(mapping.base_mats > hw.total_mats(), "fixture must overflow");
+    let codes = error_codes(&analyze(&spec, &target, &mapping));
+    assert!(codes.contains(&Code::P003), "expected P003, got {codes:?}");
+}
+
+#[test]
+fn overlapping_banks_are_rejected_with_p008() {
+    // Stage 0 holds one oversized layer spanning banks 0..2; stage 1
+    // starts at bank 1 inside that span — two stages would compute-map
+    // the same mats.
+    let stages = vec![
+        PipelineStage { bank: 0, layers: vec![0], mats: 2 },
+        PipelineStage { bank: 1, layers: vec![1], mats: 1 },
+    ];
+    let codes: Vec<Code> = check_pipeline(&stages, 2, 4, Some(1)).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P008], "got {codes:?}");
+}
+
+#[test]
+fn repeated_bank_is_rejected_with_p005() {
+    let stages = vec![
+        PipelineStage { bank: 0, layers: vec![0], mats: 1 },
+        PipelineStage { bank: 0, layers: vec![1], mats: 1 },
+    ];
+    let codes: Vec<Code> = check_pipeline(&stages, 2, 4, Some(1)).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P005], "got {codes:?}");
+}
+
+#[test]
+fn non_contiguous_stages_are_rejected_with_p006() {
+    // Coverage skips layer 1: stage 1 maps layer 2 while 1 is uncovered.
+    let stages = vec![
+        PipelineStage { bank: 0, layers: vec![0], mats: 1 },
+        PipelineStage { bank: 1, layers: vec![2], mats: 1 },
+    ];
+    let codes: Vec<Code> = check_pipeline(&stages, 3, 4, Some(1)).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P006], "got {codes:?}");
+}
+
+#[test]
+fn incomplete_coverage_is_rejected_with_p006() {
+    let stages = vec![PipelineStage { bank: 0, layers: vec![0], mats: 1 }];
+    let codes: Vec<Code> = check_pipeline(&stages, 2, 4, Some(1)).iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P006], "got {codes:?}");
+}
+
+#[test]
+fn precision_overflow_is_rejected_with_p010() {
+    let spec = MlBench::MlpS.spec();
+    let mut target = Target::prime_default();
+    let mapping = map_network(&spec, &target.hw, DEPLOY_OPTIONS).expect("MLP-S maps");
+    target.cell_bits = 2; // the Pw=8 scheme needs two 4-bit MLC cells
+    let codes = error_codes(&analyze(&spec, &target, &mapping));
+    assert_eq!(codes, vec![Code::P010], "got {codes:?}");
+}
+
+#[test]
+fn every_mlbench_workload_is_accepted_on_the_default_target() {
+    let target = Target::prime_default();
+    for bench in MlBench::ALL {
+        let spec = bench.spec();
+        let mapping = map_network(&spec, &target.hw, DEPLOY_OPTIONS).expect("workload maps");
+        let diags = analyze(&spec, &target, &mapping);
+        assert!(
+            !has_errors(&diags),
+            "{}: {}",
+            bench.name(),
+            prime::analyze::render_human(&diags)
+        );
+    }
+}
+
+#[test]
+fn deploy_refuses_with_typed_diagnostics_when_the_buffer_is_too_small() {
+    // The FC working set (12 inputs + 3 outputs) cannot be staged in an
+    // 8-word FF buffer: deploy must refuse statically (P009), before any
+    // bank state changes — this used to surface as a runtime store error.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut net = Network::new(vec![
+        Layer::Fc(FullyConnected::new(12, 8, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(8, 3, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut rng);
+    let mut system = PrimeSystem::new(2, 2, 4, 8);
+    match system.deploy(&net, &[0.5; 12]) {
+        Err(PrimeError::Rejected { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.code == Code::P009),
+                "expected P009 in {diagnostics:?}"
+            );
+        }
+        other => panic!("expected a Rejected error, got {other:?}"),
+    }
+    assert!(system.infer_batch(&[vec![0.0; 12]]).is_err(), "nothing deployed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any deployment the static verifier accepts must run inference to
+    /// completion; any refusal must be a static one (typed diagnostics or
+    /// a compile error), never a runtime fault after state changed.
+    #[test]
+    fn accepted_mappings_infer_without_runtime_errors(
+        inputs in 2usize..28,
+        hidden in 1usize..20,
+        outputs in 1usize..8,
+        banks in 1usize..4,
+        mats in 1usize..5,
+        buffer_exp in 4u32..12,
+        seed in any::<u64>(),
+    ) {
+        let buffer = 1usize << buffer_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(inputs, hidden, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(hidden, outputs, Activation::Identity)),
+        ]).expect("widths match");
+        net.init_random(&mut rng);
+        let calibration: Vec<f32> = (0..inputs).map(|i| (i % 5) as f32 / 5.0).collect();
+        let mut system = PrimeSystem::new(banks, 1, mats, buffer);
+        match system.deploy(&net, &calibration) {
+            Ok(()) => {
+                let batch: Vec<Vec<f32>> = (0..3)
+                    .map(|b| (0..inputs).map(|i| ((b + i) % 7) as f32 / 7.0).collect())
+                    .collect();
+                let out = system.infer_batch(&batch);
+                prop_assert!(out.is_ok(), "accepted deployment failed at run time: {out:?}");
+                prop_assert_eq!(out.as_deref().map(<[Vec<f32>]>::len), Ok(3));
+            }
+            Err(PrimeError::Rejected { diagnostics }) => {
+                prop_assert!(!diagnostics.is_empty(), "rejection carries no diagnostics");
+            }
+            Err(PrimeError::MappingMismatch { .. }) => {
+                // The compiler itself refused (network cannot map at all).
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("non-static deploy error: {other}")));
+            }
+        }
+    }
+}

@@ -22,7 +22,7 @@ fn repeated_morphing_preserves_data_across_all_mats() {
     // Three full morph cycles with computation in between.
     for cycle in 0..3 {
         for sub in 0..2 {
-            ctrl.morph_to_compute(sub);
+            ctrl.morph_to_compute(sub).unwrap();
             let mat = MatAddr { subarray: sub, mat: 0 };
             ctrl.mat_mut(mat).program_composed(&[10 * (cycle + 1), -5], 2, 1).unwrap();
             ctrl.start_compute(sub);
@@ -52,7 +52,7 @@ fn fetch_load_compute_store_commit_round_trip() {
     // The full Table I data-flow chain: Mem -> Buffer -> FF -> Buffer -> Mem.
     let mut ctrl = BankController::new(1, 1, 2048, 8192);
     let mat = MatAddr { subarray: 0, mat: 0 };
-    ctrl.morph_to_compute(0);
+    ctrl.morph_to_compute(0).unwrap();
     // Identity-ish weights: two outputs echo scaled inputs.
     ctrl.mat_mut(mat).program_composed(&[255, 0, 0, 255], 2, 2).unwrap();
     ctrl.start_compute(0);
@@ -85,7 +85,7 @@ proptest! {
         let mut ctrl = BankController::new(1, 1, 256, 1024);
         let mat = MatAddr { subarray: 0, mat: 0 };
         ctrl.mat_mut(mat).write_memory_row(row, &bits).unwrap();
-        ctrl.morph_to_compute(0);
+        ctrl.morph_to_compute(0).unwrap();
         ctrl.start_compute(0);
         ctrl.morph_to_memory(0).unwrap();
         prop_assert_eq!(ctrl.mat(mat).read_memory_row(row, 256).unwrap(), bits);

@@ -74,6 +74,12 @@ pub enum Code {
     P015,
     /// Mapping is empty.
     P016,
+    /// Layer or activation the command runner cannot execute on the device.
+    P017,
+    /// Conv kernel replication is illegal for the mat geometry (§IV-B).
+    P018,
+    /// A conv/pool im2col window cannot be staged through the FF buffer.
+    P019,
     /// Allocation in a `*_into` hot-kernel function.
     P050,
     /// Panic path (`unwrap`/`expect`/`panic!`/…) in non-test library code.
@@ -86,7 +92,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 23] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -103,6 +109,9 @@ impl Code {
         Code::P014,
         Code::P015,
         Code::P016,
+        Code::P017,
+        Code::P018,
+        Code::P019,
         Code::P050,
         Code::P051,
         Code::P052,
@@ -128,6 +137,9 @@ impl Code {
             Code::P014 => "P014",
             Code::P015 => "P015",
             Code::P016 => "P016",
+            Code::P017 => "P017",
+            Code::P018 => "P018",
+            Code::P019 => "P019",
             Code::P050 => "P050",
             Code::P051 => "P051",
             Code::P052 => "P052",
@@ -154,6 +166,9 @@ impl Code {
             Code::P014 => "utilization out of range",
             Code::P015 => "host fallback layer",
             Code::P016 => "empty mapping",
+            Code::P017 => "runner-unsupported layer",
+            Code::P018 => "illegal kernel replication",
+            Code::P019 => "window staging overflow",
             Code::P050 => "allocation in hot kernel",
             Code::P051 => "panic path in library code",
             Code::P052 => "unsafe code",

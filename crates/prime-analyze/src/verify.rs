@@ -21,6 +21,15 @@ use crate::diag::{Code, Diagnostic, Span};
 /// advisory [`Code::P013`] warning.
 pub const LOW_UTILIZATION_THRESHOLD: f64 = 0.02;
 
+/// Burst width (in 64-bit words) used when a stage-boundary activation
+/// belongs to a conv/pool layer: those feature maps stay resident in the
+/// Mem subarrays and stream through the FF buffer in bursts of at most
+/// this many words, so the buffer never needs to hold a full feature
+/// map. The runtime (`CommandRunner` stage transfers in `prime-core`)
+/// and the verifier's [`Code::P019`] staging accounting share this
+/// constant.
+pub const WINDOW_IO_CHUNK_WORDS: usize = 256;
+
 /// Everything the verifier needs to know about the deployment target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Target {
@@ -323,6 +332,37 @@ pub fn analyze(spec: &NetworkSpec, target: &Target, mapping: &NetworkMapping) ->
                 "in-mat replication factor must be at least 1",
             ));
         }
+        // Kernel replication legality (§IV-B): replicas pack diagonally
+        // inside a single mat, so a replicated layer must tile to one mat
+        // and every copy's rows and columns must fit the mat edge.
+        if lm.in_mat_replication > 1 {
+            if lm.base_mats != 1 {
+                diags.push(Diagnostic::new(
+                    Code::P018,
+                    span.clone(),
+                    format!(
+                        "in-mat replication x{} on a layer tiling to {} mats; only \
+                         single-mat kernels may replicate inside a mat",
+                        lm.in_mat_replication, lm.base_mats
+                    ),
+                ));
+            } else if lm.in_mat_replication * lm.rows_needed > hw.mat_rows
+                || lm.in_mat_replication * lm.cols_needed > hw.mat_cols
+            {
+                diags.push(Diagnostic::new(
+                    Code::P018,
+                    span.clone(),
+                    format!(
+                        "{} diagonal copies of a {}x{} kernel exceed the {}x{} mat",
+                        lm.in_mat_replication,
+                        lm.rows_needed,
+                        lm.cols_needed,
+                        hw.mat_rows,
+                        hw.mat_cols
+                    ),
+                ));
+            }
+        }
         if ls.needs_cpu_fallback() {
             diags.push(Diagnostic::new(
                 Code::P015,
@@ -507,36 +547,62 @@ pub fn analyze(spec: &NetworkSpec, target: &Target, mapping: &NetworkMapping) ->
     }
 
     // FF-buffer capacity (§III-C): each stage stages its FC input vectors
-    // and final outputs in the bank's buffer subarray.
+    // and final outputs in the bank's buffer subarray, plus one im2col /
+    // pooling window per conv/pool layer (the feature maps themselves stay
+    // Mem-resident and stream through in bursts).
     let stage_layer_sets: Vec<Vec<usize>> = if mapping.pipeline.is_empty() {
         vec![(0..mapping.layers.len()).collect()]
     } else {
         mapping.pipeline.iter().map(|s| s.layers.clone()).collect()
     };
     for (index, layer_set) in stage_layer_sets.iter().enumerate() {
-        let mut words = 0usize;
-        let mut last_fc_outputs = 0usize;
-        for &l in layer_set {
-            if let Some(LayerSpec::FullyConnected { inputs, outputs }) =
-                mapping.layers.get(l).map(|m| m.layer)
-            {
-                words += inputs;
-                last_fc_outputs = outputs;
-            }
-        }
-        words += last_fc_outputs;
-        if words > target.buffer_words {
-            let span = if mapping.pipeline.is_empty() {
+        let stage_span = || {
+            if mapping.pipeline.is_empty() {
                 Span::Network
             } else {
                 Span::Stage { index, bank: mapping.pipeline[index].bank }
-            };
+            }
+        };
+        let mut words = 0usize;
+        let mut last_fc_outputs = 0usize;
+        // Conv/pool feature maps stay Mem-resident; only their im2col /
+        // pooling windows are staged, plus the boundary transfer bursts.
+        let mut window_words = 0usize;
+        for &l in layer_set {
+            match mapping.layers.get(l).map(|m| m.layer) {
+                Some(LayerSpec::FullyConnected { inputs, outputs }) => {
+                    words += inputs;
+                    last_fc_outputs = outputs;
+                }
+                Some(LayerSpec::Conv { in_ch, kernel, .. }) => {
+                    window_words += in_ch * kernel * kernel + 1;
+                }
+                Some(LayerSpec::Pool { window, .. }) => {
+                    window_words += window * window;
+                }
+                _ => {}
+            }
+        }
+        words += last_fc_outputs + window_words;
+        if words > target.buffer_words {
             diags.push(Diagnostic::new(
                 Code::P009,
-                span,
+                stage_span(),
                 format!(
                     "stage working set needs {words} buffer words but the FF buffer \
                      holds {}",
+                    target.buffer_words
+                ),
+            ));
+        }
+        if window_words > 0 && window_words + 2 * WINDOW_IO_CHUNK_WORDS > target.buffer_words {
+            diags.push(Diagnostic::new(
+                Code::P019,
+                stage_span(),
+                format!(
+                    "staging the stage's conv/pool windows needs {window_words} buffer \
+                     words (+{} for boundary bursts) but the FF buffer holds {}",
+                    2 * WINDOW_IO_CHUNK_WORDS,
                     target.buffer_words
                 ),
             ));
@@ -631,6 +697,42 @@ mod tests {
         target.phys_mat_cols = target.hw.mat_cols; // no room for the negative array
         let diags = analyze(&spec, &target, &mapping);
         assert!(diags.iter().any(|d| d.code == Code::P012), "{diags:?}");
+    }
+
+    #[test]
+    fn illegal_kernel_replication_is_p018() {
+        let spec = MlBench::Cnn1.spec();
+        let target = Target::prime_default();
+        let mut mapping = map_network(&spec, &target.hw, CompileOptions::default()).unwrap();
+        // Inflate the first conv layer's replication past what fits a mat.
+        let lm = &mut mapping.layers[0];
+        assert!(lm.rows_needed > 0, "expected a weight layer first");
+        lm.in_mat_replication = target.hw.mat_rows / lm.rows_needed + 1;
+        let diags = analyze(&spec, &target, &mapping);
+        assert!(diags.iter().any(|d| d.code == Code::P018), "{diags:?}");
+    }
+
+    #[test]
+    fn conv_window_staging_overflow_is_p019() {
+        let spec = MlBench::Cnn1.spec();
+        let mut target = Target::prime_default();
+        let mapping = map_network(&spec, &target.hw, DEPLOY_OPTIONS).unwrap();
+        // A buffer smaller than one im2col window cannot stage conv inputs.
+        target.buffer_words = 16;
+        let diags = analyze(&spec, &target, &mapping);
+        assert!(diags.iter().any(|d| d.code == Code::P019), "{diags:?}");
+    }
+
+    #[test]
+    fn conv_workload_stage_accounting_includes_windows_only() {
+        // VGG-D's conv feature maps are far larger than the FF buffer; the
+        // stage accounting must charge only window-sized staging so the
+        // paper's own workload still deploys (the gap this PR closes).
+        let diags = default_analyze(MlBench::VggD);
+        assert!(
+            !diags.iter().any(|d| d.code == Code::P009 || d.code == Code::P019),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use prime_sim::report::{format_table, to_json};
 
 fn main() {
     let sigmas = [0.0, 0.01, 0.03, 0.06, 0.12, 0.25];
-    let result = noise::run(120, &sigmas);
+    let result = noise::run(120, &sigmas).expect("noise sweep");
     println!("Ablation: programming-noise sensitivity (functional FF-mat pipeline)\n");
     let header: Vec<String> =
         ["programming sigma", "accuracy", "vs software"].iter().map(|s| s.to_string()).collect();

@@ -15,14 +15,22 @@
 //! actually offers, so ~1x speedups on a 1-core container are
 //! self-explaining.
 //!
-//! `--smoke` runs two fast configurations (one flat, one pipelined) and
-//! skips the JSON (CI does-it-run check: it fails on panic, not on
-//! regression).
+//! A final section drives the paper's CNN-1 (`conv5x5-pool-720-70-10`)
+//! through the functional conv/pool datapath of the device runner
+//! (DESIGN.md §11) and reports a per-layer wall-clock breakdown, so the
+//! cost split between im2col conv evaluation, pooling, and the FC head
+//! is visible in `BENCH_throughput.json` (`device_runner` key).
+//!
+//! `--smoke` runs two fast configurations (one flat, one pipelined)
+//! plus the device-runner breakdown and skips the JSON (CI does-it-run
+//! check: it fails on panic, not on regression).
 
 use std::time::Instant;
 
-use prime_core::PrimeSystem;
-use prime_nn::{Activation, FullyConnected, Layer, Network};
+use prime_core::{BankController, CommandRunner, InferScratch, PrimeSystem};
+use prime_nn::{
+    Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -55,10 +63,32 @@ struct Row {
     fill_drain_ns: Option<f64>,
 }
 
+/// One layer of the device-runner breakdown.
+#[derive(Serialize)]
+struct DeviceLayerRow {
+    layer: String,
+    ns_per_inference: f64,
+    /// Fraction of the whole inference this layer accounts for.
+    share: f64,
+}
+
+/// The CNN-1-class workload measured layer by layer on the functional
+/// device runner (command-driven conv/pool/FC datapath, DESIGN.md §11).
+#[derive(Serialize)]
+struct DeviceRunnerRow {
+    workload: String,
+    topology: String,
+    batch: usize,
+    ns_per_inference: f64,
+    inferences_per_s: f64,
+    layers: Vec<DeviceLayerRow>,
+}
+
 #[derive(Serialize)]
 struct Report {
     meta: Meta,
     rows: Vec<Row>,
+    device_runner: DeviceRunnerRow,
 }
 
 /// A fully-connected ReLU workload the command runner can execute
@@ -144,6 +174,85 @@ fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row 
         parallel_inferences_per_s: batch as f64 / parallel_s,
         speedup: serial_s / parallel_s,
         fill_drain_ns,
+    }
+}
+
+/// The paper's CNN-1 (`conv5x5-pool-720-70-10`) with runner-supported
+/// activations: conv and hidden FC layers ReLU, final layer identity.
+fn cnn1_class_net(seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let layers = vec![
+        Layer::Conv(Conv2d::new(1, 5, 5, 28, 28, 0, Activation::Relu)),
+        Layer::Pool(Pool2d::new(PoolKind::Max, 5, 24, 24, 2)),
+        Layer::Fc(FullyConnected::new(720, 70, Activation::Relu)),
+        Layer::Fc(FullyConnected::new(70, 10, Activation::Identity)),
+    ];
+    let mut net = Network::new(layers).expect("CNN-1 shapes chain");
+    net.init_random(&mut rng);
+    net
+}
+
+/// Times the CNN-1-class conv/pool workload layer by layer on the
+/// functional device runner. Per-layer times come from the rep with the
+/// lowest whole-inference total (the same best-of-reps policy as
+/// `time_batch`), summed over the batch.
+fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
+    let net = cnn1_class_net(0x5EED);
+    let calibration = vec![0.5f32; 28 * 28];
+    let mut controller = BankController::new(2, 8, 4096, 8192);
+    let runner = CommandRunner::compile(&net, &mut controller, &calibration)
+        .expect("CNN-1-class fits one bank");
+    let labels = runner.layer_labels();
+    let inputs = pseudo_batch(batch, 28 * 28);
+
+    let mut scratch = InferScratch::new();
+    let mut out = Vec::new();
+    let mut ns = Vec::new();
+    // Warm-up grows every scratch buffer; the last output doubles as the
+    // determinism reference for the measured reps.
+    for input in &inputs {
+        runner
+            .infer_timed_into(&mut controller, input, &mut scratch, &mut out, &mut ns)
+            .expect("compiled plan runs");
+    }
+    let reference = out.clone();
+
+    let mut best_total = f64::INFINITY;
+    let mut best_layers = vec![0.0f64; labels.len()];
+    for _ in 0..reps {
+        let mut layer_sums = vec![0.0f64; labels.len()];
+        for input in &inputs {
+            runner
+                .infer_timed_into(&mut controller, input, &mut scratch, &mut out, &mut ns)
+                .expect("compiled plan runs");
+            for (sum, v) in layer_sums.iter_mut().zip(&ns) {
+                *sum += v;
+            }
+        }
+        assert_eq!(out, reference, "device runner is not deterministic across repetitions");
+        let total: f64 = layer_sums.iter().sum();
+        if total < best_total {
+            best_total = total;
+            best_layers = layer_sums;
+        }
+    }
+
+    let per_inf = best_total / batch as f64;
+    DeviceRunnerRow {
+        workload: "CNN-1-class".to_string(),
+        topology: "conv5x5-pool-720-70-10".to_string(),
+        batch,
+        ns_per_inference: per_inf,
+        inferences_per_s: 1e9 / per_inf,
+        layers: labels
+            .into_iter()
+            .zip(best_layers)
+            .map(|(layer, sum)| DeviceLayerRow {
+                layer,
+                ns_per_inference: sum / batch as f64,
+                share: if best_total > 0.0 { sum / best_total } else { 0.0 },
+            })
+            .collect(),
     }
 }
 
@@ -233,6 +342,24 @@ fn main() {
         }
     }
 
+    // Per-layer breakdown of the real conv/pool CNN-1 on the device
+    // runner (the engine rows above use its FC classifier head only).
+    let device_runner = measure_device_runner(batch_per_bank, if smoke { 1 } else { reps });
+    println!(
+        "\n{} on the device runner ({}), batch {}:",
+        device_runner.workload, device_runner.topology, device_runner.batch
+    );
+    println!("{:<28} {:>14} {:>7}", "layer", "ns/inf", "share");
+    for layer in &device_runner.layers {
+        println!(
+            "{:<28} {:>14.0} {:>6.1}%",
+            layer.layer,
+            layer.ns_per_inference,
+            layer.share * 100.0
+        );
+    }
+    println!("{:<28} {:>14.0} {:>6.1}%", "total", device_runner.ns_per_inference, 100.0);
+
     if smoke {
         println!("\nsmoke mode: skipping BENCH_throughput.json");
         return;
@@ -245,6 +372,7 @@ fn main() {
                 .to_string(),
         },
         rows,
+        device_runner,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");

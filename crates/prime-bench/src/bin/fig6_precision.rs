@@ -12,7 +12,7 @@ use prime_sim::experiments::fig6;
 use prime_sim::report::{format_table, to_json};
 
 fn main() {
-    let result = fig6::run(fig6::Config::full());
+    let result = fig6::run(fig6::Config::full()).expect("precision sweep");
     let max_bits = result.config.max_bits;
     let mut header = vec!["weights \\ inputs".to_string()];
     header.extend((1..=max_bits).map(|b| format!("{b}-bit")));

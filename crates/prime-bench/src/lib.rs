@@ -12,18 +12,16 @@ use std::fs;
 use std::path::Path;
 
 /// Writes an experiment's JSON next to the printed table, under
-/// `target/experiment-results/`.
-///
-/// # Panics
-///
-/// Panics if the results directory cannot be created or written — the
-/// harness cannot meaningfully continue without its output.
+/// `target/experiment-results/`. I/O failures are reported on stderr
+/// rather than aborting the harness — the printed table is the primary
+/// output and has already been emitted by the time this runs.
 pub fn archive_json(name: &str, json: &str) {
     let dir = Path::new("target/experiment-results");
-    fs::create_dir_all(dir).expect("create results directory");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, json).expect("write experiment results");
-    println!("\n[archived {}]", path.display());
+    match fs::create_dir_all(dir).and_then(|()| fs::write(&path, json)) {
+        Ok(()) => println!("\n[archived {}]", path.display()),
+        Err(err) => eprintln!("\n[archive failed for {}: {err}]", path.display()),
+    }
 }
 
 #[cfg(test)]

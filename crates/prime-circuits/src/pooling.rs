@@ -120,23 +120,28 @@ impl MaxPoolUnit {
 /// quantized to `weight_bits`-bit levels relative to full scale.
 ///
 /// The returned levels, used as cell codes, compute `sum(x) * level` where
-/// `level ~= max_level / n`; the periphery interprets the result at the
-/// matching fixed-point scale.
+/// `level ~= max_level / n`, rounded to the nearest programmable level;
+/// the periphery interprets the result at the matching fixed-point scale.
+/// Round-to-nearest matters at MLC precision: at 4-bit weights
+/// (`max_level = 15`), windows of 9 ≤ n ≤ 30 round to level 1 and stay
+/// programmable, where floor quantization would already collapse n ≥ 16
+/// to zero.
 ///
 /// # Errors
 ///
 /// Returns [`CircuitError::InvalidPoolWindow`] when `n` is zero or so large
-/// that `max_level / n` quantizes to zero (the mean would vanish).
+/// that `max_level / n` rounds to zero (the mean would vanish).
 pub fn mean_pool_weights(n: usize, weight_bits: u8) -> Result<Vec<u16>, CircuitError> {
     if n == 0 {
         return Err(CircuitError::InvalidPoolWindow { window: 0 });
     }
     let max_level = (1u32 << weight_bits) - 1;
-    let level = max_level / n as u32;
+    let n = n as u32;
+    let level = (2 * max_level + n) / (2 * n); // round(max_level / n)
     if level == 0 {
-        return Err(CircuitError::InvalidPoolWindow { window: n });
+        return Err(CircuitError::InvalidPoolWindow { window: n as usize });
     }
-    Ok(vec![level as u16; n])
+    Ok(vec![level as u16; n as usize])
 }
 
 #[cfg(test)]
@@ -199,11 +204,72 @@ mod tests {
         assert_eq!(unit.winner_code([9, 5, 3, 1]), 0b111_111);
     }
 
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The repeated 4:1 winner-code reduction equals scalar max
+            /// for arbitrary window sizes, including n not a multiple of
+            /// four (short groups pad with their first element).
+            #[test]
+            fn pool_equals_scalar_max(values in proptest::collection::vec(-1000i64..1000, 1..40)) {
+                let unit = MaxPoolUnit::new();
+                let expected = *values.iter().max().unwrap();
+                prop_assert_eq!(unit.pool(&values).unwrap(), expected);
+            }
+
+            /// Tie-heavy windows: candidates drawn from a tiny value set
+            /// force duplicate maxima in nearly every group, exercising
+            /// the `>= 0` tie-resolution paths of the winner code.
+            #[test]
+            fn pool_equals_scalar_max_under_ties(
+                values in proptest::collection::vec(0i64..4, 1..40),
+            ) {
+                let unit = MaxPoolUnit::new();
+                let expected = *values.iter().max().unwrap();
+                prop_assert_eq!(unit.pool(&values).unwrap(), expected);
+            }
+
+            /// Round-to-nearest 1/n quantization: whenever a level is
+            /// representable it is the closest one to `max_level / n`.
+            #[test]
+            fn mean_pool_level_is_nearest(n in 1usize..64, bits in 2u8..8) {
+                let max_level = f64::from((1u32 << bits) - 1);
+                match mean_pool_weights(n, bits) {
+                    Ok(w) => {
+                        prop_assert_eq!(w.len(), n);
+                        let err = (f64::from(w[0]) - max_level / n as f64).abs();
+                        prop_assert!(err <= 0.5, "level {} for n {}", w[0], n);
+                    }
+                    Err(_) => prop_assert!((max_level / n as f64) < 0.5),
+                }
+            }
+        }
+    }
+
     #[test]
     fn mean_pool_weights_quantize_reciprocal() {
         let w = mean_pool_weights(4, 4).unwrap();
-        assert_eq!(w, vec![3, 3, 3, 3]); // 15 / 4 = 3
+        assert_eq!(w, vec![4, 4, 4, 4]); // round(15 / 4) = 4
         assert!(mean_pool_weights(0, 4).is_err());
-        assert!(mean_pool_weights(16, 4).is_err()); // 15 / 16 quantizes to 0
+        // round(15 / 16) = 1: large MLC windows stay programmable.
+        assert_eq!(mean_pool_weights(16, 4).unwrap(), vec![1; 16]);
+    }
+
+    #[test]
+    fn mean_pool_weights_survive_mlc_windows_up_to_rounding_limit() {
+        // 4-bit MLC audit (ISSUE satellite): every n in 9..=30 must round
+        // to a nonzero level; n >= 31 is genuinely unprogrammable.
+        for n in 9..=30 {
+            let w = mean_pool_weights(n, 4).unwrap();
+            assert!(w[0] >= 1, "n = {n} collapsed to zero");
+            // Level is the nearest programmable reciprocal: |level - 15/n|
+            // <= 0.5.
+            let err = (f64::from(w[0]) - 15.0 / n as f64).abs();
+            assert!(err <= 0.5, "n = {n} level {} off by {err}", w[0]);
+        }
+        assert!(mean_pool_weights(31, 4).is_err());
+        assert!(mean_pool_weights(64, 4).is_err());
     }
 }

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use prime_circuits::{ComposingScheme, MaxPoolUnit};
+use prime_circuits::{mean_pool_weights, ComposingScheme, MaxPoolUnit};
 use prime_device::NoiseModel;
 use prime_mem::MatFunction;
 use prime_nn::{Layer, Network, PoolKind};
@@ -338,18 +338,14 @@ impl FfExecutor {
                             }
                         }
                     }
-                    if conv.padding() != 0 {
-                        return Err(PrimeError::MappingMismatch {
-                            reason: "the functional executor supports valid (padding-0) \
-                                     convolutions; padded nets are evaluated by the simulator"
-                                .to_string(),
-                        });
-                    }
                     let mut tiled = self.tile_matrix(&km, rows, out_ch, in_scale)?;
                     let (oh, ow) = (conv.out_h(), conv.out_w());
-                    let (src_h, src_w) = (oh + k - 1, ow + k - 1); // valid convolution
-                                                                   // Gather all windows once: used both for SA-window
-                                                                   // calibration (on a sample) and for evaluation.
+                    let (src_h, src_w) = (conv.in_h(), conv.in_w());
+                    let padding = conv.padding();
+                    // Gather all im2col windows once: used both for
+                    // SA-window calibration (on a sample) and for
+                    // evaluation. Padded taps stage code 0, the grounded
+                    // input line's contribution.
                     let mut windows: Vec<Vec<u16>> = Vec::with_capacity(oh * ow);
                     for oy in 0..oh {
                         for ox in 0..ow {
@@ -357,8 +353,14 @@ impl FfExecutor {
                             for ic in 0..in_ch {
                                 for ky in 0..k {
                                     for kx in 0..k {
-                                        let iidx = (ic * src_h + oy + ky) * src_w + ox + kx;
-                                        window[(ic * k + ky) * k + kx] = codes[iidx];
+                                        // Out-of-range taps wrap past
+                                        // src_h/src_w and read 0.
+                                        let iy = (oy + ky).wrapping_sub(padding);
+                                        let ix = (ox + kx).wrapping_sub(padding);
+                                        if iy < src_h && ix < src_w {
+                                            window[(ic * k + ky) * k + kx] =
+                                                codes[(ic * src_h + iy) * src_w + ix];
+                                        }
                                     }
                                 }
                             }
@@ -421,9 +423,44 @@ impl FfExecutor {
                         }
                         out
                     }
-                    // Mean pooling via 1/n ReRAM weights is numerically a
-                    // plain average; evaluated directly.
-                    PoolKind::Mean => layer.forward(&x)?,
+                    PoolKind::Mean => {
+                        // Hardware path: the 1/n weight row pre-programmed
+                        // into ReRAM cells. One dot product per window
+                        // computes `level * sum(codes)` with the quantized
+                        // reciprocal level; the periphery rescales by
+                        // `scale / (level * n)` to recover the mean.
+                        let (codes, scale) = self.quantize_input(&x);
+                        self.stats.buffer_words += codes.len() as u64;
+                        let win = pool.window();
+                        let n = win * win;
+                        let level =
+                            i64::from(mean_pool_weights(n, self.scheme.weight_half_bits())?[0]);
+                        let (oh, ow) = (pool.out_h(), pool.out_w());
+                        let channels = pool.outputs() / (oh * ow);
+                        let in_w = ow * win;
+                        let unit = scale / (level * n as i64) as f32;
+                        let mut out = vec![0.0f32; pool.outputs()];
+                        for c in 0..channels {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut acc = 0i64;
+                                    for wy in 0..win {
+                                        for wx in 0..win {
+                                            acc += level
+                                                * i64::from(
+                                                    codes[(c * oh * win + oy * win + wy) * in_w
+                                                        + ox * win
+                                                        + wx],
+                                                );
+                                        }
+                                    }
+                                    self.stats.merge_adds += n as u64;
+                                    out[(c * oh + oy) * ow + ox] = acc as f32 * unit;
+                                }
+                            }
+                        }
+                        out
+                    }
                 },
             };
         }
@@ -544,6 +581,42 @@ mod tests {
         }
         let corr = correlation(&hw, &sw);
         assert!(corr > 0.95, "hardware/software correlation too low: {corr}");
+    }
+
+    #[test]
+    fn padded_conv_matches_software_within_quantization_error() {
+        let mut conv = prime_nn::Conv2d::new(2, 3, 3, 5, 5, 1, Activation::Identity);
+        for (i, w) in conv.weights_mut().data_mut().iter_mut().enumerate() {
+            *w = (((i * 29) % 23) as f32 - 11.0) / 22.0;
+        }
+        conv.bias_mut()[1] = 0.1;
+        assert_eq!(conv.out_h(), 5, "same-padding conv keeps its map size");
+        let net = Network::new(vec![Layer::Conv(conv.clone())]).unwrap();
+        let input: Vec<f32> = (0..50).map(|i| ((i * 11 % 17) as f32) / 17.0).collect();
+        let sw = conv.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, _) = exec.run(&net, &input).unwrap();
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.5);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.25, "hw {a} vs sw {b}");
+        }
+        let corr = correlation(&hw, &sw);
+        assert!(corr > 0.95, "hardware/software correlation too low: {corr}");
+    }
+
+    #[test]
+    fn mean_pool_hardware_path_matches_software() {
+        let pool = Pool2d::new(PoolKind::Mean, 2, 4, 4, 2);
+        let net = Network::new(vec![Layer::Pool(pool)]).unwrap();
+        let input: Vec<f32> = (0..32).map(|i| ((i * 13 % 32) as f32) / 32.0).collect();
+        let sw = net.forward(&input).unwrap();
+        let mut exec = FfExecutor::new();
+        let (hw, _) = exec.run(&net, &input).unwrap();
+        // Exact up to input quantization: the programmed level cancels in
+        // the periphery rescale.
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() < 0.02, "hw {a} vs sw {b}");
+        }
     }
 
     /// Pearson correlation between two equal-length vectors.

@@ -1,14 +1,28 @@
 //! Command-driven network execution through the bank controller.
 //!
 //! [`FfExecutor`](crate::FfExecutor) proves numerical fidelity; this
-//! module proves *protocol* fidelity: a fully-connected network is
-//! compiled into an integer plan (per-layer quantized weights, SA
-//! windows, and buffer addresses), programmed into a
-//! [`BankController`]'s mats, and then every inference is driven purely
-//! by Table I commands — `load` staging inputs from the Buffer subarray
-//! into mat latches, mat computation, `store` returning outputs — with
-//! row-tile merging on the precision-control adder and integer
-//! requantization between layers, exactly the dataflow of paper Fig. 5(a).
+//! module proves *protocol* fidelity: a network is compiled into an
+//! integer plan (per-layer quantized weights, SA windows, and buffer
+//! addresses), programmed into a [`BankController`]'s mats, and then
+//! every inference is driven purely by Table I commands — `load` staging
+//! inputs from the Buffer subarray into mat latches, mat computation,
+//! `store` returning outputs — with row-tile merging on the
+//! precision-control adder and integer requantization between layers,
+//! exactly the dataflow of paper Fig. 5(a).
+//!
+//! Three layer kinds execute on the device:
+//!
+//! * **Fully-connected** — one crossbar evaluation per inference, the
+//!   original FC datapath.
+//! * **Convolution** — the kernel matrix (`in_ch * k * k` rows, one
+//!   composed column pair per output map) is programmed once; each
+//!   output pixel stages its im2col window through the FF buffer and
+//!   runs one crossbar evaluation, zero padding entering as code 0 on
+//!   the unsigned input drivers.
+//! * **Pooling** — no mats: max pooling reduces the staged window with
+//!   repeated 4:1 winner-code steps on the [`MaxPoolUnit`] (Fig. 4 C),
+//!   and mean pooling is the 1/n-weight dot product of the column-mux
+//!   units, `level * sum(codes)` with the quantized reciprocal level.
 //!
 //! The runner supports the activation functions PRIME's output units
 //! implement exactly in the integer domain (ReLU and identity); sigmoid
@@ -23,15 +37,20 @@
 //! stage-level execution API ([`run_stage`](CommandRunner::run_stage) and
 //! friends) lets [`PrimeSystem`](crate::PrimeSystem) move activation
 //! vectors between banks at stage boundaries and overlap stages across a
-//! batch.
+//! batch. FC stage boundaries are buffer-resident; conv/pool feature
+//! maps stay Mem-resident and stream through the boundary staging
+//! regions in bursts of at most
+//! [`WINDOW_IO_CHUNK_WORDS`](prime_analyze::WINDOW_IO_CHUNK_WORDS)
+//! words, so wide feature maps never require full-width buffer
+//! residency.
 
 use serde::{Deserialize, Serialize};
 
-use prime_circuits::{ComposingScheme, PrecisionController};
+use prime_circuits::{mean_pool_weights, ComposingScheme, MaxPoolUnit, PrecisionController};
 use prime_compiler::PipelineStage;
 use prime_device::NoiseModel;
 use prime_mem::{BufAddr, Command, FfAddr, MatAddr, MatFunction};
-use prime_nn::{Activation, Layer, Network};
+use prime_nn::{Activation, Layer, Network, PoolKind};
 
 use crate::controller::{BankController, BankScratch};
 use crate::error::PrimeError;
@@ -64,6 +83,8 @@ pub struct InferScratch {
     merged: Vec<i64>,
     /// One tile's post-output-unit results.
     tile_out: Vec<i64>,
+    /// One im2col / pooling window's staged codes.
+    window: Vec<i64>,
     /// Controller-side compute buffers.
     bank: BankScratch,
 }
@@ -98,9 +119,53 @@ struct PlannedStage {
     layers: (usize, usize),
 }
 
-/// One planned fully-connected layer.
+/// What a planned layer computes per crossbar evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum PlannedOp {
+    /// Fully-connected: one evaluation over the whole input vector.
+    Fc,
+    /// Convolution: one evaluation per output pixel over an im2col
+    /// window gathered from the `[in_ch, in_h, in_w]` activation.
+    Conv {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Square kernel edge.
+        kernel: usize,
+        /// Zero padding on each side (padded taps stage code 0).
+        padding: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+    },
+    /// Pooling on the Fig. 4 C column-mux hardware: winner-code max or
+    /// the 1/n-weight mean dot product. Consumes no mats.
+    Pool {
+        /// Mean pooling (`level * sum`) instead of winner-code max.
+        mean: bool,
+        /// Channels.
+        channels: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Window edge (stride = window).
+        window: usize,
+        /// Quantized 1/n reciprocal conductance level (mean only).
+        level: i64,
+    },
+}
+
+/// One planned layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct PlannedLayer {
+    op: PlannedOp,
     tiles: Vec<PlannedTile>,
     inputs: usize,
     outputs: usize,
@@ -110,10 +175,24 @@ struct PlannedLayer {
     /// the next layer (calibrated).
     requant_shift: u8,
     relu: bool,
-    /// Buffer address where this layer's input codes live.
+    /// Buffer address of this layer's staging region (the full input
+    /// vector for FC, one window for conv/pool).
     in_addr: BufAddr,
-    /// Buffer address where this layer's output codes are stored.
+    /// Buffer address where this layer's output codes are staged.
     out_addr: BufAddr,
+}
+
+impl PlannedLayer {
+    /// Words of FF buffer the layer's input staging region occupies: the
+    /// full input vector for FC, one im2col / pooling window for
+    /// conv/pool (whose feature maps stay Mem-resident).
+    fn staging(op: &PlannedOp, inputs: usize) -> usize {
+        match *op {
+            PlannedOp::Fc => inputs,
+            PlannedOp::Conv { in_ch, kernel, .. } => in_ch * kernel * kernel,
+            PlannedOp::Pool { window, .. } => window * window,
+        }
+    }
 }
 
 /// A compiled, programmed, command-driven network.
@@ -151,7 +230,7 @@ pub struct CommandRunner {
 }
 
 impl CommandRunner {
-    /// Compiles `net` (fully-connected, ReLU/identity activations only)
+    /// Compiles `net` (FC/conv/pool, ReLU/identity activations only)
     /// onto the controller's FF mats: quantizes weights, programs tiles,
     /// and calibrates every SA window and requantization shift with the
     /// representative `calibration_input`.
@@ -170,6 +249,34 @@ impl CommandRunner {
         calibration_input: &[f32],
     ) -> Result<Self, PrimeError> {
         Self::compile_pipeline(net, std::slice::from_mut(controller), &[], calibration_input)
+    }
+
+    /// Deploy-side capability check: one [`Code::P017`] diagnostic per
+    /// layer the command runner cannot execute on the device (currently
+    /// sigmoid activations, whose output units are not integer-exact).
+    /// [`PrimeSystem::deploy`](crate::PrimeSystem) refuses deployment on
+    /// any finding, so no network silently deploys with layers the
+    /// runner cannot run.
+    ///
+    /// [`Code::P017`]: prime_analyze::Code::P017
+    pub fn capability_diagnostics(net: &Network) -> Vec<prime_analyze::Diagnostic> {
+        let mut diags = Vec::new();
+        for (index, layer) in net.layers().iter().enumerate() {
+            let activation = match layer {
+                Layer::Fc(fc) => fc.activation(),
+                Layer::Conv(conv) => conv.activation(),
+                Layer::Pool(_) => continue,
+            };
+            if matches!(activation, Activation::Sigmoid) {
+                diags.push(prime_analyze::Diagnostic::new(
+                    prime_analyze::Code::P017,
+                    prime_analyze::Span::Layer { index, entity: layer.describe() },
+                    "sigmoid is not integer-exact on the output units; the command \
+                     runner executes ReLU/identity only (use FfExecutor)",
+                ));
+            }
+        }
+        diags
     }
 
     /// Resolves a compiler [`PipelineStage`] list into per-stage layer
@@ -239,6 +346,18 @@ impl CommandRunner {
                 reason: "cannot compile onto zero banks".to_string(),
             });
         }
+        // The calibration vector stands in for a representative input:
+        // SA and requant calibration index it as the first layer's
+        // activation, so a wrong-sized one is a caller error.
+        if calibration_input.len() != net.inputs() {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "{} calibration values for a {}-input network",
+                    calibration_input.len(),
+                    net.inputs()
+                ),
+            });
+        }
         let stages = Self::resolve_stages(pipeline, net.layers().len(), banks.len())?;
         // Code bounds come from the mats' composing scheme (Pin/Po), not
         // hard-coded constants — the quantizer and every downstream clamp
@@ -256,6 +375,7 @@ impl CommandRunner {
                 (ComposingScheme::prime_default(), 256, 128)
             };
         let in_code_max = f32::from(scheme.input_code_max());
+        let code_max = i64::from(scheme.input_code_max());
         let mut planned = Vec::new();
         let mut mats_used = 0usize;
 
@@ -280,124 +400,231 @@ impl CommandRunner {
             let mut next_mat = 0usize;
             let mut buf_cursor: u64 = 0;
             for layer in &net.layers()[stage.layers.0..stage.layers.1] {
-                let Layer::Fc(fc) = layer else {
-                    return Err(PrimeError::MappingMismatch {
-                        reason: format!(
-                            "command runner supports fully-connected layers; got {}",
-                            layer.describe()
-                        ),
-                    });
-                };
-                let relu = match fc.activation() {
-                    Activation::Relu => true,
-                    Activation::Identity => false,
-                    Activation::Sigmoid => {
-                        return Err(PrimeError::MappingMismatch {
-                            reason: "command runner covers the integer-exact output units \
-                                     (ReLU/identity); use FfExecutor for sigmoid networks"
-                                .to_string(),
-                        })
-                    }
-                };
-                let (inputs, outputs) = (fc.inputs(), fc.outputs());
-                // Quantize weights to composed 8-bit codes.
-                let w = fc.weights().data();
-                let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
-                let w_scale = w_max / 255.0;
-                // Tile and program.
-                let row_spans: Vec<(usize, usize)> = (0..inputs.div_ceil(mat_rows))
-                    .map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(inputs)))
-                    .collect();
-                let col_spans: Vec<(usize, usize)> = (0..outputs.div_ceil(mat_cols))
-                    .map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(outputs)))
-                    .collect();
-                let mut tiles = Vec::new();
-                for &(r0, r1) in &row_spans {
-                    for &(c0, c1) in &col_spans {
-                        if next_mat >= total_mats {
-                            return Err(PrimeError::MappingMismatch {
-                                reason: "network needs more FF mats than the bank provides"
-                                    .to_string(),
-                            });
-                        }
-                        let mat = MatAddr {
-                            subarray: next_mat / mats_per_subarray,
-                            mat: next_mat % mats_per_subarray,
+                let plan = match layer {
+                    Layer::Fc(fc) => {
+                        let relu = Self::integer_activation(fc.activation())?;
+                        let (inputs, outputs) = (fc.inputs(), fc.outputs());
+                        // Quantize weights to composed 8-bit codes.
+                        let w = fc.weights().data();
+                        let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+                        let w_scale = w_max / 255.0;
+                        let weight_code = |r: usize, c: usize| {
+                            // Weight matrix is [outputs, inputs]; the
+                            // crossbar wants [inputs, outputs].
+                            ((w[c * inputs + r] / w_scale).round().clamp(-255.0, 255.0)) as i32
                         };
-                        next_mat += 1;
-                        let (tr, tc) = (r1 - r0, c1 - c0);
-                        let mut tile_codes = Vec::with_capacity(tr * tc);
-                        for r in r0..r1 {
-                            for c in c0..c1 {
-                                // Weight matrix is [outputs, inputs]; the
-                                // crossbar wants [inputs, outputs].
-                                let value = w[c * inputs + r];
-                                tile_codes
-                                    .push(((value / w_scale).round().clamp(-255.0, 255.0)) as i32);
-                            }
+                        let tiles = Self::program_tiles(
+                            controller,
+                            &mut next_mat,
+                            (mats_per_subarray, total_mats),
+                            (inputs, outputs),
+                            (mat_rows, mat_cols),
+                            &weight_code,
+                            std::slice::from_ref(&codes),
+                        )?;
+                        // Bias in full-precision units:
+                        // bias_real / (value_scale * w_scale).
+                        let unit = value_scale * w_scale;
+                        let bias_units: Vec<i64> = fc
+                            .bias()
+                            .iter()
+                            .map(|&b| (b / unit).round() as i64)
+                            .collect();
+                        // Calibrate the requantization shift from the
+                        // merged calibration activations.
+                        let merged = Self::merge_reference(
+                            &tiles,
+                            controller,
+                            &codes,
+                            outputs,
+                            &bias_units,
+                        )?;
+                        let out_max =
+                            merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
+                        let requant_shift = Self::requant_shift(out_max, &scheme);
+                        // Advance the calibration activations.
+                        codes = merged
+                            .into_iter()
+                            .map(|v| {
+                                let v = if relu { v.max(0) } else { v };
+                                (v >> requant_shift).clamp(-code_max, code_max)
+                            })
+                            .collect();
+                        value_scale = unit * f32::from(requant_shift).exp2();
+                        PlannedLayer {
+                            op: PlannedOp::Fc,
+                            tiles,
+                            inputs,
+                            outputs,
+                            bias_units,
+                            requant_shift,
+                            relu,
+                            in_addr: BufAddr(0),
+                            out_addr: BufAddr(0),
                         }
-                        controller.execute(Command::SetFunction {
-                            mat,
-                            function: MatFunction::Program,
-                        })?;
-                        controller
-                            .mat_mut(mat)
-                            .program_composed(&tile_codes, tr, tc)?;
-                        controller.execute(Command::SetFunction {
-                            mat,
-                            function: MatFunction::Compute,
-                        })?;
-                        // Calibrate the SA window on the calibration codes.
-                        let mut max_abs = 1i64;
-                        for c in 0..tc {
-                            let mut acc = 0i64;
-                            for (r, &x) in codes[r0..r1].iter().enumerate() {
-                                acc += x * i64::from(tile_codes[r * tc + c]);
-                            }
-                            max_abs = max_abs.max(acc.abs());
-                        }
-                        controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
-                        let shift = controller.mat(mat).output_shift();
-                        tiles.push(PlannedTile {
-                            mat,
-                            rows: (r0, r1),
-                            cols: (c0, c1),
-                            shift,
-                        });
                     }
-                }
-                // Bias in full-precision units: bias_real / (value_scale * w_scale).
-                let unit = value_scale * w_scale;
-                let bias_units: Vec<i64> = fc
-                    .bias()
-                    .iter()
-                    .map(|&b| (b / unit).round() as i64)
-                    .collect();
-                // Calibrate the requantization shift from the merged
-                // calibration activations.
-                let merged =
-                    Self::merge_reference(&tiles, controller, &codes, outputs, &bias_units)?;
-                let out_max = merged.iter().map(|&v| v.abs()).max().unwrap_or(1).max(1);
-                let bits = 64 - out_max.leading_zeros() as i64;
-                // Requantize down to the scheme's input precision so the next
-                // layer's codes fit its Pin-bit drivers.
-                let requant_shift = (bits - i64::from(scheme.input_bits())).max(0) as u8;
-                let in_addr = BufAddr(buf_cursor);
-                buf_cursor += inputs as u64;
-                let out_addr = BufAddr(buf_cursor);
-                let plan = PlannedLayer {
-                    tiles,
-                    inputs,
-                    outputs,
-                    bias_units,
-                    requant_shift,
-                    relu,
-                    in_addr,
-                    out_addr,
+                    Layer::Conv(conv) => {
+                        let relu = Self::integer_activation(conv.activation())?;
+                        let (in_ch, out_ch) = (conv.in_channels(), conv.out_channels());
+                        let (k, padding) = (conv.kernel(), conv.padding());
+                        let (oh, ow) = (conv.out_h(), conv.out_w());
+                        let (inputs, outputs) = (conv.inputs(), conv.outputs());
+                        let rows = in_ch * k * k;
+                        let op = PlannedOp::Conv {
+                            in_ch,
+                            out_ch,
+                            kernel: k,
+                            padding,
+                            in_h: conv.in_h(),
+                            in_w: conv.in_w(),
+                            out_h: oh,
+                            out_w: ow,
+                        };
+                        let w = conv.weights().data();
+                        let w_max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+                        let w_scale = w_max / 255.0;
+                        let weight_code = |r: usize, c: usize| {
+                            // Row r walks (ic, ky, kx); weights are
+                            // [out_ch, in_ch, k, k] and the crossbar wants
+                            // the kernel matrix [rows, out_ch].
+                            let (ic, rem) = (r / (k * k), r % (k * k));
+                            let value = w[((c * in_ch + ic) * k + rem / k) * k + rem % k];
+                            ((value / w_scale).round().clamp(-255.0, 255.0)) as i32
+                        };
+                        // Every im2col window of the calibration
+                        // activation: SA and requant calibration sweep the
+                        // layer's real working set.
+                        let mut windows: Vec<Vec<i64>> = Vec::with_capacity(oh * ow);
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut win = Vec::with_capacity(rows);
+                                Self::gather_window(&op, &codes, oy, ox, &mut win);
+                                windows.push(win);
+                            }
+                        }
+                        let tiles = Self::program_tiles(
+                            controller,
+                            &mut next_mat,
+                            (mats_per_subarray, total_mats),
+                            (rows, out_ch),
+                            (mat_rows, mat_cols),
+                            &weight_code,
+                            &windows,
+                        )?;
+                        let unit = value_scale * w_scale;
+                        let bias_units: Vec<i64> = conv
+                            .bias()
+                            .iter()
+                            .map(|&b| (b / unit).round() as i64)
+                            .collect();
+                        // Requant calibration over every output pixel.
+                        let mut merged_all = Vec::with_capacity(windows.len());
+                        let mut out_max = 1i64;
+                        for win in &windows {
+                            let m = Self::merge_reference(
+                                &tiles, controller, win, out_ch, &bias_units,
+                            )?;
+                            out_max =
+                                out_max.max(m.iter().map(|&v| v.abs()).max().unwrap_or(1));
+                            merged_all.push(m);
+                        }
+                        let requant_shift = Self::requant_shift(out_max, &scheme);
+                        let mut next = vec![0i64; outputs];
+                        for (p, m) in merged_all.iter().enumerate() {
+                            let (oy, ox) = (p / ow, p % ow);
+                            for (oc, &v) in m.iter().enumerate() {
+                                let v = if relu { v.max(0) } else { v };
+                                next[(oc * oh + oy) * ow + ox] =
+                                    (v >> requant_shift).clamp(-code_max, code_max);
+                            }
+                        }
+                        codes = next;
+                        value_scale = unit * f32::from(requant_shift).exp2();
+                        PlannedLayer {
+                            op,
+                            tiles,
+                            inputs,
+                            outputs,
+                            bias_units,
+                            requant_shift,
+                            relu,
+                            in_addr: BufAddr(0),
+                            out_addr: BufAddr(0),
+                        }
+                    }
+                    Layer::Pool(pool) => {
+                        let win = pool.window();
+                        let n = win * win;
+                        let (inputs, outputs) = (pool.inputs(), pool.outputs());
+                        let (channels, ih, iw) = (pool.channels(), pool.in_h(), pool.in_w());
+                        let (oh, ow) = (ih / win, iw / win);
+                        let mean = matches!(pool.kind(), PoolKind::Mean);
+                        // The quantized 1/n reciprocal the mux cells
+                        // program (4-bit MLC budget). Software rescaling
+                        // divides the level back out, so the mean stays
+                        // exact as long as the level is nonzero.
+                        let level = if mean {
+                            i64::from(mean_pool_weights(n, scheme.weight_half_bits())?[0])
+                        } else {
+                            0
+                        };
+                        let op = PlannedOp::Pool {
+                            mean,
+                            channels,
+                            in_h: ih,
+                            in_w: iw,
+                            window: win,
+                            level,
+                        };
+                        // Digital preview of the pooled calibration
+                        // activations, then the calibrated requant shift.
+                        let mut next = vec![0i64; outputs];
+                        let mut winbuf = Vec::with_capacity(n);
+                        let mut out_max = 1i64;
+                        for c in 0..channels {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    Self::gather_pool_window(
+                                        &op, &codes, c, oy, ox, &mut winbuf,
+                                    );
+                                    let m = Self::pool_reduce(&op, &mut winbuf)?;
+                                    out_max = out_max.max(m.abs());
+                                    next[(c * oh + oy) * ow + ox] = m;
+                                }
+                            }
+                        }
+                        // Winner-code max selects among existing codes, so
+                        // only the mean's level-scaled sums need requant.
+                        let requant_shift = if mean {
+                            Self::requant_shift(out_max, &scheme)
+                        } else {
+                            0
+                        };
+                        for v in &mut next {
+                            *v = (*v >> requant_shift).clamp(-code_max, code_max);
+                        }
+                        codes = next;
+                        if mean {
+                            value_scale = value_scale * f32::from(requant_shift).exp2()
+                                / (level * n as i64) as f32;
+                        }
+                        PlannedLayer {
+                            op,
+                            tiles: Vec::new(),
+                            inputs,
+                            outputs,
+                            bias_units: Vec::new(),
+                            requant_shift,
+                            relu: false,
+                            in_addr: BufAddr(0),
+                            out_addr: BufAddr(0),
+                        }
+                    }
                 };
-                // Advance the calibration activations through this layer.
-                codes = Self::forward_codes(&plan, controller, &codes, &scheme)?;
-                value_scale = unit * (plan.requant_shift as f32).exp2();
+                let mut plan = plan;
+                plan.in_addr = BufAddr(buf_cursor);
+                buf_cursor += PlannedLayer::staging(&plan.op, plan.inputs) as u64;
+                plan.out_addr = BufAddr(buf_cursor);
                 planned.push(plan);
             }
             mats_used += next_mat;
@@ -410,6 +637,103 @@ impl CommandRunner {
             mats_used,
             scheme,
         })
+    }
+
+    /// Maps an activation onto the integer-exact output units.
+    fn integer_activation(activation: Activation) -> Result<bool, PrimeError> {
+        match activation {
+            Activation::Relu => Ok(true),
+            Activation::Identity => Ok(false),
+            Activation::Sigmoid => Err(PrimeError::MappingMismatch {
+                reason: "command runner covers the integer-exact output units \
+                         (ReLU/identity); use FfExecutor for sigmoid networks"
+                    .to_string(),
+            }),
+        }
+    }
+
+    /// Right shift taking merged sums with peak magnitude `out_max` down
+    /// to the scheme's input precision, so the next layer's codes fit its
+    /// Pin-bit drivers.
+    fn requant_shift(out_max: i64, scheme: &ComposingScheme) -> u8 {
+        let bits = 64 - out_max.leading_zeros() as i64;
+        (bits - i64::from(scheme.input_bits())).max(0) as u8
+    }
+
+    /// Tiles a `rows`x`cols` quantized weight matrix over the bank's FF
+    /// mats: allocates mats in order, programs each tile's composed
+    /// codes, and calibrates its SA window against every calibration
+    /// vector (the full input for FC, every im2col window for conv).
+    #[allow(clippy::too_many_arguments)]
+    fn program_tiles(
+        controller: &mut BankController,
+        next_mat: &mut usize,
+        (mats_per_subarray, total_mats): (usize, usize),
+        (rows, cols): (usize, usize),
+        (mat_rows, mat_cols): (usize, usize),
+        weight_code: &dyn Fn(usize, usize) -> i32,
+        calib: &[Vec<i64>],
+    ) -> Result<Vec<PlannedTile>, PrimeError> {
+        let row_spans: Vec<(usize, usize)> = (0..rows.div_ceil(mat_rows))
+            .map(|t| (t * mat_rows, ((t + 1) * mat_rows).min(rows)))
+            .collect();
+        let col_spans: Vec<(usize, usize)> = (0..cols.div_ceil(mat_cols))
+            .map(|t| (t * mat_cols, ((t + 1) * mat_cols).min(cols)))
+            .collect();
+        let mut tiles = Vec::new();
+        for &(r0, r1) in &row_spans {
+            for &(c0, c1) in &col_spans {
+                if *next_mat >= total_mats {
+                    return Err(PrimeError::MappingMismatch {
+                        reason: "network needs more FF mats than the bank provides"
+                            .to_string(),
+                    });
+                }
+                let mat = MatAddr {
+                    subarray: *next_mat / mats_per_subarray,
+                    mat: *next_mat % mats_per_subarray,
+                };
+                *next_mat += 1;
+                let (tr, tc) = (r1 - r0, c1 - c0);
+                let mut tile_codes = Vec::with_capacity(tr * tc);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        tile_codes.push(weight_code(r, c));
+                    }
+                }
+                controller.execute(Command::SetFunction {
+                    mat,
+                    function: MatFunction::Program,
+                })?;
+                controller
+                    .mat_mut(mat)
+                    .program_composed(&tile_codes, tr, tc)?;
+                controller.execute(Command::SetFunction {
+                    mat,
+                    function: MatFunction::Compute,
+                })?;
+                // Calibrate the SA window on the calibration codes.
+                let mut max_abs = 1i64;
+                for v in calib {
+                    for c in 0..tc {
+                        let mut acc = 0i64;
+                        for (r, &x) in v[r0..r1].iter().enumerate() {
+                            acc += x * i64::from(tile_codes[r * tc + c]);
+                        }
+                        max_abs = max_abs.max(acc.abs());
+                    }
+                }
+                controller.mat_mut(mat).calibrate_output_window(2 * max_abs);
+                let shift = controller.mat(mat).output_shift();
+                tiles.push(PlannedTile {
+                    mat,
+                    rows: (r0, r1),
+                    cols: (c0, c1),
+                    shift,
+                });
+            }
+        }
+        Ok(tiles)
     }
 
     /// Number of pipeline stages the plan executes (1 for single-bank
@@ -432,7 +756,8 @@ impl CommandRunner {
         self.stages.last().map_or(1, |s| s.bank + 1)
     }
 
-    /// Buffer address and width of `stage`'s input vector in its bank.
+    /// Buffer address of `stage`'s input staging region and the logical
+    /// width of its input vector.
     ///
     /// # Panics
     ///
@@ -442,8 +767,9 @@ impl CommandRunner {
         (layer.in_addr, layer.inputs)
     }
 
-    /// Buffer address and width of `stage`'s output vector in its bank
-    /// (the source of the inter-bank transfer into the next stage).
+    /// Buffer address of `stage`'s output staging region and the logical
+    /// width of its output vector (the source of the inter-bank transfer
+    /// into the next stage).
     ///
     /// # Panics
     ///
@@ -453,9 +779,93 @@ impl CommandRunner {
         (layer.out_addr, layer.outputs)
     }
 
+    /// Burst width for streaming a conv/pool boundary activation through
+    /// the buffer (shared with the verifier's P019 accounting).
+    fn io_chunk(words: usize) -> usize {
+        words.clamp(1, prime_analyze::WINDOW_IO_CHUNK_WORDS)
+    }
+
+    /// Moves `stage`'s boundary output out of its bank, leaving it in
+    /// `codes`. An FC boundary is buffer-resident: the stored vector at
+    /// the stage output address is loaded back in full. A conv/pool
+    /// boundary's feature map stays Mem-resident — `codes` already holds
+    /// it after [`run_stage`](Self::run_stage) — and the transfer streams
+    /// through the boundary staging region in bursts.
+    ///
+    /// # Errors
+    ///
+    /// Returns buffer errors on an undersized buffer.
+    pub fn stage_transfer_out(
+        &self,
+        stage: usize,
+        bank: &mut BankController,
+        codes: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        let layer = &self.layers[self.stages[stage].layers.1 - 1];
+        match layer.op {
+            PlannedOp::Fc => bank.transfer_out(layer.out_addr, layer.outputs, codes),
+            _ => {
+                let chunk = Self::io_chunk(layer.outputs);
+                for burst in codes.chunks(chunk) {
+                    bank.buffer_mut().store(layer.out_addr, burst)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Counterpart of [`stage_transfer_out`](Self::stage_transfer_out):
+    /// lands `codes` in `stage`'s bank — the full vector at the stage
+    /// input address for an FC boundary, bursts through the staging
+    /// region for a conv/pool boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns buffer errors on an undersized buffer.
+    pub fn stage_transfer_in(
+        &self,
+        stage: usize,
+        bank: &mut BankController,
+        codes: &[i64],
+    ) -> Result<(), PrimeError> {
+        let layer = &self.layers[self.stages[stage].layers.0];
+        match layer.op {
+            PlannedOp::Fc => bank.transfer_in(layer.in_addr, codes),
+            _ => {
+                let chunk = Self::io_chunk(layer.inputs);
+                for burst in codes.chunks(chunk) {
+                    bank.buffer_mut().store(layer.in_addr, burst)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// FF mats the plan occupies.
     pub fn mats_used(&self) -> usize {
         self.mats_used
+    }
+
+    /// One short label per planned layer, in execution order across all
+    /// stages — the row labels for per-layer timing breakdowns from
+    /// [`infer_timed_into`](Self::infer_timed_into).
+    pub fn layer_labels(&self) -> Vec<String> {
+        self.layers
+            .iter()
+            .map(|plan| {
+                let relu = if plan.relu { " relu" } else { "" };
+                match plan.op {
+                    PlannedOp::Fc => format!("fc {}-{}{relu}", plan.inputs, plan.outputs),
+                    PlannedOp::Conv { in_ch, out_ch, kernel, out_h, out_w, .. } => {
+                        format!("conv{kernel}x{kernel} {in_ch}-{out_ch}ch {out_h}x{out_w}{relu}")
+                    }
+                    PlannedOp::Pool { mean, channels, window, .. } => {
+                        let kind = if mean { "meanpool" } else { "maxpool" };
+                        format!("{kind}{window}x{window} {channels}ch")
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Full-precision merged sums of one layer on given input codes,
@@ -539,29 +949,113 @@ impl CommandRunner {
         Ok(())
     }
 
-    /// Runs one layer on input codes, returning the next layer's codes
-    /// clamped to the scheme's input-code range.
-    fn forward_codes(
-        plan: &PlannedLayer,
-        controller: &mut BankController,
+    /// Gathers the im2col window of conv output pixel `(oy, ox)` from a
+    /// `[in_ch, in_h, in_w]` activation into `window`. Padded taps push
+    /// code 0 — exactly the contribution of a grounded input line on the
+    /// unsigned drivers.
+    fn gather_window(
+        op: &PlannedOp,
         codes: &[i64],
-        scheme: &ComposingScheme,
-    ) -> Result<Vec<i64>, PrimeError> {
-        let code_max = i64::from(scheme.input_code_max());
-        let merged = Self::merge_reference(
-            &plan.tiles,
-            controller,
-            codes,
-            plan.outputs,
-            &plan.bias_units,
-        )?;
-        Ok(merged
-            .into_iter()
-            .map(|v| {
-                let v = if plan.relu { v.max(0) } else { v };
-                (v >> plan.requant_shift).clamp(-code_max, code_max)
-            })
-            .collect())
+        oy: usize,
+        ox: usize,
+        window: &mut Vec<i64>,
+    ) {
+        window.clear();
+        let PlannedOp::Conv { in_ch, kernel, padding, in_h, in_w, .. } = *op else {
+            return;
+        };
+        for ic in 0..in_ch {
+            for ky in 0..kernel {
+                for kx in 0..kernel {
+                    // Out-of-range taps wrap past in_h/in_w and read 0.
+                    let iy = (oy + ky).wrapping_sub(padding);
+                    let ix = (ox + kx).wrapping_sub(padding);
+                    window.push(if iy < in_h && ix < in_w {
+                        codes[(ic * in_h + iy) * in_w + ix]
+                    } else {
+                        0
+                    });
+                }
+            }
+        }
+    }
+
+    /// Gathers the pooling window of output element `(c, oy, ox)` from a
+    /// `[channels, in_h, in_w]` activation into `window`.
+    fn gather_pool_window(
+        op: &PlannedOp,
+        codes: &[i64],
+        c: usize,
+        oy: usize,
+        ox: usize,
+        window: &mut Vec<i64>,
+    ) {
+        window.clear();
+        let PlannedOp::Pool { in_h, in_w, window: win, .. } = *op else {
+            return;
+        };
+        for wy in 0..win {
+            for wx in 0..win {
+                window.push(codes[(c * in_h + oy * win + wy) * in_w + ox * win + wx]);
+            }
+        }
+    }
+
+    /// Reduces one staged pooling window to its merged (pre-requant)
+    /// value: the 1/n-weight dot product `level * sum(codes)` for mean
+    /// pooling, or the winner-code maximum for max pooling. Mutates
+    /// `window` in place (the max reduction reuses it as its register
+    /// file), so the inference hot path allocates nothing.
+    fn pool_reduce(op: &PlannedOp, window: &mut Vec<i64>) -> Result<i64, PrimeError> {
+        let PlannedOp::Pool { mean, level, .. } = *op else {
+            return Err(PrimeError::Internal {
+                reason: "pool_reduce on a non-pool layer".to_string(),
+            });
+        };
+        if window.is_empty() {
+            return Err(PrimeError::Internal {
+                reason: "empty pooling window".to_string(),
+            });
+        }
+        if mean {
+            return Ok(level * window.iter().sum::<i64>());
+        }
+        // Repeated 4:1 winner-code steps; short groups are padded with
+        // their first element, exactly as MaxPoolUnit::pool does.
+        let unit = MaxPoolUnit::new();
+        while window.len() > 1 {
+            let mut w = 0;
+            for g in (0..window.len()).step_by(4) {
+                let end = (g + 4).min(window.len());
+                let mut group = [window[g]; 4];
+                group[..end - g].copy_from_slice(&window[g..end]);
+                window[w] = unit.pool4(group);
+                w += 1;
+            }
+            window.truncate(w);
+        }
+        Ok(window[0])
+    }
+
+    /// Routes one merged value to its destination: requantized codes for
+    /// an interior layer, real-valued output for the network's final
+    /// layer.
+    fn emit(
+        plan: &PlannedLayer,
+        final_unit: f32,
+        fwd_code_max: i64,
+        idx: usize,
+        v: i64,
+        next_codes: &mut [i64],
+        final_out: &mut Option<&mut Vec<f32>>,
+    ) {
+        let v = if plan.relu { v.max(0) } else { v };
+        match final_out {
+            Some(out) => out[idx] = v as f32 * final_unit,
+            None => {
+                next_codes[idx] = (v >> plan.requant_shift).clamp(-fwd_code_max, fwd_code_max)
+            }
+        }
     }
 
     /// Runs one inference entirely through controller commands: the input
@@ -604,14 +1098,37 @@ impl CommandRunner {
         scratch: &mut InferScratch,
         out: &mut Vec<f32>,
     ) -> Result<(), PrimeError> {
-        self.infer_impl(controller, input, NoAnalog::None, scratch, out)
+        self.infer_impl(controller, input, NoAnalog::None, scratch, out, None)
+    }
+
+    /// [`infer_into`](Self::infer_into) that additionally records the
+    /// wall-clock nanoseconds each planned layer took, one entry per
+    /// entry of [`layer_labels`](Self::layer_labels) (`layer_ns` is
+    /// cleared first). The stopwatch sits outside the layer datapath, so
+    /// outputs stay bit-identical to [`infer_into`](Self::infer_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::BufferOverflow`] or mat errors on a
+    /// mis-sized input.
+    pub fn infer_timed_into(
+        &self,
+        controller: &mut BankController,
+        input: &[f32],
+        scratch: &mut InferScratch,
+        out: &mut Vec<f32>,
+        layer_ns: &mut Vec<f64>,
+    ) -> Result<(), PrimeError> {
+        layer_ns.clear();
+        self.infer_impl(controller, input, NoAnalog::None, scratch, out, Some(layer_ns))
     }
 
     /// Noisy-hardware variant of [`infer_into`](Self::infer_into): every
     /// tile evaluates through the analog voltage/conductance domain with
     /// read noise drawn from `rng` (plus any programming noise already
-    /// applied to the mats). Tiles draw from `rng` in plan order, so a
-    /// given RNG state makes the inference reproducible.
+    /// applied to the mats). Tiles draw from `rng` in plan order — for
+    /// conv layers, output pixels outer, tiles inner — so a given RNG
+    /// state makes the inference reproducible.
     ///
     /// # Errors
     ///
@@ -626,9 +1143,10 @@ impl CommandRunner {
         scratch: &mut InferScratch,
         out: &mut Vec<f32>,
     ) -> Result<(), PrimeError> {
-        self.infer_impl(controller, input, Some((noise, rng)), scratch, out)
+        self.infer_impl(controller, input, Some((noise, rng)), scratch, out, None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn infer_impl<R: rand::Rng + ?Sized>(
         &self,
         controller: &mut BankController,
@@ -636,6 +1154,7 @@ impl CommandRunner {
         analog: Analog<'_, R>,
         scratch: &mut InferScratch,
         out: &mut Vec<f32>,
+        layer_ns: Option<&mut Vec<f64>>,
     ) -> Result<(), PrimeError> {
         if self.banks_spanned() > 1 {
             return Err(PrimeError::MappingMismatch {
@@ -649,7 +1168,7 @@ impl CommandRunner {
         // the scratch's resident code vector is the traveling activation.
         let mut codes = std::mem::take(&mut scratch.codes);
         let result = self.quantize_input(input, &mut codes).and_then(|()| {
-            self.run_stage_impl(0, controller, analog, scratch, &mut codes, Some(out))
+            self.run_stage_impl(0, controller, analog, scratch, &mut codes, Some(out), layer_ns)
         });
         scratch.codes = codes;
         result
@@ -684,8 +1203,7 @@ impl CommandRunner {
 
     /// Runs one pipeline stage on its bank: `codes` enters holding the
     /// stage's input activation codes and leaves holding its output codes
-    /// (non-final stages) with the bank's buffer updated at the stage
-    /// output address. The final stage instead fills `out` with the
+    /// (non-final stages). The final stage instead fills `out` with the
     /// real-valued network outputs. Digital path.
     ///
     /// # Errors
@@ -700,7 +1218,7 @@ impl CommandRunner {
         codes: &mut Vec<i64>,
         out: Option<&mut Vec<f32>>,
     ) -> Result<(), PrimeError> {
-        self.run_stage_impl(stage, bank, NoAnalog::None, scratch, codes, out)
+        self.run_stage_impl(stage, bank, NoAnalog::None, scratch, codes, out, None)
     }
 
     /// Noisy-hardware variant of [`run_stage`](Self::run_stage): every
@@ -724,9 +1242,10 @@ impl CommandRunner {
         codes: &mut Vec<i64>,
         out: Option<&mut Vec<f32>>,
     ) -> Result<(), PrimeError> {
-        self.run_stage_impl(stage, bank, Some((noise, rng)), scratch, codes, out)
+        self.run_stage_impl(stage, bank, Some((noise, rng)), scratch, codes, out, None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_stage_impl<R: rand::Rng + ?Sized>(
         &self,
         stage: usize,
@@ -735,6 +1254,7 @@ impl CommandRunner {
         scratch: &mut InferScratch,
         codes: &mut Vec<i64>,
         mut out: Option<&mut Vec<f32>>,
+        mut layer_ns: Option<&mut Vec<f64>>,
     ) -> Result<(), PrimeError> {
         let (start, end) = self.stages[stage].layers;
         let last_global = self.layers.len() - 1;
@@ -744,51 +1264,129 @@ impl CommandRunner {
             merge_acc,
             merged,
             tile_out,
+            window,
             bank: bank_scratch,
             ..
         } = scratch;
         for (i, plan) in self.layers[start..end].iter().enumerate() {
-            bank.buffer_mut().store(plan.in_addr, codes)?;
-            Self::merge_reference_into(
-                &plan.tiles,
-                bank,
-                codes,
-                plan.outputs,
-                &plan.bias_units,
-                analog.as_mut().map(|(noise, rng)| (*noise, &mut **rng)),
-                merge_acc,
-                bank_scratch,
-                tile_out,
-                merged,
-            )?;
-            if start + i == last_global {
-                // Final layer: keep full-precision merged values for the
-                // real-valued output.
-                let out = out.as_deref_mut().ok_or(PrimeError::MappingMismatch {
+            let stopwatch = layer_ns.is_some().then(std::time::Instant::now);
+            let is_final = start + i == last_global;
+            let final_unit = self.output_scale / f32::from(plan.requant_shift).exp2();
+            // Prepare the destination for indexed writes: the real-valued
+            // network output for the final layer, requantized codes
+            // otherwise.
+            let mut final_out: Option<&mut Vec<f32>> = if is_final {
+                let o = out.as_deref_mut().ok_or(PrimeError::MappingMismatch {
                     reason: "final stage requires an output buffer".to_string(),
                 })?;
-                let unit = self.output_scale / (plan.requant_shift as f32).exp2();
-                out.clear();
-                out.extend(merged.iter().map(|&v| {
-                    let v = if plan.relu { v.max(0) } else { v };
-                    v as f32 * unit
-                }));
+                o.clear();
+                o.resize(plan.outputs, 0.0);
+                Some(o)
+            } else {
+                next_codes.clear();
+                next_codes.resize(plan.outputs, 0);
+                None
+            };
+            match plan.op {
+                PlannedOp::Fc => {
+                    bank.buffer_mut().store(plan.in_addr, codes)?;
+                    Self::merge_reference_into(
+                        &plan.tiles,
+                        bank,
+                        codes,
+                        plan.outputs,
+                        &plan.bias_units,
+                        analog.as_mut().map(|(noise, rng)| (*noise, &mut **rng)),
+                        merge_acc,
+                        bank_scratch,
+                        tile_out,
+                        merged,
+                    )?;
+                    for (o, &v) in merged.iter().enumerate() {
+                        Self::emit(
+                            plan, final_unit, fwd_code_max, o, v, next_codes, &mut final_out,
+                        );
+                    }
+                }
+                PlannedOp::Conv { out_h, out_w, .. } => {
+                    let out_ch = plan.outputs / (out_h * out_w);
+                    // Output pixels outer, tiles inner: the fixed loop
+                    // order keeps per-bank RNG draws identical across the
+                    // serial, batched, and pipelined engines.
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            Self::gather_window(&plan.op, codes, oy, ox, window);
+                            bank.buffer_mut().store(plan.in_addr, window)?;
+                            Self::merge_reference_into(
+                                &plan.tiles,
+                                bank,
+                                window,
+                                out_ch,
+                                &plan.bias_units,
+                                analog.as_mut().map(|(noise, rng)| (*noise, &mut **rng)),
+                                merge_acc,
+                                bank_scratch,
+                                tile_out,
+                                merged,
+                            )?;
+                            for (oc, &v) in merged.iter().enumerate() {
+                                Self::emit(
+                                    plan,
+                                    final_unit,
+                                    fwd_code_max,
+                                    (oc * out_h + oy) * out_w + ox,
+                                    v,
+                                    next_codes,
+                                    &mut final_out,
+                                );
+                            }
+                        }
+                    }
+                }
+                PlannedOp::Pool { channels, in_h, in_w, window: win, .. } => {
+                    let (oh, ow) = (in_h / win, in_w / win);
+                    for c in 0..channels {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                Self::gather_pool_window(&plan.op, codes, c, oy, ox, window);
+                                // Stage the candidates for the pooling
+                                // unit's registers.
+                                bank.buffer_mut().store(plan.in_addr, window)?;
+                                let m = Self::pool_reduce(&plan.op, window)?;
+                                Self::emit(
+                                    plan,
+                                    final_unit,
+                                    fwd_code_max,
+                                    (c * oh + oy) * ow + ox,
+                                    m,
+                                    next_codes,
+                                    &mut final_out,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if let (Some(started), Some(sink)) = (stopwatch, layer_ns.as_deref_mut()) {
+                sink.push(started.elapsed().as_secs_f64() * 1e9);
+            }
+            if is_final {
                 return Ok(());
             }
-            next_codes.clear();
-            next_codes.extend(merged.iter().map(|&v| {
-                let v = if plan.relu { v.max(0) } else { v };
-                (v >> plan.requant_shift).clamp(-fwd_code_max, fwd_code_max)
-            }));
             std::mem::swap(codes, next_codes);
-            bank.buffer_mut().store(plan.out_addr, codes)?;
+            // FC activations are buffer-resident between layers; conv and
+            // pool feature maps stay in the Mem subarrays (only windows
+            // and boundary bursts touch the buffer).
+            if matches!(plan.op, PlannedOp::Fc) {
+                bank.buffer_mut().store(plan.out_addr, codes)?;
+            }
         }
         Ok(())
     }
 
     /// Runs one inference through a multi-bank pipelined plan serially:
     /// stage by stage, moving the activation vector between banks with
-    /// [`BankController::transfer`] at each stage boundary. Allocating
+    /// the stage transfer protocol at each boundary. Allocating
     /// convenience wrapper (the batched engines in
     /// [`PrimeSystem`](crate::PrimeSystem) reuse scratches instead).
     ///
@@ -819,10 +1417,9 @@ impl CommandRunner {
             let bank_idx = self.stage_bank(s);
             if s > 0 {
                 let prev = self.stage_bank(s - 1);
-                let (from, words) = self.stage_output(s - 1);
-                let (to, _) = self.stage_input(s);
                 let (head, tail) = banks.split_at_mut(bank_idx);
-                BankController::transfer(&mut head[prev], &mut tail[0], from, to, words, &mut codes)?;
+                self.stage_transfer_out(s - 1, &mut head[prev], &mut codes)?;
+                self.stage_transfer_in(s, &mut tail[0], &codes)?;
             }
             let out_opt = if s == last { Some(&mut out) } else { None };
             self.run_stage_impl(
@@ -832,6 +1429,7 @@ impl CommandRunner {
                 &mut scratch,
                 &mut codes,
                 out_opt,
+                None,
             )?;
         }
         Ok(out)
@@ -841,7 +1439,7 @@ impl CommandRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prime_nn::FullyConnected;
+    use prime_nn::{Conv2d, FullyConnected, Pool2d};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -853,6 +1451,26 @@ mod tests {
         .expect("widths match");
         net.init_random(rng);
         net
+    }
+
+    /// A CNN-1-class stack: padded conv, winner-code max pooling,
+    /// 1/n-weight mean pooling, and an FC head.
+    fn conv_pool_net(rng: &mut SmallRng) -> Network {
+        let mut net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 3, 3, 8, 8, 1, Activation::Relu)),
+            Layer::Pool(Pool2d::new(PoolKind::Max, 3, 8, 8, 2)),
+            Layer::Pool(Pool2d::new(PoolKind::Mean, 3, 4, 4, 2)),
+            Layer::Fc(FullyConnected::new(12, 4, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(rng);
+        net
+    }
+
+    fn image_input(len: usize, seed: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i * 7 + seed * 5) % 13) as f32) / 13.0)
+            .collect()
     }
 
     #[test]
@@ -869,6 +1487,68 @@ mod tests {
             assert!((a - b).abs() / max < 0.25, "hw {a} vs sw {b}");
         }
         assert!(runner.mats_used() >= 2);
+    }
+
+    #[test]
+    fn conv_pool_runner_tracks_software_outputs() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let net = conv_pool_net(&mut rng);
+        let input = image_input(64, 1);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &input).unwrap();
+        // Conv needs one mat, the FC head another; pooling needs none.
+        assert_eq!(runner.mats_used(), 2);
+        let hw = runner.infer(&mut controller, &input).unwrap();
+        let sw = net.forward(&input).unwrap();
+        assert_eq!(hw.len(), sw.len());
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.2);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.3, "hw {a} vs sw {b}");
+        }
+    }
+
+    #[test]
+    fn conv_runner_agrees_on_argmax_across_inputs() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let net = conv_pool_net(&mut rng);
+        let calib = image_input(64, 0);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &calib).unwrap();
+        let mut agree = 0;
+        let trials = 10;
+        for t in 0..trials {
+            let input = image_input(64, t + 1);
+            let hw = runner.infer(&mut controller, &input).unwrap();
+            let sw = net.forward(&input).unwrap();
+            if argmax(&hw) == argmax(&sw) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= trials - 2, "only {agree}/{trials} argmax agreements");
+    }
+
+    #[test]
+    fn large_mean_pool_windows_compile_after_rounding() {
+        // A 4x4 mean-pool window (n = 16) used to collapse to a zero
+        // conductance level under floor quantization; round-to-nearest
+        // keeps it programmable.
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 2, 3, 8, 8, 1, Activation::Relu)),
+            Layer::Pool(Pool2d::new(PoolKind::Mean, 2, 8, 8, 4)),
+            Layer::Fc(FullyConnected::new(8, 3, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(&mut rng);
+        let input = image_input(64, 2);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &input).unwrap();
+        let hw = runner.infer(&mut controller, &input).unwrap();
+        let sw = net.forward(&input).unwrap();
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.2);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.3, "hw {a} vs sw {b}");
+        }
     }
 
     #[test]
@@ -909,6 +1589,82 @@ mod tests {
         let mut controller = BankController::new(1, 4, 1024, 1024);
         let err = CommandRunner::compile(&net, &mut controller, &[0.5; 8]);
         assert!(matches!(err, Err(PrimeError::MappingMismatch { .. })));
+    }
+
+    #[test]
+    fn timed_inference_matches_plain_and_labels_layers() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let net = conv_pool_net(&mut rng);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let runner =
+            CommandRunner::compile(&net, &mut controller, &[0.5; 64]).expect("fits one bank");
+        let input = image_input(64, 3);
+        let mut scratch = InferScratch::new();
+        let (mut timed, mut plain, mut ns) = (Vec::new(), Vec::new(), Vec::new());
+        runner
+            .infer_timed_into(&mut controller, &input, &mut scratch, &mut timed, &mut ns)
+            .expect("runs");
+        runner
+            .infer_into(&mut controller, &input, &mut scratch, &mut plain)
+            .expect("runs");
+        assert_eq!(timed, plain, "the stopwatch must not perturb the datapath");
+        let labels = runner.layer_labels();
+        assert_eq!(ns.len(), labels.len(), "one timing entry per planned layer");
+        assert_eq!(
+            labels,
+            vec![
+                "conv3x3 1-3ch 8x8 relu",
+                "maxpool2x2 3ch",
+                "meanpool2x2 3ch",
+                "fc 12-4",
+            ]
+        );
+        assert!(ns.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn command_runner_rejects_wrong_sized_calibration() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 2, 3, 6, 6, 1, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(72, 4, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(&mut rng);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        // 3 calibration values for a 36-input network: a typed error,
+        // not an out-of-bounds index in window gathering.
+        let err = CommandRunner::compile(&net, &mut controller, &[0.5; 3]);
+        assert!(matches!(err, Err(PrimeError::MappingMismatch { .. })));
+    }
+
+    #[test]
+    fn command_runner_rejects_sigmoid_conv() {
+        let mut rng = SmallRng::seed_from_u64(26);
+        let mut net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 2, 3, 6, 6, 1, Activation::Sigmoid)),
+            Layer::Fc(FullyConnected::new(72, 4, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(&mut rng);
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let err = CommandRunner::compile(&net, &mut controller, &[0.5; 36]);
+        assert!(matches!(err, Err(PrimeError::MappingMismatch { .. })));
+    }
+
+    #[test]
+    fn capability_diagnostics_flag_sigmoid_layers() {
+        let net = Network::new(vec![
+            Layer::Conv(Conv2d::new(1, 2, 3, 6, 6, 1, Activation::Sigmoid)),
+            Layer::Pool(Pool2d::new(PoolKind::Max, 2, 6, 6, 2)),
+            Layer::Fc(FullyConnected::new(18, 4, Activation::Sigmoid)),
+        ])
+        .expect("widths match");
+        let diags = CommandRunner::capability_diagnostics(&net);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == prime_analyze::Code::P017));
+        let clean = conv_pool_net(&mut SmallRng::seed_from_u64(1));
+        assert!(CommandRunner::capability_diagnostics(&clean).is_empty());
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! for *where* layers run: small networks place one [`CommandRunner`]
 //! copy per bank (bank-level parallelism, §IV-B2), while large-scale
 //! networks split into inter-bank pipeline stages (§IV-B) whose
-//! activations move between banks through
-//! [`BankController::transfer_out`]/[`transfer_in`](BankController::transfer_in).
+//! activations move between banks through the runner's stage transfer
+//! protocol ([`CommandRunner::stage_transfer_out`] /
+//! [`stage_transfer_in`](CommandRunner::stage_transfer_in)).
 //! Batches round-robin over the copies; the parallel engine overlaps
 //! pipeline stages across the batch (image *i+1* enters stage 0 while
 //! image *i* runs in stage 1). The OS hooks decide at run time whether
@@ -206,6 +207,13 @@ impl PrimeSystem {
     /// precision budgets overflow, ...), or another [`PrimeError`] for
     /// unsupported layers.
     pub fn deploy(&mut self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
+        // Runner capability check first (P017): a layer the command
+        // runner cannot execute must reject deployment up front, never
+        // silently deploy and fail at inference time.
+        let diagnostics = CommandRunner::capability_diagnostics(net);
+        if !diagnostics.is_empty() {
+            return Err(PrimeError::Rejected { diagnostics });
+        }
         let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
         let hw = self.hw_target();
         let mapping = map_network(&spec, &hw, CompileOptions { replicate: false })
@@ -468,8 +476,7 @@ impl PrimeSystem {
                                 if let Err(e) = run {
                                     return Err((i, e));
                                 }
-                                let (from, words) = runner.stage_output(0);
-                                if let Err(e) = bank.transfer_out(from, words, &mut codes) {
+                                if let Err(e) = runner.stage_transfer_out(0, bank, &mut codes) {
                                     return Err((i, e));
                                 }
                                 if tx.send((i, codes)).is_err() {
@@ -484,10 +491,8 @@ impl PrimeSystem {
                             continue;
                         };
                         handles.push(scope.spawn(move || {
-                            let (to, _) = runner.stage_input(s);
-                            let (from, words) = runner.stage_output(s);
                             for (i, mut codes) in rx {
-                                if let Err(e) = bank.transfer_in(to, &codes) {
+                                if let Err(e) = runner.stage_transfer_in(s, bank, &codes) {
                                     return Err((i, e));
                                 }
                                 let run = match (noise, rng.as_mut()) {
@@ -500,7 +505,7 @@ impl PrimeSystem {
                                 if let Err(e) = run {
                                     return Err((i, e));
                                 }
-                                if let Err(e) = bank.transfer_out(from, words, &mut codes) {
+                                if let Err(e) = runner.stage_transfer_out(s, bank, &mut codes) {
                                     return Err((i, e));
                                 }
                                 if tx.send((i, codes)).is_err() {
@@ -515,10 +520,9 @@ impl PrimeSystem {
                             continue;
                         };
                         handles.push(scope.spawn(move || {
-                            let (to, _) = runner.stage_input(s);
                             let mut done = Vec::new();
                             for (i, mut codes) in rx {
-                                if let Err(e) = bank.transfer_in(to, &codes) {
+                                if let Err(e) = runner.stage_transfer_in(s, bank, &codes) {
                                     return Err((i, e));
                                 }
                                 let mut out = Vec::new();
@@ -604,10 +608,12 @@ impl PrimeSystem {
     /// One inference through one copy's bank group, stage by stage:
     /// quantize, run each stage on its bank, and move the activation
     /// codes between banks at every stage boundary
-    /// ([`transfer_out`](BankController::transfer_out) on the upstream
-    /// bank, [`transfer_in`](BankController::transfer_in) on the
-    /// downstream one — the same two buffer operations the overlapped
-    /// engine performs, so both engines account identical traffic).
+    /// ([`stage_transfer_out`](CommandRunner::stage_transfer_out) on the
+    /// upstream bank, [`stage_transfer_in`](CommandRunner::stage_transfer_in)
+    /// on the downstream one — the same buffer operations the overlapped
+    /// engine performs, so both engines account identical traffic; FC
+    /// boundaries move the full buffer-resident vector, conv/pool
+    /// boundaries stream their Mem-resident feature maps in bursts).
     /// Digital or analog per `noise`/`rngs`.
     #[allow(clippy::too_many_arguments)]
     fn infer_one_pipelined(
@@ -626,10 +632,9 @@ impl PrimeSystem {
             let b = runner.stage_bank(s);
             if s > 0 {
                 let prev = runner.stage_bank(s - 1);
-                let (from, words) = runner.stage_output(s - 1);
-                let (to, _) = runner.stage_input(s);
-                banks[prev].transfer_out(from, words, carry)?;
-                banks[b].transfer_in(to, carry)?;
+                let (head, tail) = banks.split_at_mut(b);
+                runner.stage_transfer_out(s - 1, &mut head[prev], carry)?;
+                runner.stage_transfer_in(s, &mut tail[0], carry)?;
             }
             let out_opt = (s == last).then_some(&mut *out);
             match (noise, rngs[b].as_mut()) {

@@ -95,7 +95,7 @@ impl DynFixedFormat {
             return Err(NnError::BadFormat { reason: "cannot calibrate on empty data" });
         }
         let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
-        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
+        mags.sort_by(f32::total_cmp);
         let idx = ((mags.len() as f64 - 1.0) * quantile.clamp(0.0, 1.0)).round() as usize;
         Self::for_range(bits, mags[idx])
     }
@@ -186,8 +186,13 @@ impl QuantizedTensor {
 
     /// Dequantizes back to a real-valued tensor.
     pub fn dequantize(&self) -> Tensor {
-        let data = self.codes.iter().map(|&c| self.format.dequantize(c)).collect();
-        Tensor::from_vec(self.shape.clone(), data).expect("shape preserved by construction")
+        // Allocate by shape and fill: the element count matches the code
+        // count by construction, no fallible reshape needed.
+        let mut tensor = Tensor::zeros(self.shape.clone());
+        for (dst, &code) in tensor.data_mut().iter_mut().zip(&self.codes) {
+            *dst = self.format.dequantize(code);
+        }
+        tensor
     }
 }
 

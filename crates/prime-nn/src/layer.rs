@@ -180,7 +180,7 @@ impl FullyConnected {
                 got: input.len(),
             });
         }
-        let mut preact = self.weights.matvec(input).expect("validated shape");
+        let mut preact = self.weights.matvec(input)?;
         for (p, b) in preact.iter_mut().zip(&self.bias) {
             *p += b;
         }

@@ -141,7 +141,8 @@ impl Network {
 
     /// Network output width.
     pub fn outputs(&self) -> usize {
-        self.layers.last().expect("validated non-empty").outputs()
+        // `new` rejects empty stacks, so the 0 default never fires.
+        self.layers.last().map_or(0, Layer::outputs)
     }
 
     /// Total synaptic weights across all layers.
@@ -244,7 +245,10 @@ impl Network {
                     g_in
                 }
                 (Layer::Pool(l), LayerCache::Pool(c)) => l.backward(c, &grad),
-                _ => unreachable!("cache kind always matches its layer"),
+                // Caches come from `forward_cache` on the same stack, so
+                // kinds always pair up; a foreign cache skips the layer
+                // rather than aborting training.
+                _ => grad,
             };
         }
         grad

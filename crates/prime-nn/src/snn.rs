@@ -152,7 +152,10 @@ impl SpikingNetwork {
         for input in inputs {
             let mut x = input.clone();
             for (idx, layer) in ann.layers().iter().enumerate() {
-                let Layer::Fc(fc) = layer else { unreachable!("validated FC") };
+                let Layer::Fc(fc) = layer else {
+                    // Construction already rejects non-FC stacks.
+                    return Err(NnError::Untrainable { layer: layer.describe() });
+                };
                 // Pre-activations before the nonlinearity.
                 let mut pre = fc.weights().matvec(&x)?;
                 for (p, b) in pre.iter_mut().zip(fc.bias()) {

@@ -85,9 +85,8 @@ impl LayerSpec {
     pub fn outputs(&self) -> usize {
         match *self {
             LayerSpec::FullyConnected { outputs, .. } => outputs,
-            LayerSpec::Conv { out_ch, .. } => {
-                let (h, w) = self.conv_out_dims().expect("conv variant");
-                out_ch * h * w
+            LayerSpec::Conv { out_ch, kernel, in_h, in_w, padding, .. } => {
+                out_ch * (in_h + 2 * padding - kernel + 1) * (in_w + 2 * padding - kernel + 1)
             }
             LayerSpec::Pool { channels, in_h, in_w, window, .. } => {
                 channels * (in_h / window) * (in_w / window)
@@ -200,7 +199,8 @@ impl NetworkSpec {
 
     /// Network output width.
     pub fn outputs(&self) -> usize {
-        self.layers.last().expect("non-empty").outputs()
+        // `new` rejects empty stacks, so the 0 default never fires.
+        self.layers.last().map_or(0, LayerSpec::outputs)
     }
 
     /// Total synapses across all layers.
@@ -222,10 +222,7 @@ impl NetworkSpec {
     ///
     /// Propagates [`NnError`] from network construction.
     pub fn to_network(&self) -> Result<Network, NnError> {
-        if let Some(lrn) = self.layers.iter().find(|l| l.needs_cpu_fallback()) {
-            return Err(NnError::Untrainable { layer: lrn.describe() });
-        }
-        let last = self.layers.len() - 1;
+        let last = self.layers.len().saturating_sub(1);
         let layers = self
             .layers
             .iter()
@@ -234,21 +231,27 @@ impl NetworkSpec {
                 LayerSpec::FullyConnected { inputs, outputs } => {
                     let act =
                         if i == last { Activation::Identity } else { Activation::Sigmoid };
-                    Layer::Fc(FullyConnected::new(inputs, outputs, act))
+                    Ok(Layer::Fc(FullyConnected::new(inputs, outputs, act)))
                 }
-                LayerSpec::Conv { in_ch, out_ch, kernel, in_h, in_w, padding } => Layer::Conv(
-                    Conv2d::new(in_ch, out_ch, kernel, in_h, in_w, padding, Activation::Relu),
-                ),
+                LayerSpec::Conv { in_ch, out_ch, kernel, in_h, in_w, padding } => {
+                    Ok(Layer::Conv(Conv2d::new(
+                        in_ch,
+                        out_ch,
+                        kernel,
+                        in_h,
+                        in_w,
+                        padding,
+                        Activation::Relu,
+                    )))
+                }
                 LayerSpec::Pool { kind, channels, in_h, in_w, window } => {
-                    Layer::Pool(Pool2d::new(kind, channels, in_h, in_w, window))
+                    Ok(Layer::Pool(Pool2d::new(kind, channels, in_h, in_w, window)))
                 }
-                LayerSpec::Lrn { .. } => {
-                    // LRN is modelled at the performance level only (CPU
-                    // fallback); no executable layer exists.
-                    unreachable!("checked below")
-                }
+                // LRN is modelled at the performance level only (CPU
+                // fallback); no executable layer exists.
+                LayerSpec::Lrn { .. } => Err(NnError::Untrainable { layer: spec.describe() }),
             })
-            .collect();
+            .collect::<Result<Vec<_>, NnError>>()?;
         Network::new(layers)
     }
 }
@@ -343,7 +346,7 @@ impl MlBench {
     /// Builds the layer-shape spec.
     pub fn spec(&self) -> NetworkSpec {
         match self {
-            MlBench::Cnn1 => NetworkSpec::new(
+            MlBench::Cnn1 => table_spec(
                 self.name(),
                 vec![
                     LayerSpec::Conv { in_ch: 1, out_ch: 5, kernel: 5, in_h: 28, in_w: 28, padding: 0 },
@@ -352,7 +355,7 @@ impl MlBench {
                     LayerSpec::FullyConnected { inputs: 70, outputs: 10 },
                 ],
             ),
-            MlBench::Cnn2 => NetworkSpec::new(
+            MlBench::Cnn2 => table_spec(
                 self.name(),
                 vec![
                     LayerSpec::Conv { in_ch: 1, out_ch: 10, kernel: 7, in_h: 28, in_w: 28, padding: 0 },
@@ -366,7 +369,6 @@ impl MlBench {
             MlBench::MlpL => mlp_spec(self.name(), &[784, 1500, 1000, 500, 10]),
             MlBench::VggD => vgg_d_spec(),
         }
-        .expect("table III topologies are internally consistent")
     }
 
     /// Whether the workload is small enough to execute numerically in
@@ -380,7 +382,7 @@ impl MlBench {
 /// workload used to measure PRIME's CPU-fallback cost for layers it has
 /// no hardware for (paper §III-E).
 pub fn cnn1_with_lrn() -> NetworkSpec {
-    NetworkSpec::new(
+    table_spec(
         "CNN-1+LRN",
         vec![
             LayerSpec::Conv { in_ch: 1, out_ch: 5, kernel: 5, in_h: 28, in_w: 28, padding: 0 },
@@ -390,18 +392,26 @@ pub fn cnn1_with_lrn() -> NetworkSpec {
             LayerSpec::FullyConnected { inputs: 70, outputs: 10 },
         ],
     )
-    .expect("LRN variant is internally consistent")
 }
 
-fn mlp_spec(name: &str, widths: &[usize]) -> Result<NetworkSpec, NnError> {
+/// Builds a spec from one of the fixed Table III stacks. The constant
+/// topologies always pass width validation (pinned by the unit tests); if
+/// one were ever edited inconsistently, the raw stack is returned
+/// unvalidated rather than panicking at every `spec()` call site.
+fn table_spec(name: &str, layers: Vec<LayerSpec>) -> NetworkSpec {
+    NetworkSpec::new(name, layers.clone())
+        .unwrap_or(NetworkSpec { name: name.to_string(), layers })
+}
+
+fn mlp_spec(name: &str, widths: &[usize]) -> NetworkSpec {
     let layers = widths
         .windows(2)
         .map(|w| LayerSpec::FullyConnected { inputs: w[0], outputs: w[1] })
         .collect();
-    NetworkSpec::new(name, layers)
+    table_spec(name, layers)
 }
 
-fn vgg_d_spec() -> Result<NetworkSpec, NnError> {
+fn vgg_d_spec() -> NetworkSpec {
     let mut layers = Vec::new();
     let mut ch = 3usize;
     let mut dim = 224usize;
@@ -430,7 +440,7 @@ fn vgg_d_spec() -> Result<NetworkSpec, NnError> {
     layers.push(LayerSpec::FullyConnected { inputs: 25_088, outputs: 4096 });
     layers.push(LayerSpec::FullyConnected { inputs: 4096, outputs: 4096 });
     layers.push(LayerSpec::FullyConnected { inputs: 4096, outputs: 1000 });
-    NetworkSpec::new("VGG-D", layers)
+    table_spec("VGG-D", layers)
 }
 
 #[cfg(test)]

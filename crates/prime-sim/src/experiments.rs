@@ -99,11 +99,11 @@ pub mod fig6 {
     /// fixed-point input/weight precision (paper Fig. 6; MNIST is
     /// substituted per DESIGN.md §4).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if training fails on internally-generated data (a bug, not
-    /// an input condition).
-    pub fn run(config: Config) -> Result {
+    /// Propagates [`prime_nn::NnError`] from training or evaluation —
+    /// only possible if the generated classifier itself is broken.
+    pub fn run(config: Config) -> std::result::Result<Result, prime_nn::NnError> {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let gen = DigitGenerator::default();
         let train = gen.dataset(config.train_samples, &mut rng);
@@ -111,23 +111,20 @@ pub mod fig6 {
         let mut net = Network::new(vec![
             Layer::Fc(FullyConnected::new(IMAGE_PIXELS, config.hidden, Activation::Sigmoid)),
             Layer::Fc(FullyConnected::new(config.hidden, NUM_CLASSES, Activation::Identity)),
-        ])
-        .expect("widths match");
+        ])?;
         net.init_random(&mut rng);
         let tc = TrainConfig { epochs: config.epochs, ..TrainConfig::quick() };
-        train_sgd(&mut net, &train, tc, &mut rng).expect("training on generated data");
-        let float_accuracy = evaluate(&net, &test).expect("evaluation");
+        train_sgd(&mut net, &train, tc, &mut rng)?;
+        let float_accuracy = evaluate(&net, &test)?;
         let mut accuracy = Vec::new();
         for wbits in 1..=config.max_bits {
             let mut row = Vec::new();
             for ibits in 1..=config.max_bits {
-                row.push(
-                    evaluate_quantized(&net, &test, ibits, wbits).expect("quantized evaluation"),
-                );
+                row.push(evaluate_quantized(&net, &test, ibits, wbits)?);
             }
             accuracy.push(row);
         }
-        Result { config, float_accuracy, accuracy }
+        Ok(Result { config, float_accuracy, accuracy })
     }
 }
 
@@ -391,8 +388,10 @@ pub mod ablation {
                     benchmark: bench.name().to_string(),
                     with_replication_ns: with.run(&spec, EVAL_BATCH).latency_ns,
                     without_replication_ns: without.run(&spec, EVAL_BATCH).latency_ns,
-                    utilization_with: with.mapping(&spec).utilization_after,
-                    utilization_without: without.mapping(&spec).utilization_before,
+                    utilization_with: with.mapping(&spec).map_or(0.0, |m| m.utilization_after),
+                    utilization_without: without
+                        .mapping(&spec)
+                        .map_or(0.0, |m| m.utilization_before),
                 }
             })
             .collect()
@@ -576,10 +575,15 @@ pub mod noise {
     /// Trains a digit classifier and evaluates it on the functional
     /// FF-mat pipeline at each programming-noise level.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if training fails on internally-generated data.
-    pub fn run(test_samples: usize, sigmas: &[f64]) -> Result {
+    /// Propagates [`prime_core::PrimeError`] from training, evaluation,
+    /// or the hardware pipeline — only possible if the generated
+    /// classifier or the executor itself is broken.
+    pub fn run(
+        test_samples: usize,
+        sigmas: &[f64],
+    ) -> std::result::Result<Result, prime_core::PrimeError> {
         let mut rng = SmallRng::seed_from_u64(31);
         let generator = DigitGenerator::default();
         let train_set = generator.dataset(600, &mut rng);
@@ -588,36 +592,35 @@ pub mod noise {
             Layer::Fc(FullyConnected::new(IMAGE_PIXELS, 32, Activation::Sigmoid)),
             Layer::Fc(FullyConnected::new(32, NUM_CLASSES, Activation::Identity)),
         ])
-        .expect("widths match");
+        .map_err(prime_core::PrimeError::from)?;
         net.init_random(&mut rng);
         train_sgd(&mut net, &train_set, TrainConfig::quick(), &mut rng)
-            .expect("training on generated data");
-        let software_accuracy = evaluate(&net, &test_set).expect("evaluation");
-        let rows = sigmas
-            .iter()
-            .map(|&sigma| {
-                let model = NoiseModel { program_sigma: sigma, read_sigma: 0.0 };
-                let mut exec = FfExecutor::with_noise(model, 77);
-                let mut correct = 0usize;
-                for sample in &test_set {
-                    let (out, _) = exec.run(&net, &sample.pixels).expect("hardware run");
-                    let mut best = 0;
-                    for (i, &v) in out.iter().enumerate() {
-                        if v > out[best] {
-                            best = i;
-                        }
-                    }
-                    if best == sample.label {
-                        correct += 1;
+            .map_err(prime_core::PrimeError::from)?;
+        let software_accuracy =
+            evaluate(&net, &test_set).map_err(prime_core::PrimeError::from)?;
+        let mut rows = Vec::with_capacity(sigmas.len());
+        for &sigma in sigmas {
+            let model = NoiseModel { program_sigma: sigma, read_sigma: 0.0 };
+            let mut exec = FfExecutor::with_noise(model, 77);
+            let mut correct = 0usize;
+            for sample in &test_set {
+                let (out, _) = exec.run(&net, &sample.pixels)?;
+                let mut best = 0;
+                for (i, &v) in out.iter().enumerate() {
+                    if v > out[best] {
+                        best = i;
                     }
                 }
-                NoiseRow {
-                    program_sigma: sigma,
-                    accuracy: correct as f64 / test_set.len() as f64,
+                if best == sample.label {
+                    correct += 1;
                 }
-            })
-            .collect();
-        Result { software_accuracy, rows }
+            }
+            rows.push(NoiseRow {
+                program_sigma: sigma,
+                accuracy: correct as f64 / test_set.len().max(1) as f64,
+            });
+        }
+        Ok(Result { software_accuracy, rows })
     }
 }
 
@@ -757,7 +760,7 @@ mod tests {
 
     #[test]
     fn fig6_precision_saturates_quickly() {
-        let r = fig6::run(fig6::Config::quick());
+        let r = fig6::run(fig6::Config::quick()).expect("sweep runs");
         assert!(r.float_accuracy > 0.9, "float accuracy {}", r.float_accuracy);
         // 3-bit inputs + 3-bit weights reach ~99 % of float accuracy
         // (paper: "3-bit ... adequate to achieve 99% accuracy").
@@ -847,7 +850,7 @@ mod tests {
 
     #[test]
     fn noise_sweep_degrades_gracefully() {
-        let result = noise::run(30, &[0.0, 0.03, 0.5]);
+        let result = noise::run(30, &[0.0, 0.03, 0.5]).expect("sweep runs");
         assert!(result.software_accuracy > 0.9);
         // Realistic 3% noise keeps accuracy close to noise-free.
         assert!(

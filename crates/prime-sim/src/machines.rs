@@ -11,7 +11,7 @@
 //!   inputs/outputs stage through the Buffer subarrays, banks provide
 //!   64-way image parallelism, and large NNs pipeline across banks.
 
-use prime_compiler::{map_network, CompileOptions, HwTarget, NetworkMapping, NnScale};
+use prime_compiler::{map_network, CompileError, CompileOptions, HwTarget, NetworkMapping, NnScale};
 use prime_nn::{LayerSpec, NetworkSpec};
 
 use crate::params::{CpuParams, MemPathParams, NpuParams, PrimeParams};
@@ -312,17 +312,21 @@ impl PrimeMachine {
     }
 
     /// The compiled mapping for a workload (exposed for the experiments).
-    pub fn mapping(&self, spec: &NetworkSpec) -> NetworkMapping {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] when the workload does not fit the
+    /// machine's target (the paper's own workloads always do).
+    pub fn mapping(&self, spec: &NetworkSpec) -> Result<NetworkMapping, CompileError> {
         map_network(spec, &self.target, self.options)
-            .expect("evaluated workloads fit PRIME")
     }
 
     /// Inter-bank pipeline stages the latency model charges for `spec`
-    /// (1 when the mapping has no pipeline). The functional engine
-    /// executes this same stage list, so its
-    /// `CommandRunner::stage_count` must agree.
+    /// (1 when the mapping has no pipeline, or when the workload does not
+    /// fit at all). The functional engine executes this same stage list,
+    /// so its `CommandRunner::stage_count` must agree.
     pub fn pipeline_stage_count(&self, spec: &NetworkSpec) -> usize {
-        self.mapping(spec).pipeline.len().max(1)
+        self.mapping(spec).map_or(1, |m| m.pipeline.len().max(1))
     }
 
     /// Serial compute time of one layer for one image.
@@ -480,7 +484,19 @@ impl Machine for PrimeMachine {
     }
 
     fn run(&self, spec: &NetworkSpec, batch: u32) -> RunResult {
-        let mapping = self.mapping(spec);
+        let Ok(mapping) = self.mapping(spec) else {
+            // The workload does not fit this PRIME configuration at all:
+            // report infinite latency rather than aborting the sweep.
+            let zero = Breakdown { compute: 0.0, buffer: 0.0, memory: 0.0 };
+            return RunResult {
+                machine: self.name.clone(),
+                benchmark: spec.name().to_string(),
+                batch,
+                latency_ns: f64::INFINITY,
+                time_ns: zero,
+                energy_pj: zero,
+            };
+        };
         let (per_image, interbank_bytes) = self.per_image(spec, &mapping);
         let energy = self.per_image_energy(spec, &mapping, interbank_bytes);
         let copies = if self.single_bank { 1 } else { mapping.copies_across_memory as u32 };

@@ -73,16 +73,19 @@ pub fn cpu_inference_trace(spec: &NetworkSpec, element_bytes: u64) -> Vec<u64> {
 /// Replays one CPU inference trace through the rank model and compares
 /// it with the analytic memory time for the same traffic.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the workload's trace exceeds the installed capacity (never
-/// for the MlBench workloads on the default 16 GB geometry).
-pub fn validate_cpu_memory_model(spec: &NetworkSpec) -> TraceValidation {
+/// Returns [`prime_mem::MemError`] if the workload's trace exceeds the
+/// installed capacity (never for the MlBench workloads on the default
+/// 16 GB geometry).
+pub fn validate_cpu_memory_model(
+    spec: &NetworkSpec,
+) -> Result<TraceValidation, prime_mem::MemError> {
     let cpu = CpuParams::table_iv();
     let mem = MemPathParams::prime_default();
     let trace = cpu_inference_trace(spec, cpu.element_bytes);
     let mut rank = Rank::new(MemGeometry::prime_default(), MemTiming::prime_default());
-    let replayed_ns = rank.run_stream(&trace, false).expect("trace fits installed memory");
+    let replayed_ns = rank.run_stream(&trace, false)?;
     let bytes = trace.len() as u64 * LINE_BYTES;
     let analytic_ns = bytes as f64 / mem.external_gbps;
     // Aggregate hit rate across the banks the trace touched.
@@ -93,12 +96,12 @@ pub fn validate_cpu_memory_model(spec: &NetworkSpec) -> TraceValidation {
         hits += stats.row_hits;
         total += stats.row_hits + stats.row_misses;
     }
-    TraceValidation {
+    Ok(TraceValidation {
         analytic_ns,
         replayed_ns,
         accesses: trace.len() as u64,
         row_hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +136,7 @@ mod tests {
 
     #[test]
     fn replay_agrees_with_analytic_within_a_small_factor() {
-        let v = validate_cpu_memory_model(&MlBench::MlpS.spec());
+        let v = validate_cpu_memory_model(&MlBench::MlpS.spec()).expect("trace fits");
         assert!(v.accesses > 10_000, "trace too small to be meaningful");
         assert!(
             (0.2..6.0).contains(&v.ratio()),
@@ -150,7 +153,7 @@ mod tests {
         // exactly one cache line, so a sequential stream activates a
         // fresh row on every access — the structural reason the replayed
         // closed-bank latency sits above the analytic bandwidth bound.
-        let v = validate_cpu_memory_model(&MlBench::MlpM.spec());
+        let v = validate_cpu_memory_model(&MlBench::MlpM.spec()).expect("trace fits");
         assert_eq!(v.row_hit_rate, 0.0, "hit rate {}", v.row_hit_rate);
         assert!(v.ratio() > 1.0, "closed-bank replay should cost more than peak bandwidth");
     }

@@ -2,11 +2,12 @@
 //! accuracy when executed on the functional FF-mat hardware pipeline —
 //! crossbars, composing scheme, truncating SAs and all.
 
-use prime::core::{FfExecutor, NnParamFile, PrimeProgram};
+use prime::core::{BankController, CommandRunner, FfExecutor, NnParamFile, PrimeProgram};
 use prime::nn::{
     evaluate, train_sgd, Activation, DigitGenerator, FullyConnected, Layer, LayerSpec, Network,
     NetworkSpec, TrainConfig, IMAGE_PIXELS, NUM_CLASSES,
 };
+use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -91,6 +92,47 @@ fn prime_program_classifies_through_the_full_api() {
         "hardware and software classifications diverge: {agree}/{}",
         subset.len()
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random conv shapes and paddings: the device runner's im2col
+    /// crossbar path tracks the fixed-point host reference within the
+    /// §III-D truncation bound (the composed 6-bit output window plus
+    /// requantization loses at most a few LSBs per layer).
+    #[test]
+    fn device_conv_matches_host_for_random_shapes(
+        kernel in 1usize..4,
+        padding in 0usize..3,
+        extra_h in 0usize..5,
+        extra_w in 0usize..5,
+        in_ch in 1usize..3,
+        out_ch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // in_h >= kernel keeps the output nonempty for any padding.
+        let (in_h, in_w) = (kernel + extra_h, kernel + extra_w);
+        let mut net = Network::new(vec![Layer::Conv(prime::nn::Conv2d::new(
+            in_ch, out_ch, kernel, in_h, in_w, padding, Activation::Identity,
+        ))])
+        .expect("widths match");
+        net.init_random(&mut SmallRng::seed_from_u64(seed));
+        let inputs = in_ch * in_h * in_w;
+        let input: Vec<f32> = (0..inputs)
+            .map(|i| ((i * 7 + seed as usize % 5) % 13) as f32 / 13.0)
+            .collect();
+        let mut controller = BankController::new(2, 8, 4096, 8192);
+        let mut runner = CommandRunner::compile(&net, &mut controller, &input)
+            .expect("small conv compiles");
+        let hw = runner.infer(&mut controller, &input).unwrap();
+        let sw = net.forward(&input).unwrap();
+        prop_assert_eq!(hw.len(), sw.len());
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.2);
+        for (a, b) in hw.iter().zip(&sw) {
+            prop_assert!((a - b).abs() / max < 0.3, "device {} vs host {}", a, b);
+        }
+    }
 }
 
 #[test]

@@ -10,7 +10,7 @@
 
 use prime::core::PrimeSystem;
 use prime::device::NoiseModel;
-use prime::nn::{Activation, FullyConnected, Layer, Network};
+use prime::nn::{Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -176,6 +176,149 @@ fn pipelined_inference_counters_agree_between_engines() {
     system.set_parallel(true);
     system.infer_batch(&inputs).unwrap();
     assert_eq!(system.stats().inferences, 14);
+}
+
+/// A CNN-1-class stack (paper §V): padded conv, winner-code max pooling,
+/// 1/n-weight mean pooling, and an FC head — every layer kind the device
+/// runner executes.
+fn cnn_net(seed: u64) -> Network {
+    let mut net = Network::new(vec![
+        Layer::Conv(Conv2d::new(1, 3, 3, 8, 8, 1, Activation::Relu)),
+        Layer::Pool(Pool2d::new(PoolKind::Max, 3, 8, 8, 2)),
+        Layer::Pool(Pool2d::new(PoolKind::Mean, 3, 4, 4, 2)),
+        Layer::Fc(FullyConnected::new(12, 4, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(seed));
+    net
+}
+
+fn cnn_batch(len: usize) -> Vec<Vec<f32>> {
+    (0..len)
+        .map(|i| (0..64).map(|j| ((i * 5 + j * 7) % 13) as f32 / 13.0).collect())
+        .collect()
+}
+
+fn cnn_calibration() -> Vec<f32> {
+    (0..64).map(|j| ((j * 7) % 13) as f32 / 13.0).collect()
+}
+
+#[test]
+fn cnn_deploys_and_tracks_host_reference() {
+    let net = cnn_net(41);
+    let mut system = PrimeSystem::new(2, 2, 4, 2048);
+    system.deploy(&net, &cnn_calibration()).expect("CNN-1-class must deploy");
+    let inputs = cnn_batch(4);
+    let outputs = system.infer_batch(&inputs).unwrap();
+    for (input, hw) in inputs.iter().zip(&outputs) {
+        let sw = net.forward(input).unwrap();
+        let max = sw.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(0.2);
+        for (a, b) in hw.iter().zip(&sw) {
+            assert!((a - b).abs() / max < 0.3, "device {a} vs host {b}");
+        }
+    }
+}
+
+#[test]
+fn cnn_parallel_digital_matches_serial_for_every_bank_count() {
+    for banks in 1..=4 {
+        let net = cnn_net(41);
+        let mut system = PrimeSystem::new(banks, 2, 4, 2048);
+        system.deploy(&net, &cnn_calibration()).expect("fits");
+        let inputs = cnn_batch(7);
+        system.set_parallel(false);
+        let serial = system.infer_batch(&inputs).unwrap();
+        system.set_parallel(true);
+        let parallel = system.infer_batch(&inputs).unwrap();
+        assert_eq!(serial, parallel, "CNN digital outputs diverged at banks={banks}");
+    }
+}
+
+#[test]
+fn cnn_parallel_noisy_matches_serial_and_reproduces() {
+    let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+    for banks in [1, 3] {
+        let net = cnn_net(41);
+        let mut system = PrimeSystem::new(banks, 2, 4, 2048);
+        system.deploy(&net, &cnn_calibration()).expect("fits");
+        let inputs = cnn_batch(5);
+        system.set_parallel(false);
+        let serial = system.infer_batch_noisy(&inputs, &noise, 0xDEED).unwrap();
+        system.set_parallel(true);
+        let parallel = system.infer_batch_noisy(&inputs, &noise, 0xDEED).unwrap();
+        assert_eq!(serial, parallel, "CNN noisy outputs diverged at banks={banks}");
+        let repeat = system.infer_batch_noisy(&inputs, &noise, 0xDEED).unwrap();
+        assert_eq!(serial, repeat, "CNN noisy batch not reproducible at banks={banks}");
+    }
+}
+
+/// One-mat banks split the CNN into conv+pool and FC stages: the
+/// stage-overlapped engine must match serial execution and the same
+/// network flattened onto one large bank, streaming the conv/pool
+/// boundary through the burst protocol.
+#[test]
+fn cnn_pipelined_matches_single_bank_execution() {
+    let net = cnn_net(43);
+    let inputs = cnn_batch(6);
+    let mut flat = PrimeSystem::new(1, 2, 4, 2048);
+    flat.deploy(&net, &cnn_calibration()).expect("fits one bank");
+    assert_eq!(flat.deployed_stages(), Some(1));
+    flat.set_parallel(false);
+    let reference = flat.infer_batch(&inputs).unwrap();
+    for banks in [2, 4] {
+        let mut system = PrimeSystem::new(banks, 1, 1, 2048);
+        system.deploy(&net, &cnn_calibration()).expect("fits as a pipeline");
+        assert!(
+            system.deployed_stages().unwrap() >= 2,
+            "expected an inter-bank CNN pipeline, got {:?} stages",
+            system.deployed_stages()
+        );
+        system.set_parallel(false);
+        let serial = system.infer_batch(&inputs).unwrap();
+        assert_eq!(serial, reference, "serial CNN pipeline diverged at banks={banks}");
+        system.set_parallel(true);
+        let overlapped = system.infer_batch(&inputs).unwrap();
+        assert_eq!(overlapped, reference, "overlapped CNN pipeline diverged at banks={banks}");
+    }
+}
+
+#[test]
+fn cnn_pipelined_noisy_overlap_matches_serial() {
+    let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+    let net = cnn_net(43);
+    let inputs = cnn_batch(5);
+    let mut system = PrimeSystem::new(2, 1, 1, 2048);
+    system.deploy(&net, &cnn_calibration()).expect("fits as a pipeline");
+    assert!(system.deployed_stages().unwrap() >= 2);
+    system.set_parallel(false);
+    let serial = system.infer_batch_noisy(&inputs, &noise, 0xFEED).unwrap();
+    system.set_parallel(true);
+    let overlapped = system.infer_batch_noisy(&inputs, &noise, 0xFEED).unwrap();
+    assert_eq!(serial, overlapped, "noisy CNN pipeline diverged");
+}
+
+/// Sigmoid layers are not executable by the command runner: deployment
+/// must be refused with a typed rejection carrying P017, never silently
+/// accepted.
+#[test]
+fn sigmoid_network_is_rejected_with_p017() {
+    let mut net = Network::new(vec![
+        Layer::Conv(Conv2d::new(1, 2, 3, 6, 6, 1, Activation::Sigmoid)),
+        Layer::Fc(FullyConnected::new(72, 4, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(3));
+    let mut system = PrimeSystem::new(2, 2, 4, 2048);
+    let err = system.deploy(&net, &[0.5; 36]);
+    match err {
+        Err(prime::core::PrimeError::Rejected { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.code == prime::analyze::Code::P017),
+                "expected a P017 diagnostic, got {diagnostics:?}"
+            );
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
 }
 
 proptest! {

@@ -127,6 +127,51 @@ fn simulator_and_runner_execute_the_same_pipeline_stages() {
 }
 
 #[test]
+fn simulator_and_runner_agree_on_conv_pipeline_stages() {
+    // The CNN analogue of the FC cross-check above: a conv + max-pool +
+    // mean-pool + FC stack on one-mat banks splits into an inter-bank
+    // pipeline (conv + pools on one bank, the FC head on the next); the
+    // analytical simulator's per-stage bottleneck model must charge
+    // exactly the stage count the device runner executes.
+    use prime::compiler::CompileOptions;
+    use prime::core::PrimeSystem;
+    use prime::nn::{Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind};
+    use prime::sim::PrimeMachine;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut net = Network::new(vec![
+        Layer::Conv(Conv2d::new(1, 3, 3, 8, 8, 1, Activation::Relu)),
+        Layer::Pool(Pool2d::new(PoolKind::Max, 3, 8, 8, 2)),
+        Layer::Pool(Pool2d::new(PoolKind::Mean, 3, 4, 4, 2)),
+        Layer::Fc(FullyConnected::new(12, 4, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(17));
+
+    let calibration: Vec<f32> = (0..64).map(|j| ((j * 7) % 13) as f32 / 13.0).collect();
+    let mut system = PrimeSystem::new(2, 1, 1, 2048);
+    system.deploy(&net, &calibration).expect("deploys as a CNN pipeline");
+    let executed = system.deployed_stages().expect("deployed");
+    assert!(executed >= 2, "expected an inter-bank CNN pipeline");
+
+    let target = HwTarget {
+        mat_rows: 256,
+        mat_cols: 128,
+        mats_per_ff_subarray: 1,
+        ff_subarrays_per_bank: 1,
+        banks: 2,
+    };
+    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false });
+    let spec = net.to_spec("cnn-1-class").expect("spec derivable");
+    assert_eq!(
+        machine.pipeline_stage_count(&spec),
+        executed,
+        "simulator and runner disagree on CNN pipeline depth"
+    );
+}
+
+#[test]
 fn facade_reexports_compose() {
     // The facade's module paths interoperate: a spec built through
     // `prime::nn` maps through `prime::compiler` and runs on

@@ -80,6 +80,9 @@ pub enum Code {
     P018,
     /// A conv/pool im2col window cannot be staged through the FF buffer.
     P019,
+    /// Conv row ring exceeds the residency budget; the runner falls back
+    /// to per-pixel window staging for that layer.
+    P020,
     /// Allocation in a `*_into` hot-kernel function.
     P050,
     /// Panic path (`unwrap`/`expect`/`panic!`/…) in non-test library code.
@@ -92,7 +95,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 23] = [
+    pub const ALL: [Code; 24] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -112,6 +115,7 @@ impl Code {
         Code::P017,
         Code::P018,
         Code::P019,
+        Code::P020,
         Code::P050,
         Code::P051,
         Code::P052,
@@ -140,6 +144,7 @@ impl Code {
             Code::P017 => "P017",
             Code::P018 => "P018",
             Code::P019 => "P019",
+            Code::P020 => "P020",
             Code::P050 => "P050",
             Code::P051 => "P051",
             Code::P052 => "P052",
@@ -169,6 +174,7 @@ impl Code {
             Code::P017 => "runner-unsupported layer",
             Code::P018 => "illegal kernel replication",
             Code::P019 => "window staging overflow",
+            Code::P020 => "conv row ring not resident",
             Code::P050 => "allocation in hot kernel",
             Code::P051 => "panic path in library code",
             Code::P052 => "unsafe code",
@@ -180,6 +186,7 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::P011 | Code::P013 | Code::P015 | Code::P053 => Severity::Warning,
+            Code::P020 => Severity::Info,
             _ => Severity::Error,
         }
     }

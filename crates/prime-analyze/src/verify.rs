@@ -30,6 +30,62 @@ pub const LOW_UTILIZATION_THRESHOLD: f64 = 0.02;
 /// constant.
 pub const WINDOW_IO_CHUNK_WORDS: usize = 256;
 
+/// A single conv layer's row ring + window chunk may occupy at most
+/// `buffer_words / CONV_RESIDENT_BUDGET_DIVISOR` of the FF buffer to run
+/// the weight-stationary row-reuse schedule; beyond that the runner falls
+/// back to per-pixel window staging ([`Code::P020`]). The divisor leaves
+/// the rest of the buffer for FC staging, boundary bursts, and the other
+/// layers sharing the stage.
+pub const CONV_RESIDENT_BUDGET_DIVISOR: usize = 4;
+
+/// Buffer-staging plan for one conv layer, shared by the runtime
+/// (`CommandRunner` compile in `prime-core`) and the verifier's
+/// [`Code::P019`]/[`Code::P020`] accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvStaging {
+    /// Whether the layer runs the weight-stationary row-reuse schedule
+    /// (row ring + chunk region resident in the FF buffer).
+    pub resident: bool,
+    /// Words occupied by the `kernel`-row input ring (resident only).
+    pub ring_words: usize,
+    /// Output pixels evaluated per staged window chunk (1 when falling
+    /// back to per-pixel staging).
+    pub chunk_pixels: usize,
+    /// Total buffer words the layer's staging occupies: ring + chunk when
+    /// resident, a single im2col window otherwise.
+    pub words: usize,
+}
+
+/// Computes the conv staging plan for a layer shape and buffer capacity.
+///
+/// The row ring keeps the `kernel` input rows a row of output pixels
+/// reads (`kernel * in_ch * in_w` words, halo rows reused across output
+/// rows); the chunk region batches up to [`WINDOW_IO_CHUNK_WORDS`] of
+/// gathered windows so tile traversal amortizes over
+/// `chunk_pixels` output pixels. A layer is resident iff both fit the
+/// [`CONV_RESIDENT_BUDGET_DIVISOR`] budget.
+pub fn conv_staging(
+    in_ch: usize,
+    kernel: usize,
+    in_w: usize,
+    out_w: usize,
+    buffer_words: usize,
+) -> ConvStaging {
+    let window_rows = in_ch * kernel * kernel;
+    let ring_words = kernel * in_ch * in_w;
+    let chunk_pixels = WINDOW_IO_CHUNK_WORDS
+        .checked_div(window_rows)
+        .map_or(1, |p| p.clamp(1, out_w.max(1)));
+    let chunk_words = chunk_pixels * window_rows;
+    let resident =
+        ring_words + chunk_words <= buffer_words / CONV_RESIDENT_BUDGET_DIVISOR;
+    if resident {
+        ConvStaging { resident, ring_words, chunk_pixels, words: ring_words + chunk_words }
+    } else {
+        ConvStaging { resident, ring_words, chunk_pixels: 1, words: window_rows }
+    }
+}
+
 /// Everything the verifier needs to know about the deployment target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Target {
@@ -574,8 +630,25 @@ pub fn analyze(spec: &NetworkSpec, target: &Target, mapping: &NetworkMapping) ->
                     words += inputs;
                     last_fc_outputs = outputs;
                 }
-                Some(LayerSpec::Conv { in_ch, kernel, .. }) => {
-                    window_words += in_ch * kernel * kernel + 1;
+                Some(spec @ LayerSpec::Conv { in_ch, kernel, in_w, .. }) => {
+                    let out_w = spec.conv_out_dims().map_or(0, |(_, w)| w);
+                    let staging =
+                        conv_staging(in_ch, kernel, in_w, out_w, target.buffer_words);
+                    window_words += staging.words + 1;
+                    if !staging.resident {
+                        diags.push(Diagnostic::new(
+                            Code::P020,
+                            Span::Layer { index: l, entity: spec.describe() },
+                            format!(
+                                "row ring ({} words) + window chunk exceeds the \
+                                 residency budget ({} of {} buffer words); the \
+                                 runner stages windows per pixel for this layer",
+                                staging.ring_words,
+                                target.buffer_words / CONV_RESIDENT_BUDGET_DIVISOR,
+                                target.buffer_words
+                            ),
+                        ));
+                    }
                 }
                 Some(LayerSpec::Pool { window, .. }) => {
                     window_words += window * window;

@@ -37,7 +37,7 @@ fn bench_ir_drop(c: &mut Criterion) {
         b.iter(|| model.dot_attenuated(black_box(&xbar), black_box(&input)).unwrap())
     });
     c.bench_function("ir_drop_compensate_weights_256x128", |b| {
-        b.iter(|| model.compensate_weights(black_box(&xbar)))
+        b.iter(|| model.compensate_weights(black_box(&xbar)).unwrap())
     });
 }
 

@@ -17,23 +17,34 @@
 //!
 //! A final section drives the paper's CNN-1 (`conv5x5-pool-720-70-10`)
 //! through the functional conv/pool datapath of the device runner
-//! (DESIGN.md §11) and reports a per-layer wall-clock breakdown, so the
-//! cost split between im2col conv evaluation, pooling, and the FC head
-//! is visible in `BENCH_throughput.json` (`device_runner` key).
+//! (DESIGN.md §11) and reports a per-layer wall-clock breakdown plus a
+//! per-phase split of the conv layer (stage/gather/evaluate/emit, from
+//! `CommandRunner::infer_profiled_into`), so the cost structure of the
+//! weight-stationary conv schedule is visible in
+//! `BENCH_throughput.json` (`device_runner` key).
+//!
+//! The serial engine round-robins the same work regardless of how many
+//! banks are deployed, so its baseline is measured once per workload
+//! (first bank-count row) and reused; later rows still run the serial
+//! engine once, untimed, for the output-equality assert.
 //!
 //! `--smoke` runs two fast configurations (one flat, one pipelined)
-//! plus the device-runner breakdown and skips the JSON (CI does-it-run
-//! check: it fails on panic, not on regression).
+//! plus the device-runner breakdown and skips the JSON. With
+//! `--baseline <path>` (CI) the device-runner conv row is additionally
+//! checked against the pinned `BENCH_baseline.json`: the run fails if
+//! conv ns/inference or conv share regresses beyond tolerance, so a
+//! change that silently reverts the weight-stationary schedule fails CI
+//! rather than landing as a slow green build.
 
 use std::time::Instant;
 
-use prime_core::{BankController, CommandRunner, InferScratch, PrimeSystem};
+use prime_core::{BankController, CommandRunner, ConvPhases, InferScratch, PrimeSystem};
 use prime_nn::{
     Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Run-level metadata.
 #[derive(Serialize)]
@@ -72,6 +83,16 @@ struct DeviceLayerRow {
     share: f64,
 }
 
+/// One conv phase of the device-runner breakdown (stage / gather /
+/// evaluate / emit, summed over every conv layer of the inference).
+#[derive(Serialize)]
+struct ConvPhaseRow {
+    phase: String,
+    ns_per_inference: f64,
+    /// Fraction of the conv phase total this phase accounts for.
+    share: f64,
+}
+
 /// The CNN-1-class workload measured layer by layer on the functional
 /// device runner (command-driven conv/pool/FC datapath, DESIGN.md §11).
 #[derive(Serialize)]
@@ -82,7 +103,32 @@ struct DeviceRunnerRow {
     ns_per_inference: f64,
     inferences_per_s: f64,
     layers: Vec<DeviceLayerRow>,
+    /// Per-phase split of the conv layers (weight-stationary schedule:
+    /// row staging, window gathering, analog evaluation, emit).
+    conv_phases: Vec<ConvPhaseRow>,
 }
+
+/// The pinned regression baseline (`BENCH_baseline.json`): the
+/// device-runner conv row the CI smoke run is held to.
+#[derive(Deserialize)]
+struct Baseline {
+    /// Conv-layer ns/inference of the pinned run; the smoke check fails
+    /// past [`BASELINE_NS_TOLERANCE`] times this.
+    device_conv_ns_per_inference: f64,
+    /// Conv share of whole-inference time in the pinned run; the smoke
+    /// check fails past this plus [`BASELINE_SHARE_TOLERANCE`].
+    device_conv_share: f64,
+}
+
+/// Conv ns/inference may drift up to this factor over the pinned
+/// baseline before the check fails — wide enough for noisy shared CI
+/// hosts, far below the ~7x cost of the pre-weight-stationary schedule.
+const BASELINE_NS_TOLERANCE: f64 = 3.0;
+
+/// Conv share of inference time may exceed the pinned baseline by this
+/// much before the check fails. Share is host-speed-independent, so the
+/// band is tighter than the wall-clock one.
+const BASELINE_SHARE_TOLERANCE: f64 = 0.15;
 
 #[derive(Serialize)]
 struct Report {
@@ -136,7 +182,19 @@ struct Config<'a> {
     bank_geometry: (usize, usize),
 }
 
-fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row {
+/// Measures one (workload, bank-count) row. The serial engine performs
+/// the same round-robin work regardless of bank count, so its timing is
+/// a per-workload constant: `serial_baseline_s` carries the first row's
+/// measurement into later rows, which then run the serial engine once,
+/// untimed, purely as the output-equality reference. Returns the row and
+/// the serial seconds used (to seed the next row's baseline).
+fn measure(
+    config: &Config<'_>,
+    banks: usize,
+    batch: usize,
+    reps: usize,
+    serial_baseline_s: Option<f64>,
+) -> (Row, f64) {
     let Config { name, widths, bank_geometry: (subarrays, mats) } = *config;
     let net = fc_net(widths, 0x5EED);
     let calibration = vec![0.5f32; widths[0]];
@@ -146,7 +204,10 @@ fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row 
     let inputs = pseudo_batch(batch, widths[0]);
 
     system.set_parallel(false);
-    let (serial_s, serial_out) = time_batch(&mut system, &inputs, reps);
+    let (serial_s, serial_out) = match serial_baseline_s {
+        Some(s) => (s, system.infer_batch(&inputs).expect("deployed")),
+        None => time_batch(&mut system, &inputs, reps),
+    };
     system.set_parallel(true);
     let (parallel_s, parallel_out) = time_batch(&mut system, &inputs, reps);
     assert_eq!(
@@ -162,7 +223,7 @@ fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row 
     });
 
     let per_inf = |s: f64| s / batch as f64 * 1e9;
-    Row {
+    let row = Row {
         workload: name.to_string(),
         topology: widths.iter().map(usize::to_string).collect::<Vec<_>>().join("-"),
         banks,
@@ -174,7 +235,8 @@ fn measure(config: &Config<'_>, banks: usize, batch: usize, reps: usize) -> Row 
         parallel_inferences_per_s: batch as f64 / parallel_s,
         speedup: serial_s / parallel_s,
         fill_drain_ns,
-    }
+    };
+    (row, serial_s)
 }
 
 /// The paper's CNN-1 (`conv5x5-pool-720-70-10`) with runner-supported
@@ -208,34 +270,71 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
     let mut scratch = InferScratch::new();
     let mut out = Vec::new();
     let mut ns = Vec::new();
+    let mut phases = ConvPhases::default();
     // Warm-up grows every scratch buffer; the last output doubles as the
     // determinism reference for the measured reps.
     for input in &inputs {
         runner
-            .infer_timed_into(&mut controller, input, &mut scratch, &mut out, &mut ns)
+            .infer_profiled_into(
+                &mut controller,
+                input,
+                &mut scratch,
+                &mut out,
+                &mut ns,
+                &mut phases,
+            )
             .expect("compiled plan runs");
     }
     let reference = out.clone();
 
     let mut best_total = f64::INFINITY;
     let mut best_layers = vec![0.0f64; labels.len()];
+    let mut best_phases = ConvPhases::default();
     for _ in 0..reps {
         let mut layer_sums = vec![0.0f64; labels.len()];
+        let mut phase_sums = ConvPhases::default();
         for input in &inputs {
             runner
-                .infer_timed_into(&mut controller, input, &mut scratch, &mut out, &mut ns)
+                .infer_profiled_into(
+                    &mut controller,
+                    input,
+                    &mut scratch,
+                    &mut out,
+                    &mut ns,
+                    &mut phases,
+                )
                 .expect("compiled plan runs");
             for (sum, v) in layer_sums.iter_mut().zip(&ns) {
                 *sum += v;
             }
+            phase_sums.stage_ns += phases.stage_ns;
+            phase_sums.gather_ns += phases.gather_ns;
+            phase_sums.eval_ns += phases.eval_ns;
+            phase_sums.emit_ns += phases.emit_ns;
         }
         assert_eq!(out, reference, "device runner is not deterministic across repetitions");
         let total: f64 = layer_sums.iter().sum();
         if total < best_total {
             best_total = total;
             best_layers = layer_sums;
+            best_phases = phase_sums;
         }
     }
+
+    let phase_total = best_phases.total_ns();
+    let conv_phases = [
+        ("stage", best_phases.stage_ns),
+        ("gather", best_phases.gather_ns),
+        ("evaluate", best_phases.eval_ns),
+        ("emit", best_phases.emit_ns),
+    ]
+    .into_iter()
+    .map(|(phase, sum)| ConvPhaseRow {
+        phase: phase.to_string(),
+        ns_per_inference: sum / batch as f64,
+        share: if phase_total > 0.0 { sum / phase_total } else { 0.0 },
+    })
+    .collect();
 
     let per_inf = best_total / batch as f64;
     DeviceRunnerRow {
@@ -253,11 +352,61 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
                 share: if best_total > 0.0 { sum / best_total } else { 0.0 },
             })
             .collect(),
+        conv_phases,
     }
 }
 
+/// Holds the measured device-runner conv row to the pinned baseline;
+/// exits nonzero on regression so the CI smoke step fails.
+fn check_baseline(device: &DeviceRunnerRow, path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+    let baseline: Baseline = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} does not parse: {e}"));
+    let conv = device
+        .layers
+        .iter()
+        .find(|l| l.layer.starts_with("conv"))
+        .expect("device-runner breakdown has a conv row");
+    let ns_limit = baseline.device_conv_ns_per_inference * BASELINE_NS_TOLERANCE;
+    let share_limit = baseline.device_conv_share + BASELINE_SHARE_TOLERANCE;
+    let mut failed = false;
+    if conv.ns_per_inference > ns_limit {
+        eprintln!(
+            "BASELINE REGRESSION: conv {:.0} ns/inference exceeds {:.0} \
+             ({}x pinned {:.0})",
+            conv.ns_per_inference,
+            ns_limit,
+            BASELINE_NS_TOLERANCE,
+            baseline.device_conv_ns_per_inference
+        );
+        failed = true;
+    }
+    if conv.share > share_limit {
+        eprintln!(
+            "BASELINE REGRESSION: conv share {:.3} exceeds {:.3} \
+             (pinned {:.3} + {:.2})",
+            conv.share, share_limit, baseline.device_conv_share, BASELINE_SHARE_TOLERANCE
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "baseline check: conv {:.0} ns/inference (limit {:.0}), share {:.3} \
+         (limit {:.3}) — ok",
+        conv.ns_per_inference, ns_limit, conv.share, share_limit
+    );
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let baseline_path = argv
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| argv.get(i + 1).expect("--baseline takes a path").clone());
     // MLP-M-class: the paper's 784-1000-500-250-10 MLP-M as a pure
     // ReLU/identity FC stack. CNN-1-class: CNN-1's fully-connected
     // classifier head (720-70-10). VGG-D-class: a deep FC stack whose 23
@@ -326,8 +475,11 @@ fn main() {
         // One fixed batch size per workload (divisible by every bank
         // count) so ns/inference is comparable across rows.
         let batch = batch_per_bank * bank_counts.last().copied().unwrap_or(1);
+        // Serial baseline: timed on the first row, reused afterwards.
+        let mut serial_s: Option<f64> = None;
         for &banks in bank_counts {
-            let row = measure(config, banks, batch, reps);
+            let (row, serial_used) = measure(config, banks, batch, reps, serial_s);
+            serial_s = Some(serial_used);
             println!(
                 "{:<12} {:>5} {:>6} {:>6} {:>14.0} {:>14.0} {:>7.2}x",
                 row.workload,
@@ -359,7 +511,20 @@ fn main() {
         );
     }
     println!("{:<28} {:>14.0} {:>6.1}%", "total", device_runner.ns_per_inference, 100.0);
+    println!("\nconv phase breakdown (weight-stationary schedule):");
+    println!("{:<28} {:>14} {:>7}", "phase", "ns/inf", "share");
+    for phase in &device_runner.conv_phases {
+        println!(
+            "{:<28} {:>14.0} {:>6.1}%",
+            phase.phase,
+            phase.ns_per_inference,
+            phase.share * 100.0
+        );
+    }
 
+    if let Some(path) = &baseline_path {
+        check_baseline(&device_runner, path);
+    }
     if smoke {
         println!("\nsmoke mode: skipping BENCH_throughput.json");
         return;

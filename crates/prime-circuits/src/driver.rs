@@ -42,6 +42,9 @@ pub struct WordlineDriver {
     input_bits: u8,
     mode: DriverMode,
     latch: Vec<u16>,
+    /// Wordlines driven by the last latch; everything past this index is
+    /// grounded (code 0). Full-width latches drive all wordlines.
+    active: usize,
 }
 
 impl WordlineDriver {
@@ -60,6 +63,7 @@ impl WordlineDriver {
             input_bits,
             mode: DriverMode::Memory,
             latch: vec![0; wordlines],
+            active: 0,
         }
     }
 
@@ -88,6 +92,7 @@ impl WordlineDriver {
     pub fn set_mode(&mut self, mode: DriverMode) {
         self.mode = mode;
         self.latch.fill(0);
+        self.active = 0;
     }
 
     /// Loads a full input vector into the latch so that all wordlines are
@@ -115,6 +120,43 @@ impl WordlineDriver {
             }
         }
         self.latch.copy_from_slice(codes);
+        self.active = self.wordlines;
+        Ok(())
+    }
+
+    /// Latches `codes` onto the first `codes.len()` wordlines and grounds
+    /// the rest (code 0): a mat programmed on a row prefix only fetches
+    /// that prefix from the buffer, and undriven wordlines contribute
+    /// nothing to any bitline. Wordlines a previous latch drove past the
+    /// new prefix are re-grounded, so steady-state repeated prefix
+    /// latches of the same width touch only the prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::LatchLengthMismatch`] if `codes` exceeds
+    /// the wordline count, or [`CircuitError::CodeOutOfRange`] if any
+    /// code exceeds the DAC resolution. The latch is unchanged on error.
+    pub fn latch_prefix(&mut self, codes: &[u16]) -> Result<(), CircuitError> {
+        if codes.len() > self.wordlines {
+            return Err(CircuitError::LatchLengthMismatch {
+                got: codes.len(),
+                expected: self.wordlines,
+            });
+        }
+        let max = u32::from(self.voltage_levels()) - 1;
+        for &c in codes {
+            if u32::from(c) > max {
+                return Err(CircuitError::CodeOutOfRange {
+                    code: u32::from(c),
+                    codes: max + 1,
+                });
+            }
+        }
+        if self.active > codes.len() {
+            self.latch[codes.len()..self.active].fill(0);
+        }
+        self.latch[..codes.len()].copy_from_slice(codes);
+        self.active = codes.len();
         Ok(())
     }
 

@@ -346,6 +346,75 @@ impl BankController {
         Ok(())
     }
 
+    /// [`compute_mat_into`](Self::compute_mat_into) over caller-provided
+    /// input words instead of a staged latch.
+    ///
+    /// The chunked conv schedule loads a whole tile×chunk block into the
+    /// mat latch with one `Command::Load`, then drives the wordlines once
+    /// per pixel from a slice of that block; this entry point models the
+    /// per-pixel drive without round-tripping each slice through the
+    /// `latches` map. The words are clamped to the scheme's input-code
+    /// range exactly as a staged latch would be.
+    ///
+    /// # Errors
+    ///
+    /// Returns mode errors from the mat.
+    pub fn compute_mat_words_into(
+        &mut self,
+        addr: MatAddr,
+        words: &[i64],
+        scratch: &mut BankScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.stage_word_codes(addr, words, scratch);
+        self.ff[addr.subarray][addr.mat].compute_into(
+            &scratch.codes,
+            &mut scratch.mat,
+            &mut scratch.raw,
+        )?;
+        self.finish_compute(addr, scratch, out);
+        Ok(())
+    }
+
+    /// Analog variant of
+    /// [`compute_mat_words_into`](Self::compute_mat_words_into). Same
+    /// scratch contract; draws read noise from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns mode errors from the mat.
+    pub fn compute_mat_words_analog_into<R: rand::Rng + ?Sized>(
+        &mut self,
+        addr: MatAddr,
+        words: &[i64],
+        noise: &prime_device::NoiseModel,
+        rng: &mut R,
+        scratch: &mut BankScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), PrimeError> {
+        self.stage_word_codes(addr, words, scratch);
+        self.ff[addr.subarray][addr.mat].compute_analog_into(
+            &scratch.codes,
+            noise,
+            rng,
+            &mut scratch.mat,
+            &mut scratch.raw,
+        )?;
+        self.finish_compute(addr, scratch, out);
+        Ok(())
+    }
+
+    /// Clamps caller-provided input words into `scratch.codes`, mirroring
+    /// what [`stage_latch_codes`](Self::stage_latch_codes) does for a
+    /// staged latch.
+    fn stage_word_codes(&mut self, addr: MatAddr, words: &[i64], scratch: &mut BankScratch) {
+        let max_code = i64::from(self.ff[addr.subarray][addr.mat].scheme().input_code_max());
+        scratch.codes.clear();
+        scratch
+            .codes
+            .extend(words.iter().map(|&v| v.clamp(0, max_code) as u16));
+    }
+
     /// Consumes the mat's staged latch into `scratch.codes` (clamped to
     /// the scheme's input-code range), recycling the latch vector.
     fn stage_latch_codes(

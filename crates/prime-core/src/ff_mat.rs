@@ -302,17 +302,25 @@ impl FfMat {
     ) -> Result<(), PrimeError> {
         self.check_compute(inputs)?;
         self.split_into_halves(inputs, scratch)?;
+        // The composing scheme only reads bitline pairs (2c, 2c+1) for the
+        // programmed weight columns; the SA mux skips the unprogrammed rest.
+        // Likewise only the programmed row prefix is latched and driven —
+        // wordlines past it stay grounded and contribute nothing.
+        let span = 2 * self.weight_cols;
+        let rows = inputs.len();
         // Pass 1: HIGH input halves latched and driven.
-        self.driver.latch(&scratch.hi)?;
-        self.pair.dot_signed_into(
-            self.driver.driven_codes(),
+        self.driver.latch_prefix(&scratch.hi)?;
+        self.pair.dot_signed_span_into(
+            &self.driver.driven_codes()[..rows],
+            span,
             &mut scratch.pair,
             &mut scratch.pass_hi,
         )?;
         // Pass 2: LOW input halves.
-        self.driver.latch(&scratch.lo)?;
-        self.pair.dot_signed_into(
-            self.driver.driven_codes(),
+        self.driver.latch_prefix(&scratch.lo)?;
+        self.pair.dot_signed_span_into(
+            &self.driver.driven_codes()[..rows],
+            span,
             &mut scratch.pair,
             &mut scratch.pass_lo,
         )?;
@@ -345,9 +353,9 @@ impl FfMat {
         scratch: &mut MatScratch,
     ) -> Result<(), PrimeError> {
         scratch.hi.clear();
-        scratch.hi.resize(MAT_DIM, 0);
+        scratch.hi.resize(inputs.len(), 0);
         scratch.lo.clear();
-        scratch.lo.resize(MAT_DIM, 0);
+        scratch.lo.resize(inputs.len(), 0);
         for (i, &code) in inputs.iter().enumerate() {
             let (h, l) = self.scheme.split_input(code)?;
             scratch.hi[i] = h;
@@ -449,19 +457,26 @@ impl FfMat {
         self.check_compute(inputs)?;
         self.split_into_halves(inputs, scratch)?;
         let bits = self.scheme.input_half_bits();
-        self.driver.latch(&scratch.hi)?;
-        self.pair.dot_signed_analog_into(
-            self.driver.driven_codes(),
+        // Only the sensed bitline pairs (2c, 2c+1) for programmed weight
+        // columns draw read-noise samples, and only the programmed row
+        // prefix is driven; see DESIGN.md §11 (RNG order).
+        let span = 2 * self.weight_cols;
+        let rows = inputs.len();
+        self.driver.latch_prefix(&scratch.hi)?;
+        self.pair.dot_signed_analog_span_into(
+            &self.driver.driven_codes()[..rows],
             bits,
+            span,
             noise,
             rng,
             &mut scratch.pair,
             &mut scratch.pass_hi,
         )?;
-        self.driver.latch(&scratch.lo)?;
-        self.pair.dot_signed_analog_into(
-            self.driver.driven_codes(),
+        self.driver.latch_prefix(&scratch.lo)?;
+        self.pair.dot_signed_analog_span_into(
+            &self.driver.driven_codes()[..rows],
             bits,
+            span,
             noise,
             rng,
             &mut scratch.pair,

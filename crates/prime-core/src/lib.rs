@@ -53,5 +53,5 @@ pub use error::PrimeError;
 pub use executor::{ExecutionStats, FfExecutor};
 pub use ff_mat::{FfMat, MatDatapath, MatScratch};
 pub use insitu::{InSituEpoch, InSituMlp};
-pub use runner::{CommandRunner, InferScratch};
+pub use runner::{CommandRunner, ConvPhases, InferScratch};
 pub use system::{PrimeSystem, SystemStats};

@@ -221,15 +221,44 @@ impl Crossbar {
                 expected: self.rows,
             });
         }
+        self.dot_span_into(input, self.cols, out)
+    }
+
+    /// [`dot_into`](Self::dot_into) restricted to the first `span` bitlines.
+    ///
+    /// The sense amplifiers only multiplex the bitlines a mat's composing
+    /// scheme actually consumes, so a caller that knows how many physical
+    /// columns carry programmed weights can skip sensing the unprogrammed
+    /// remainder. `span` is clamped to `cols`; `out` is cleared and resized
+    /// to the clamped span. `input` may cover only a prefix of the rows:
+    /// wordlines past `input.len()` are undriven (grounded) and contribute
+    /// nothing to any bitline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] if `input.len() > rows`.
+    pub fn dot_span_into(
+        &self,
+        input: &[u16],
+        span: usize,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DeviceError> {
+        if input.len() > self.rows {
+            return Err(DeviceError::InputLengthMismatch {
+                got: input.len(),
+                expected: self.rows,
+            });
+        }
+        let span = span.min(self.cols);
         out.clear();
-        out.resize(self.cols, 0);
+        out.resize(span, 0);
         for (row, &a) in input.iter().enumerate() {
             if a == 0 {
                 continue;
             }
             let a = u64::from(a);
             let base = row * self.cols;
-            let row_levels = &self.levels[base..base + self.cols];
+            let row_levels = &self.levels[base..base + span];
             for (o, &w) in out.iter_mut().zip(row_levels) {
                 *o += a * u64::from(w);
             }
@@ -285,6 +314,39 @@ impl Crossbar {
                 expected: self.rows,
             });
         }
+        self.dot_analog_span_into(input, input_bits, self.cols, noise, rng, currents)
+    }
+
+    /// [`dot_analog_into`](Self::dot_analog_into) restricted to the first
+    /// `span` bitlines.
+    ///
+    /// Unsensed bitlines draw no read-noise samples: the RNG advances once
+    /// per *sensed* column, so restricting the span changes the stream of
+    /// noise draws relative to a full-width read (see the runner's
+    /// RNG-order note in DESIGN.md §11). `span` is clamped to `cols`;
+    /// `input` may cover only a prefix of the rows (undriven wordlines
+    /// are grounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`] for an over-length
+    /// input, or [`DeviceError::InputLevelOutOfRange`] if a code exceeds
+    /// the DAC resolution.
+    pub fn dot_analog_span_into<R: Rng + ?Sized>(
+        &self,
+        input: &[u16],
+        input_bits: u8,
+        span: usize,
+        noise: &NoiseModel,
+        rng: &mut R,
+        currents: &mut Vec<f64>,
+    ) -> Result<(), DeviceError> {
+        if input.len() > self.rows {
+            return Err(DeviceError::InputLengthMismatch {
+                got: input.len(),
+                expected: self.rows,
+            });
+        }
         let max_code = (1u32 << input_bits) - 1;
         for &a in input {
             if u32::from(a) > max_code {
@@ -294,15 +356,16 @@ impl Crossbar {
                 });
             }
         }
+        let span = span.min(self.cols);
         currents.clear();
-        currents.resize(self.cols, 0.0);
+        currents.resize(span, 0.0);
         for (row, &a) in input.iter().enumerate() {
             if a == 0 {
                 continue;
             }
             let v = READ_VOLTAGE_V * f64::from(a) / f64::from(max_code);
             let base = row * self.cols;
-            let row_g = &self.conductances[base..base + self.cols];
+            let row_g = &self.conductances[base..base + span];
             for (c, &g) in currents.iter_mut().zip(row_g) {
                 *c += v * g;
             }
@@ -551,8 +614,30 @@ impl PairedCrossbar {
         scratch: &mut PairScratch,
         out: &mut Vec<i64>,
     ) -> Result<(), DeviceError> {
-        self.positive.dot_into(input, &mut scratch.pos)?;
-        self.negative.dot_into(input, &mut scratch.neg)?;
+        if input.len() != self.positive.rows() {
+            return Err(DeviceError::InputLengthMismatch {
+                got: input.len(),
+                expected: self.positive.rows(),
+            });
+        }
+        self.dot_signed_span_into(input, self.positive.cols(), scratch, out)
+    }
+
+    /// [`dot_signed_into`](Self::dot_signed_into) restricted to the first
+    /// `span` bitlines of both polarity arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InputLengthMismatch`].
+    pub fn dot_signed_span_into(
+        &self,
+        input: &[u16],
+        span: usize,
+        scratch: &mut PairScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), DeviceError> {
+        self.positive.dot_span_into(input, span, &mut scratch.pos)?;
+        self.negative.dot_span_into(input, span, &mut scratch.neg)?;
         out.clear();
         out.extend(
             scratch
@@ -608,11 +693,60 @@ impl PairedCrossbar {
         scratch: &mut PairScratch,
         out: &mut Vec<i64>,
     ) -> Result<(), DeviceError> {
+        if input.len() != self.positive.rows() {
+            return Err(DeviceError::InputLengthMismatch {
+                got: input.len(),
+                expected: self.positive.rows(),
+            });
+        }
+        self.dot_signed_analog_span_into(
+            input,
+            input_bits,
+            self.positive.cols(),
+            noise,
+            rng,
+            scratch,
+            out,
+        )
+    }
+
+    /// [`dot_signed_analog_into`](Self::dot_signed_analog_into) restricted
+    /// to the first `span` bitlines of both polarity arrays.
+    ///
+    /// Only sensed bitlines draw read-noise samples, so the RNG stream
+    /// depends on `span` (see [`Crossbar::dot_analog_span_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Crossbar::dot_analog_span_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn dot_signed_analog_span_into<R: Rng + ?Sized>(
+        &self,
+        input: &[u16],
+        input_bits: u8,
+        span: usize,
+        noise: &NoiseModel,
+        rng: &mut R,
+        scratch: &mut PairScratch,
+        out: &mut Vec<i64>,
+    ) -> Result<(), DeviceError> {
         let input_sum: u64 = input.iter().map(|&a| u64::from(a)).sum();
-        self.positive
-            .dot_analog_into(input, input_bits, noise, rng, &mut scratch.pos_currents)?;
-        self.negative
-            .dot_analog_into(input, input_bits, noise, rng, &mut scratch.neg_currents)?;
+        self.positive.dot_analog_span_into(
+            input,
+            input_bits,
+            span,
+            noise,
+            rng,
+            &mut scratch.pos_currents,
+        )?;
+        self.negative.dot_analog_span_into(
+            input,
+            input_bits,
+            span,
+            noise,
+            rng,
+            &mut scratch.neg_currents,
+        )?;
         out.clear();
         out.extend(scratch.pos_currents.iter().zip(&scratch.neg_currents).map(|(&p, &n)| {
             self.positive.decode_current(p, input_sum, input_bits)

@@ -106,7 +106,7 @@ impl IrDropModel {
                 continue;
             }
             for (c, o) in out.iter_mut().enumerate() {
-                let w = f64::from(xbar.level(r, c).expect("in range"));
+                let w = f64::from(xbar.level(r, c)?);
                 *o += f64::from(a) * w * self.attenuation(r, c);
             }
         }
@@ -117,17 +117,23 @@ impl IrDropModel {
     /// attenuated contribution equals the nominal one. Returns the
     /// compensated level matrix (clamped to the cell's range, so extreme
     /// corners of very resistive arrays may remain under-compensated).
-    pub fn compensate_weights(&self, xbar: &Crossbar) -> Vec<u16> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError::IndexOutOfBounds`] from the level reads
+    /// (unreachable for a well-formed crossbar, but typed rather than a
+    /// panic path).
+    pub fn compensate_weights(&self, xbar: &Crossbar) -> Result<Vec<u16>, DeviceError> {
         let max = xbar.spec().max_level();
         let mut out = Vec::with_capacity(xbar.rows() * xbar.cols());
         for r in 0..xbar.rows() {
             for c in 0..xbar.cols() {
-                let w = f64::from(xbar.level(r, c).expect("in range"));
+                let w = f64::from(xbar.level(r, c)?);
                 let compensated = (w / self.attenuation(r, c)).round();
                 out.push((compensated as u16).min(max));
             }
         }
-        out
+        Ok(out)
     }
 
     /// Worst-case relative error of an uncompensated `rows x cols` array:
@@ -191,7 +197,7 @@ mod tests {
         let model = IrDropModel::new(2e-4);
         let input: Vec<u16> = (0..64).map(|i| ((i * 3) % 8) as u16).collect();
         let exact: Vec<f64> = xbar.dot(&input).unwrap().iter().map(|&v| v as f64).collect();
-        let compensated = model.compensate_weights(&xbar);
+        let compensated = model.compensate_weights(&xbar).unwrap();
         xbar.program_matrix(&compensated).unwrap();
         let recovered = model.dot_attenuated(&xbar, &input).unwrap();
         for (c, (e, r)) in exact.iter().zip(&recovered).enumerate() {

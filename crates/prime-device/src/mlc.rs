@@ -119,12 +119,15 @@ impl MlcSpec {
     /// Conductance of a digital `level`, spaced linearly between
     /// [`g_off`](Self::g_off) (level 0) and [`g_on`](Self::g_on) (max level).
     ///
-    /// # Panics
-    ///
-    /// Panics if `level` exceeds [`max_level`](Self::max_level); use
-    /// [`try_conductance`](Self::try_conductance) for a fallible variant.
+    /// Out-of-range levels clamp to the maximum: physically a cell cannot
+    /// be programmed past the LRS. Use
+    /// [`try_conductance`](Self::try_conductance) to reject out-of-range
+    /// levels instead.
     pub fn conductance(&self, level: u16) -> f64 {
-        self.try_conductance(level).expect("level within MLC range")
+        let level = level.min(self.max_level());
+        let span = self.g_on() - self.g_off();
+        let frac = f64::from(level) / f64::from(self.max_level());
+        self.g_off() + span * frac
     }
 
     /// Fallible variant of [`conductance`](Self::conductance).

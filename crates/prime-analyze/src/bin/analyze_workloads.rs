@@ -1,9 +1,11 @@
 //! Analyzer self-check: runs the deployment verifier over every MlBench
-//! workload against the paper's default target.
+//! workload against the paper's default target, under every mapping
+//! strategy.
 //!
 //! CI runs this to guarantee the verifier never regresses into rejecting
-//! the paper's own benchmark suite. Exits nonzero if any workload fails
-//! to map or draws an `Error`-severity diagnostic.
+//! the paper's own benchmark suite — including full-size VGG-D under both
+//! the replicate-dense and shared-kernel layouts. Exits nonzero if any
+//! workload fails to map or draws an `Error`-severity diagnostic.
 //!
 //! ```text
 //! analyze-workloads [--json]
@@ -12,44 +14,62 @@
 use std::process::ExitCode;
 
 use prime_analyze::{analyze, has_errors, render_human, render_json, Severity, Target};
-use prime_compiler::{map_network, CompileOptions};
+use prime_compiler::{map_network, CompileOptions, MappingStrategy};
 use prime_nn::MlBench;
+
+const STRATEGIES: [MappingStrategy; 2] =
+    [MappingStrategy::ReplicateDense, MappingStrategy::SharedKernel];
 
 fn main() -> ExitCode {
     let json = std::env::args().skip(1).any(|a| a == "--json");
     let target = Target::prime_default();
-    // Deployment semantics: `PrimeSystem::deploy` maps without replication
-    // (replicas get placed at deploy time); the replicated mapping is an
-    // analytic utilization model, not a physical placement.
-    let options = CompileOptions { replicate: false };
     let mut failed = false;
-    for bench in MlBench::ALL {
-        let spec = bench.spec();
-        let mapping = match map_network(&spec, &target.hw, options) {
-            Ok(mapping) => mapping,
-            Err(err) => {
-                eprintln!("{}: mapping failed: {err}", bench.name());
+    for strategy in STRATEGIES {
+        // Deployment semantics: `PrimeSystem::deploy` maps without
+        // replication (replicas get placed at deploy time); the replicated
+        // mapping is an analytic utilization model, not a physical
+        // placement. Tile sharing still engages for bank-parallel
+        // workloads because whole-network copies alone alias every tile.
+        let options = CompileOptions { replicate: false, strategy };
+        for bench in MlBench::ALL {
+            let spec = bench.spec();
+            let mapping = match map_network(&spec, &target.hw, options) {
+                Ok(mapping) => mapping,
+                Err(err) => {
+                    eprintln!(
+                        "{} [{}]: mapping failed: {err}",
+                        bench.name(),
+                        strategy.name()
+                    );
+                    failed = true;
+                    continue;
+                }
+            };
+            let diags = analyze(&spec, &target, &mapping);
+            let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+            let warnings =
+                diags.iter().filter(|d| d.severity == Severity::Warning).count();
+            if json {
+                println!(
+                    "{{\"workload\":\"{}\",\"strategy\":\"{}\",\"diagnostics\":{}}}",
+                    bench.name(),
+                    strategy.name(),
+                    render_json(&diags)
+                );
+            } else {
+                println!(
+                    "{:8} {:16} {:24} errors={errors} warnings={warnings}",
+                    bench.name(),
+                    strategy.name(),
+                    bench.topology()
+                );
+                if errors > 0 {
+                    print!("{}", render_human(&diags));
+                }
+            }
+            if has_errors(&diags) {
                 failed = true;
-                continue;
             }
-        };
-        let diags = analyze(&spec, &target, &mapping);
-        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
-        let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
-        if json {
-            println!("{{\"workload\":\"{}\",\"diagnostics\":{}}}", bench.name(), render_json(&diags));
-        } else {
-            println!(
-                "{:8} {:24} errors={errors} warnings={warnings}",
-                bench.name(),
-                bench.topology()
-            );
-            if errors > 0 {
-                print!("{}", render_human(&diags));
-            }
-        }
-        if has_errors(&diags) {
-            failed = true;
         }
     }
     if failed {

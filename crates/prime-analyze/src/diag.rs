@@ -83,6 +83,13 @@ pub enum Code {
     /// Conv row ring exceeds the residency budget; the runner falls back
     /// to per-pixel window staging for that layer.
     P020,
+    /// Aliased shared tiles disagree on composing scheme or cell precision.
+    P021,
+    /// Shared-tile reference count does not fit the mat-table counter.
+    P022,
+    /// Layer requested `SharedKernel` but fell back to `ReplicateDense`
+    /// (no sharing opportunity).
+    P023,
     /// Allocation in a `*_into` hot-kernel function.
     P050,
     /// Panic path (`unwrap`/`expect`/`panic!`/…) in non-test library code.
@@ -95,7 +102,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 27] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -116,6 +123,9 @@ impl Code {
         Code::P018,
         Code::P019,
         Code::P020,
+        Code::P021,
+        Code::P022,
+        Code::P023,
         Code::P050,
         Code::P051,
         Code::P052,
@@ -145,6 +155,9 @@ impl Code {
             Code::P018 => "P018",
             Code::P019 => "P019",
             Code::P020 => "P020",
+            Code::P021 => "P021",
+            Code::P022 => "P022",
+            Code::P023 => "P023",
             Code::P050 => "P050",
             Code::P051 => "P051",
             Code::P052 => "P052",
@@ -175,6 +188,9 @@ impl Code {
             Code::P018 => "illegal kernel replication",
             Code::P019 => "window staging overflow",
             Code::P020 => "conv row ring not resident",
+            Code::P021 => "shared-tile scheme mismatch",
+            Code::P022 => "shared-tile refcount overflow",
+            Code::P023 => "shared-kernel fallback",
             Code::P050 => "allocation in hot kernel",
             Code::P051 => "panic path in library code",
             Code::P052 => "unsafe code",
@@ -186,7 +202,7 @@ impl Code {
     pub fn severity(self) -> Severity {
         match self {
             Code::P011 | Code::P013 | Code::P015 | Code::P053 => Severity::Warning,
-            Code::P020 => Severity::Info,
+            Code::P020 | Code::P023 => Severity::Info,
             _ => Severity::Error,
         }
     }

@@ -46,6 +46,7 @@ mod verify;
 pub use diag::{has_errors, render_human, render_json, Code, Diagnostic, Severity, Span};
 pub use lint::{lint_root, lint_source, AllowEntry, Allowlist};
 pub use verify::{
-    analyze, check_pipeline, conv_staging, ConvStaging, Target,
-    CONV_RESIDENT_BUDGET_DIVISOR, LOW_UTILIZATION_THRESHOLD, WINDOW_IO_CHUNK_WORDS,
+    analyze, check_pipeline, check_shared_layout, conv_staging, shared_layout, tile_pn,
+    ConvStaging, SharedTileGroup, Target, CONV_RESIDENT_BUDGET_DIVISOR,
+    LOW_UTILIZATION_THRESHOLD, WINDOW_IO_CHUNK_WORDS,
 };

@@ -23,7 +23,12 @@ fn bench_map_without_replication(c: &mut Criterion) {
     let spec = MlBench::VggD.spec();
     c.bench_function("map_vgg_no_replication", |b| {
         b.iter(|| {
-            map_network(black_box(&spec), &hw, CompileOptions { replicate: false }).unwrap()
+            map_network(
+                black_box(&spec),
+                &hw,
+                CompileOptions { replicate: false, ..CompileOptions::default() },
+            )
+            .unwrap()
         })
     });
 }

@@ -28,19 +28,30 @@
 //! (first bank-count row) and reused; later rows still run the serial
 //! engine once, untimed, for the output-equality assert.
 //!
+//! A last section deploys the paper's VGG-D at **full weight scale**
+//! (~1.4x10^8 synapses) on a wide-bank device-runner system, under both
+//! weight-layout strategies (`MappingStrategy::ReplicateDense` and
+//! `::SharedKernel`), asserting the outputs bit-identical and the
+//! shared-kernel conv footprint within its acceptance bound; every
+//! engine row also reports deploy wall-time and resident bank-state
+//! bytes (`deploy_ms` / `bank_state_bytes`).
+//!
 //! `--smoke` runs two fast configurations (one flat, one pipelined)
-//! plus the device-runner breakdown and skips the JSON. With
-//! `--baseline <path>` (CI) the device-runner conv row is additionally
-//! checked against the pinned `BENCH_baseline.json`: the run fails if
-//! conv ns/inference or conv share regresses beyond tolerance, so a
-//! change that silently reverts the weight-stationary schedule fails CI
-//! rather than landing as a slow green build.
+//! plus the device-runner breakdown and a single-strategy VGG-D (full)
+//! deploy, and skips the JSON. With `--baseline <path>` (CI) the
+//! device-runner conv row and the VGG-D (full) deploy time are
+//! additionally checked against the pinned `BENCH_baseline.json`: the
+//! run fails if conv ns/inference, conv share, or VGG deploy wall-time
+//! regresses beyond tolerance, so a change that silently reverts the
+//! weight-stationary schedule or the replicate-by-cloning deploy fails
+//! CI rather than landing as a slow green build.
 
 use std::time::Instant;
 
+use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy};
 use prime_core::{BankController, CommandRunner, ConvPhases, InferScratch, PrimeSystem};
 use prime_nn::{
-    Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind,
+    Activation, Conv2d, FullyConnected, Layer, MlBench, Network, Pool2d, PoolKind,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -72,6 +83,12 @@ struct Row {
     /// Estimated per-batch pipeline fill/drain overhead in ns (parallel
     /// engine, pipelined rows only).
     fill_drain_ns: Option<f64>,
+    /// Deployment wall-time (map + verify + program + calibrate +
+    /// replicate), milliseconds.
+    deploy_ms: f64,
+    /// Crossbar weight state the deployment keeps resident, shared tiles
+    /// counted once (bytes).
+    bank_state_bytes: usize,
 }
 
 /// One layer of the device-runner breakdown.
@@ -108,8 +125,43 @@ struct DeviceRunnerRow {
     conv_phases: Vec<ConvPhaseRow>,
 }
 
+/// One strategy's measured deployment of the full-size VGG-D.
+#[derive(Serialize)]
+struct VggStrategyRow {
+    strategy: String,
+    /// Deployment wall-time (map + verify + program + calibrate),
+    /// milliseconds — ~1.4x10^8 synapses quantized and programmed.
+    deploy_ms: f64,
+    /// Crossbar weight state kept resident, shared tiles counted once.
+    bank_state_bytes: usize,
+    /// What the same placements would hold if every one owned its bytes.
+    dense_state_bytes: usize,
+    unique_tiles: usize,
+    aliased_placements: usize,
+    ns_per_inference: f64,
+}
+
+/// The full-size VGG-D (no class-scale stand-in) deployed and executed
+/// on the device runner under both weight-layout strategies.
+#[derive(Serialize)]
+struct VggFullRow {
+    workload: String,
+    topology: String,
+    synapses: u64,
+    batch: usize,
+    /// Pipeline stages of the deployed plan.
+    stages: usize,
+    /// Compiler footprint estimate for the conv layers under the
+    /// replicated mapping model: shared-kernel cells / replicate-dense
+    /// cells. The shared-kernel acceptance bound
+    /// ([`VGG_CONV_RATIO_LIMIT`]) is checked against this.
+    shared_conv_cell_ratio: f64,
+    strategies: Vec<VggStrategyRow>,
+}
+
 /// The pinned regression baseline (`BENCH_baseline.json`): the
-/// device-runner conv row the CI smoke run is held to.
+/// device-runner conv row and the full-size VGG-D deploy the CI smoke
+/// run is held to.
 #[derive(Deserialize)]
 struct Baseline {
     /// Conv-layer ns/inference of the pinned run; the smoke check fails
@@ -118,7 +170,17 @@ struct Baseline {
     /// Conv share of whole-inference time in the pinned run; the smoke
     /// check fails past this plus [`BASELINE_SHARE_TOLERANCE`].
     device_conv_share: f64,
+    /// Full-size VGG-D deploy wall-time of the pinned run; the smoke
+    /// check fails past [`BASELINE_NS_TOLERANCE`] times this, so a
+    /// change that silently reverts the replicate-by-cloning deploy (or
+    /// shared-tile adoption) fails CI rather than landing as a
+    /// minutes-slower green build.
+    vgg_full_deploy_ms: f64,
 }
+
+/// The shared-kernel conv footprint must stay at or below this fraction
+/// of the replicate-dense estimate for the conv-dominated VGG-D stack.
+const VGG_CONV_RATIO_LIMIT: f64 = 0.25;
 
 /// Conv ns/inference may drift up to this factor over the pinned
 /// baseline before the check fails — wide enough for noisy shared CI
@@ -135,6 +197,7 @@ struct Report {
     meta: Meta,
     rows: Vec<Row>,
     device_runner: DeviceRunnerRow,
+    vgg_full: VggFullRow,
 }
 
 /// A fully-connected ReLU workload the command runner can execute
@@ -223,6 +286,7 @@ fn measure(
     });
 
     let per_inf = |s: f64| s / batch as f64 * 1e9;
+    let deploy = system.deploy_stats().expect("deployed");
     let row = Row {
         workload: name.to_string(),
         topology: widths.iter().map(usize::to_string).collect::<Vec<_>>().join("-"),
@@ -235,6 +299,8 @@ fn measure(
         parallel_inferences_per_s: batch as f64 / parallel_s,
         speedup: serial_s / parallel_s,
         fill_drain_ns,
+        deploy_ms: deploy.wall_ms,
+        bank_state_bytes: deploy.resident_bytes,
     };
     (row, serial_s)
 }
@@ -356,9 +422,96 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
     }
 }
 
+/// Deploys the full-size VGG-D (~1.4x10^8 synapses, paper Table III) on
+/// a wide-bank device-runner system and times deployment plus single
+/// inferences. `strategies` selects how many weight layouts to measure:
+/// the full run deploys under both and asserts the outputs bit-identical
+/// (the weight layout must never change the arithmetic); the smoke run
+/// deploys shared-kernel only, for the deploy-time regression gate.
+///
+/// Each FF subarray holds 1600 mats so VGG-D's widest stage (the
+/// 25088x4096 FC, 3168 mats) fits one bank; three banks hold the whole
+/// 4230-mat plan as an inter-bank pipeline with one copy — the §IV-B
+/// large-scale case at the paper's real scale.
+fn measure_vgg_full(strategies: &[MappingStrategy]) -> VggFullRow {
+    let bench = MlBench::VggD;
+    let spec = bench.spec();
+    // Conv-footprint estimate from the replicated mapping model (the
+    // analytic utilization view, where in-mat replication and memory
+    // copies re-place every conv kernel).
+    let estimate = map_network(
+        &spec,
+        &HwTarget::prime_default(),
+        CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel },
+    )
+    .expect("VGG-D maps on the paper target");
+    let conv = estimate.conv_footprint();
+    let ratio = conv.unique_cells as f64 / conv.placed_cells.max(1) as f64;
+    assert!(
+        ratio <= VGG_CONV_RATIO_LIMIT,
+        "shared-kernel conv footprint ratio {ratio:.3} exceeds {VGG_CONV_RATIO_LIMIT}"
+    );
+
+    let net = spec.to_runner_network(0x5EED).expect("VGG-D builds at full weight scale");
+    let calibration: Vec<f32> =
+        (0..net.inputs()).map(|j| ((j * 5) % 13) as f32 / 13.0).collect();
+    let input: Vec<f32> = (0..net.inputs()).map(|j| ((j * 7) % 11) as f32 / 11.0).collect();
+
+    let mut rows = Vec::new();
+    let mut stages = 0;
+    let mut reference: Option<Vec<Vec<f32>>> = None;
+    for &strategy in strategies {
+        let mut system = PrimeSystem::new(3, 2, 1600, 65536);
+        system
+            .deploy_with(&net, &calibration, strategy)
+            .expect("full-size VGG-D deploys on the device runner");
+        stages = system.deployed_stages().expect("deployed");
+        let stats = *system.deploy_stats().expect("deployed");
+        let start = Instant::now();
+        let outputs = system.infer_batch(std::slice::from_ref(&input)).expect("runs");
+        let inference_s = start.elapsed().as_secs_f64();
+        match &reference {
+            Some(expected) => assert_eq!(
+                expected, &outputs,
+                "VGG-D outputs diverged between weight-layout strategies"
+            ),
+            None => reference = Some(outputs),
+        }
+        println!(
+            "VGG-D (full) [{}]: deploy {:.0} ms, bank state {:.0} MB (dense {:.0} MB), \
+             {} tiles ({} aliased placements), inference {:.1} s",
+            strategy.name(),
+            stats.wall_ms,
+            stats.resident_bytes as f64 / (1 << 20) as f64,
+            stats.dense_bytes as f64 / (1 << 20) as f64,
+            stats.unique_tiles,
+            stats.aliased_placements,
+            inference_s
+        );
+        rows.push(VggStrategyRow {
+            strategy: strategy.name().to_string(),
+            deploy_ms: stats.wall_ms,
+            bank_state_bytes: stats.resident_bytes,
+            dense_state_bytes: stats.dense_bytes,
+            unique_tiles: stats.unique_tiles,
+            aliased_placements: stats.aliased_placements,
+            ns_per_inference: inference_s * 1e9,
+        });
+    }
+    VggFullRow {
+        workload: "VGG-D (full)".to_string(),
+        topology: bench.topology().to_string(),
+        synapses: spec.synapses(),
+        batch: 1,
+        stages,
+        shared_conv_cell_ratio: ratio,
+        strategies: rows,
+    }
+}
+
 /// Holds the measured device-runner conv row to the pinned baseline;
 /// exits nonzero on regression so the CI smoke step fails.
-fn check_baseline(device: &DeviceRunnerRow, path: &str) {
+fn check_baseline(device: &DeviceRunnerRow, vgg: &VggFullRow, path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
     let baseline: Baseline = serde_json::from_str(&text)
@@ -390,13 +543,27 @@ fn check_baseline(device: &DeviceRunnerRow, path: &str) {
         );
         failed = true;
     }
+    let vgg_deploy_ms = vgg
+        .strategies
+        .iter()
+        .map(|s| s.deploy_ms)
+        .fold(f64::INFINITY, f64::min);
+    let vgg_limit = baseline.vgg_full_deploy_ms * BASELINE_NS_TOLERANCE;
+    if vgg_deploy_ms > vgg_limit {
+        eprintln!(
+            "BASELINE REGRESSION: VGG-D (full) deploy {:.0} ms exceeds {:.0} \
+             ({}x pinned {:.0})",
+            vgg_deploy_ms, vgg_limit, BASELINE_NS_TOLERANCE, baseline.vgg_full_deploy_ms
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "baseline check: conv {:.0} ns/inference (limit {:.0}), share {:.3} \
-         (limit {:.3}) — ok",
-        conv.ns_per_inference, ns_limit, conv.share, share_limit
+         (limit {:.3}), VGG-D (full) deploy {:.0} ms (limit {:.0}) — ok",
+        conv.ns_per_inference, ns_limit, conv.share, share_limit, vgg_deploy_ms, vgg_limit
     );
 }
 
@@ -522,8 +689,20 @@ fn main() {
         );
     }
 
+    // The paper's VGG-D at full weight scale on the device runner. The
+    // full run measures both weight-layout strategies and asserts their
+    // outputs bit-identical; the smoke run deploys once (shared-kernel),
+    // enough for the deploy-time regression gate.
+    let vgg_strategies: &[MappingStrategy] = if smoke {
+        &[MappingStrategy::SharedKernel]
+    } else {
+        &[MappingStrategy::ReplicateDense, MappingStrategy::SharedKernel]
+    };
+    println!("\nVGG-D (full) on the device runner:");
+    let vgg_full = measure_vgg_full(vgg_strategies);
+
     if let Some(path) = &baseline_path {
-        check_baseline(&device_runner, path);
+        check_baseline(&device_runner, &vgg_full, path);
     }
     if smoke {
         println!("\nsmoke mode: skipping BENCH_throughput.json");
@@ -538,6 +717,7 @@ fn main() {
         },
         rows,
         device_runner,
+        vgg_full,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");

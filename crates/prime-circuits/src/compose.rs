@@ -115,8 +115,10 @@ impl ComposingScheme {
 
     /// The paper's default: `Pin = 6`, `Pw = 8`, `Po = 6`, `PN = 8`
     /// (256-input mats).
-    pub fn prime_default() -> Self {
-        ComposingScheme::new(6, 8, 6, 8).expect("default parameters are valid")
+    pub const fn prime_default() -> Self {
+        // Constructed directly: even non-zero pin/pw, po within
+        // 1..=pin+pw+pn, all widths <= 16 — the `new` invariants hold.
+        ComposingScheme { pin: 6, pw: 8, po: 6, pn: 8 }
     }
 
     /// Composed input width in bits.

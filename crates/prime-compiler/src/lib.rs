@@ -29,7 +29,8 @@ mod target;
 
 pub use error::CompileError;
 pub use mapping::{
-    map_network, CompileOptions, LayerMapping, NetworkMapping, NnScale, PipelineStage,
+    map_network, select_strategy, CompileOptions, LayerMapping, LayoutFootprint,
+    MappingStrategy, NetworkMapping, NnScale, PipelineStage,
 };
 pub use placement::ImagePlacement;
 pub use target::HwTarget;

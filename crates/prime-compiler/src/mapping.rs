@@ -33,17 +33,51 @@ pub enum NnScale {
     Large,
 }
 
+/// How weight codes are laid out across the placements of a layer.
+///
+/// A layer generally has more *placements* than unique weight tiles:
+/// in-mat replication, spare-mat replicas, and whole-network copies
+/// across banks all re-place the same codes. The strategy decides
+/// whether each placement is programmed independently or references one
+/// shared physical tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingStrategy {
+    /// Every placement programs its own copy of the weight codes — the
+    /// original PRIME heuristic, byte-for-byte identical mapping. Deploy
+    /// writes and bank state scale with placements.
+    ReplicateDense,
+    /// Each unique weight tile (e.g. a conv kernel matrix) is programmed
+    /// once; every other placement references the shared tile. Deploy
+    /// writes and bank state scale with unique weights.
+    SharedKernel,
+}
+
+impl MappingStrategy {
+    /// Stable lowercase name, for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingStrategy::ReplicateDense => "replicate-dense",
+            MappingStrategy::SharedKernel => "shared-kernel",
+        }
+    }
+}
+
 /// Compiler knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// Enable the replication optimization (paper enables it; disabling
     /// reproduces the "before replication" utilization numbers).
     pub replicate: bool,
+    /// Requested weight-layout strategy. Each layer is scored under the
+    /// request and may individually fall back to
+    /// [`MappingStrategy::ReplicateDense`] when sharing cannot win (see
+    /// [`select_strategy`]).
+    pub strategy: MappingStrategy,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { replicate: true }
+        CompileOptions { replicate: true, strategy: MappingStrategy::ReplicateDense }
     }
 }
 
@@ -72,6 +106,14 @@ pub struct LayerMapping {
     pub vectors_per_inference: usize,
     /// Scalar adds needed to merge row-tile partial sums, per inference.
     pub merge_adds: u64,
+    /// The weight-layout strategy selected for this layer (the requested
+    /// strategy, or [`MappingStrategy::ReplicateDense`] when the layer has
+    /// no sharing opportunity).
+    pub strategy: MappingStrategy,
+    /// Placements that reference each unique weight tile of this layer
+    /// (in-mat replication x replica mats x whole-network copies; 1 when
+    /// nothing is replicated).
+    pub tile_refs: usize,
 }
 
 impl LayerMapping {
@@ -93,6 +135,71 @@ impl LayerMapping {
     /// Total mats consumed including replicas.
     pub fn total_mats(&self) -> usize {
         self.base_mats * (1 + self.extra_replicas)
+    }
+
+    /// Deploy-footprint estimate for this layer: unique weight cells vs.
+    /// the cells all placements would program under
+    /// [`MappingStrategy::ReplicateDense`].
+    pub fn footprint(&self) -> LayoutFootprint {
+        let refs = self.tile_refs.max(1) as u64;
+        LayoutFootprint {
+            unique_tiles: self.base_mats,
+            placements: self.base_mats * self.tile_refs.max(1),
+            unique_cells: self.used_cells(),
+            placed_cells: self.used_cells() * refs,
+        }
+    }
+}
+
+/// Estimated deploy footprint of a layer or network: how many weight
+/// cells each strategy programs (and keeps resident) once every
+/// placement — in-mat replication, spare-mat replicas, whole-network
+/// copies — is accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutFootprint {
+    /// Unique weight tiles (mats holding distinct codes).
+    pub unique_tiles: usize,
+    /// Tile placements across all replication dimensions.
+    pub placements: usize,
+    /// Composed weight cells programmed under `SharedKernel`.
+    pub unique_cells: u64,
+    /// Composed weight cells programmed under `ReplicateDense`.
+    pub placed_cells: u64,
+}
+
+impl LayoutFootprint {
+    /// Cells a deployment programs under `strategy`.
+    pub fn cells_for(&self, strategy: MappingStrategy) -> u64 {
+        match strategy {
+            MappingStrategy::ReplicateDense => self.placed_cells,
+            MappingStrategy::SharedKernel => self.unique_cells,
+        }
+    }
+
+    fn accumulate(&mut self, other: LayoutFootprint) {
+        self.unique_tiles += other.unique_tiles;
+        self.placements += other.placements;
+        self.unique_cells += other.unique_cells;
+        self.placed_cells += other.placed_cells;
+    }
+}
+
+/// Scores a layer under the requested strategy and picks the layout it
+/// actually deploys with: `SharedKernel` is selected only when sharing
+/// strictly wins (more than one placement would otherwise duplicate the
+/// codes); everything else falls back to `ReplicateDense`, which the
+/// verifier reports as the Info-severity `P023`.
+pub fn select_strategy(layer: &LayerMapping, requested: MappingStrategy) -> MappingStrategy {
+    match requested {
+        MappingStrategy::ReplicateDense => MappingStrategy::ReplicateDense,
+        MappingStrategy::SharedKernel => {
+            let f = layer.footprint();
+            if layer.base_mats > 0 && f.unique_cells < f.placed_cells {
+                MappingStrategy::SharedKernel
+            } else {
+                MappingStrategy::ReplicateDense
+            }
+        }
     }
 }
 
@@ -131,6 +238,9 @@ pub struct NetworkMapping {
     pub copies_across_memory: usize,
     /// Inter-bank pipeline stages (empty unless large-scale).
     pub pipeline: Vec<PipelineStage>,
+    /// The strategy the compile was requested with (individual layers may
+    /// have fallen back; see [`LayerMapping::strategy`]).
+    pub strategy: MappingStrategy,
 }
 
 impl NetworkMapping {
@@ -142,6 +252,36 @@ impl NetworkMapping {
     /// Total merge adds per inference.
     pub fn merge_adds_per_inference(&self) -> u64 {
         self.layers.iter().map(|l| l.merge_adds).sum()
+    }
+
+    /// Whole-network deploy-footprint estimate (sum of layer footprints).
+    pub fn footprint(&self) -> LayoutFootprint {
+        let mut total = LayoutFootprint::default();
+        for layer in &self.layers {
+            total.accumulate(layer.footprint());
+        }
+        total
+    }
+
+    /// Footprint restricted to convolution layers — the kernel tiles the
+    /// `SharedKernel` strategy exists for.
+    pub fn conv_footprint(&self) -> LayoutFootprint {
+        let mut total = LayoutFootprint::default();
+        for layer in &self.layers {
+            if matches!(layer.layer, LayerSpec::Conv { .. }) {
+                total.accumulate(layer.footprint());
+            }
+        }
+        total
+    }
+
+    /// Weight cells this mapping programs at deploy, honoring each
+    /// layer's selected strategy.
+    pub fn deploy_cells(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.footprint().cells_for(l.strategy))
+            .sum()
     }
 }
 
@@ -167,6 +307,8 @@ fn lower_layer(spec: &LayerSpec, hw: &HwTarget) -> Result<LayerMapping, CompileE
                 extra_replicas: 0,
                 vectors_per_inference: spec.outputs(),
                 merge_adds: 0,
+                strategy: MappingStrategy::ReplicateDense,
+                tile_refs: 1,
             });
         }
     };
@@ -188,6 +330,8 @@ fn lower_layer(spec: &LayerSpec, hw: &HwTarget) -> Result<LayerMapping, CompileE
         extra_replicas: 0,
         vectors_per_inference: vectors,
         merge_adds,
+        strategy: MappingStrategy::ReplicateDense,
+        tile_refs: 1,
     })
 }
 
@@ -293,6 +437,16 @@ pub fn map_network(
     };
     let copies_across_memory = copies;
 
+    // Score each layer's layout: how many placements would duplicate its
+    // codes, and whether sharing one physical tile among them wins.
+    for layer in &mut layers {
+        layer.tile_refs = (layer.in_mat_replication
+            * (1 + layer.extra_replicas)
+            * copies_across_memory)
+            .max(1);
+        layer.strategy = select_strategy(layer, options.strategy);
+    }
+
     Ok(NetworkMapping {
         name: spec.name().to_string(),
         layers,
@@ -304,6 +458,7 @@ pub fn map_network(
         utilization_after,
         copies_across_memory,
         pipeline,
+        strategy: options.strategy,
     })
 }
 
@@ -356,6 +511,10 @@ mod tests {
         HwTarget::prime_default()
     }
 
+    fn opts(replicate: bool) -> CompileOptions {
+        CompileOptions { replicate, ..CompileOptions::default() }
+    }
+
     #[test]
     fn mlp_s_is_medium_scale() {
         let m = map_network(&MlBench::MlpS.spec(), &hw(), CompileOptions::default()).unwrap();
@@ -401,8 +560,8 @@ mod tests {
     fn replication_reduces_passes_and_raises_utilization() {
         let spec = MlBench::Cnn1.spec();
         let without =
-            map_network(&spec, &hw(), CompileOptions { replicate: false }).unwrap();
-        let with = map_network(&spec, &hw(), CompileOptions { replicate: true }).unwrap();
+            map_network(&spec, &hw(), opts(false)).unwrap();
+        let with = map_network(&spec, &hw(), opts(true)).unwrap();
         assert!(with.passes_per_inference() < without.passes_per_inference());
         assert!(with.utilization_after > without.utilization_before);
     }
@@ -446,7 +605,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let m = map_network(&spec, &target, CompileOptions { replicate: false }).unwrap();
+        let m = map_network(&spec, &target, opts(false)).unwrap();
         assert_eq!(m.scale, NnScale::Large);
         assert_eq!(m.layers[0].base_mats, 16);
         assert_eq!(m.pipeline.len(), 2);
@@ -461,7 +620,7 @@ mod tests {
 
     #[test]
     fn pipeline_banks_strictly_increase_with_contiguous_coverage() {
-        for options in [CompileOptions { replicate: false }, CompileOptions::default()] {
+        for options in [opts(false), CompileOptions::default()] {
             let m = map_network(&MlBench::VggD.spec(), &hw(), options).unwrap();
             assert!(!m.pipeline.is_empty());
             let mut next_layer = 0usize;
@@ -480,6 +639,65 @@ mod tests {
                 }
             }
             assert_eq!(next_layer, m.layers.len(), "pipeline must cover every layer");
+        }
+    }
+
+    #[test]
+    fn shared_kernel_is_selected_only_where_sharing_wins() {
+        let options = CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel };
+        let m = map_network(&MlBench::Cnn1.spec(), &hw(), options).unwrap();
+        assert_eq!(m.strategy, MappingStrategy::SharedKernel);
+        let conv = &m.layers[0];
+        // The heavily replicated conv kernel shares one physical tile.
+        assert_eq!(conv.strategy, MappingStrategy::SharedKernel);
+        assert!(conv.tile_refs > 1, "got {}", conv.tile_refs);
+        // Pooling layers own no weight tiles and stay dense.
+        assert_eq!(m.layers[1].strategy, MappingStrategy::ReplicateDense);
+        // Footprint arithmetic: dense cells grow with placements.
+        let f = conv.footprint();
+        assert_eq!(f.placed_cells, f.unique_cells * conv.tile_refs as u64);
+        assert_eq!(f.placements, conv.base_mats * conv.tile_refs);
+        assert!(m.deploy_cells() < m.footprint().placed_cells);
+        assert!(m.conv_footprint().placed_cells <= m.footprint().placed_cells);
+    }
+
+    #[test]
+    fn layers_without_sharing_opportunity_fall_back_to_dense() {
+        // VGG-D spans 64 banks with one copy and no replication: every
+        // tile already has exactly one placement, so SharedKernel cannot
+        // win anywhere and each layer falls back.
+        let options =
+            CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel };
+        let m = map_network(&MlBench::VggD.spec(), &hw(), options).unwrap();
+        assert_eq!(m.strategy, MappingStrategy::SharedKernel);
+        for layer in &m.layers {
+            assert_eq!(layer.strategy, MappingStrategy::ReplicateDense);
+            assert_eq!(layer.tile_refs, 1);
+        }
+        assert_eq!(m.deploy_cells(), m.footprint().placed_cells);
+    }
+
+    #[test]
+    fn strategy_choice_never_perturbs_the_placement() {
+        // SharedKernel only changes how codes are programmed, not where
+        // tiles go: everything except the per-layer strategy/footprint
+        // metadata matches the ReplicateDense mapping exactly.
+        for bench in MlBench::ALL {
+            let dense = map_network(&bench.spec(), &hw(), CompileOptions::default()).unwrap();
+            let shared = map_network(
+                &bench.spec(),
+                &hw(),
+                CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel },
+            )
+            .unwrap();
+            assert_eq!(dense.layers.len(), shared.layers.len());
+            for (d, s) in dense.layers.iter().zip(&shared.layers) {
+                let mut s_as_dense = *s;
+                s_as_dense.strategy = d.strategy;
+                assert_eq!(&s_as_dense, d, "{} placement drifted", bench.name());
+            }
+            assert_eq!(dense.pipeline, shared.pipeline);
+            assert_eq!(dense.allocated_mats, shared.allocated_mats);
         }
     }
 

@@ -58,8 +58,16 @@ impl HwTarget {
 
     /// The paper's default target (derived from the 16 GB geometry).
     pub fn prime_default() -> Self {
-        HwTarget::from_geometry(&MemGeometry::prime_default())
-            .expect("default geometry is valid")
+        // Falls back to the literal paper resources if the geometry-derived
+        // target is ever degenerate, keeping this constructor infallible
+        // without a panic path.
+        HwTarget::from_geometry(&MemGeometry::prime_default()).unwrap_or(HwTarget {
+            mat_rows: 256,
+            mat_cols: 128,
+            mats_per_ff_subarray: 64,
+            ff_subarrays_per_bank: 2,
+            banks: 64,
+        })
     }
 
     fn validate(&self) -> Result<(), CompileError> {

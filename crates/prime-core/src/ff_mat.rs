@@ -8,7 +8,9 @@
 //! input-and-synapse composing scheme. In memory mode both crossbars of
 //! the pair store plain bits (512 rows x 256 bits = 16 KiB per mat).
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use prime_circuits::{
     ComposingScheme, Part, PartSums, PrecisionController, ReluUnit, SigmoidUnit, WordlineDriver,
@@ -65,6 +67,60 @@ impl Default for MatDatapath {
     }
 }
 
+/// Backing storage of a mat's crossbar pair.
+///
+/// Bank state scales with the weights actually resident: a vacant mat
+/// (`None`) carries no pair at all and reads as all-zero; a written mat
+/// holds a refcounted pair. Under the shared-kernel layout one tile's
+/// `Arc` is aliased by every placement (cloning the store clones the
+/// handle), and any write to an alias copies first (`Arc::make_mut`).
+/// `Arc` rather than `Rc` because banks cross thread scopes during
+/// parallel inference.
+#[derive(Debug, Clone)]
+struct PairStore(Option<Arc<PairedCrossbar>>);
+
+impl PairStore {
+    fn pair(&self) -> Option<&PairedCrossbar> {
+        self.0.as_deref()
+    }
+}
+
+/// Stores compare by logical crossbar content, not by aliasing: a
+/// deserialized snapshot (always unshared) equals the shared tile it was
+/// taken from.
+impl PartialEq for PairStore {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.pair(), other.pair()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A vacant store serializes as null; owned and shared pairs both
+/// serialize as a plain snapshot and deserialize unshared (aliasing is a
+/// deploy-time decision, re-established by the next deploy, not a
+/// persistent property of the state).
+impl Serialize for PairStore {
+    fn to_value(&self) -> Value {
+        match self.pair() {
+            None => Value::Null,
+            Some(pair) => pair.to_value(),
+        }
+    }
+}
+
+impl Deserialize for PairStore {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(PairStore(None)),
+            other => PairedCrossbar::from_value(other)
+                .map(|pair| PairStore(Some(Arc::new(pair)))),
+        }
+    }
+}
+
 /// A full-function mat.
 ///
 /// # Examples
@@ -85,7 +141,7 @@ impl Default for MatDatapath {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FfMat {
-    pair: PairedCrossbar,
+    pair: PairStore,
     driver: WordlineDriver,
     scheme: ComposingScheme,
     function: MatFunction,
@@ -112,9 +168,13 @@ impl FfMat {
 
     /// Creates a mat with a custom composing scheme (for precision
     /// ablations).
+    ///
+    /// The crossbar pair is vacant until the first write: constructing a
+    /// memory full of FF mats costs only the peripheral state, and bank
+    /// storage grows with the weights actually programmed.
     pub fn with_scheme(scheme: ComposingScheme) -> Self {
         let mut mat = FfMat {
-            pair: PairedCrossbar::new(MAT_DIM, MAT_DIM, MlcSpec::slc()),
+            pair: PairStore(None),
             driver: WordlineDriver::new(MAT_DIM, scheme.input_half_bits()),
             scheme,
             function: MatFunction::Memory,
@@ -183,12 +243,10 @@ impl FfMat {
         self.output_shift = shift.min(i64::from(self.scheme.target_shift())) as u8;
     }
 
-    /// Switches the mat's function (`prog/comp/mem` command), morphing the
-    /// cells' MLC spec: SLC in memory mode, multi-bit for computation.
-    /// Stored levels are clamped to the new range — the controller's
-    /// morphing protocol migrates data beforehand so nothing is lost.
-    pub fn set_function(&mut self, function: MatFunction) {
-        let spec = match function {
+    /// The MLC spec `function` implies under the mat's composing scheme:
+    /// SLC in memory mode, the weight-half width for computation.
+    fn spec_for(&self, function: MatFunction) -> MlcSpec {
+        match function {
             MatFunction::Memory => MlcSpec::slc(),
             // The scheme validates pw as even and <= 16, so the half width
             // is always a legal 1..=8-bit MLC spec; fall back to SLC
@@ -196,10 +254,73 @@ impl FfMat {
             MatFunction::Program | MatFunction::Compute => {
                 MlcSpec::new(self.scheme.weight_half_bits()).unwrap_or_else(|_| MlcSpec::slc())
             }
-        };
-        self.pair.positive_mut().morph(spec);
-        self.pair.negative_mut().morph(spec);
+        }
+    }
+
+    /// The writable pair, materializing a vacant mat (fresh pair at the
+    /// current function's spec) and copying a shared tile on write
+    /// (aliases must never observe another placement's mutation).
+    fn pair_mut(&mut self) -> &mut PairedCrossbar {
+        let spec = self.spec_for(self.function);
+        let arc = self
+            .pair
+            .0
+            .get_or_insert_with(|| Arc::new(PairedCrossbar::new(MAT_DIM, MAT_DIM, spec)));
+        Arc::make_mut(arc)
+    }
+
+    /// Freezes this mat's pair into a shareable tile and returns the
+    /// handle, or `None` for a vacant mat. Cloning the mat afterwards
+    /// aliases the tile instead of copying it; any later write to an
+    /// alias copies first.
+    pub fn freeze_shared(&mut self) -> Option<Arc<PairedCrossbar>> {
+        self.pair.0.as_ref().map(Arc::clone)
+    }
+
+    /// The shared tile this mat's pair aliases, if other placements
+    /// currently reference the same physical tile.
+    pub fn shared_tile(&self) -> Option<&Arc<PairedCrossbar>> {
+        self.pair.0.as_ref().filter(|arc| Arc::strong_count(arc) > 1)
+    }
+
+    /// A copy of this mat that owns its pair outright, whatever the
+    /// source's aliasing (the replicate-dense clone).
+    pub fn deep_clone(&self) -> FfMat {
+        let mut copy = self.clone();
+        if let Some(arc) = &self.pair.0 {
+            copy.pair = PairStore(Some(Arc::new(PairedCrossbar::clone(arc))));
+        }
+        copy
+    }
+
+    /// Resident bytes of this mat's pair storage. Aliased tiles report
+    /// their full snapshot size — callers accounting a whole memory dedup
+    /// aliases via [`shared_tile`](Self::shared_tile) pointer identity.
+    pub fn tile_state_bytes(&self) -> usize {
+        self.pair.pair().map_or(0, PairedCrossbar::state_bytes)
+    }
+
+    /// Switches the mat's function (`prog/comp/mem` command), morphing the
+    /// cells' MLC spec: SLC in memory mode, multi-bit for computation.
+    /// Stored levels are clamped to the new range — the controller's
+    /// morphing protocol migrates data beforehand so nothing is lost.
+    ///
+    /// A vacant pair stays vacant (the spec applies when it materializes),
+    /// and an aliased tile is left untouched when the new function keeps
+    /// the same spec — the program→compute flip on adopted tiles — so
+    /// sharing survives; a real spec change copies the tile first.
+    pub fn set_function(&mut self, function: MatFunction) {
+        let spec = self.spec_for(function);
         self.function = function;
+        if let Some(arc) = &mut self.pair.0 {
+            let same_spec =
+                arc.positive().spec() == spec && arc.negative().spec() == spec;
+            if Arc::strong_count(arc) == 1 || !same_spec {
+                let pair = Arc::make_mut(arc);
+                pair.positive_mut().morph(spec);
+                pair.negative_mut().morph(spec);
+            }
+        }
     }
 
     /// Programs a row-major composed signed weight matrix
@@ -243,8 +364,12 @@ impl FfMat {
             pn,
         )?;
         self.output_shift = self.scheme.target_shift();
-        for (idx, &w) in weights.iter().enumerate() {
-            let (r, c) = (idx / cols, idx % cols);
+        // Split every magnitude into its high/low nibbles first: the whole
+        // matrix is validated before any cell changes, then written as one
+        // chunked region per array instead of 2*rows*cols single-cell
+        // writes.
+        let mut split = Vec::with_capacity(2 * weights.len());
+        for &w in weights {
             let magnitude = w.unsigned_abs();
             if magnitude >= (1 << self.scheme.weight_bits()) {
                 return Err(PrimeError::Circuit(
@@ -256,9 +381,11 @@ impl FfMat {
             }
             let (wh, wl) = self.scheme.split_weight(magnitude as u16)?;
             let sign = if w < 0 { -1i32 } else { 1 };
-            self.pair.program_signed(r, 2 * c, sign * i32::from(wh))?;
-            self.pair
-                .program_signed(r, 2 * c + 1, sign * i32::from(wl))?;
+            split.push(sign * i32::from(wh));
+            split.push(sign * i32::from(wl));
+        }
+        if !split.is_empty() {
+            self.pair_mut().program_signed_region(0, 0, 2 * cols, &split)?;
         }
         self.weight_rows = rows;
         self.weight_cols = cols;
@@ -301,6 +428,12 @@ impl FfMat {
         out: &mut Vec<i64>,
     ) -> Result<(), PrimeError> {
         self.check_compute(inputs)?;
+        // A vacant mat has zero programmed rows/cols (check_compute just
+        // bounded the inputs to them), so its output is the empty set.
+        let Some(pair) = self.pair.pair() else {
+            out.clear();
+            return Ok(());
+        };
         self.split_into_halves(inputs, scratch)?;
         // The composing scheme only reads bitline pairs (2c, 2c+1) for the
         // programmed weight columns; the SA mux skips the unprogrammed rest.
@@ -310,7 +443,7 @@ impl FfMat {
         let rows = inputs.len();
         // Pass 1: HIGH input halves latched and driven.
         self.driver.latch_prefix(&scratch.hi)?;
-        self.pair.dot_signed_span_into(
+        pair.dot_signed_span_into(
             &self.driver.driven_codes()[..rows],
             span,
             &mut scratch.pair,
@@ -318,7 +451,7 @@ impl FfMat {
         )?;
         // Pass 2: LOW input halves.
         self.driver.latch_prefix(&scratch.lo)?;
-        self.pair.dot_signed_span_into(
+        pair.dot_signed_span_into(
             &self.driver.driven_codes()[..rows],
             span,
             &mut scratch.pair,
@@ -409,7 +542,7 @@ impl FfMat {
         noise: &prime_device::NoiseModel,
         rng: &mut R,
     ) {
-        self.pair.apply_program_noise(noise, rng);
+        self.pair_mut().apply_program_noise(noise, rng);
     }
 
     /// Analog variant of [`compute`](Self::compute): both driver passes
@@ -455,6 +588,10 @@ impl FfMat {
         out: &mut Vec<i64>,
     ) -> Result<(), PrimeError> {
         self.check_compute(inputs)?;
+        let Some(pair) = self.pair.pair() else {
+            out.clear();
+            return Ok(());
+        };
         self.split_into_halves(inputs, scratch)?;
         let bits = self.scheme.input_half_bits();
         // Only the sensed bitline pairs (2c, 2c+1) for programmed weight
@@ -463,7 +600,7 @@ impl FfMat {
         let span = 2 * self.weight_cols;
         let rows = inputs.len();
         self.driver.latch_prefix(&scratch.hi)?;
-        self.pair.dot_signed_analog_span_into(
+        pair.dot_signed_analog_span_into(
             &self.driver.driven_codes()[..rows],
             bits,
             span,
@@ -473,7 +610,7 @@ impl FfMat {
             &mut scratch.pass_hi,
         )?;
         self.driver.latch_prefix(&scratch.lo)?;
-        self.pair.dot_signed_analog_span_into(
+        pair.dot_signed_analog_span_into(
             &self.driver.driven_codes()[..rows],
             bits,
             span,
@@ -523,13 +660,12 @@ impl FfMat {
             });
         }
         let level = |bit: bool| u16::from(bit);
+        let pair = self.pair_mut();
         for (col, &bit) in bits.iter().enumerate() {
             if row < MAT_DIM {
-                self.pair.positive_mut().program(row, col, level(bit))?;
+                pair.positive_mut().program(row, col, level(bit))?;
             } else {
-                self.pair
-                    .negative_mut()
-                    .program(row - MAT_DIM, col, level(bit))?;
+                pair.negative_mut().program(row - MAT_DIM, col, level(bit))?;
             }
         }
         Ok(())
@@ -548,12 +684,16 @@ impl FfMat {
                 found: function_name(self.function),
             });
         }
+        // A vacant mat reads as a fresh all-zero crossbar pair.
+        let Some(pair) = self.pair.pair() else {
+            return Ok(vec![false; cols]);
+        };
         let mut bits = Vec::with_capacity(cols);
         for col in 0..cols {
             let w = if row < MAT_DIM {
-                self.pair.positive().level(row, col)?
+                pair.positive().level(row, col)?
             } else {
-                self.pair.negative().level(row - MAT_DIM, col)?
+                pair.negative().level(row - MAT_DIM, col)?
             };
             bits.push(w > 0);
         }

@@ -54,4 +54,4 @@ pub use executor::{ExecutionStats, FfExecutor};
 pub use ff_mat::{FfMat, MatDatapath, MatScratch};
 pub use insitu::{InSituEpoch, InSituMlp};
 pub use runner::{CommandRunner, ConvPhases, InferScratch};
-pub use system::{PrimeSystem, SystemStats};
+pub use system::{DeployStats, PrimeSystem, SystemStats};

@@ -18,13 +18,15 @@
 //! FF capacity should be released back to memory under page-miss
 //! pressure (§IV-C).
 
-use std::sync::mpsc;
+use std::collections::HashSet;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use prime_compiler::{map_network, CompileOptions, HwTarget};
+use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy};
 use prime_device::NoiseModel;
 use prime_mem::{FfReservationMap, MatAddr, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
 use prime_nn::Network;
@@ -55,6 +57,33 @@ pub struct SystemStats {
     pub reserved_mats: usize,
     /// Wear imbalance across the FF-mat pool (1.0 = even).
     pub wear_imbalance: f64,
+}
+
+/// Cost report of the most recent [`PrimeSystem::deploy_with`]: how long
+/// programming took and how much crossbar state the deployment keeps
+/// resident, with the shared-tile accounting that distinguishes the two
+/// [`MappingStrategy`] layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeployStats {
+    /// Deploy wall-time (map + verify + program + calibrate + replicate),
+    /// milliseconds.
+    pub wall_ms: f64,
+    /// NN copies placed across the memory.
+    pub copies: usize,
+    /// The strategy the deployment was compiled under (per-layer
+    /// fallbacks may still pick replicate-dense; see `aliased_placements`).
+    pub strategy: MappingStrategy,
+    /// Distinct programmed crossbar pairs resident in the memory.
+    pub unique_tiles: usize,
+    /// Mat placements that alias a shared tile instead of owning bytes.
+    pub aliased_placements: usize,
+    /// Bank state resident after deployment, counting each shared tile
+    /// once (bytes).
+    pub resident_bytes: usize,
+    /// What the same placements would hold if every one owned its bytes
+    /// (the replicate-dense footprint of this deployment), for the
+    /// dedup ratio `resident_bytes / dense_bytes`.
+    pub dense_bytes: usize,
 }
 
 /// A multi-bank PRIME system with its OS runtime.
@@ -102,6 +131,8 @@ pub struct PrimeSystem {
     wear: WearLeveler,
     mats_per_bank: usize,
     stats: SystemStats,
+    /// Cost report of the most recent deployment (`None` before any).
+    deploy_stats: Option<DeployStats>,
 }
 
 impl PrimeSystem {
@@ -133,8 +164,9 @@ impl PrimeSystem {
             reservations: FfReservationMap::new(total_mats),
             policy: MorphPolicy::prime_default(),
             tracker: PageMissTracker::new(256),
-            wear: WearLeveler::new(total_mats + 1, 1).expect("valid pool"),
+            wear: WearLeveler::for_logical_mats(total_mats),
             mats_per_bank,
+            deploy_stats: None,
             stats: SystemStats {
                 reconfigurations: 0,
                 inferences: 0,
@@ -207,6 +239,29 @@ impl PrimeSystem {
     /// precision budgets overflow, ...), or another [`PrimeError`] for
     /// unsupported layers.
     pub fn deploy(&mut self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
+        self.deploy_with(net, calibration, MappingStrategy::ReplicateDense)
+    }
+
+    /// [`deploy`](Self::deploy) with an explicit weight-layout
+    /// [`MappingStrategy`]. Under [`MappingStrategy::SharedKernel`] each
+    /// unique weight tile is programmed (and calibrated) once and every
+    /// other placement aliases it, so deploy wall-time and resident bank
+    /// state scale with unique weights instead of placements; layers the
+    /// compiler scores as having no reuse fall back to replicate-dense
+    /// per layer. Inference outputs are bit-identical under both
+    /// strategies. The cost report lands in
+    /// [`deploy_stats`](Self::deploy_stats).
+    ///
+    /// # Errors
+    ///
+    /// As [`deploy`](Self::deploy).
+    pub fn deploy_with(
+        &mut self,
+        net: &Network,
+        calibration: &[f32],
+        strategy: MappingStrategy,
+    ) -> Result<(), PrimeError> {
+        let started = Instant::now();
         // Runner capability check first (P017): a layer the command
         // runner cannot execute must reject deployment up front, never
         // silently deploy and fail at inference time.
@@ -216,7 +271,7 @@ impl PrimeSystem {
         }
         let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
         let hw = self.hw_target();
-        let mapping = map_network(&spec, &hw, CompileOptions { replicate: false })
+        let mapping = map_network(&spec, &hw, CompileOptions { replicate: false, strategy })
             .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
         // Static verification (prime-analyze pass 1): refuse before any
         // bank state changes if the mapping breaks a deployment
@@ -231,6 +286,7 @@ impl PrimeSystem {
             cell_bits: scheme.weight_half_bits(),
             input_signal_bits: scheme.input_half_bits(),
             phys_mat_cols: 2 * self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).max_cols(),
+            tile_ref_bits: 16,
             hw,
         };
         let diagnostics: Vec<_> = prime_analyze::analyze(&spec, &target, &mapping)
@@ -250,16 +306,24 @@ impl PrimeSystem {
             s.bank + s.mats.div_ceil(self.mats_per_bank).max(1)
         });
         let copies = self.banks.len() / bpc;
+        // Compile (quantize + program + calibrate) copy 0 only, then
+        // replicate the programmed plan onto every other bank group:
+        // stage banks are group-relative and programming is
+        // deterministic, so a replicated copy is byte-identical to a
+        // recompiled one — at the cost of a mat clone per tile instead
+        // of a full program/calibrate pass. Shared-kernel layers alias
+        // copy 0's tiles outright, so their replicas add no bank state.
+        let layer_strategies: Vec<MappingStrategy> =
+            mapping.layers.iter().map(|l| l.strategy).collect();
+        let (first_group, rest) = self.banks.split_at_mut(bpc);
+        let first =
+            CommandRunner::compile_pipeline(net, first_group, &mapping.pipeline, calibration)?;
         let mut runners = Vec::with_capacity(copies);
-        for c in 0..copies {
-            let group = &mut self.banks[c * bpc..(c + 1) * bpc];
-            runners.push(CommandRunner::compile_pipeline(
-                net,
-                group,
-                &mapping.pipeline,
-                calibration,
-            )?);
+        for c in 1..copies {
+            let group = &mut rest[(c - 1) * bpc..c * bpc];
+            runners.push(first.replicate_onto(first_group, group, &layer_strategies)?);
         }
+        runners.insert(0, first);
         let total: usize = runners.iter().map(CommandRunner::mats_used).sum();
         self.reservations = FfReservationMap::new(self.banks.len() * self.mats_per_bank);
         self.reservations.reserve(total).map_err(PrimeError::Mem)?;
@@ -267,7 +331,62 @@ impl PrimeSystem {
         self.banks_per_copy = bpc;
         self.wear.on_reconfiguration();
         self.stats.reconfigurations += 1;
+        let (unique_tiles, aliased_placements, resident_bytes, dense_bytes) =
+            self.tile_accounting();
+        self.deploy_stats = Some(DeployStats {
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            copies,
+            strategy,
+            unique_tiles,
+            aliased_placements,
+            resident_bytes,
+            dense_bytes,
+        });
         Ok(())
+    }
+
+    /// Cost report of the most recent deployment (`None` before any).
+    pub fn deploy_stats(&self) -> Option<&DeployStats> {
+        self.deploy_stats.as_ref()
+    }
+
+    /// Crossbar weight state currently resident across every bank,
+    /// counting each shared tile once (bytes). Vacant mats — never
+    /// written since construction — cost nothing, so this scales with
+    /// unique programmed weights, not with memory capacity or placement
+    /// count.
+    pub fn resident_state_bytes(&self) -> usize {
+        self.tile_accounting().2
+    }
+
+    /// Walks every mat in every bank and returns `(unique_tiles,
+    /// aliased_placements, resident_bytes, dense_bytes)`: distinct
+    /// programmed pairs, placements aliasing a shared pair, bytes with
+    /// shared pairs deduplicated (by tile identity), and bytes as if
+    /// every placement owned its codes.
+    fn tile_accounting(&self) -> (usize, usize, usize, usize) {
+        let mut seen: HashSet<*const prime_device::PairedCrossbar> = HashSet::new();
+        let (mut unique, mut aliased, mut resident, mut dense) = (0usize, 0usize, 0usize, 0usize);
+        for bank in &self.banks {
+            for subarray in 0..bank.ff_subarrays() {
+                for mat in 0..bank.mats_per_subarray() {
+                    let mat = bank.mat(MatAddr { subarray, mat });
+                    let bytes = mat.tile_state_bytes();
+                    dense += bytes;
+                    if let Some(tile) = mat.shared_tile() {
+                        aliased += 1;
+                        if seen.insert(Arc::as_ptr(tile)) {
+                            unique += 1;
+                            resident += bytes;
+                        }
+                    } else if bytes > 0 {
+                        unique += 1;
+                        resident += bytes;
+                    }
+                }
+            }
+        }
+        (unique, aliased, resident, dense)
     }
 
     /// Whether batches drive the copies concurrently (default: `true`).
@@ -797,5 +916,62 @@ mod tests {
         let stats = system.stats();
         assert_eq!(stats.reconfigurations, 3);
         assert!(stats.wear_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn shared_kernel_deploy_is_bit_identical_and_dedups_bank_state() {
+        let mut rng = SmallRng::seed_from_u64(303);
+        let net = relu_net(&mut rng);
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..12).map(|j| ((i * 5 + j) % 9) as f32 / 9.0).collect())
+            .collect();
+        let mut dense = PrimeSystem::new(4, 2, 4, 2048);
+        dense
+            .deploy_with(&net, &[0.5; 12], MappingStrategy::ReplicateDense)
+            .unwrap();
+        let mut shared = PrimeSystem::new(4, 2, 4, 2048);
+        shared
+            .deploy_with(&net, &[0.5; 12], MappingStrategy::SharedKernel)
+            .unwrap();
+        assert_eq!(
+            dense.infer_batch(&inputs).unwrap(),
+            shared.infer_batch(&inputs).unwrap(),
+            "weight layout changed the arithmetic"
+        );
+        let d = *dense.deploy_stats().expect("stats after deploy");
+        let s = *shared.deploy_stats().expect("stats after deploy");
+        assert_eq!(d.copies, 4);
+        assert_eq!(s.copies, 4);
+        // Dense: every placement owns its bytes; nothing is aliased.
+        assert_eq!(d.aliased_placements, 0);
+        assert_eq!(d.resident_bytes, d.dense_bytes);
+        // Shared: the 3 replica copies alias copy 0's tiles, so resident
+        // state is the unique-weight footprint — a quarter of dense.
+        assert!(s.aliased_placements > 0);
+        assert_eq!(s.dense_bytes, d.dense_bytes);
+        assert_eq!(s.resident_bytes * s.copies, s.dense_bytes);
+        assert!(s.unique_tiles < d.unique_tiles);
+        assert_eq!(shared.resident_state_bytes(), s.resident_bytes);
+    }
+
+    #[test]
+    fn replicated_copies_skip_reprogramming_but_stay_exact() {
+        // The replicate-based deploy must hand out copies byte-identical
+        // to compiling each group independently: the same input routed to
+        // any copy produces the same output (round-robin places input i
+        // on copy i % copies).
+        let mut rng = SmallRng::seed_from_u64(304);
+        let net = relu_net(&mut rng);
+        let mut system = PrimeSystem::new(3, 2, 4, 2048);
+        system
+            .deploy_with(&net, &[0.5; 12], MappingStrategy::SharedKernel)
+            .unwrap();
+        assert_eq!(system.copies(), 3);
+        let input: Vec<f32> = (0..12).map(|j| (j % 5) as f32 / 5.0).collect();
+        let outputs = system
+            .infer_batch(&[input.clone(), input.clone(), input])
+            .unwrap();
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
     }
 }

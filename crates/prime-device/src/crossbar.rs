@@ -57,9 +57,12 @@ pub struct Crossbar {
     spec: MlcSpec,
     /// Nominal digital level of each cell, row-major.
     levels: Vec<u16>,
-    /// Actual programmed conductance of each cell (equals the nominal
-    /// conductance unless noisy programming was requested), row-major.
-    conductances: Vec<f64>,
+    /// Actual programmed conductance of each cell, row-major. `None` means
+    /// every cell sits at its *nominal* conductance (derived from its level
+    /// on demand); the vector is only materialized when something perturbs
+    /// conductances away from nominal (noisy programming, retention drift),
+    /// so an ideally-programmed array stores levels only.
+    conductances: Option<Vec<f64>>,
     /// Total cell writes performed, for wear accounting.
     writes: u64,
 }
@@ -72,13 +75,12 @@ impl Crossbar {
     /// Panics if `rows` or `cols` is zero.
     pub fn new(rows: usize, cols: usize, spec: MlcSpec) -> Self {
         assert!(rows > 0 && cols > 0, "crossbar dimensions must be non-zero");
-        let g0 = spec.conductance(0);
         Crossbar {
             rows,
             cols,
             spec,
             levels: vec![0; rows * cols],
-            conductances: vec![g0; rows * cols],
+            conductances: None,
             writes: 0,
         }
     }
@@ -106,6 +108,31 @@ impl Crossbar {
     /// Total cell writes performed on this array.
     pub fn writes(&self) -> u64 {
         self.writes
+    }
+
+    /// Bytes of heap state resident for this array (levels plus the analog
+    /// conductance shadow when it has been materialized).
+    pub fn state_bytes(&self) -> usize {
+        self.levels.len() * core::mem::size_of::<u16>()
+            + self
+                .conductances
+                .as_ref()
+                .map_or(0, |g| g.len() * core::mem::size_of::<f64>())
+    }
+
+    /// Whether the analog conductance shadow is materialized (it only is
+    /// after noisy programming or retention drift perturbed cells away from
+    /// their nominal conductances).
+    pub fn conductances_materialized(&self) -> bool {
+        self.conductances.is_some()
+    }
+
+    /// Materializes the conductance shadow at nominal values.
+    fn materialize_conductances(&mut self) -> &mut Vec<f64> {
+        let spec = self.spec;
+        let levels = &self.levels;
+        self.conductances
+            .get_or_insert_with(|| levels.iter().map(|&l| spec.conductance(l)).collect())
     }
 
     fn index(&self, row: usize, col: usize) -> Result<usize, DeviceError> {
@@ -139,7 +166,9 @@ impl Crossbar {
         let idx = self.index(row, col)?;
         let g = self.spec.try_conductance(level)?;
         self.levels[idx] = level;
-        self.conductances[idx] = g;
+        if let Some(conductances) = &mut self.conductances {
+            conductances[idx] = g;
+        }
         self.writes += 1;
         Ok(())
     }
@@ -162,18 +191,73 @@ impl Crossbar {
         for &level in matrix {
             self.spec.try_conductance(level)?;
         }
-        for (idx, &level) in matrix.iter().enumerate() {
-            self.levels[idx] = level;
-            self.conductances[idx] = self.spec.conductance(level);
+        self.levels.copy_from_slice(matrix);
+        if let Some(conductances) = &mut self.conductances {
+            for (g, &level) in conductances.iter_mut().zip(matrix) {
+                *g = self.spec.conductance(level);
+            }
         }
         self.writes += (self.rows * self.cols) as u64;
+        Ok(())
+    }
+
+    /// Programs a rectangular region in one chunked write: `levels` is a
+    /// row-major `(levels.len() / width) x width` block written with its
+    /// top-left cell at `(row0, col0)`.
+    ///
+    /// This is the deploy-path bulk write: one validation sweep, then
+    /// per-row slice copies, instead of a bounds/conductance check per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ShapeMismatch`] if `levels` is not a whole
+    /// number of `width`-sized rows, [`DeviceError::IndexOutOfBounds`] if
+    /// the region overhangs the array, or [`DeviceError::LevelOutOfRange`]
+    /// for an unrepresentable level. The array is unmodified on error.
+    pub fn program_region(
+        &mut self,
+        row0: usize,
+        col0: usize,
+        width: usize,
+        levels: &[u16],
+    ) -> Result<(), DeviceError> {
+        if width == 0 || !levels.len().is_multiple_of(width) {
+            return Err(DeviceError::ShapeMismatch {
+                got: (levels.len(), 1),
+                expected: (levels.len().div_ceil(width.max(1)), width),
+            });
+        }
+        let height = levels.len() / width;
+        if row0 + height > self.rows || col0 + width > self.cols {
+            return Err(DeviceError::IndexOutOfBounds {
+                row: row0 + height - 1,
+                col: col0 + width - 1,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        // Validate before mutating so a failed bulk program is atomic.
+        for &level in levels {
+            self.spec.try_conductance(level)?;
+        }
+        let spec = self.spec;
+        for (r, block_row) in levels.chunks_exact(width).enumerate() {
+            let base = (row0 + r) * self.cols + col0;
+            self.levels[base..base + width].copy_from_slice(block_row);
+            if let Some(conductances) = &mut self.conductances {
+                for (g, &level) in conductances[base..base + width].iter_mut().zip(block_row) {
+                    *g = spec.conductance(level);
+                }
+            }
+        }
+        self.writes += levels.len() as u64;
         Ok(())
     }
 
     /// Scales every programmed conductance by `factor` (retention drift;
     /// the nominal digital levels are unaffected).
     pub fn scale_conductances(&mut self, factor: f64) {
-        for g in &mut self.conductances {
+        for g in self.materialize_conductances() {
             *g *= factor;
         }
     }
@@ -184,10 +268,17 @@ impl Crossbar {
     /// Only the analog conductances are perturbed; the nominal levels (and
     /// therefore [`dot`](Self::dot)) are unaffected.
     pub fn apply_program_noise<R: Rng + ?Sized>(&mut self, noise: &NoiseModel, rng: &mut R) {
-        for (idx, &level) in self.levels.iter().enumerate() {
-            let nominal = self.spec.conductance(level);
-            self.conductances[idx] = noise.perturb_conductance(nominal, rng);
-        }
+        let spec = self.spec;
+        let levels = &self.levels;
+        let conductances = self
+            .conductances
+            .get_or_insert_with(|| Vec::with_capacity(levels.len()));
+        conductances.clear();
+        conductances.extend(
+            levels
+                .iter()
+                .map(|&level| noise.perturb_conductance(spec.conductance(level), rng)),
+        );
     }
 
     /// Integer-exact matrix-vector product: `out[j] = sum_i input[i] * level[i][j]`.
@@ -365,9 +456,23 @@ impl Crossbar {
             }
             let v = READ_VOLTAGE_V * f64::from(a) / f64::from(max_code);
             let base = row * self.cols;
-            let row_g = &self.conductances[base..base + span];
-            for (c, &g) in currents.iter_mut().zip(row_g) {
-                *c += v * g;
+            match &self.conductances {
+                Some(conductances) => {
+                    let row_g = &conductances[base..base + span];
+                    for (c, &g) in currents.iter_mut().zip(row_g) {
+                        *c += v * g;
+                    }
+                }
+                // Unmaterialized shadow: every cell is at its nominal
+                // conductance, derived from the level on the fly. The
+                // products are bit-identical to the materialized path
+                // because `spec.conductance` is deterministic.
+                None => {
+                    let row_levels = &self.levels[base..base + span];
+                    for (c, &l) in currents.iter_mut().zip(row_levels) {
+                        *c += v * self.spec.conductance(l);
+                    }
+                }
             }
         }
         for c in currents.iter_mut() {
@@ -433,10 +538,12 @@ impl Crossbar {
     /// clamping stored levels to the new range.
     pub fn morph(&mut self, spec: MlcSpec) {
         self.spec = spec;
-        for (idx, level) in self.levels.iter_mut().enumerate() {
+        for level in self.levels.iter_mut() {
             *level = (*level).min(spec.max_level());
-            self.conductances[idx] = spec.conductance(*level);
         }
+        // Re-programming every cell for the new mode resets any perturbed
+        // conductances to nominal, so the shadow collapses back to lazy.
+        self.conductances = None;
     }
 }
 
@@ -574,6 +681,62 @@ impl PairedCrossbar {
             self.program_signed(row, col, w)?;
         }
         Ok(())
+    }
+
+    /// Programs a rectangular region of signed weights in one chunked
+    /// write per polarity array: `weights` is a row-major
+    /// `(weights.len() / width) x width` block with its top-left cell at
+    /// `(row0, col0)`. Magnitudes go to the polarity array matching each
+    /// sign, zero to the other, exactly as per-cell
+    /// [`program_signed`](Self::program_signed) would — but with one
+    /// validation sweep and slice copies instead of four bounds-checked
+    /// writes per weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ShapeMismatch`], [`DeviceError::IndexOutOfBounds`]
+    /// or [`DeviceError::LevelOutOfRange`]; both arrays are unmodified on
+    /// error.
+    pub fn program_signed_region(
+        &mut self,
+        row0: usize,
+        col0: usize,
+        width: usize,
+        weights: &[i32],
+    ) -> Result<(), DeviceError> {
+        if width == 0 || !weights.len().is_multiple_of(width) {
+            return Err(DeviceError::ShapeMismatch {
+                got: (weights.len(), 1),
+                expected: (weights.len().div_ceil(width.max(1)), width),
+            });
+        }
+        let max = u32::from(self.positive.spec().max_level());
+        let mut pos = Vec::with_capacity(weights.len());
+        let mut neg = Vec::with_capacity(weights.len());
+        for &w in weights {
+            let magnitude = w.unsigned_abs();
+            if magnitude > max {
+                return Err(DeviceError::LevelOutOfRange {
+                    requested: magnitude.min(u32::from(u16::MAX)) as u16,
+                    levels: self.positive.spec().levels(),
+                });
+            }
+            let level = magnitude as u16;
+            if w >= 0 {
+                pos.push(level);
+                neg.push(0);
+            } else {
+                pos.push(0);
+                neg.push(level);
+            }
+        }
+        self.positive.program_region(row0, col0, width, &pos)?;
+        self.negative.program_region(row0, col0, width, &neg)
+    }
+
+    /// Bytes of heap state resident across both polarity arrays.
+    pub fn state_bytes(&self) -> usize {
+        self.positive.state_bytes() + self.negative.state_bytes()
     }
 
     /// Reads back the effective signed weight of a cell pair.
@@ -899,6 +1062,84 @@ mod tests {
             .dot_signed_analog(&input, 3, &NoiseModel::ideal(), &mut rng)
             .unwrap();
         assert_eq!(exact, analog);
+    }
+
+    #[test]
+    fn program_region_matches_per_cell_program() {
+        let spec = MlcSpec::new(4).unwrap();
+        let mut chunked = Crossbar::new(6, 5, spec);
+        let mut reference = Crossbar::new(6, 5, spec);
+        let block: Vec<u16> = (0..12).map(|i| (i % 16) as u16).collect();
+        chunked.program_region(2, 1, 4, &block).unwrap();
+        for (i, &level) in block.iter().enumerate() {
+            reference.program(2 + i / 4, 1 + i % 4, level).unwrap();
+        }
+        assert_eq!(chunked.levels, reference.levels);
+        assert_eq!(chunked.writes(), reference.writes());
+    }
+
+    #[test]
+    fn program_region_is_atomic_on_failure() {
+        let mut xbar = Crossbar::new(4, 4, MlcSpec::new(2).unwrap());
+        // Overhangs the array.
+        assert!(xbar.program_region(3, 0, 4, &[1; 8]).is_err());
+        // Ragged block.
+        assert!(xbar.program_region(0, 0, 3, &[1; 8]).is_err());
+        // Unrepresentable level.
+        assert!(xbar.program_region(0, 0, 4, &[1, 1, 1, 4]).is_err());
+        assert_eq!(xbar.level(0, 0).unwrap(), 0);
+        assert_eq!(xbar.writes(), 0);
+    }
+
+    #[test]
+    fn conductances_stay_lazy_until_perturbed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut xbar = Crossbar::new(8, 4, MlcSpec::new(4).unwrap());
+        let matrix: Vec<u16> = (0..32).map(|i| (i % 16) as u16).collect();
+        xbar.program_matrix(&matrix).unwrap();
+        assert!(!xbar.conductances_materialized());
+        let lazy_bytes = xbar.state_bytes();
+
+        // Nominal analog reads don't materialize and still decode exactly.
+        let input: Vec<u16> = (0..8).map(|i| (i % 8) as u16).collect();
+        let input_sum: u64 = input.iter().map(|&a| u64::from(a)).sum();
+        let exact = xbar.dot(&input).unwrap();
+        let currents = xbar.dot_analog(&input, 3, &NoiseModel::ideal(), &mut rng).unwrap();
+        for (col, current) in currents.iter().enumerate() {
+            assert_eq!(xbar.decode_current(*current, input_sum, 3), exact[col] as i64);
+        }
+        assert!(!xbar.conductances_materialized());
+
+        // Noisy programming materializes the shadow; morphing collapses it.
+        xbar.apply_program_noise(&NoiseModel::crossbar_default(), &mut rng);
+        assert!(xbar.conductances_materialized());
+        assert!(xbar.state_bytes() > lazy_bytes);
+        xbar.morph(MlcSpec::new(4).unwrap());
+        assert!(!xbar.conductances_materialized());
+        assert_eq!(xbar.state_bytes(), lazy_bytes);
+    }
+
+    #[test]
+    fn paired_program_signed_region_matches_per_cell() {
+        let spec = MlcSpec::new(4).unwrap();
+        let mut chunked = PairedCrossbar::new(5, 4, spec);
+        let mut reference = PairedCrossbar::new(5, 4, spec);
+        let block: Vec<i32> = (0..12).map(|i| (i % 21) - 10).collect();
+        chunked.program_signed_region(1, 1, 3, &block).unwrap();
+        for (i, &w) in block.iter().enumerate() {
+            reference.program_signed(1 + i / 3, 1 + i % 3, w).unwrap();
+        }
+        for row in 0..5 {
+            for col in 0..4 {
+                assert_eq!(
+                    chunked.signed_weight(row, col).unwrap(),
+                    reference.signed_weight(row, col).unwrap()
+                );
+            }
+        }
+        // Out-of-range magnitude leaves both arrays untouched.
+        assert!(chunked.program_signed_region(0, 0, 2, &[1, -16]).is_err());
+        assert_eq!(chunked.signed_weight(0, 0).unwrap(), 0);
     }
 
     #[test]

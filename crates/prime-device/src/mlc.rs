@@ -77,8 +77,10 @@ impl MlcSpec {
 
     /// Single-level-cell spec (1 bit), used when an FF subarray operates as
     /// normal memory.
-    pub fn slc() -> Self {
-        MlcSpec::new(1).expect("1-bit spec is always valid")
+    pub const fn slc() -> Self {
+        // Constructed directly: 1 bit with the default resistances always
+        // satisfies the `with_resistance` invariants.
+        MlcSpec { bits: 1, r_on_ohm: DEFAULT_R_ON_OHM, r_off_ohm: DEFAULT_R_OFF_OHM }
     }
 
     /// Bits of storage per cell.
@@ -158,7 +160,9 @@ impl MlcSpec {
 impl Default for MlcSpec {
     /// The PRIME computation-mode default: a 4-bit cell.
     fn default() -> Self {
-        MlcSpec::new(4).expect("4-bit spec is always valid")
+        // Constructed directly: 4 bits with the default resistances always
+        // satisfies the `with_resistance` invariants.
+        MlcSpec { bits: 4, r_on_ohm: DEFAULT_R_ON_OHM, r_off_ohm: DEFAULT_R_OFF_OHM }
     }
 }
 

@@ -82,6 +82,22 @@ impl WearLeveler {
         })
     }
 
+    /// Infallible constructor sized for `logical_mats` mappable mats: the
+    /// pool holds one extra physical mat (the gap) and rotates every
+    /// reconfiguration. `logical_mats` is clamped to at least 1 so the
+    /// `new` invariants always hold.
+    pub fn for_logical_mats(logical_mats: usize) -> Self {
+        let total_mats = logical_mats.max(1) + 1;
+        WearLeveler {
+            total_mats,
+            gap: total_mats - 1,
+            map: (0..total_mats - 1).collect(),
+            rotation_period: 1,
+            since_move: 0,
+            writes: vec![0; total_mats],
+        }
+    }
+
     /// Logical mats available to the mapper (`total_mats - 1`; one is the
     /// gap).
     pub fn logical_mats(&self) -> usize {

@@ -254,6 +254,53 @@ impl NetworkSpec {
             .collect::<Result<Vec<_>, NnError>>()?;
         Network::new(layers)
     }
+
+    /// Builds a full-weight network the device command runner can
+    /// execute: ReLU on every hidden weight layer (the runner's
+    /// integer-exact activation — and the activation modern CNN stacks
+    /// such as VGG actually use), identity on the last, weights
+    /// initialized from `seed`. This is how the full-size VGG-D spec
+    /// becomes a deployable network — ~1.4x10^8 synapses are allocated,
+    /// so reserve it for benchmarks, not unit tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError`] from network construction (e.g. an LRN
+    /// layer, which has no executable form).
+    pub fn to_runner_network(&self, seed: u64) -> Result<Network, NnError> {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let last = self.layers.len().saturating_sub(1);
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match *spec {
+                LayerSpec::FullyConnected { inputs, outputs } => {
+                    let act = if i == last { Activation::Identity } else { Activation::Relu };
+                    Ok(Layer::Fc(FullyConnected::new(inputs, outputs, act)))
+                }
+                LayerSpec::Conv { in_ch, out_ch, kernel, in_h, in_w, padding } => {
+                    Ok(Layer::Conv(Conv2d::new(
+                        in_ch,
+                        out_ch,
+                        kernel,
+                        in_h,
+                        in_w,
+                        padding,
+                        Activation::Relu,
+                    )))
+                }
+                LayerSpec::Pool { kind, channels, in_h, in_w, window } => {
+                    Ok(Layer::Pool(Pool2d::new(kind, channels, in_h, in_w, window)))
+                }
+                LayerSpec::Lrn { .. } => Err(NnError::Untrainable { layer: spec.describe() }),
+            })
+            .collect::<Result<Vec<_>, NnError>>()?;
+        let mut net = Network::new(layers)?;
+        net.init_random(&mut SmallRng::seed_from_u64(seed));
+        Ok(net)
+    }
 }
 
 impl Network {
@@ -372,7 +419,10 @@ impl MlBench {
     }
 
     /// Whether the workload is small enough to execute numerically in
-    /// tests and examples (VGG-D is shape-only).
+    /// tests and examples. VGG-D is excluded — not because it cannot run
+    /// (see [`NetworkSpec::to_runner_network`], which the throughput
+    /// bench deploys at full size), but because allocating ~1.4x10^8
+    /// weights is far too heavy for the unit-test tier.
     pub fn is_executable(&self) -> bool {
         !matches!(self, MlBench::VggD)
     }

@@ -83,10 +83,10 @@ pub fn utilization_table() -> Vec<UtilizationRow> {
         .iter()
         .filter_map(|bench| {
             let spec = bench.spec();
-            let before = map_network(&spec, &hw, CompileOptions { replicate: false })
+            let before = map_network(&spec, &hw, CompileOptions { replicate: false, ..CompileOptions::default() })
                 .ok()?
                 .utilization_before;
-            let after = map_network(&spec, &hw, CompileOptions { replicate: true })
+            let after = map_network(&spec, &hw, CompileOptions { replicate: true, ..CompileOptions::default() })
                 .ok()?
                 .utilization_after;
             Some(UtilizationRow { benchmark: bench.name().to_string(), before, after })

@@ -269,7 +269,7 @@ impl PrimeMachine {
     /// the §IV-B1 ablation.
     pub fn without_replication() -> Self {
         PrimeMachine {
-            options: CompileOptions { replicate: false },
+            options: CompileOptions { replicate: false, ..CompileOptions::default() },
             name: "PRIME-no-repl".to_string(),
             ..Self::new()
         }

@@ -1,0 +1,146 @@
+//! Weight-layout strategy equivalence: a deployment under
+//! `MappingStrategy::SharedKernel` (unique tiles programmed once, every
+//! other placement aliasing them) must be indistinguishable at the
+//! outputs from `MappingStrategy::ReplicateDense` (every placement owns
+//! its bytes) — on the exact digital path, on the seeded noisy analog
+//! path, across batch shapes and both batched engines — while keeping
+//! strictly less bank state resident whenever the memory holds more than
+//! one copy.
+
+use prime::compiler::MappingStrategy;
+use prime::core::PrimeSystem;
+use prime::device::NoiseModel;
+use prime::nn::{Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Every layer kind the device runner executes: padded conv, max and
+/// mean pooling, ReLU FC hidden layer, identity head.
+fn cnn_net(seed: u64) -> Network {
+    let mut net = Network::new(vec![
+        Layer::Conv(Conv2d::new(1, 3, 3, 8, 8, 1, Activation::Relu)),
+        Layer::Pool(Pool2d::new(PoolKind::Max, 3, 8, 8, 2)),
+        Layer::Pool(Pool2d::new(PoolKind::Mean, 3, 4, 4, 2)),
+        Layer::Fc(FullyConnected::new(12, 4, Activation::Identity)),
+    ])
+    .expect("widths match");
+    net.init_random(&mut SmallRng::seed_from_u64(seed));
+    net
+}
+
+fn cnn_batch(len: usize) -> Vec<Vec<f32>> {
+    (0..len)
+        .map(|i| (0..64).map(|j| ((i * 5 + j * 7) % 13) as f32 / 13.0).collect())
+        .collect()
+}
+
+fn calibration(width: usize) -> Vec<f32> {
+    (0..width).map(|j| ((j * 7) % 13) as f32 / 13.0).collect()
+}
+
+/// Deploys `net` twice on identical 4-bank systems (4 whole-network
+/// copies, so tile sharing engages), once per strategy.
+fn deploy_both(net: &Network, width: usize) -> (PrimeSystem, PrimeSystem) {
+    let mut dense = PrimeSystem::new(4, 2, 4, 2048);
+    dense
+        .deploy_with(net, &calibration(width), MappingStrategy::ReplicateDense)
+        .expect("fits the memory");
+    let mut shared = PrimeSystem::new(4, 2, 4, 2048);
+    shared
+        .deploy_with(net, &calibration(width), MappingStrategy::SharedKernel)
+        .expect("fits the memory");
+    (dense, shared)
+}
+
+#[test]
+fn conv_outputs_are_bit_identical_across_strategies() {
+    let net = cnn_net(41);
+    let (mut dense, mut shared) = deploy_both(&net, 64);
+    let inputs = cnn_batch(7);
+    for parallel in [false, true] {
+        dense.set_parallel(parallel);
+        shared.set_parallel(parallel);
+        assert_eq!(
+            dense.infer_batch(&inputs).unwrap(),
+            shared.infer_batch(&inputs).unwrap(),
+            "digital outputs diverged (parallel={parallel})"
+        );
+    }
+}
+
+#[test]
+fn seeded_noisy_outputs_are_bit_identical_across_strategies() {
+    let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+    let net = cnn_net(41);
+    let (mut dense, mut shared) = deploy_both(&net, 64);
+    let inputs = cnn_batch(5);
+    for parallel in [false, true] {
+        dense.set_parallel(parallel);
+        shared.set_parallel(parallel);
+        let a = dense.infer_batch_noisy(&inputs, &noise, 0xDEED).unwrap();
+        let b = shared.infer_batch_noisy(&inputs, &noise, 0xDEED).unwrap();
+        assert_eq!(a, b, "seeded noisy outputs diverged (parallel={parallel})");
+    }
+}
+
+#[test]
+fn shared_kernel_keeps_less_bank_state_resident() {
+    let net = cnn_net(41);
+    let (dense, shared) = deploy_both(&net, 64);
+    let d = *dense.deploy_stats().expect("stats after deploy");
+    let s = *shared.deploy_stats().expect("stats after deploy");
+    // Same placements, same would-be-dense footprint.
+    assert_eq!(s.dense_bytes, d.dense_bytes);
+    assert_eq!(d.resident_bytes, d.dense_bytes);
+    // Shared: only copy 0 owns bytes; the other 3 copies alias it.
+    assert_eq!(s.copies, 4);
+    assert_eq!(s.resident_bytes * s.copies, s.dense_bytes);
+    assert!(s.aliased_placements > 0);
+    assert_eq!(shared.resident_state_bytes(), s.resident_bytes);
+    assert!(s.wall_ms >= 0.0 && d.wall_ms >= 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary weights, batch lengths, and engines: the weight layout
+    /// never changes the digital arithmetic.
+    #[test]
+    fn strategies_agree_on_arbitrary_fc_stacks(
+        seed in any::<u64>(),
+        len in 1usize..6,
+        parallel in any::<bool>(),
+    ) {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(20, 30, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(30, 12, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(12, 5, Activation::Identity)),
+        ]).expect("widths match");
+        net.init_random(&mut SmallRng::seed_from_u64(seed));
+        let inputs: Vec<Vec<f32>> = (0..len)
+            .map(|i| (0..20).map(|j| ((i * 7 + j) % 9) as f32 / 9.0).collect())
+            .collect();
+        let (mut dense, mut shared) = deploy_both(&net, 20);
+        dense.set_parallel(parallel);
+        shared.set_parallel(parallel);
+        prop_assert_eq!(
+            dense.infer_batch(&inputs).unwrap(),
+            shared.infer_batch(&inputs).unwrap()
+        );
+    }
+
+    /// The same holds on the noisy analog path under a shared seed: the
+    /// read-noise stream is drawn per bank in plan order, independent of
+    /// which placement owns the tile bytes.
+    #[test]
+    fn strategies_agree_under_seeded_noise(seed in any::<u64>(), noise_seed in any::<u64>()) {
+        let net = cnn_net(seed);
+        let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.04 };
+        let inputs = cnn_batch(3);
+        let (mut dense, mut shared) = deploy_both(&net, 64);
+        let a = dense.infer_batch_noisy(&inputs, &noise, noise_seed).unwrap();
+        let b = shared.infer_batch_noisy(&inputs, &noise, noise_seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -117,7 +117,7 @@ fn simulator_and_runner_execute_the_same_pipeline_stages() {
         ff_subarrays_per_bank: 1,
         banks: 8,
     };
-    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false });
+    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false, ..CompileOptions::default() });
     let spec = net.to_spec("deep-fc").expect("spec derivable");
     assert_eq!(
         machine.pipeline_stage_count(&spec),
@@ -162,7 +162,7 @@ fn simulator_and_runner_agree_on_conv_pipeline_stages() {
         ff_subarrays_per_bank: 1,
         banks: 2,
     };
-    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false });
+    let machine = PrimeMachine::with_target(target, CompileOptions { replicate: false, ..CompileOptions::default() });
     let spec = net.to_spec("cnn-1-class").expect("spec derivable");
     assert_eq!(
         machine.pipeline_stage_count(&spec),

@@ -7,13 +7,25 @@
 //! the replicate-dense and shared-kernel layouts. Exits nonzero if any
 //! workload fails to map or draws an `Error`-severity diagnostic.
 //!
+//! With `--program`, additionally lowers each workload's command program
+//! statically ([`lower_program`]) and runs the Pass-3 abstract
+//! interpreter ([`analyze_program`]) over it — region dataflow, interval
+//! precision, shared-tile aliasing, stage-graph deadlock freedom — and
+//! fails on any `Warning`-or-worse finding (stricter than Pass 1's
+//! error-only gate: the paper's own workloads must be warning-clean).
+//! Workloads with no in-memory lowering (LRN host fallback) are reported
+//! and skipped.
+//!
 //! ```text
-//! analyze-workloads [--json]
+//! analyze-workloads [--json] [--program]
 //! ```
 
 use std::process::ExitCode;
 
-use prime_analyze::{analyze, has_errors, render_human, render_json, Severity, Target};
+use prime_analyze::{
+    analyze, analyze_program, has_errors, lower_program, render_human, render_json,
+    Severity, Target,
+};
 use prime_compiler::{map_network, CompileOptions, MappingStrategy};
 use prime_nn::MlBench;
 
@@ -21,7 +33,9 @@ const STRATEGIES: [MappingStrategy; 2] =
     [MappingStrategy::ReplicateDense, MappingStrategy::SharedKernel];
 
 fn main() -> ExitCode {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let program = args.iter().any(|a| a == "--program");
     let target = Target::prime_default();
     let mut failed = false;
     for strategy in STRATEGIES {
@@ -45,7 +59,33 @@ fn main() -> ExitCode {
                     continue;
                 }
             };
-            let diags = analyze(&spec, &target, &mapping);
+            let mut diags = analyze(&spec, &target, &mapping);
+            let mut plan_note = "";
+            // Pass-3 findings gate on Warning-or-worse; Pass-1 warnings
+            // (e.g. P011 Po truncation, lossy by design) stay advisory.
+            let mut p3_flagged = 0usize;
+            if program {
+                match lower_program(&spec, &target, &mapping) {
+                    Ok(plan) => {
+                        let p3 = analyze_program(&spec, &target, &mapping, &plan);
+                        p3_flagged = p3
+                            .iter()
+                            .filter(|d| d.severity >= Severity::Warning)
+                            .count();
+                        diags.extend(p3);
+                    }
+                    Err(reason) => {
+                        plan_note = " (no in-memory lowering; pass 3 skipped)";
+                        if !json {
+                            eprintln!(
+                                "{} [{}]: {reason}",
+                                bench.name(),
+                                strategy.name()
+                            );
+                        }
+                    }
+                }
+            }
             let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
             let warnings =
                 diags.iter().filter(|d| d.severity == Severity::Warning).count();
@@ -58,16 +98,18 @@ fn main() -> ExitCode {
                 );
             } else {
                 println!(
-                    "{:8} {:16} {:24} errors={errors} warnings={warnings}",
+                    "{:8} {:16} {:24} errors={errors} warnings={warnings}{plan_note}",
                     bench.name(),
                     strategy.name(),
                     bench.topology()
                 );
-                if errors > 0 {
+                if errors > 0 || p3_flagged > 0 {
                     print!("{}", render_human(&diags));
                 }
             }
-            if has_errors(&diags) {
+            // Pass 1 alone gates on errors; with `--program` the paper's
+            // workloads must also be free of new Pass-3 warnings.
+            if has_errors(&diags) || p3_flagged > 0 {
                 failed = true;
             }
         }

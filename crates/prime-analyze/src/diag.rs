@@ -90,6 +90,27 @@ pub enum Code {
     /// Layer requested `SharedKernel` but fell back to `ReplicateDense`
     /// (no sharing opportunity).
     P023,
+    /// Program-plan op reads FF-buffer words its staging region never
+    /// defines (use before stage).
+    P024,
+    /// Two live program-plan buffer regions overlap (or a live write
+    /// lands past the buffer capacity).
+    P025,
+    /// Resident-conv row ring would clobber a still-live halo row (ring
+    /// schedule deviates from the `conv_staging` contract).
+    P026,
+    /// Interval analysis cannot prove the layer's merged sums fit the
+    /// 64-bit precision-control register before the §III-D clamp.
+    P027,
+    /// Layer's §III-D precision budget is vacuous: the statically
+    /// possible output interval collapses to zero after requantization.
+    P028,
+    /// A write-armed tile is reachable through a shared `PairStore`
+    /// alias (copy-on-write has not triggered).
+    P029,
+    /// Pipeline stage-channel graph can deadlock or stall (broken stage
+    /// chain or exhausted recycle credits).
+    P030,
     /// Allocation in a `*_into` hot-kernel function.
     P050,
     /// Panic path (`unwrap`/`expect`/`panic!`/…) in non-test library code.
@@ -98,11 +119,13 @@ pub enum Code {
     P052,
     /// Allowlist entry matched nothing.
     P053,
+    /// Lossy `as` cast in a `*_into` hot kernel or the analog datapath.
+    P054,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 35] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -126,10 +149,18 @@ impl Code {
         Code::P021,
         Code::P022,
         Code::P023,
+        Code::P024,
+        Code::P025,
+        Code::P026,
+        Code::P027,
+        Code::P028,
+        Code::P029,
+        Code::P030,
         Code::P050,
         Code::P051,
         Code::P052,
         Code::P053,
+        Code::P054,
     ];
 
     /// Stable string form (`"P001"`).
@@ -158,10 +189,18 @@ impl Code {
             Code::P021 => "P021",
             Code::P022 => "P022",
             Code::P023 => "P023",
+            Code::P024 => "P024",
+            Code::P025 => "P025",
+            Code::P026 => "P026",
+            Code::P027 => "P027",
+            Code::P028 => "P028",
+            Code::P029 => "P029",
+            Code::P030 => "P030",
             Code::P050 => "P050",
             Code::P051 => "P051",
             Code::P052 => "P052",
             Code::P053 => "P053",
+            Code::P054 => "P054",
         }
     }
 
@@ -191,17 +230,25 @@ impl Code {
             Code::P021 => "shared-tile scheme mismatch",
             Code::P022 => "shared-tile refcount overflow",
             Code::P023 => "shared-kernel fallback",
+            Code::P024 => "use before stage",
+            Code::P025 => "overlapping live buffer regions",
+            Code::P026 => "ring clobbers live halo row",
+            Code::P027 => "merge register overflow unproven",
+            Code::P028 => "vacuous precision budget",
+            Code::P029 => "write-armed shared tile",
+            Code::P030 => "stage graph can deadlock",
             Code::P050 => "allocation in hot kernel",
             Code::P051 => "panic path in library code",
             Code::P052 => "unsafe code",
             Code::P053 => "unused allowlist entry",
+            Code::P054 => "lossy cast in guarded datapath",
         }
     }
 
     /// The severity this code is reported at.
     pub fn severity(self) -> Severity {
         match self {
-            Code::P011 | Code::P013 | Code::P015 | Code::P053 => Severity::Warning,
+            Code::P011 | Code::P013 | Code::P015 | Code::P028 | Code::P053 => Severity::Warning,
             Code::P020 | Code::P023 => Severity::Info,
             _ => Severity::Error,
         }
@@ -293,6 +340,43 @@ impl fmt::Display for Diagnostic {
             self.code.title()
         )
     }
+}
+
+impl Span {
+    /// Total order over spans: network first, then layers by index, then
+    /// stages by index and bank, then source locations by file and line.
+    fn sort_key(&self) -> (u8, usize, usize, &str, &str) {
+        match self {
+            Span::Network => (0, 0, 0, "", ""),
+            Span::Layer { index, entity } => (1, *index, 0, entity.as_str(), ""),
+            Span::Stage { index, bank } => (2, *index, *bank, "", ""),
+            Span::Source { file, line, function } => (3, *line, 0, file.as_str(), function),
+        }
+    }
+}
+
+/// Sorts diagnostics into the repo's canonical order: by code, then by
+/// span (layer/stage index or source location), then by message. Both
+/// analyzer passes sort their output through this before returning, so
+/// golden fixtures never depend on traversal order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.code
+            .as_str()
+            .cmp(b.code.as_str())
+            .then_with(|| {
+                let (ak, ai, ab, af, ag) = a.span.sort_key();
+                let (bk, bi, bb, bf, bg) = b.span.sort_key();
+                // Source spans order by file before line; structural
+                // spans order by index before secondary rank.
+                ak.cmp(&bk)
+                    .then_with(|| af.cmp(bf))
+                    .then_with(|| ai.cmp(&bi))
+                    .then_with(|| ab.cmp(&bb))
+                    .then_with(|| ag.cmp(bg))
+            })
+            .then_with(|| a.message.cmp(&b.message))
+    });
 }
 
 /// True when any diagnostic is `Error`-severity.

@@ -16,10 +16,19 @@
 //! * **Pass 2 — source lint** ([`lint_root`], `prime-lint` binary):
 //!   token-level enforcement of the repo rules (no allocation in
 //!   `*_into` hot kernels, no panic paths in non-test library code, no
-//!   `unsafe` anywhere) with an allowlist for documented residue.
+//!   `unsafe` anywhere, no lossy `as` casts on the guarded datapath)
+//!   with an allowlist for documented residue.
+//! * **Pass 3 — program abstract interpretation** ([`analyze_program`]):
+//!   interprets the lowered command program (the runner's planned-op
+//!   stream) over four abstract domains — FF-buffer region dataflow,
+//!   §III-D interval precision propagation, shared-tile aliasing, and
+//!   stage-channel deadlock freedom. `PrimeSystem::deploy` gates on it
+//!   like Pass 1; [`lower_program`] derives the plan statically for
+//!   workload audits.
 //!
 //! Diagnostics carry stable `P0xx` codes cataloged in DESIGN.md §10;
-//! both passes render human-readable and JSON output.
+//! all passes render human-readable and JSON output in a canonical
+//! deterministic order ([`sort_diagnostics`]).
 //!
 //! # Examples
 //!
@@ -40,11 +49,23 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod intervals;
 mod lint;
+mod program;
 mod verify;
 
-pub use diag::{has_errors, render_human, render_json, Code, Diagnostic, Severity, Span};
+pub use diag::{
+    has_errors, render_human, render_json, sort_diagnostics, Code, Diagnostic, Severity,
+    Span,
+};
+pub use intervals::{
+    check_intervals, propagate_intervals, static_shift, Interval, LayerInterval,
+};
 pub use lint::{lint_root, lint_source, AllowEntry, Allowlist};
+pub use program::{
+    analyze_program, lower_program, ProgramLayer, ProgramOp, ProgramPlan, ProgramStage,
+    ProgramTile,
+};
 pub use verify::{
     analyze, check_pipeline, check_shared_layout, conv_staging, shared_layout, tile_pn,
     ConvStaging, SharedTileGroup, Target, CONV_RESIDENT_BUDGET_DIVISOR,

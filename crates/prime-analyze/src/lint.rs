@@ -8,7 +8,13 @@
 //! * [`Code::P051`] — no `unwrap()` / `expect()` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in non-test code of
 //!   library crates;
-//! * [`Code::P052`] — no `unsafe` anywhere in first-party code.
+//! * [`Code::P052`] — no `unsafe` anywhere in first-party code;
+//! * [`Code::P054`] — no lossy `as` casts to narrow integer types inside
+//!   `*_into` hot kernels or anywhere in the analog datapath
+//!   (`crates/prime-device/src`): a silent truncation there corrupts
+//!   codes/levels without tripping any range check. Use
+//!   `try_from`/`from` or mask explicitly (`& 0x..`) on the same
+//!   expression so the intended width is visible.
 //!
 //! Residual violations (documented constructor panics, etc.) live in the
 //! `prime-lint.allow` file at the repo root: one entry per line,
@@ -471,8 +477,28 @@ impl FileScanner<'_> {
             }
         }
 
-        // P050: allocation inside *_into hot kernels.
+        // P054: lossy `as` casts to narrow integer types in the guarded
+        // datapath — *_into hot kernels anywhere, every library function
+        // of the analog device crate. A mask on the same line (`& 0x..`)
+        // documents the intended truncation and is accepted.
         let in_hot_kernel = self.current_fn().ends_with("_into");
+        let in_analog_datapath = self.rel.starts_with("crates/prime-device/src/");
+        if (in_hot_kernel || in_analog_datapath) && !text.contains("& 0x") {
+            for target in ["as u8", "as u16", "as u32", "as i8", "as i16", "as i32"] {
+                if find_token(text, target, true) {
+                    self.report(
+                        Code::P054,
+                        line_no,
+                        format!(
+                            "lossy `{target}` cast in the guarded datapath; use \
+                             `try_from`/`from` or mask explicitly"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // P050: allocation inside *_into hot kernels.
         if in_hot_kernel {
             for (pattern, whole, label) in [
                 ("Vec::new", false, "Vec::new"),
@@ -578,6 +604,7 @@ pub fn lint_root(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Diagnosti
             ),
         ));
     }
+    crate::diag::sort_diagnostics(&mut diags);
     Ok(diags)
 }
 
@@ -588,6 +615,23 @@ mod tests {
     fn lint(rel: &str, text: &str) -> Vec<Diagnostic> {
         let mut allow = Allowlist::default();
         lint_source(rel, text, &mut allow)
+    }
+
+    #[test]
+    fn flags_lossy_cast_in_guarded_datapath() {
+        // The analog device crate is covered file-wide.
+        let src = "pub fn f(x: u32) -> u16 {\n    x as u16\n}\n";
+        let diags = lint("crates/prime-device/src/foo.rs", src);
+        assert!(diags.iter().any(|d| d.code == Code::P054), "{diags:?}");
+        // An explicit mask documents the truncation and is accepted.
+        let masked = "pub fn f(x: u32) -> u16 {\n    (x & 0xFFFF) as u16\n}\n";
+        assert!(lint("crates/prime-device/src/foo.rs", masked).is_empty());
+        // Hot `*_into` kernels are covered in every library crate.
+        let hot = "pub fn f_into(x: u32) -> u16 {\n    x as u16\n}\n";
+        let diags = lint("crates/demo/src/lib.rs", hot);
+        assert!(diags.iter().any(|d| d.code == Code::P054), "{diags:?}");
+        // Ordinary library code elsewhere is not.
+        assert!(lint("crates/demo/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -855,6 +855,7 @@ pub fn analyze(spec: &NetworkSpec, target: &Target, mapping: &NetworkMapping) ->
     }
     diags.extend(check_shared_layout(&shared_layout(mapping, target), target));
 
+    crate::diag::sort_diagnostics(&mut diags);
     diags
 }
 

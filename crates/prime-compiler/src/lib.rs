@@ -29,8 +29,8 @@ mod target;
 
 pub use error::CompileError;
 pub use mapping::{
-    map_network, select_strategy, CompileOptions, LayerMapping, LayoutFootprint,
-    MappingStrategy, NetworkMapping, NnScale, PipelineStage,
+    map_network, pipeline_credits, select_strategy, CompileOptions, LayerMapping,
+    LayoutFootprint, MappingStrategy, NetworkMapping, NnScale, PipelineStage,
 };
 pub use placement::ImagePlacement;
 pub use target::HwTarget;

@@ -203,6 +203,18 @@ pub fn select_strategy(layer: &LayerMapping, requested: MappingStrategy) -> Mapp
     }
 }
 
+/// In-flight packet budget of the §IV-B thread-per-stage pipeline
+/// engine: how many activation vectors may circulate before stage 0
+/// blocks on the recycle channel. Two per stage keeps every stage busy
+/// (one packet in flight, one queued) while bounding steady-state
+/// allocation; the floor of 1 guarantees the recycle loop can always
+/// admit the first packet, which the stage-graph deadlock check (P030)
+/// relies on. Single source of truth for the runtime engine, the plan
+/// metadata the runner exports, and the static verifier.
+pub fn pipeline_credits(stages: usize) -> usize {
+    (2 * stages).max(1)
+}
+
 /// One stage of an inter-bank pipeline (large-scale NNs).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStage {

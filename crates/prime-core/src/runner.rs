@@ -1008,6 +1008,110 @@ impl CommandRunner {
             .collect()
     }
 
+    /// Exports the compiled plan as a [`prime_analyze::ProgramPlan`] for
+    /// the Pass-3 abstract interpreter: planned ops, buffer addressing,
+    /// calibrated shifts, stage placement, and the live post-deploy tile
+    /// state (alias sharing and mat function) read from `banks` — the
+    /// same bank slice the plan was compiled against, in stage order.
+    /// Read-only: no command is issued and no mat state changes.
+    pub fn program_plan(&self, banks: &[BankController]) -> prime_analyze::ProgramPlan {
+        let layer_bank: Vec<usize> = {
+            let mut map = vec![0usize; self.layers.len()];
+            for stage in &self.stages {
+                for slot in map
+                    .iter_mut()
+                    .take(stage.layers.1.min(self.layers.len()))
+                    .skip(stage.layers.0)
+                {
+                    *slot = stage.bank;
+                }
+            }
+            map
+        };
+        let layers = self
+            .layers
+            .iter()
+            .zip(&layer_bank)
+            .map(|(plan, &bank)| {
+                let op = match plan.op {
+                    PlannedOp::Fc => prime_analyze::ProgramOp::Fc,
+                    PlannedOp::Conv {
+                        in_ch,
+                        out_ch,
+                        kernel,
+                        padding,
+                        in_h,
+                        in_w,
+                        out_h,
+                        out_w,
+                        resident,
+                        chunk_pixels,
+                    } => prime_analyze::ProgramOp::Conv {
+                        in_ch,
+                        out_ch,
+                        kernel,
+                        padding,
+                        in_h,
+                        in_w,
+                        out_h,
+                        out_w,
+                        resident,
+                        chunk_pixels,
+                    },
+                    PlannedOp::Pool { mean, channels, in_h, in_w, window, level } => {
+                        prime_analyze::ProgramOp::Pool {
+                            mean,
+                            channels,
+                            in_h,
+                            in_w,
+                            window,
+                            level,
+                        }
+                    }
+                };
+                let tiles = plan
+                    .tiles
+                    .iter()
+                    .map(|tile| {
+                        let state = banks.get(bank).map(|b| {
+                            let mat = b.mat(tile.mat);
+                            (mat.shared_tile().is_some(), mat.function() == MatFunction::Program)
+                        });
+                        let (aliased, write_armed) = state.unwrap_or((false, false));
+                        prime_analyze::ProgramTile { aliased, write_armed }
+                    })
+                    .collect();
+                prime_analyze::ProgramLayer {
+                    op,
+                    inputs: plan.inputs,
+                    outputs: plan.outputs,
+                    in_addr: plan.in_addr.0,
+                    out_addr: plan.out_addr.0,
+                    requant_shift: plan.requant_shift,
+                    relu: plan.relu,
+                    bias_peak: plan.bias_units.iter().map(|b| b.abs()).max().unwrap_or(0),
+                    tiles,
+                }
+            })
+            .collect();
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| prime_analyze::ProgramStage { bank: s.bank, layers: s.layers })
+            .collect();
+        let buffer_words = banks
+            .iter()
+            .map(|b| b.buffer().capacity())
+            .min()
+            .unwrap_or(0);
+        prime_analyze::ProgramPlan {
+            layers,
+            stages,
+            buffer_words,
+            recycle_credits: prime_compiler::pipeline_credits(self.stages.len()),
+        }
+    }
+
     /// Full-precision merged sums of one layer on given input codes,
     /// via actual mat computation (used for calibration and inference).
     fn merge_reference(

@@ -324,6 +324,22 @@ impl PrimeSystem {
             runners.push(first.replicate_onto(first_group, group, &layer_strategies)?);
         }
         runners.insert(0, first);
+        // Static verification pass 3: abstractly interpret the lowered
+        // command program of copy 0 — FF-buffer region dataflow, §III-D
+        // interval precision, shared-tile aliasing, stage-graph deadlock
+        // freedom. Runs after replication so the alias check sees the
+        // real post-deploy tile sharing, but before the runners are
+        // installed: a rejected plan leaves the system undeployed.
+        let first_group = &self.banks[..bpc];
+        let plan = runners[0].program_plan(first_group);
+        let diagnostics: Vec<_> =
+            prime_analyze::analyze_program(&spec, &target, &mapping, &plan)
+                .into_iter()
+                .filter(|d| d.severity == prime_analyze::Severity::Error)
+                .collect();
+        if !diagnostics.is_empty() {
+            return Err(PrimeError::Rejected { diagnostics });
+        }
         let total: usize = runners.iter().map(CommandRunner::mats_used).sum();
         self.reservations = FfReservationMap::new(self.banks.len() * self.mats_per_bank);
         self.reservations.reserve(total).map_err(PrimeError::Mem)?;
@@ -566,8 +582,10 @@ impl PrimeSystem {
                         handles.push(scope.spawn(move || {
                             // Bound the in-flight vectors: allocate a few,
                             // then block on recycling — the backpressure
-                            // keeps steady-state allocation at zero.
-                            let mut credits = 2 * s_count;
+                            // keeps steady-state allocation at zero. The
+                            // credit count is the same constant the Pass-3
+                            // stage-graph check certifies nonzero.
+                            let mut credits = prime_compiler::pipeline_credits(s_count);
                             for (i, input) in inputs.iter().enumerate().skip(c).step_by(copies) {
                                 let mut codes = match recycle_rx.try_recv() {
                                     Ok(v) => v,

@@ -443,7 +443,8 @@ impl Crossbar {
             if u32::from(a) > max_code {
                 return Err(DeviceError::InputLevelOutOfRange {
                     requested: a,
-                    levels: (max_code + 1).min(u32::from(u16::MAX)) as u16,
+                    levels: u16::try_from((max_code + 1).min(u32::from(u16::MAX)))
+                        .unwrap_or(u16::MAX),
                 });
             }
         }
@@ -605,6 +606,22 @@ impl PairedCrossbar {
         PairedCrossbar::new(MAT_DIM, MAT_DIM, MlcSpec::default())
     }
 
+    /// Worst-case signed interval one bitline's differential partial sum
+    /// can reach when `rows` wordlines drive inputs of magnitude at most
+    /// `input_max` into pair cells of magnitude at most `weight_max`.
+    /// The static counterpart of `calibrate_output_window`'s dynamic
+    /// `2 * max_abs` calibration: the sense path never sees a value
+    /// outside this span, so the interval analysis can propagate it
+    /// without running a single evaluation. Saturates instead of
+    /// wrapping so degenerate shapes stay ordered.
+    pub fn sense_interval(rows: usize, input_max: i64, weight_max: i64) -> (i64, i64) {
+        let rows = i64::try_from(rows).unwrap_or(i64::MAX);
+        let hi = rows
+            .saturating_mul(input_max.max(0))
+            .saturating_mul(weight_max.max(0));
+        (-hi, hi)
+    }
+
     /// Number of wordlines.
     pub fn rows(&self) -> usize {
         self.positive.rows()
@@ -648,11 +665,13 @@ impl PairedCrossbar {
         let max = u32::from(self.positive.spec().max_level());
         if magnitude > max {
             return Err(DeviceError::LevelOutOfRange {
-                requested: magnitude.min(u32::from(u16::MAX)) as u16,
+                requested: u16::try_from(magnitude.min(u32::from(u16::MAX)))
+                    .unwrap_or(u16::MAX),
                 levels: self.positive.spec().levels(),
             });
         }
-        let level = magnitude as u16;
+        // `magnitude <= max <= u16::MAX` here, so the conversion is exact.
+        let level = u16::try_from(magnitude).unwrap_or(u16::MAX);
         if weight >= 0 {
             self.positive.program(row, col, level)?;
             self.negative.program(row, col, 0)?;
@@ -717,11 +736,13 @@ impl PairedCrossbar {
             let magnitude = w.unsigned_abs();
             if magnitude > max {
                 return Err(DeviceError::LevelOutOfRange {
-                    requested: magnitude.min(u32::from(u16::MAX)) as u16,
+                    requested: u16::try_from(magnitude.min(u32::from(u16::MAX)))
+                        .unwrap_or(u16::MAX),
                     levels: self.positive.spec().levels(),
                 });
             }
-            let level = magnitude as u16;
+            // `magnitude <= max <= u16::MAX` here, so the conversion is exact.
+            let level = u16::try_from(magnitude).unwrap_or(u16::MAX);
             if w >= 0 {
                 pos.push(level);
                 neg.push(0);

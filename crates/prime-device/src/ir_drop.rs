@@ -130,7 +130,8 @@ impl IrDropModel {
             for c in 0..xbar.cols() {
                 let w = f64::from(xbar.level(r, c)?);
                 let compensated = (w / self.attenuation(r, c)).round();
-                out.push((compensated as u16).min(max));
+                let clamped = compensated.clamp(0.0, f64::from(max)) as u64;
+                out.push(u16::try_from(clamped).unwrap_or(max));
             }
         }
         Ok(out)

@@ -65,7 +65,7 @@ impl MlcSpec {
     pub fn with_resistance(bits: u8, r_on_ohm: f64, r_off_ohm: f64) -> Result<Self, DeviceError> {
         if bits == 0 || bits > 8 {
             return Err(DeviceError::LevelOutOfRange {
-                requested: bits as u16,
+                requested: u16::from(bits),
                 levels: 0,
             });
         }
@@ -96,6 +96,23 @@ impl MlcSpec {
     /// Maximum representable level (`2^bits - 1`).
     pub fn max_level(&self) -> u16 {
         self.levels() - 1
+    }
+
+    /// Static value interval of one programmed cell: `[0, max_level]`.
+    /// Interval hook for the precision-propagation analysis: every bound
+    /// the abstract interpreter assumes about cell contents derives from
+    /// this range, not from hard-coded constants.
+    pub fn level_interval(&self) -> (i64, i64) {
+        (0, i64::from(self.max_level()))
+    }
+
+    /// Largest weight magnitude two composed cells of this spec can hold
+    /// (`high * levels + low`, both at `max_level` — e.g. 255 for the
+    /// paper's 4-bit MLC pair). The static counterpart of the composing
+    /// scheme's quantizer clamp.
+    pub fn composed_weight_magnitude(&self) -> i64 {
+        let m = i64::from(self.max_level());
+        m * i64::from(self.levels()) + m
     }
 
     /// LRS ("on") resistance in ohms.
@@ -153,7 +170,9 @@ impl MlcSpec {
         let span = self.g_on() - self.g_off();
         let frac = ((g - self.g_off()) / span).clamp(0.0, 1.0);
         let level = (frac * f64::from(self.max_level())).round();
-        level as u16
+        // `frac` is clamped to [0, 1], so the rounded level is within
+        // [0, max_level] and the conversion is exact.
+        u16::try_from(level as u64).unwrap_or(self.max_level())
     }
 }
 

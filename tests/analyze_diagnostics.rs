@@ -280,6 +280,94 @@ fn deploy_refuses_with_typed_diagnostics_when_the_buffer_is_too_small() {
     assert!(system.infer_batch(&[vec![0.0; 12]]).is_err(), "nothing deployed");
 }
 
+#[test]
+fn diagnostics_are_reported_in_canonical_deterministic_order() {
+    use prime::analyze::{sort_diagnostics, Diagnostic, Span};
+    // A hand-shuffled list sorts by code, then span (layer index before
+    // entity ties), then message — and sorting is idempotent.
+    let mk = |code, index, msg: &str| {
+        Diagnostic::new(code, Span::Layer { index, entity: "fc".to_string() }, msg)
+    };
+    let mut diags = vec![
+        mk(Code::P011, 5, "b"),
+        mk(Code::P003, 9, "z"),
+        mk(Code::P011, 2, "a"),
+        Diagnostic::new(Code::P003, Span::Network, "network-wide"),
+        mk(Code::P011, 5, "a"),
+    ];
+    sort_diagnostics(&mut diags);
+    let key: Vec<(Code, String)> = diags
+        .iter()
+        .map(|d| {
+            let loc = match &d.span {
+                Span::Network => "net".to_string(),
+                Span::Layer { index, .. } => format!("L{index}"),
+                other => format!("{other:?}"),
+            };
+            (d.code, loc)
+        })
+        .collect();
+    assert_eq!(
+        key,
+        vec![
+            (Code::P003, "net".to_string()),
+            (Code::P003, "L9".to_string()),
+            (Code::P011, "L2".to_string()),
+            (Code::P011, "L5".to_string()),
+            (Code::P011, "L5".to_string()),
+        ],
+        "{diags:?}"
+    );
+    assert_eq!(diags[3].message, "a", "message breaks the final tie");
+    let resorted = {
+        let mut d = diags.clone();
+        sort_diagnostics(&mut d);
+        d
+    };
+    assert_eq!(diags, resorted, "sorting must be idempotent");
+
+    // The verifier's own output arrives pre-sorted.
+    let target = Target::prime_default();
+    let spec = MlBench::VggD.spec();
+    let mapping = map_network(
+        &spec,
+        &target.hw,
+        CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel },
+    )
+    .expect("VGG-D maps");
+    let out = analyze(&spec, &target, &mapping);
+    let mut sorted = out.clone();
+    sort_diagnostics(&mut sorted);
+    assert_eq!(out, sorted, "analyze() must return canonical order");
+}
+
+#[test]
+fn design_catalog_stays_in_step_with_the_emitted_codes() {
+    // DESIGN.md §10's diagnostic catalog is the contract for the stable
+    // P-codes; it must list exactly the codes the analyzer can emit.
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md is readable");
+    let catalog: Vec<&str> = design
+        .lines()
+        .filter(|l| l.starts_with("| P0"))
+        .filter_map(|l| l.split('|').nth(1).map(str::trim))
+        .collect();
+    for code in Code::ALL {
+        assert!(
+            catalog.contains(&code.as_str()),
+            "DESIGN.md §10 catalog is missing a row for {}",
+            code.as_str()
+        );
+    }
+    for row in &catalog {
+        assert!(
+            Code::ALL.iter().any(|c| c.as_str() == *row),
+            "DESIGN.md §10 catalog lists {row}, which prime-analyze never emits"
+        );
+    }
+    assert_eq!(catalog.len(), Code::ALL.len(), "duplicate catalog rows");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

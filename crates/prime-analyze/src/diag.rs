@@ -111,6 +111,9 @@ pub enum Code {
     /// Pipeline stage-channel graph can deadlock or stall (broken stage
     /// chain or exhausted recycle credits).
     P030,
+    /// A model was registered for serving but its deployment was
+    /// rejected; the serving layer must refuse to expose it.
+    P031,
     /// Allocation in a `*_into` hot-kernel function.
     P050,
     /// Panic path (`unwrap`/`expect`/`panic!`/…) in non-test library code.
@@ -125,7 +128,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 35] = [
+    pub const ALL: [Code; 36] = [
         Code::P001,
         Code::P002,
         Code::P003,
@@ -156,6 +159,7 @@ impl Code {
         Code::P028,
         Code::P029,
         Code::P030,
+        Code::P031,
         Code::P050,
         Code::P051,
         Code::P052,
@@ -196,6 +200,7 @@ impl Code {
             Code::P028 => "P028",
             Code::P029 => "P029",
             Code::P030 => "P030",
+            Code::P031 => "P031",
             Code::P050 => "P050",
             Code::P051 => "P051",
             Code::P052 => "P052",
@@ -237,6 +242,7 @@ impl Code {
             Code::P028 => "vacuous precision budget",
             Code::P029 => "write-armed shared tile",
             Code::P030 => "stage graph can deadlock",
+            Code::P031 => "model not servable",
             Code::P050 => "allocation in hot kernel",
             Code::P051 => "panic path in library code",
             Code::P052 => "unsafe code",
@@ -379,6 +385,28 @@ pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     });
 }
 
+/// Builds the serving-layer diagnostic ([`Code::P031`]) for a model
+/// whose deployment was rejected by the verifier: the front-end must
+/// refuse to register the model rather than expose a name that can
+/// never answer. `rejected` is the deploy refusal's diagnostic list;
+/// the P031 message summarizes which codes blocked it so the serving
+/// error is self-contained.
+pub fn unservable_model(model: &str, rejected: &[Diagnostic]) -> Diagnostic {
+    let mut codes: Vec<&str> = rejected
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code.as_str())
+        .collect();
+    codes.dedup();
+    let blockers =
+        if codes.is_empty() { "a deploy error".to_string() } else { codes.join(", ") };
+    Diagnostic::new(
+        Code::P031,
+        Span::Network,
+        format!("model `{model}` cannot be served: deployment rejected by {blockers}"),
+    )
+}
+
 /// True when any diagnostic is `Error`-severity.
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
@@ -432,6 +460,21 @@ mod tests {
         let warn_pos = text.find("P013").unwrap();
         assert!(err_pos < warn_pos, "errors should sort before warnings:\n{text}");
         assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn unservable_model_summarizes_blocking_codes() {
+        let rejected = vec![
+            Diagnostic::new(Code::P003, Span::Network, "too big"),
+            Diagnostic::new(Code::P013, Span::Network, "low util"), // warning: not a blocker
+            Diagnostic::new(Code::P009, Span::Stage { index: 0, bank: 0 }, "overflow"),
+        ];
+        let d = unservable_model("vgg-d", &rejected);
+        assert_eq!(d.code, Code::P031);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("vgg-d"), "{}", d.message);
+        assert!(d.message.contains("P003, P009"), "{}", d.message);
+        assert!(!d.message.contains("P013"), "{}", d.message);
     }
 
     #[test]

@@ -55,8 +55,8 @@ mod program;
 mod verify;
 
 pub use diag::{
-    has_errors, render_human, render_json, sort_diagnostics, Code, Diagnostic, Severity,
-    Span,
+    has_errors, render_human, render_json, sort_diagnostics, unservable_model, Code,
+    Diagnostic, Severity, Span,
 };
 pub use intervals::{
     check_intervals, propagate_intervals, static_shift, Interval, LayerInterval,

@@ -119,6 +119,11 @@ struct DeviceRunnerRow {
     batch: usize,
     ns_per_inference: f64,
     inferences_per_s: f64,
+    /// Median wall-clock of one whole inference across every measured
+    /// (rep, input) pair — the in-process reference point for the
+    /// serving bencher's p50 (`BENCH_serve.json`): served p50 minus
+    /// this is the wire + batching overhead.
+    single_request_ns_p50: f64,
     layers: Vec<DeviceLayerRow>,
     /// Per-phase split of the conv layers (weight-stationary schedule:
     /// row staging, window gathering, analog evaluation, emit).
@@ -356,6 +361,7 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
     let mut best_total = f64::INFINITY;
     let mut best_layers = vec![0.0f64; labels.len()];
     let mut best_phases = ConvPhases::default();
+    let mut single_request_ns = Vec::with_capacity(reps * inputs.len());
     for _ in 0..reps {
         let mut layer_sums = vec![0.0f64; labels.len()];
         let mut phase_sums = ConvPhases::default();
@@ -370,6 +376,7 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
                     &mut phases,
                 )
                 .expect("compiled plan runs");
+            single_request_ns.push(ns.iter().sum::<f64>());
             for (sum, v) in layer_sums.iter_mut().zip(&ns) {
                 *sum += v;
             }
@@ -402,6 +409,13 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
     })
     .collect();
 
+    // Nearest-rank median of every measured single-inference total: the
+    // latency a one-request batch sees in process, without wire framing
+    // or queueing — the floor the serving bencher's p50 is read against.
+    single_request_ns.sort_by(|a, b| a.total_cmp(b));
+    let single_request_ns_p50 =
+        single_request_ns.get(single_request_ns.len().saturating_sub(1) / 2).copied().unwrap_or(0.0);
+
     let per_inf = best_total / batch as f64;
     DeviceRunnerRow {
         workload: "CNN-1-class".to_string(),
@@ -409,6 +423,7 @@ fn measure_device_runner(batch: usize, reps: usize) -> DeviceRunnerRow {
         batch,
         ns_per_inference: per_inf,
         inferences_per_s: 1e9 / per_inf,
+        single_request_ns_p50,
         layers: labels
             .into_iter()
             .zip(best_layers)
@@ -678,6 +693,10 @@ fn main() {
         );
     }
     println!("{:<28} {:>14.0} {:>6.1}%", "total", device_runner.ns_per_inference, 100.0);
+    println!(
+        "single-request p50 (in-process reference for the serving bencher): {:.0} ns",
+        device_runner.single_request_ns_p50
+    );
     println!("\nconv phase breakdown (weight-stationary schedule):");
     println!("{:<28} {:>14} {:>7}", "phase", "ns/inf", "share");
     for phase in &device_runner.conv_phases {

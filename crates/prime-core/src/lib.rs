@@ -44,6 +44,7 @@ mod executor;
 mod ff_mat;
 mod insitu;
 mod runner;
+mod service;
 mod system;
 
 pub use api::{CompiledProgram, NnParamFile, PrimeProgram};
@@ -54,4 +55,5 @@ pub use executor::{ExecutionStats, FfExecutor};
 pub use ff_mat::{FfMat, MatDatapath, MatScratch};
 pub use insitu::{InSituEpoch, InSituMlp};
 pub use runner::{CommandRunner, ConvPhases, InferScratch};
+pub use service::SystemHandle;
 pub use system::{DeployStats, PrimeSystem, SystemStats};

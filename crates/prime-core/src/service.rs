@@ -1,0 +1,152 @@
+//! A `Send + Sync` service handle over [`PrimeSystem`].
+//!
+//! [`PrimeSystem`] is a plain owned value: inference takes `&mut self`
+//! (scratch buffers, RNG streams, and stats live inside), so a server
+//! that fields requests from many connection threads needs one object
+//! that serializes access. [`SystemHandle`] is that object — a cheaply
+//! cloneable handle whose clones all drive the same deployed system
+//! behind a mutex. Lock poisoning is absorbed rather than propagated
+//! (the system's state is a deterministic function of deploy + inputs,
+//! so a panicked *caller* cannot leave the hardware model half-written:
+//! every mutation path either completes or returns a typed error).
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use prime_device::NoiseModel;
+use prime_nn::Network;
+
+use crate::error::PrimeError;
+use crate::system::{DeployStats, PrimeSystem, SystemStats};
+
+/// A cloneable, thread-safe handle to one shared [`PrimeSystem`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use prime_core::{PrimeSystem, SystemHandle};
+/// use prime_nn::{Activation, FullyConnected, Layer, Network};
+///
+/// let net = Network::new(vec![
+///     Layer::Fc(FullyConnected::new(16, 4, Activation::Identity)),
+/// ])?;
+/// let mut system = PrimeSystem::new(2, 2, 8, 4096);
+/// system.deploy(&net, &[0.5; 16])?;
+/// let handle = SystemHandle::new(system);
+/// let worker = handle.clone();
+/// std::thread::spawn(move || {
+///     let _ = worker.infer_batch(&[vec![0.2; 16]]);
+/// });
+/// let outputs = handle.infer_batch(&[vec![0.8; 16]])?;
+/// assert_eq!(outputs.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemHandle {
+    inner: Arc<Mutex<PrimeSystem>>,
+}
+
+impl SystemHandle {
+    /// Wraps a system (deployed or not) in a shared handle.
+    pub fn new(system: PrimeSystem) -> Self {
+        SystemHandle { inner: Arc::new(Mutex::new(system)) }
+    }
+
+    /// Runs `f` with exclusive access to the system. The escape hatch
+    /// for anything without a dedicated forwarding method.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PrimeSystem) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// [`PrimeSystem::deploy`] behind the lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrimeSystem::deploy`].
+    pub fn deploy(&self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
+        self.with(|s| s.deploy(net, calibration))
+    }
+
+    /// [`PrimeSystem::infer_batch`] behind the lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrimeSystem::infer_batch`].
+    pub fn infer_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, PrimeError> {
+        self.with(|s| s.infer_batch(inputs))
+    }
+
+    /// [`PrimeSystem::infer_batch_noisy`] behind the lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrimeSystem::infer_batch_noisy`].
+    pub fn infer_batch_noisy(
+        &self,
+        inputs: &[Vec<f32>],
+        noise: &NoiseModel,
+        seed: u64,
+    ) -> Result<Vec<Vec<f32>>, PrimeError> {
+        self.with(|s| s.infer_batch_noisy(inputs, noise, seed))
+    }
+
+    /// [`PrimeSystem::stats`] behind the lock.
+    pub fn stats(&self) -> SystemStats {
+        self.with(|s| s.stats())
+    }
+
+    /// [`PrimeSystem::deploy_stats`] behind the lock (copied out).
+    pub fn deploy_stats(&self) -> Option<DeployStats> {
+        self.with(|s| s.deploy_stats().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prime_nn::{Activation, FullyConnected, Layer};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn deployed_handle() -> SystemHandle {
+        let mut net = Network::new(vec![
+            Layer::Fc(FullyConnected::new(12, 8, Activation::Relu)),
+            Layer::Fc(FullyConnected::new(8, 3, Activation::Identity)),
+        ])
+        .expect("widths match");
+        net.init_random(&mut SmallRng::seed_from_u64(5));
+        let mut system = PrimeSystem::new(2, 2, 4, 2048);
+        system.deploy(&net, &[0.5; 12]).expect("fits");
+        SystemHandle::new(system)
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<SystemHandle>();
+    }
+
+    #[test]
+    fn clones_share_one_system_across_threads() {
+        let handle = deployed_handle();
+        let input: Vec<f32> = (0..12).map(|j| (j % 7) as f32 / 7.0).collect();
+        let expected = handle.infer_batch(std::slice::from_ref(&input)).unwrap();
+        let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let h = handle.clone();
+                    let input = input.clone();
+                    scope.spawn(move || h.infer_batch(&[input]).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .collect()
+        });
+        for got in results {
+            assert_eq!(got, expected, "shared system diverged across threads");
+        }
+        // 1 warm-up + 4 threaded inferences all landed on the same stats.
+        assert_eq!(handle.stats().inferences, 5);
+    }
+}

@@ -1,0 +1,373 @@
+//! Open-loop load driver for `prime-serve`.
+//!
+//! Drives each model of the standard registry at a *target request
+//! rate*: request `i` is scheduled at `start + i/rate` regardless of
+//! how earlier requests fared, and latency is measured from the
+//! **scheduled** send time — so a stalled server shows up as growing
+//! tail latency instead of silently throttling the load
+//! (coordinated-omission-safe). Requests round-robin over a small pool
+//! of blocking connections; a slow response delays only later requests
+//! on the *same* connection, and that delay is charged to them.
+//!
+//! By default the bencher self-hosts a loopback server (the standard
+//! MLP-M-class + CNN-1-class registry on `127.0.0.1:0`), drives it,
+//! shuts it down gracefully, and writes `BENCH_serve.json` — an object
+//! with the same `meta` block shape as `BENCH_throughput.json`
+//! (`host_cpu_cores` + `note`) and one section per model carrying
+//! p50/p95/p99 latency and achieved throughput. The device-runner
+//! `single_request_ns_p50` row in `BENCH_throughput.json` is the
+//! in-process reference: served p50 minus it is wire + batching cost.
+//!
+//! ```text
+//! prime-bencher [--smoke] [--baseline BENCH_baseline.json]
+//!               [--addr host:port] [--rate R] [--duration SECS]
+//!               [--connections C]
+//! ```
+//!
+//! `--smoke` (CI) runs ~2 s per model at low rate, skips the JSON, and
+//! with `--baseline` gates on the `serve` section of
+//! `BENCH_baseline.json`: completion rate at least
+//! `min_completion_rate` and shed rate at most `max_shed_rate`.
+//! Absolute latency is *not* gated — the CI container is single-core,
+//! so server and clients share one CPU and tails are scheduler noise.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use prime_device::NoiseModel;
+use prime_serve::workloads::{sample_input, standard_registry, CNN_1, CNN_1_WIDTH, MLP_M, MLP_M_WIDTH};
+use prime_serve::{BatchConfig, Client, Response, Server};
+use serde::{Deserialize, Serialize};
+
+/// Run-level metadata, schema-compatible with `BENCH_throughput.json`.
+#[derive(Serialize)]
+struct Meta {
+    host_cpu_cores: Option<usize>,
+    note: String,
+}
+
+/// Latency percentiles over successful responses, nanoseconds.
+#[derive(Serialize)]
+struct LatencyNs {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+}
+
+/// One model driven at one target rate.
+#[derive(Serialize)]
+struct Section {
+    model: String,
+    target_rate_per_s: f64,
+    duration_s: f64,
+    connections: usize,
+    requests_sent: usize,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    /// `ok / requests_sent`.
+    completion_rate: f64,
+    /// `shed / requests_sent`.
+    shed_rate: f64,
+    /// Successful responses per second of wall clock.
+    achieved_rate_per_s: f64,
+    latency_ns: LatencyNs,
+}
+
+#[derive(Serialize)]
+struct Report {
+    meta: Meta,
+    sections: Vec<Section>,
+}
+
+/// The `serve` section of the pinned `BENCH_baseline.json`.
+#[derive(Deserialize)]
+struct ServeBaseline {
+    /// Highest tolerated `shed_rate` in any section.
+    max_shed_rate: f64,
+    /// Lowest tolerated `completion_rate` in any section.
+    min_completion_rate: f64,
+}
+
+/// `BENCH_baseline.json` seen through the bencher's eyes: only the
+/// `serve` key matters here (the vendored serde ignores the rest).
+#[derive(Deserialize)]
+struct BaselineFile {
+    serve: ServeBaseline,
+}
+
+/// What to drive: model name, input width, rate, duration.
+struct Plan {
+    model: &'static str,
+    width: usize,
+    rate_per_s: f64,
+    duration_s: f64,
+}
+
+enum Outcome {
+    Ok(f64),
+    Shed,
+    Error,
+}
+
+fn arg_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .map(|i| argv.get(i + 1).unwrap_or_else(|| panic!("{flag} takes a value")).clone())
+}
+
+fn parsed_arg<T: std::str::FromStr>(argv: &[String], flag: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    arg_value(argv, flag).map(|text| {
+        text.parse().unwrap_or_else(|e| panic!("{flag} {text} does not parse: {e}"))
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Drives one model open-loop and reduces the outcomes to a section.
+fn drive(addr: SocketAddr, plan: &Plan, connections: usize) -> Section {
+    let total = (plan.rate_per_s * plan.duration_s).ceil() as usize;
+    let interval = Duration::from_secs_f64(1.0 / plan.rate_per_s);
+    let start = Instant::now();
+    let per_thread: Vec<Vec<Outcome>> = std::thread::scope(|scope| {
+        (0..connections)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let mut client = Client::connect_timeout(&addr, Duration::from_secs(5))
+                        .unwrap_or_else(|e| panic!("bencher cannot connect: {e}"));
+                    let mut outcomes = Vec::new();
+                    let mut i = tid;
+                    while i < total {
+                        let scheduled = start + interval.mul_f64(i as f64);
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now())
+                        {
+                            std::thread::sleep(wait);
+                        }
+                        let outcome = match client
+                            .infer(plan.model, sample_input(plan.width, i))
+                        {
+                            Ok(Response::Output { .. }) => {
+                                // Open-loop latency: completion minus the
+                                // *scheduled* send time.
+                                Outcome::Ok(
+                                    scheduled.elapsed().as_secs_f64() * 1e9,
+                                )
+                            }
+                            Ok(Response::Overloaded { .. }) => Outcome::Shed,
+                            Ok(Response::Error { .. }) | Err(_) => Outcome::Error,
+                        };
+                        outcomes.push(outcome);
+                        i += connections;
+                    }
+                    outcomes
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("bencher thread panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
+    for outcome in per_thread.into_iter().flatten() {
+        match outcome {
+            Outcome::Ok(ns) => {
+                ok += 1;
+                latencies.push(ns);
+            }
+            Outcome::Shed => shed += 1,
+            Outcome::Error => errors += 1,
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Section {
+        model: plan.model.to_string(),
+        target_rate_per_s: plan.rate_per_s,
+        duration_s: plan.duration_s,
+        connections,
+        requests_sent: total,
+        ok,
+        shed,
+        errors,
+        completion_rate: ok as f64 / total.max(1) as f64,
+        shed_rate: shed as f64 / total.max(1) as f64,
+        achieved_rate_per_s: ok as f64 / wall_s,
+        latency_ns: LatencyNs {
+            p50: percentile(&latencies, 50.0),
+            p95: percentile(&latencies, 95.0),
+            p99: percentile(&latencies, 99.0),
+            max: latencies.last().copied().unwrap_or(0.0),
+        },
+    }
+}
+
+/// Holds every section to the pinned `serve` baseline; exits nonzero on
+/// violation so the CI smoke step fails.
+fn check_baseline(sections: &[Section], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
+    let baseline: BaselineFile = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} does not parse: {e}"));
+    let serve = baseline.serve;
+    let mut failed = false;
+    for s in sections {
+        if s.completion_rate < serve.min_completion_rate {
+            eprintln!(
+                "BASELINE REGRESSION: {} completion rate {:.3} below {:.3} \
+                 ({} ok / {} sent, {} errors)",
+                s.model, s.completion_rate, serve.min_completion_rate, s.ok,
+                s.requests_sent, s.errors
+            );
+            failed = true;
+        }
+        if s.shed_rate > serve.max_shed_rate {
+            eprintln!(
+                "BASELINE REGRESSION: {} shed rate {:.3} above {:.3} ({} shed)",
+                s.model, s.shed_rate, serve.max_shed_rate, s.shed
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "baseline check: completion >= {:.2} and shed <= {:.2} on every section — ok",
+        serve.min_completion_rate, serve.max_shed_rate
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let baseline_path = arg_value(&argv, "--baseline");
+    let external_addr: Option<SocketAddr> = parsed_arg(&argv, "--addr");
+    let connections = parsed_arg(&argv, "--connections").unwrap_or(if smoke { 2 } else { 4 });
+
+    // Rates sit well under the engines' measured capacity (~415/s
+    // MLP-M-class, ~8500/s CNN-1-class in BENCH_throughput.json), so a
+    // healthy server completes everything without shedding.
+    let mut plans = if smoke {
+        vec![
+            Plan { model: MLP_M, width: MLP_M_WIDTH, rate_per_s: 15.0, duration_s: 2.0 },
+            Plan { model: CNN_1, width: CNN_1_WIDTH, rate_per_s: 40.0, duration_s: 2.0 },
+        ]
+    } else {
+        vec![
+            Plan { model: MLP_M, width: MLP_M_WIDTH, rate_per_s: 40.0, duration_s: 6.0 },
+            Plan { model: CNN_1, width: CNN_1_WIDTH, rate_per_s: 200.0, duration_s: 6.0 },
+        ]
+    };
+    if let Some(rate) = parsed_arg::<f64>(&argv, "--rate") {
+        for plan in &mut plans {
+            plan.rate_per_s = rate;
+        }
+    }
+    if let Some(duration) = parsed_arg::<f64>(&argv, "--duration") {
+        for plan in &mut plans {
+            plan.duration_s = duration;
+        }
+    }
+
+    // Self-host a loopback server unless --addr points elsewhere.
+    let hosted = match external_addr {
+        Some(_) => None,
+        None => {
+            println!("deploying loopback registry ({MLP_M}, {CNN_1})...");
+            let registry =
+                standard_registry(BatchConfig::default_online(), NoiseModel::default())
+                    .unwrap_or_else(|e| panic!("registry failed to deploy: {e}"));
+            let server = Server::bind("127.0.0.1:0", registry)
+                .unwrap_or_else(|e| panic!("cannot bind loopback: {e}"));
+            let addr = server.local_addr().expect("bound socket has an address");
+            let stop = server.shutdown_handle().expect("bound socket has an address");
+            let runner = std::thread::spawn(move || server.run());
+            Some((addr, stop, runner))
+        }
+    };
+    let addr = match (&hosted, external_addr) {
+        (_, Some(addr)) => addr,
+        (Some((addr, _, _)), None) => *addr,
+        (None, None) => unreachable!("either hosted or external"),
+    };
+    println!("driving {addr} with {connections} connections per model\n");
+
+    let mut sections = Vec::new();
+    println!(
+        "{:<14} {:>8} {:>6} {:>6} {:>5} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "model", "target/s", "sent", "ok", "shed", "err", "achieved/s", "p50 ms", "p95 ms",
+        "p99 ms"
+    );
+    for plan in &plans {
+        let section = drive(addr, plan, connections);
+        println!(
+            "{:<14} {:>8.0} {:>6} {:>6} {:>5} {:>5} {:>12.1} {:>12.3} {:>12.3} {:>12.3}",
+            section.model,
+            section.target_rate_per_s,
+            section.requests_sent,
+            section.ok,
+            section.shed,
+            section.errors,
+            section.achieved_rate_per_s,
+            section.latency_ns.p50 / 1e6,
+            section.latency_ns.p95 / 1e6,
+            section.latency_ns.p99 / 1e6
+        );
+        sections.push(section);
+    }
+
+    if let Some((_, stop, runner)) = hosted {
+        stop.shutdown();
+        match runner.join().expect("server thread panicked") {
+            Ok(stats) => {
+                println!("\nserver drained cleanly: {} connections", stats.connections);
+                for m in &stats.models {
+                    println!(
+                        "  {}: served {}, shed {}, failed {}, {} device batches",
+                        m.model, m.served, m.shed, m.failed, m.batches
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("server failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &baseline_path {
+        check_baseline(&sections, path);
+    }
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_serve.json");
+        return;
+    }
+    let report = Report {
+        meta: Meta {
+            host_cpu_cores: std::thread::available_parallelism().ok().map(|n| n.get()),
+            note: "open-loop: latency is measured from each request's scheduled send \
+                   time, so server stalls surface as tail latency; on a 1-core host \
+                   the server and the load threads share the core, so tails include \
+                   scheduler noise. Compare p50 against device_runner.single_request_ns_p50 \
+                   in BENCH_throughput.json for the wire+batching overhead."
+                .to_string(),
+        },
+        sections,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\n[wrote BENCH_serve.json]");
+}

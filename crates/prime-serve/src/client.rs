@@ -1,0 +1,119 @@
+//! A minimal blocking client for the prime-serve wire protocol.
+//!
+//! One request in flight per connection: `infer`/`infer_noisy` send a
+//! frame and block for the matching response. The server may still
+//! batch across *connections*, so concurrent clients (one per thread)
+//! exercise the collector exactly like a production open-loop load.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ClientError;
+use crate::wire::{
+    decode_response, encode_request, frame, split_frame, Mode, Request, Response,
+    MAX_FRAME_BYTES,
+};
+
+/// A blocking connection to a [`crate::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the TCP connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io {
+            context: "connect",
+            detail: e.to_string(),
+        })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1, buf: Vec::new() })
+    }
+
+    /// Connects with a timeout (useful against a server mid-startup).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the TCP connect fails or times out.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        let stream =
+            TcpStream::connect_timeout(addr, timeout).map_err(|e| ClientError::Io {
+                context: "connect",
+                detail: e.to_string(),
+            })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1, buf: Vec::new() })
+    }
+
+    /// Sends a digital-mode request and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures as [`ClientError`]; server-side
+    /// refusals arrive as `Ok(Response::Overloaded | Response::Error)`.
+    pub fn infer(&mut self, model: &str, input: Vec<f32>) -> Result<Response, ClientError> {
+        self.roundtrip(model, Mode::Digital, input)
+    }
+
+    /// Sends a seeded noisy-mode request and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::infer`].
+    pub fn infer_noisy(
+        &mut self,
+        model: &str,
+        input: Vec<f32>,
+        seed: u64,
+    ) -> Result<Response, ClientError> {
+        self.roundtrip(model, Mode::Noisy { seed }, input)
+    }
+
+    fn roundtrip(
+        &mut self,
+        model: &str,
+        mode: Mode,
+        input: Vec<f32>,
+    ) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request { id, model: model.to_string(), mode, input };
+        let bytes = frame(&encode_request(&request));
+        self.stream.write_all(&bytes).map_err(|e| ClientError::Io {
+            context: "send",
+            detail: e.to_string(),
+        })?;
+        let response = self.read_response()?;
+        if response.id() != id {
+            return Err(ClientError::IdMismatch { expected: id, got: response.id() });
+        }
+        Ok(response)
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        loop {
+            if let Some((payload, consumed)) = split_frame(&self.buf, MAX_FRAME_BYTES)? {
+                let response = decode_response(payload)?;
+                self.buf.drain(..consumed);
+                return Ok(response);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).map_err(|e| ClientError::Io {
+                context: "recv",
+                detail: e.to_string(),
+            })?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Typed errors for the serving stack. Library code in this crate never
+//! panics (prime-lint P051): every failure surfaces as one of these.
+
+use std::fmt;
+
+use prime_analyze::Diagnostic;
+use prime_core::PrimeError;
+
+use crate::wire::WireError;
+
+/// Server-side failure: registration, binding, or transport.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io {
+        /// What was being attempted (`"bind"`, `"accept"`, ...).
+        context: &'static str,
+        /// The OS error text.
+        detail: String,
+    },
+    /// A frame or payload was malformed.
+    Wire(WireError),
+    /// A model was registered whose deployment the static verifier
+    /// rejected. `diagnostics` leads with the serving-layer P031
+    /// summary followed by the deploy refusal's own findings.
+    NotServable {
+        /// The model that cannot be served.
+        model: String,
+        /// P031 plus the deploy rejection's diagnostics.
+        diagnostics: Vec<Diagnostic>,
+    },
+    /// A model's deployment failed for a non-verifier reason.
+    Deploy {
+        /// The model being deployed.
+        model: String,
+        /// The underlying deploy error.
+        error: PrimeError,
+    },
+    /// Two models were registered under one name.
+    DuplicateModel {
+        /// The colliding name.
+        model: String,
+    },
+    /// A server was started with an empty registry.
+    NoModels,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, detail } => write!(f, "{context} failed: {detail}"),
+            ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::NotServable { model, diagnostics } => {
+                write!(f, "model `{model}` is not servable:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            ServeError::Deploy { model, error } => {
+                write!(f, "deploying model `{model}` failed: {error}")
+            }
+            ServeError::DuplicateModel { model } => {
+                write!(f, "model `{model}` is already registered")
+            }
+            ServeError::NoModels => f.write_str("the registry has no models to serve"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// Client-side failure: transport, protocol, or correlation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket operation failed.
+    Io {
+        /// What was being attempted (`"connect"`, `"send"`, `"recv"`).
+        context: &'static str,
+        /// The OS error text.
+        detail: String,
+    },
+    /// A response frame was malformed.
+    Wire(WireError),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// A response arrived for a different request id than the one in
+    /// flight (protocol violation for the synchronous client).
+    IdMismatch {
+        /// The id the client sent.
+        expected: u64,
+        /// The id the response carried.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io { context, detail } => write!(f, "{context} failed: {detail}"),
+            ClientError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+            ClientError::IdMismatch { expected, got } => {
+                write!(f, "response id {got} does not match request id {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}

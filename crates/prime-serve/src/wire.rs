@@ -1,0 +1,471 @@
+//! Length-prefixed binary wire protocol for `prime-serve`.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload
+//! length followed by exactly that many payload bytes. The payload is a
+//! tag byte and a fixed field sequence per message kind (DESIGN.md §14).
+//! All integers are little-endian; strings are a `u16` byte length plus
+//! UTF-8 bytes; `f32` vectors are a `u32` element count plus the raw IEEE
+//! bit patterns, so every value — including NaNs and negative zero —
+//! round-trips losslessly.
+//!
+//! Decoding is total: any byte sequence either decodes to a typed message
+//! or returns a typed [`WireError`]. There are no panic paths, extending
+//! the repo's no-panic guarantee (prime-lint P051) to the network edge.
+//! Decoders consume the payload exactly; trailing bytes are an error, so
+//! a frame is never silently reinterpreted.
+
+use std::fmt;
+
+/// Default ceiling on one frame's payload size. A 1 MiB frame holds a
+/// ~260k-element input vector — far above any deployed model's width —
+/// so anything larger is a protocol error (or an attack), not a request.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Typed decode/framing failure. Every malformed input maps to one of
+/// these; the codec never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field's bytes (`needed` more than the
+    /// `remaining` bytes left).
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually left in the payload.
+        remaining: usize,
+    },
+    /// A frame header announced a payload larger than the agreed limit.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The receiver's frame limit.
+        limit: u32,
+    },
+    /// An unknown message or mode tag.
+    BadTag {
+        /// What was being decoded (`"request"`, `"response"`, `"mode"`).
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string field's bytes are not valid UTF-8.
+    BadUtf8,
+    /// The payload decoded fully but `extra` bytes were left over.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "frame truncated: field needs {needed} bytes, {remaining} left")
+            }
+            WireError::Oversized { len, limit } => {
+                write!(f, "frame payload of {len} bytes exceeds the {limit}-byte limit")
+            }
+            WireError::BadTag { context, tag } => {
+                write!(f, "unknown {context} tag {tag:#04x}")
+            }
+            WireError::BadUtf8 => f.write_str("string field is not valid UTF-8"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// How an inference request wants the model evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exact digital evaluation (`PrimeSystem::infer_batch`).
+    Digital,
+    /// Seeded noisy-analog evaluation
+    /// (`PrimeSystem::infer_batch_noisy` with the server's configured
+    /// noise model). Noisy requests are never coalesced with other
+    /// requests: each runs as its own batch so the response is
+    /// bit-identical to a direct single-input call with the same seed.
+    Noisy {
+        /// RNG seed for the per-bank noise streams.
+        seed: u64,
+    },
+}
+
+/// One inference request. `id` is chosen by the client and echoed on the
+/// matching response, so clients may pipeline requests on one connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Name of the deployed model to run.
+    pub model: String,
+    /// Digital or seeded-noisy evaluation.
+    pub mode: Mode,
+    /// Input activations (must match the model's input width).
+    pub input: Vec<f32>,
+}
+
+/// One server response, correlated to its request by `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The inference completed; `values` is the model output.
+    Output {
+        /// Echoed request id.
+        id: u64,
+        /// Model output activations.
+        values: Vec<f32>,
+    },
+    /// The request was shed by admission control instead of queued: the
+    /// model's bounded queue was full. Typed so clients can distinguish
+    /// overload (retry later, back off) from failure.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// The model whose queue was full.
+        model: String,
+        /// Jobs pending at the time of the shed.
+        queue_depth: u32,
+        /// The configured admission bound.
+        queue_bound: u32,
+    },
+    /// The request was malformed or failed (unknown model, wrong input
+    /// width, execution error); `message` is human-readable.
+    Error {
+        /// Echoed request id (0 when the request never decoded).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id of any response kind.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Output { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+}
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_MODE_DIGITAL: u8 = 0x00;
+const TAG_MODE_NOISY: u8 = 0x01;
+const TAG_OUTPUT: u8 = 0x81;
+const TAG_OVERLOADED: u8 = 0x82;
+const TAG_ERROR: u8 = 0x83;
+
+/// Exact-consumption payload reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(WireError::Truncated { needed: n, remaining });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, WireError> {
+        let count = self.u32()? as usize;
+        // Reserve only after the byte count is known to be present, so a
+        // lying header cannot trigger a huge allocation.
+        let bytes = self.take(count.saturating_mul(4))?;
+        let mut values = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(4) {
+            values.push(f32::from_bits(u32::from_le_bytes([
+                chunk[0], chunk[1], chunk[2], chunk[3],
+            ])));
+        }
+        Ok(values)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let extra = self.buf.len() - self.pos;
+        if extra > 0 {
+            return Err(WireError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    // Widths past u16::MAX cannot be framed; model names are short
+    // identifiers, so clamp-by-truncation is never reachable in practice
+    // but keeps the encoder total.
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_f32_vec(out: &mut Vec<u8>, values: &[f32]) {
+    let len = values.len().min(u32::MAX as usize);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    for v in &values[..len] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encodes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + req.input.len() * 4);
+    out.push(TAG_REQUEST);
+    out.extend_from_slice(&req.id.to_le_bytes());
+    match req.mode {
+        Mode::Digital => out.push(TAG_MODE_DIGITAL),
+        Mode::Noisy { seed } => {
+            out.push(TAG_MODE_NOISY);
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+    }
+    put_string(&mut out, &req.model);
+    put_f32_vec(&mut out, &req.input);
+    out
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] on any malformed input; never panics.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_REQUEST {
+        return Err(WireError::BadTag { context: "request", tag });
+    }
+    let id = r.u64()?;
+    let mode = match r.u8()? {
+        TAG_MODE_DIGITAL => Mode::Digital,
+        TAG_MODE_NOISY => Mode::Noisy { seed: r.u64()? },
+        tag => return Err(WireError::BadTag { context: "mode", tag }),
+    };
+    let model = r.string()?;
+    let input = r.f32_vec()?;
+    r.finish()?;
+    Ok(Request { id, model, mode, input })
+}
+
+/// Encodes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::Output { id, values } => {
+            out.push(TAG_OUTPUT);
+            out.extend_from_slice(&id.to_le_bytes());
+            put_f32_vec(&mut out, values);
+        }
+        Response::Overloaded { id, model, queue_depth, queue_bound } => {
+            out.push(TAG_OVERLOADED);
+            out.extend_from_slice(&id.to_le_bytes());
+            put_string(&mut out, model);
+            out.extend_from_slice(&queue_depth.to_le_bytes());
+            out.extend_from_slice(&queue_bound.to_le_bytes());
+        }
+        Response::Error { id, message } => {
+            out.push(TAG_ERROR);
+            out.extend_from_slice(&id.to_le_bytes());
+            put_string(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] on any malformed input; never panics.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let resp = match tag {
+        TAG_OUTPUT => {
+            let id = r.u64()?;
+            let values = r.f32_vec()?;
+            Response::Output { id, values }
+        }
+        TAG_OVERLOADED => {
+            let id = r.u64()?;
+            let model = r.string()?;
+            let queue_depth = r.u32()?;
+            let queue_bound = r.u32()?;
+            Response::Overloaded { id, model, queue_depth, queue_bound }
+        }
+        TAG_ERROR => {
+            let id = r.u64()?;
+            let message = r.string()?;
+            Response::Error { id, message }
+        }
+        tag => return Err(WireError::BadTag { context: "response", tag }),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Prepends the `u32` little-endian length header to a payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len().min(u32::MAX as usize);
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&payload[..len]);
+    out
+}
+
+/// Splits one frame off the front of `bytes`.
+///
+/// Returns `Ok(None)` when `bytes` holds a partial frame (more input
+/// needed), `Ok(Some((payload, consumed)))` for a complete frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the header announces more than `limit`
+/// payload bytes.
+pub fn split_frame(bytes: &[u8], limit: u32) -> Result<Option<(&[u8], usize)>, WireError> {
+    if bytes.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > limit {
+        return Err(WireError::Oversized { len, limit });
+    }
+    let total = 4 + len as usize;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((&bytes[4..total], total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 42,
+            model: "mlp".to_string(),
+            mode: Mode::Noisy { seed: 0xDEAD_BEEF },
+            input: vec![0.0, -0.0, 1.5, f32::NAN, f32::INFINITY],
+        };
+        let back = decode_request(&encode_request(&req)).expect("decodes");
+        assert_eq!(back.id, req.id);
+        assert_eq!(back.model, req.model);
+        assert_eq!(back.mode, req.mode);
+        // Bit-exact comparison: NaN != NaN under PartialEq.
+        let bits: Vec<u32> = req.input.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u32> = back.input.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Output { id: 7, values: vec![1.0, 2.0] },
+            Response::Overloaded {
+                id: 9,
+                model: "cnn".to_string(),
+                queue_depth: 64,
+                queue_bound: 64,
+            },
+            Response::Error { id: 0, message: "unknown model `x`".to_string() },
+        ] {
+            assert_eq!(decode_response(&encode_response(&resp)), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error() {
+        let req = Request {
+            id: 1,
+            model: "m".to_string(),
+            mode: Mode::Digital,
+            input: vec![0.25; 3],
+        };
+        let payload = encode_request(&req);
+        for cut in 0..payload.len() {
+            let err = decode_request(&payload[..cut]).expect_err("prefix must not decode");
+            assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::BadTag { .. }),
+                "cut {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request {
+            id: 1,
+            model: "m".to_string(),
+            mode: Mode::Digital,
+            input: vec![],
+        });
+        payload.push(0xFF);
+        assert_eq!(decode_request(&payload), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut bytes = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            split_frame(&bytes, MAX_FRAME_BYTES),
+            Err(WireError::Oversized { len: MAX_FRAME_BYTES + 1, limit: MAX_FRAME_BYTES })
+        );
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_input() {
+        let framed = frame(&encode_response(&Response::Error {
+            id: 3,
+            message: "x".to_string(),
+        }));
+        for cut in 0..framed.len() {
+            assert_eq!(split_frame(&framed[..cut], MAX_FRAME_BYTES), Ok(None), "cut {cut}");
+        }
+        let (payload, consumed) =
+            split_frame(&framed, MAX_FRAME_BYTES).expect("no error").expect("complete");
+        assert_eq!(consumed, framed.len());
+        assert!(decode_response(payload).is_ok());
+    }
+}

@@ -1,0 +1,106 @@
+//! The standard serving registry: the same MLP-M-class and CNN-1-class
+//! fully-connected workloads `bench_throughput` measures, deployed with
+//! the same bank geometry, so serving-path latency numbers are directly
+//! comparable with the in-process rows in `BENCH_throughput.json`.
+
+use prime_core::PrimeSystem;
+use prime_device::NoiseModel;
+use prime_nn::{Activation, FullyConnected, Layer, Network, NnError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::batcher::BatchConfig;
+use crate::error::ServeError;
+use crate::server::Registry;
+
+/// Model name for the paper's 784-1000-500-250-10 MLP-M.
+pub const MLP_M: &str = "MLP-M-class";
+/// Model name for CNN-1's fully-connected classifier head (720-70-10).
+pub const CNN_1: &str = "CNN-1-class";
+/// The weight seed shared with `bench_throughput` (same nets, same bits).
+pub const WEIGHT_SEED: u64 = 0x5EED;
+
+/// A fully-connected ReLU stack (hidden ReLU, identity head) with
+/// seeded weights — the serving twin of `bench_throughput`'s `fc_net`.
+///
+/// # Errors
+///
+/// [`NnError`] if `widths` has fewer than two entries.
+pub fn fc_net(widths: &[usize], seed: u64) -> Result<Network, NnError> {
+    let layers = widths
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| {
+            let act = if i + 2 == widths.len() {
+                Activation::Identity
+            } else {
+                Activation::Relu
+            };
+            Layer::Fc(FullyConnected::new(w[0], w[1], act))
+        })
+        .collect();
+    let mut net = Network::new(layers)?;
+    net.init_random(&mut SmallRng::seed_from_u64(seed));
+    Ok(net)
+}
+
+/// Input width of [`MLP_M`].
+pub const MLP_M_WIDTH: usize = 784;
+/// Input width of [`CNN_1`].
+pub const CNN_1_WIDTH: usize = 720;
+
+const MLP_M_WIDTHS: &[usize] = &[784, 1000, 500, 250, 10];
+const CNN_1_WIDTHS: &[usize] = &[720, 70, 10];
+
+/// Builds the standard two-model registry ([`MLP_M`] on two banks,
+/// [`CNN_1`] on one) with one shared batching policy.
+///
+/// # Errors
+///
+/// [`ServeError`] if either deploy fails — with fixed widths and the
+/// bench geometry this indicates a regression, not bad input.
+pub fn standard_registry(batch: BatchConfig, noise: NoiseModel) -> Result<Registry, ServeError> {
+    let mut registry = Registry::new();
+    for (name, widths, banks) in
+        [(MLP_M, MLP_M_WIDTHS, 2usize), (CNN_1, CNN_1_WIDTHS, 1usize)]
+    {
+        let net = fc_net(widths, WEIGHT_SEED).map_err(|e| ServeError::Io {
+            context: "build workload",
+            detail: e.to_string(),
+        })?;
+        let calibration = vec![0.5f32; widths[0]];
+        // The bench's flat geometry: 2 subarrays x 32 mats per bank.
+        let system = PrimeSystem::new(banks, 2, 32, 8192);
+        registry.register(name, system, &net, &calibration, batch, noise)?;
+    }
+    Ok(registry)
+}
+
+/// A deterministic input for `model` (index `i` varies the pattern),
+/// matching the shape `standard_registry`'s models expect.
+pub fn sample_input(width: usize, i: usize) -> Vec<f32> {
+    (0..width).map(|j| ((i * 7 + j * 3) % 17) as f32 / 17.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_serves_both_bench_models() {
+        let registry =
+            standard_registry(BatchConfig::default_online(), NoiseModel::default())
+                .expect("bench workloads deploy");
+        assert_eq!(registry.model_names(), vec![MLP_M.to_string(), CNN_1.to_string()]);
+    }
+
+    #[test]
+    fn fc_net_widths_match_the_bench_topologies() {
+        let mlp = fc_net(MLP_M_WIDTHS, WEIGHT_SEED).expect("builds");
+        assert_eq!(mlp.inputs(), MLP_M_WIDTH);
+        assert_eq!(mlp.outputs(), 10);
+        let cnn = fc_net(CNN_1_WIDTHS, WEIGHT_SEED).expect("builds");
+        assert_eq!(cnn.inputs(), CNN_1_WIDTH);
+        assert_eq!(cnn.outputs(), 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based coverage of the prime-serve wire codec.
+//!
+//! Three contracts, each over arbitrary generated values:
+//!
+//! 1. **Lossless round trip** — every request/response encodes and
+//!    decodes back to an equal value, with `f32`s compared as IEEE bit
+//!    patterns (NaN payloads, infinities, and negative zero included).
+//! 2. **Canonical encoding** — whenever arbitrary bytes happen to
+//!    decode, re-encoding reproduces the original bytes exactly (every
+//!    message has one wire form).
+//! 3. **Totality** — truncated, garbage, and oversized inputs return
+//!    typed [`WireError`]s; no input panics the decoder.
+
+use proptest::prelude::*;
+
+use prime_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, frame, split_frame,
+    Mode, Request, Response, WireError, MAX_FRAME_BYTES,
+};
+
+/// Bit patterns of an `f32` slice: the NaN-safe equality domain.
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Arbitrary model/message strings. The vendored proptest has no string
+/// strategy, so bytes are mapped through `char::from` (Latin-1), which
+/// also exercises multi-byte UTF-8 encodings past 0x7F.
+fn any_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+/// Arbitrary `f32` vectors drawn from raw bit patterns, covering NaNs,
+/// infinities, subnormals, and both zeros.
+fn any_f32_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(any::<u32>(), 0..48)
+        .prop_map(|words| words.into_iter().map(f32::from_bits).collect())
+}
+
+fn any_mode() -> impl Strategy<Value = Mode> {
+    (any::<bool>(), any::<u64>()).prop_map(|(noisy, seed)| {
+        if noisy {
+            Mode::Noisy { seed }
+        } else {
+            Mode::Digital
+        }
+    })
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    (any::<u64>(), any_string(), any_mode(), any_f32_vec())
+        .prop_map(|(id, model, mode, input)| Request { id, model, mode, input })
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    (0u8..3, any::<u64>(), any_string(), any_f32_vec(), any::<u32>(), any::<u32>()).prop_map(
+        |(kind, id, text, values, depth, bound)| match kind {
+            0 => Response::Output { id, values },
+            1 => Response::Overloaded {
+                id,
+                model: text,
+                queue_depth: depth,
+                queue_bound: bound,
+            },
+            _ => Response::Error { id, message: text },
+        },
+    )
+}
+
+proptest! {
+    /// Requests survive encode -> decode bit-exactly.
+    #[test]
+    fn requests_round_trip_losslessly(req in any_request()) {
+        let back = decode_request(&encode_request(&req)).expect("own encoding decodes");
+        prop_assert_eq!(back.id, req.id);
+        prop_assert_eq!(&back.model, &req.model);
+        prop_assert_eq!(back.mode, req.mode);
+        prop_assert_eq!(bits(&back.input), bits(&req.input));
+    }
+
+    /// Responses survive encode -> decode bit-exactly.
+    #[test]
+    fn responses_round_trip_losslessly(resp in any_response()) {
+        let back = decode_response(&encode_response(&resp)).expect("own encoding decodes");
+        match (&back, &resp) {
+            (Response::Output { id: a, values: va }, Response::Output { id: b, values: vb }) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(bits(va), bits(vb));
+            }
+            _ => prop_assert_eq!(&back, &resp),
+        }
+    }
+
+    /// Framing is transparent: one whole frame splits back to the exact
+    /// payload, and every strict prefix asks for more input.
+    #[test]
+    fn framing_round_trips_and_prefixes_are_partial(req in any_request()) {
+        let payload = encode_request(&req);
+        let framed = frame(&payload);
+        let (split, consumed) = split_frame(&framed, MAX_FRAME_BYTES)
+            .expect("within limit")
+            .expect("complete frame");
+        prop_assert_eq!(split, &payload[..]);
+        prop_assert_eq!(consumed, framed.len());
+        for cut in 0..framed.len() {
+            prop_assert_eq!(split_frame(&framed[..cut], MAX_FRAME_BYTES), Ok(None));
+        }
+    }
+
+    /// Every strict prefix of a valid payload is a typed decode error —
+    /// never a panic, never a bogus success.
+    #[test]
+    fn truncated_payloads_are_typed_errors(req in any_request()) {
+        let payload = encode_request(&req);
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(
+                    WireError::Truncated { .. }
+                    | WireError::BadTag { .. }
+                    | WireError::BadUtf8,
+                ) => {}
+                other => prop_assert!(false, "cut {}: unexpected {:?}", cut, other),
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic either decoder, and anything that
+    /// does decode re-encodes to the identical bytes (the wire form is
+    /// canonical).
+    #[test]
+    fn garbage_never_panics_and_successes_are_canonical(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        if let Ok(req) = decode_request(&bytes) {
+            prop_assert_eq!(encode_request(&req), bytes.clone());
+        }
+        if let Ok(resp) = decode_response(&bytes) {
+            prop_assert_eq!(encode_response(&resp), bytes.clone());
+        }
+    }
+
+    /// Headers announcing more than the limit are rejected as
+    /// `Oversized` no matter what follows them.
+    #[test]
+    fn oversized_headers_are_rejected(
+        (excess, tail) in (1u32..1024, proptest::collection::vec(any::<u8>(), 0..32)),
+    ) {
+        let len = MAX_FRAME_BYTES + excess;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(
+            split_frame(&bytes, MAX_FRAME_BYTES),
+            Err(WireError::Oversized { len, limit: MAX_FRAME_BYTES })
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`nn`] | `prime-nn` | tensors, dynamic fixed point, layers, training, MlBench workloads |
 //! | [`compiler`] | `prime-compiler` | NN-to-crossbar mapping (replication / split-merge / inter-bank) |
 //! | [`core`] | `prime-core` | FF mats, Buffer subarrays, the PRIME controller, the Fig. 7 API |
+//! | [`serve`] | `prime-serve` | TCP inference serving: wire protocol, batch collector, admission control, load bencher |
 //! | [`sim`] | `prime-sim` | machine models and the figure-regeneration experiments |
 //!
 //! # Examples
@@ -52,4 +53,5 @@ pub use prime_core as core;
 pub use prime_device as device;
 pub use prime_mem as mem;
 pub use prime_nn as nn;
+pub use prime_serve as serve;
 pub use prime_sim as sim;

@@ -16,8 +16,18 @@
 //! Workloads with no in-memory lowering (LRN host fallback) are reported
 //! and skipped.
 //!
+//! With `--candidates`, verifies the *entire enumerated candidate space*
+//! the mapping search scores ([`prime_compiler::enumerate_candidates`])
+//! instead of the two fixed strategies: every candidate must either pass
+//! Pass 1 (and Pass 3 where a lowering exists) or fail to map with a
+//! typed compile error — the search driver prunes those — and the
+//! fixed-default candidate must always be verifier-clean, because it is
+//! the search's tie-break anchor. Since the searched mapping is by
+//! construction one of these candidates, a clean candidate sweep
+//! subsumes verifying whatever the search picks.
+//!
 //! ```text
-//! analyze-workloads [--json] [--program]
+//! analyze-workloads [--json] [--program] [--candidates]
 //! ```
 
 use std::process::ExitCode;
@@ -26,25 +36,100 @@ use prime_analyze::{
     analyze, analyze_program, has_errors, lower_program, render_human, render_json,
     Severity, Target,
 };
-use prime_compiler::{map_network, CompileOptions, MappingStrategy};
+use prime_compiler::{enumerate_candidates, map_network, CompileOptions, MappingStrategy};
 use prime_nn::MlBench;
 
 const STRATEGIES: [MappingStrategy; 2] =
     [MappingStrategy::ReplicateDense, MappingStrategy::SharedKernel];
 
+/// Verifies every enumerated search candidate for every workload: clean,
+/// or pruned by a typed compile error; the fixed-default candidate (index
+/// 0) must be clean. Returns `true` when the gate fails.
+fn check_candidates(target: &Target, json: bool) -> bool {
+    let mut failed = false;
+    for bench in MlBench::ALL {
+        let spec = bench.spec();
+        let candidates = enumerate_candidates(&spec, &target.hw);
+        let mut clean = 0usize;
+        let mut pruned = 0usize;
+        for (idx, options) in candidates.iter().enumerate() {
+            let label = format!(
+                "{}[{} cap={} copies={}]",
+                bench.name(),
+                options.strategy().name(),
+                options.stage_mats_cap,
+                options.max_copies
+            );
+            let mapping = match map_network(&spec, &target.hw, *options) {
+                Ok(mapping) => mapping,
+                Err(err) => {
+                    // The search driver prunes unmappable candidates; only
+                    // the fixed default is required to map.
+                    pruned += 1;
+                    if idx == 0 {
+                        eprintln!("{label}: fixed default failed to map: {err}");
+                        failed = true;
+                    }
+                    continue;
+                }
+            };
+            let mut diags = analyze(&spec, target, &mapping);
+            if let Ok(plan) = lower_program(&spec, target, &mapping) {
+                diags.extend(analyze_program(&spec, target, &mapping, &plan));
+            }
+            if has_errors(&diags) {
+                // Verifier-rejected candidates are pruned, not errors —
+                // except the fixed default, the search's tie-break anchor.
+                pruned += 1;
+                if idx == 0 {
+                    eprintln!("{label}: fixed default drew errors:");
+                    eprint!("{}", render_human(&diags));
+                    failed = true;
+                }
+            } else {
+                clean += 1;
+            }
+        }
+        if json {
+            println!(
+                "{{\"workload\":\"{}\",\"candidates\":{},\"clean\":{clean},\"pruned\":{pruned}}}",
+                bench.name(),
+                candidates.len()
+            );
+        } else {
+            println!(
+                "{:8} {:24} candidates={} clean={clean} pruned={pruned}",
+                bench.name(),
+                bench.topology(),
+                candidates.len()
+            );
+        }
+        if clean == 0 {
+            eprintln!("{}: no verifier-clean candidate survives", bench.name());
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let program = args.iter().any(|a| a == "--program");
+    let candidates = args.iter().any(|a| a == "--candidates");
     let target = Target::prime_default();
     let mut failed = false;
+    if candidates {
+        failed |= check_candidates(&target, json);
+        return finish(failed);
+    }
     for strategy in STRATEGIES {
         // Deployment semantics: `PrimeSystem::deploy` maps without
         // replication (replicas get placed at deploy time); the replicated
         // mapping is an analytic utilization model, not a physical
         // placement. Tile sharing still engages for bank-parallel
         // workloads because whole-network copies alone alias every tile.
-        let options = CompileOptions { replicate: false, strategy };
+        let options = CompileOptions { replicate: false, ..CompileOptions::fixed(strategy) };
         for bench in MlBench::ALL {
             let spec = bench.spec();
             let mapping = match map_network(&spec, &target.hw, options) {
@@ -114,6 +199,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    finish(failed)
+}
+
+fn finish(failed: bool) -> ExitCode {
     if failed {
         eprintln!("analyze-workloads: FAILED");
         ExitCode::FAILURE

@@ -871,8 +871,10 @@ mod tests {
     /// (replicas are placed physically at deploy time); the replicated
     /// mapping is an analytic utilization model, not a placement, so the
     /// verifier's placement rules apply to the former.
-    const DEPLOY_OPTIONS: CompileOptions =
-        CompileOptions { replicate: false, strategy: MappingStrategy::ReplicateDense };
+    const DEPLOY_OPTIONS: CompileOptions = CompileOptions {
+        replicate: false,
+        ..CompileOptions::fixed(MappingStrategy::ReplicateDense)
+    };
 
     fn default_analyze(bench: MlBench) -> Vec<Diagnostic> {
         let spec = bench.spec();
@@ -1013,7 +1015,7 @@ mod tests {
         // still alias every tile for bank-parallel workloads, so the
         // shared-kernel legality checks run for real groups here.
         let options =
-            CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel };
+            CompileOptions { replicate: false, ..CompileOptions::fixed(MappingStrategy::SharedKernel) };
         for bench in MlBench::ALL {
             let spec = bench.spec();
             let target = Target::prime_default();
@@ -1031,7 +1033,7 @@ mod tests {
     #[test]
     fn derived_shared_layout_is_always_legal() {
         let options =
-            CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel };
+            CompileOptions { replicate: true, ..CompileOptions::fixed(MappingStrategy::SharedKernel) };
         let target = Target::prime_default();
         let mapping = map_network(&MlBench::Cnn1.spec(), &target.hw, options).unwrap();
         let groups = shared_layout(&mapping, &target);
@@ -1100,7 +1102,7 @@ mod tests {
         let spec = MlBench::VggD.spec();
         let target = Target::prime_default();
         let options =
-            CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel };
+            CompileOptions { replicate: false, ..CompileOptions::fixed(MappingStrategy::SharedKernel) };
         let mapping = map_network(&spec, &target.hw, options).unwrap();
         let diags = analyze(&spec, &target, &mapping);
         let fallback: Vec<_> =

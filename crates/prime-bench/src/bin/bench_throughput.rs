@@ -36,20 +36,36 @@
 //! engine row also reports deploy wall-time and resident bank-state
 //! bytes (`deploy_ms` / `bank_state_bytes`).
 //!
+//! A searched-vs-fixed section (`search` key) runs the cost-model-driven
+//! mapping search (`prime_core::search_mapping` under the latency
+//! objective, scored by `prime_sim::SimCostModel`) against the fixed
+//! replicate-dense default for MLP-M, CNN-1, and the full-size VGG-D,
+//! reporting per-workload candidate counts, the chosen candidate, and
+//! the searched/fixed steady-state interval ratio — which can never
+//! exceed 1.0, since the fixed default is itself a candidate.
+//!
 //! `--smoke` runs two fast configurations (one flat, one pipelined)
-//! plus the device-runner breakdown and a single-strategy VGG-D (full)
-//! deploy, and skips the JSON. With `--baseline <path>` (CI) the
-//! device-runner conv row and the VGG-D (full) deploy time are
-//! additionally checked against the pinned `BENCH_baseline.json`: the
-//! run fails if conv ns/inference, conv share, or VGG deploy wall-time
-//! regresses beyond tolerance, so a change that silently reverts the
-//! weight-stationary schedule or the replicate-by-cloning deploy fails
-//! CI rather than landing as a slow green build.
+//! plus the device-runner breakdown, a single-strategy VGG-D (full)
+//! deploy, and the (analytical, cheap) searched-vs-fixed section, and
+//! skips the JSON. With `--baseline <path>` (CI) the device-runner conv
+//! row, the VGG-D (full) deploy time, and the search interval ratios
+//! are additionally checked against the pinned `BENCH_baseline.json`:
+//! the run fails if conv ns/inference, conv share, or VGG deploy
+//! wall-time regresses beyond tolerance, or if any searched mapping
+//! scores worse than the fixed default it replaced — so a change that
+//! silently reverts the weight-stationary schedule, the
+//! replicate-by-cloning deploy, or the search's argmin rule fails CI
+//! rather than landing as a slow green build.
 
 use std::time::Instant;
 
-use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy};
-use prime_core::{BankController, CommandRunner, ConvPhases, InferScratch, PrimeSystem};
+use prime_analyze::Target;
+use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy, Objective};
+use prime_core::{
+    search_mapping, BankController, CandidateVerdict, CommandRunner, ConvPhases, InferScratch,
+    PrimeSystem,
+};
+use prime_sim::SimCostModel;
 use prime_nn::{
     Activation, Conv2d, FullyConnected, Layer, MlBench, Network, Pool2d, PoolKind,
 };
@@ -164,11 +180,46 @@ struct VggFullRow {
     strategies: Vec<VggStrategyRow>,
 }
 
+/// One workload's searched-vs-fixed comparison: the latency-objective
+/// mapping search against the fixed replicate-dense default, both
+/// scored with the analytical cost model ([`SimCostModel`]) the search
+/// itself minimizes. `interval_ratio <= 1.0` is the search's whole
+/// point — the argmin can never lose to a candidate it enumerates.
+#[derive(Serialize)]
+struct SearchRow {
+    workload: String,
+    objective: String,
+    /// Candidates the search enumerated (fixed default first).
+    candidates: usize,
+    /// Candidates the static verifiers pruned before scoring.
+    pruned: usize,
+    /// One-line description of the winning candidate.
+    chosen: String,
+    fixed_image_ns: f64,
+    fixed_interval_ns: f64,
+    searched_image_ns: f64,
+    searched_interval_ns: f64,
+    /// Searched over fixed steady-state interval; at or below 1.0 the
+    /// search never regresses on the fixed default.
+    interval_ratio: f64,
+}
+
+/// The searched-vs-fixed gate of the pinned baseline: the smoke run
+/// fails if any workload's `interval_ratio` exceeds this. Pinned at 1.0
+/// (plus a float-rounding epsilon in the check): a search that loses to
+/// its own fixed default is a selection-rule bug, not host noise.
+#[derive(Deserialize)]
+struct SearchBaseline {
+    max_interval_ratio: f64,
+}
+
 /// The pinned regression baseline (`BENCH_baseline.json`): the
 /// device-runner conv row and the full-size VGG-D deploy the CI smoke
 /// run is held to.
 #[derive(Deserialize)]
 struct Baseline {
+    /// Searched-vs-fixed mapping-search gate.
+    search: SearchBaseline,
     /// Conv-layer ns/inference of the pinned run; the smoke check fails
     /// past [`BASELINE_NS_TOLERANCE`] times this.
     device_conv_ns_per_inference: f64,
@@ -203,6 +254,9 @@ struct Report {
     rows: Vec<Row>,
     device_runner: DeviceRunnerRow,
     vgg_full: VggFullRow,
+    /// Searched-vs-fixed mapping comparison for MLP-M, CNN-1, and the
+    /// full-size VGG-D under the analytical cost model.
+    search: Vec<SearchRow>,
 }
 
 /// A fully-connected ReLU workload the command runner can execute
@@ -457,7 +511,7 @@ fn measure_vgg_full(strategies: &[MappingStrategy]) -> VggFullRow {
     let estimate = map_network(
         &spec,
         &HwTarget::prime_default(),
-        CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel },
+        CompileOptions { replicate: true, ..CompileOptions::fixed(MappingStrategy::SharedKernel) },
     )
     .expect("VGG-D maps on the paper target");
     let conv = estimate.conv_footprint();
@@ -481,7 +535,7 @@ fn measure_vgg_full(strategies: &[MappingStrategy]) -> VggFullRow {
             .deploy_with(&net, &calibration, strategy)
             .expect("full-size VGG-D deploys on the device runner");
         stages = system.deployed_stages().expect("deployed");
-        let stats = *system.deploy_stats().expect("deployed");
+        let stats = system.deploy_stats().expect("deployed").clone();
         let start = Instant::now();
         let outputs = system.infer_batch(std::slice::from_ref(&input)).expect("runs");
         let inference_s = start.elapsed().as_secs_f64();
@@ -524,9 +578,65 @@ fn measure_vgg_full(strategies: &[MappingStrategy]) -> VggFullRow {
     }
 }
 
+/// Runs the latency-objective mapping search against the fixed
+/// replicate-dense default for MLP-M, CNN-1, and the full-size VGG-D,
+/// under the same [`SimCostModel`] the serving registry deploys with.
+/// The comparison is analytical (no crossbars programmed), so the full
+/// ~1.4x10^8-synapse VGG-D costs milliseconds here, and the smoke run
+/// can afford the complete section.
+fn measure_search() -> Vec<SearchRow> {
+    use prime_nn::MlBench;
+    let target = Target::prime_default();
+    [MlBench::MlpM, MlBench::Cnn1, MlBench::VggD]
+        .into_iter()
+        .map(|bench| {
+            let spec = bench.spec();
+            let fixed = search_mapping(
+                &spec,
+                &target,
+                Objective::Fixed(MappingStrategy::ReplicateDense),
+                &SimCostModel,
+            );
+            let searched = search_mapping(&spec, &target, Objective::Latency, &SimCostModel);
+            let fixed_cost = fixed
+                .chosen()
+                .and_then(|c| c.cost)
+                .expect("the fixed default maps every paper workload");
+            let chosen = searched.chosen().expect("a candidate survives the verifiers");
+            let best = chosen.cost.expect("chosen candidates carry a score");
+            let pruned = searched
+                .candidates
+                .iter()
+                .filter(|c| matches!(c.verdict, CandidateVerdict::Pruned { .. }))
+                .count();
+            SearchRow {
+                workload: if matches!(bench, MlBench::VggD) {
+                    format!("{} (full)", bench.name())
+                } else {
+                    bench.name().to_string()
+                },
+                objective: searched.objective.name().to_string(),
+                candidates: searched.candidates.len(),
+                pruned,
+                chosen: chosen.describe(),
+                fixed_image_ns: fixed_cost.image_ns,
+                fixed_interval_ns: fixed_cost.interval_ns,
+                searched_image_ns: best.image_ns,
+                searched_interval_ns: best.interval_ns,
+                interval_ratio: best.interval_ns / fixed_cost.interval_ns,
+            }
+        })
+        .collect()
+}
+
 /// Holds the measured device-runner conv row to the pinned baseline;
 /// exits nonzero on regression so the CI smoke step fails.
-fn check_baseline(device: &DeviceRunnerRow, vgg: &VggFullRow, path: &str) {
+fn check_baseline(
+    device: &DeviceRunnerRow,
+    vgg: &VggFullRow,
+    search: &[SearchRow],
+    path: &str,
+) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("baseline {path} unreadable: {e}"));
     let baseline: Baseline = serde_json::from_str(&text)
@@ -572,13 +682,34 @@ fn check_baseline(device: &DeviceRunnerRow, vgg: &VggFullRow, path: &str) {
         );
         failed = true;
     }
+    // Searched-vs-fixed: the cost model is deterministic, so the only
+    // slack is float rounding — a searched mapping that loses to the
+    // fixed default it enumerated is a selection-rule bug.
+    let ratio_limit = baseline.search.max_interval_ratio * (1.0 + 1e-9);
+    for row in search {
+        if row.interval_ratio > ratio_limit {
+            eprintln!(
+                "BASELINE REGRESSION: {} searched/fixed interval ratio {:.6} exceeds \
+                 pinned {:.3} — the mapping search regressed on its fixed default",
+                row.workload, row.interval_ratio, baseline.search.max_interval_ratio
+            );
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
     println!(
         "baseline check: conv {:.0} ns/inference (limit {:.0}), share {:.3} \
-         (limit {:.3}), VGG-D (full) deploy {:.0} ms (limit {:.0}) — ok",
-        conv.ns_per_inference, ns_limit, conv.share, share_limit, vgg_deploy_ms, vgg_limit
+         (limit {:.3}), VGG-D (full) deploy {:.0} ms (limit {:.0}), search \
+         interval ratios within {:.3} — ok",
+        conv.ns_per_inference,
+        ns_limit,
+        conv.share,
+        share_limit,
+        vgg_deploy_ms,
+        vgg_limit,
+        baseline.search.max_interval_ratio
     );
 }
 
@@ -720,8 +851,29 @@ fn main() {
     println!("\nVGG-D (full) on the device runner:");
     let vgg_full = measure_vgg_full(vgg_strategies);
 
+    // Searched-vs-fixed mapping comparison (analytical, so cheap enough
+    // to run in full even under --smoke).
+    let search = measure_search();
+    println!("\nmapping search vs fixed default (latency objective, analytical model):");
+    println!(
+        "{:<14} {:>10} {:>7} {:>16} {:>16} {:>8}",
+        "workload", "candidates", "pruned", "fixed ns/img", "searched ns/img", "ratio"
+    );
+    for row in &search {
+        println!(
+            "{:<14} {:>10} {:>7} {:>16.0} {:>16.0} {:>8.3}",
+            row.workload,
+            row.candidates,
+            row.pruned,
+            row.fixed_interval_ns,
+            row.searched_interval_ns,
+            row.interval_ratio
+        );
+        println!("  chosen: {}", row.chosen);
+    }
+
     if let Some(path) = &baseline_path {
-        check_baseline(&device_runner, &vgg_full, path);
+        check_baseline(&device_runner, &vgg_full, &search, path);
     }
     if smoke {
         println!("\nsmoke mode: skipping BENCH_throughput.json");
@@ -737,6 +889,7 @@ fn main() {
         rows,
         device_runner,
         vgg_full,
+        search,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");

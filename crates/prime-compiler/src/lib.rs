@@ -29,8 +29,9 @@ mod target;
 
 pub use error::CompileError;
 pub use mapping::{
-    map_network, pipeline_credits, select_strategy, CompileOptions, LayerMapping,
-    LayoutFootprint, MappingStrategy, NetworkMapping, NnScale, PipelineStage,
+    enumerate_candidates, map_network, pipeline_credits, select_strategy, CompileOptions,
+    LayerMapping, LayoutFootprint, MappingStrategy, NetworkMapping, NnScale, Objective,
+    PipelineStage,
 };
 pub use placement::ImagePlacement;
 pub use target::HwTarget;

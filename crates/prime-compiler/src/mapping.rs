@@ -62,22 +62,100 @@ impl MappingStrategy {
     }
 }
 
+/// What the mapping search optimizes for.
+///
+/// `Fixed` reproduces the pre-search behavior exactly: one strategy, no
+/// candidate enumeration, bit-identical placement. The other objectives
+/// enumerate (strategy × replication factor × pipeline split) candidates,
+/// keep only those the Pass 1–3 verifiers accept, score each with a
+/// `MappingCostModel` implementation (`prime-core`), and deploy the
+/// argmin. Candidates are ordered fixed-default-first and the argmin
+/// keeps the first of any tie, so a search that finds nothing better
+/// than the default degrades to the `Fixed` placement byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// No search: compile with exactly this strategy (bit-compat path).
+    Fixed(MappingStrategy),
+    /// Minimize the pipeline-interval / per-image latency estimate.
+    Latency,
+    /// Minimize resident weight cells, breaking ties by latency.
+    Memory,
+    /// Minimize normalized latency + normalized resident cells.
+    Balanced,
+}
+
+impl Objective {
+    /// Stable lowercase name, for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Fixed(MappingStrategy::ReplicateDense) => "fixed-replicate-dense",
+            Objective::Fixed(MappingStrategy::SharedKernel) => "fixed-shared-kernel",
+            Objective::Latency => "latency",
+            Objective::Memory => "memory",
+            Objective::Balanced => "balanced",
+        }
+    }
+
+    /// The strategy a plain (non-searching) compile uses under this
+    /// objective: the pinned one for `Fixed`, the dense default otherwise.
+    pub fn strategy(&self) -> MappingStrategy {
+        match self {
+            Objective::Fixed(s) => *s,
+            _ => MappingStrategy::ReplicateDense,
+        }
+    }
+}
+
 /// Compiler knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// Enable the replication optimization (paper enables it; disabling
     /// reproduces the "before replication" utilization numbers).
     pub replicate: bool,
-    /// Requested weight-layout strategy. Each layer is scored under the
-    /// request and may individually fall back to
-    /// [`MappingStrategy::ReplicateDense`] when sharing cannot win (see
-    /// [`select_strategy`]).
-    pub strategy: MappingStrategy,
+    /// What to optimize for. [`map_network`] itself never searches — it
+    /// compiles with [`Objective::strategy`]; the search driver in
+    /// `prime-core` enumerates concrete `Fixed` candidates via
+    /// [`enumerate_candidates`] and scores them. Each layer may
+    /// individually fall back to [`MappingStrategy::ReplicateDense`] when
+    /// sharing cannot win (see [`select_strategy`]).
+    pub objective: Objective,
+    /// Cap on the FF mats one inter-bank pipeline stage may hold
+    /// (large-scale NNs only). `0` means a full bank — the paper's
+    /// heuristic. A smaller cap splits the network into more, shorter
+    /// stages, trading banks for a shorter bottleneck stage.
+    pub stage_mats_cap: usize,
+    /// Cap on whole-network copies across the memory's banks. `0` fills
+    /// every bank (the paper's heuristic); a smaller cap leaves the
+    /// remaining banks untouched as plain memory.
+    pub max_copies: usize,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { replicate: true, strategy: MappingStrategy::ReplicateDense }
+        CompileOptions {
+            replicate: true,
+            objective: Objective::Fixed(MappingStrategy::ReplicateDense),
+            stage_mats_cap: 0,
+            max_copies: 0,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The pre-search constructor: compile with exactly `strategy`,
+    /// paper-default knobs.
+    pub const fn fixed(strategy: MappingStrategy) -> Self {
+        CompileOptions {
+            replicate: true,
+            objective: Objective::Fixed(strategy),
+            stage_mats_cap: 0,
+            max_copies: 0,
+        }
+    }
+
+    /// The strategy this compile scores layers under.
+    pub fn strategy(&self) -> MappingStrategy {
+        self.objective.strategy()
     }
 }
 
@@ -419,9 +497,14 @@ pub fn map_network(
     };
     // Banks that cannot host a whole extra copy still contribute their FF
     // mats as replication space, shared evenly among the copies (paper
-    // §IV-B2: spare banks host replicas of large NNs).
-    let copies = (hw.banks / banks_per_copy).max(1);
-    let leftover_banks = hw.banks - copies * banks_per_copy;
+    // §IV-B2: spare banks host replicas of large NNs). A copy cap keeps
+    // the spare banks as plain memory instead.
+    let fill_copies = (hw.banks / banks_per_copy).max(1);
+    let (copies, leftover_banks) = if options.max_copies > 0 && options.max_copies < fill_copies {
+        (options.max_copies, 0)
+    } else {
+        (fill_copies, hw.banks - fill_copies * banks_per_copy)
+    };
     let allocated_mats =
         banks_per_copy * hw.mats_per_bank() + leftover_banks * hw.mats_per_bank() / copies;
     let allocated_cells = allocated_mats as u64 * hw.synapses_per_mat();
@@ -443,9 +526,28 @@ pub fn map_network(
         (used_after as f64 / allocated_cells as f64).min(1.0).max(utilization_before);
 
     let pipeline = if scale == NnScale::Large {
-        assign_pipeline(&layers, hw)
+        assign_pipeline(&layers, hw, options.stage_mats_cap)
     } else {
         Vec::new()
+    };
+    // A stage cap splits the pipeline over more banks than the packed
+    // estimate assumed; recompute the per-copy span (and the copy count
+    // that depends on it) from the stages actually laid out.
+    let (banks_per_copy, copies) = if let (true, Some(last)) =
+        (options.stage_mats_cap > 0, pipeline.last())
+    {
+        let spanned = last.bank + last.mats.div_ceil(hw.mats_per_bank()).max(1);
+        if spanned > hw.banks {
+            return Err(CompileError::CapacityExceeded {
+                required: spanned * hw.mats_per_bank(),
+                available: hw.total_mats(),
+            });
+        }
+        let fill = (hw.banks / spanned).max(1);
+        let capped = if options.max_copies > 0 { fill.min(options.max_copies) } else { fill };
+        (spanned, capped)
+    } else {
+        (banks_per_copy, copies)
     };
     let copies_across_memory = copies;
 
@@ -456,7 +558,7 @@ pub fn map_network(
             * (1 + layer.extra_replicas)
             * copies_across_memory)
             .max(1);
-        layer.strategy = select_strategy(layer, options.strategy);
+        layer.strategy = select_strategy(layer, options.strategy());
     }
 
     Ok(NetworkMapping {
@@ -470,22 +572,94 @@ pub fn map_network(
         utilization_after,
         copies_across_memory,
         pipeline,
-        strategy: options.strategy,
+        strategy: options.strategy(),
     })
+}
+
+/// Enumerates the candidate mapping space the search driver scores:
+/// both weight-layout strategies crossed with the pipeline-split and
+/// replication-factor knobs that make sense for this network on this
+/// target. Every candidate compiles with `replicate: false` (deploy
+/// semantics) and a pinned [`Objective::Fixed`] strategy.
+///
+/// The fixed-default candidate (`ReplicateDense`, paper knobs) comes
+/// first so a strict-argmin search that finds no strictly better
+/// candidate keeps the bit-compatible placement. Knob values are derived
+/// from the base mapping: pipeline-split caps only for large-scale NNs,
+/// copy caps only when the memory holds more than one copy. The cap
+/// dimensions are not cross-multiplied — the space stays small (≤ ~10)
+/// and every point differs from the default in one lever.
+pub fn enumerate_candidates(spec: &NetworkSpec, hw: &HwTarget) -> Vec<CompileOptions> {
+    const STRATEGIES: [MappingStrategy; 2] =
+        [MappingStrategy::ReplicateDense, MappingStrategy::SharedKernel];
+    fn deploy_opts(strategy: MappingStrategy, cap: usize, max_copies: usize) -> CompileOptions {
+        CompileOptions {
+            replicate: false,
+            objective: Objective::Fixed(strategy),
+            stage_mats_cap: cap,
+            max_copies,
+        }
+    }
+    let mut out: Vec<CompileOptions> = Vec::new();
+    let push = |out: &mut Vec<CompileOptions>, o: CompileOptions| {
+        if !out.contains(&o) {
+            out.push(o);
+        }
+    };
+    for s in STRATEGIES {
+        push(&mut out, deploy_opts(s, 0, 0));
+    }
+    let Ok(base) = map_network(spec, hw, deploy_opts(MappingStrategy::ReplicateDense, 0, 0))
+    else {
+        // An unmappable network leaves only the fixed candidates, which
+        // the search driver will prune with the same compile error the
+        // fixed path reports.
+        return out;
+    };
+    let mpb = hw.mats_per_bank();
+    if base.scale == NnScale::Large {
+        for cap in [mpb / 2, mpb / 4] {
+            if cap >= 1 && cap < mpb {
+                for s in STRATEGIES {
+                    push(&mut out, deploy_opts(s, cap, 0));
+                }
+            }
+        }
+    }
+    let fill = base.copies_across_memory;
+    if fill > 1 {
+        for c in [fill / 2, 1] {
+            if c >= 1 && c < fill {
+                for s in STRATEGIES {
+                    push(&mut out, deploy_opts(s, 0, c));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Greedy in-order bin packing of layers into banks for the inter-bank
 /// pipeline: consecutive layers share a bank until its FF mats run out.
-fn assign_pipeline(layers: &[LayerMapping], hw: &HwTarget) -> Vec<PipelineStage> {
-    let capacity = hw.mats_per_bank();
+/// A nonzero `stage_mats_cap` shrinks the per-stage budget below a full
+/// bank, splitting the network into more, shorter stages; stage banks
+/// still advance one physical bank per stage.
+fn assign_pipeline(
+    layers: &[LayerMapping],
+    hw: &HwTarget,
+    stage_mats_cap: usize,
+) -> Vec<PipelineStage> {
+    let bank_mats = hw.mats_per_bank();
+    let capacity = if stage_mats_cap > 0 { stage_mats_cap.min(bank_mats) } else { bank_mats }
+        .max(1);
     let mut stages: Vec<PipelineStage> = Vec::new();
     let mut current = PipelineStage { bank: 0, layers: Vec::new(), mats: 0 };
     for (idx, layer) in layers.iter().enumerate() {
         // Replicated copies occupy real mats and must be placed too.
         let need = layer.total_mats();
         if need > capacity {
-            // A single layer larger than one bank spreads over several
-            // banks; give it its own stage spanning them.
+            // A single layer larger than the stage budget gets its own
+            // stage; when it outgrows a physical bank it spans several.
             if !current.layers.is_empty() {
                 let bank = current.bank;
                 stages.push(std::mem::replace(
@@ -493,7 +667,7 @@ fn assign_pipeline(layers: &[LayerMapping], hw: &HwTarget) -> Vec<PipelineStage>
                     PipelineStage { bank: bank + 1, layers: Vec::new(), mats: 0 },
                 ));
             }
-            let banks_spanned = need.div_ceil(capacity);
+            let banks_spanned = need.div_ceil(bank_mats).max(1);
             stages.push(PipelineStage { bank: current.bank, layers: vec![idx], mats: need });
             current.bank += banks_spanned;
             continue;
@@ -656,7 +830,8 @@ mod tests {
 
     #[test]
     fn shared_kernel_is_selected_only_where_sharing_wins() {
-        let options = CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel };
+        let options =
+            CompileOptions { replicate: true, ..CompileOptions::fixed(MappingStrategy::SharedKernel) };
         let m = map_network(&MlBench::Cnn1.spec(), &hw(), options).unwrap();
         assert_eq!(m.strategy, MappingStrategy::SharedKernel);
         let conv = &m.layers[0];
@@ -679,7 +854,7 @@ mod tests {
         // tile already has exactly one placement, so SharedKernel cannot
         // win anywhere and each layer falls back.
         let options =
-            CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel };
+            CompileOptions { replicate: false, ..CompileOptions::fixed(MappingStrategy::SharedKernel) };
         let m = map_network(&MlBench::VggD.spec(), &hw(), options).unwrap();
         assert_eq!(m.strategy, MappingStrategy::SharedKernel);
         for layer in &m.layers {
@@ -699,7 +874,10 @@ mod tests {
             let shared = map_network(
                 &bench.spec(),
                 &hw(),
-                CompileOptions { replicate: true, strategy: MappingStrategy::SharedKernel },
+                CompileOptions {
+                    replicate: true,
+                    ..CompileOptions::fixed(MappingStrategy::SharedKernel)
+                },
             )
             .unwrap();
             assert_eq!(dense.layers.len(), shared.layers.len());
@@ -732,5 +910,129 @@ mod tests {
             let m = map_network(&bench.spec(), &hw(), CompileOptions::default()).unwrap();
             assert!(m.base_mats <= hw().total_mats(), "{} does not fit", bench.name());
         }
+    }
+
+    #[test]
+    fn stage_cap_splits_the_pipeline_into_more_stages() {
+        let spec = MlBench::VggD.spec();
+        let base = map_network(&spec, &hw(), CompileOptions { replicate: false, ..CompileOptions::default() }).unwrap();
+        let capped_opts = CompileOptions {
+            replicate: false,
+            stage_mats_cap: hw().mats_per_bank() / 2,
+            ..CompileOptions::default()
+        };
+        let capped = map_network(&spec, &hw(), capped_opts).unwrap();
+        assert!(
+            capped.pipeline.len() > base.pipeline.len(),
+            "cap {} did not split: {} vs {} stages",
+            capped_opts.stage_mats_cap,
+            capped.pipeline.len(),
+            base.pipeline.len()
+        );
+        // Every capped stage respects the budget unless one layer forced it.
+        for stage in &capped.pipeline {
+            assert!(
+                stage.mats <= capped_opts.stage_mats_cap || stage.layers.len() == 1,
+                "stage over budget: {stage:?}"
+            );
+        }
+        // The per-copy span is derived from the stages actually laid out.
+        let last = capped.pipeline.last().unwrap();
+        let spanned = last.bank + last.mats.div_ceil(hw().mats_per_bank()).max(1);
+        assert_eq!(capped.banks_per_copy, spanned);
+        assert_eq!(capped.copies_across_memory, (hw().banks / spanned).max(1));
+        // A zero cap is byte-for-byte the uncapped mapping.
+        let zero = map_network(
+            &spec,
+            &hw(),
+            CompileOptions { replicate: false, stage_mats_cap: 0, ..CompileOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(zero, base);
+    }
+
+    #[test]
+    fn copy_cap_limits_bank_level_parallelism() {
+        let spec = MlBench::MlpS.spec();
+        let base = map_network(&spec, &hw(), CompileOptions::default()).unwrap();
+        assert_eq!(base.copies_across_memory, 64);
+        let capped = map_network(
+            &spec,
+            &hw(),
+            CompileOptions { max_copies: 4, ..CompileOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(capped.copies_across_memory, 4);
+        // Uncommitted banks stay plain memory: only the per-copy span is
+        // allocated, with no leftover-bank replication space.
+        assert_eq!(capped.allocated_mats, capped.banks_per_copy * hw().mats_per_bank());
+        // A cap at or above the fill count changes nothing.
+        let loose = map_network(
+            &spec,
+            &hw(),
+            CompileOptions { max_copies: 64, ..CompileOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(loose, base);
+    }
+
+    #[test]
+    fn candidate_space_leads_with_the_fixed_default() {
+        for bench in MlBench::ALL {
+            let candidates = enumerate_candidates(&bench.spec(), &hw());
+            let first = candidates.first().expect("at least the fixed candidates");
+            assert_eq!(
+                *first,
+                CompileOptions { replicate: false, ..CompileOptions::default() },
+                "{}: fixed default must come first for tie bit-compat",
+                bench.name()
+            );
+            // Deploy semantics, pinned strategies, no duplicates.
+            for (i, c) in candidates.iter().enumerate() {
+                assert!(!c.replicate, "{}: candidate {i} replicates", bench.name());
+                assert!(matches!(c.objective, Objective::Fixed(_)));
+                assert!(!candidates[..i].contains(c), "{}: duplicate candidate", bench.name());
+            }
+            assert!(candidates.len() >= 2 && candidates.len() <= 10);
+            // Every candidate either maps or reports a typed compile error.
+            for c in &candidates {
+                let _ = map_network(&bench.spec(), &hw(), *c);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_space_scales_with_the_network() {
+        // Large-scale VGG-D gets pipeline-split candidates; copy-cap
+        // candidates appear only when the memory holds more than one copy.
+        let vgg = enumerate_candidates(&MlBench::VggD.spec(), &hw());
+        assert!(
+            vgg.iter().any(|c| c.stage_mats_cap > 0),
+            "large-scale nets must offer pipeline splits: {vgg:?}"
+        );
+        // Medium-scale MLP-S gets copy caps but no stage caps.
+        let mlp = enumerate_candidates(&MlBench::MlpS.spec(), &hw());
+        assert!(mlp.iter().all(|c| c.stage_mats_cap == 0));
+        assert!(mlp.iter().any(|c| c.max_copies > 0));
+    }
+
+    #[test]
+    fn objective_names_and_strategies_are_stable() {
+        assert_eq!(Objective::Latency.name(), "latency");
+        assert_eq!(Objective::Memory.name(), "memory");
+        assert_eq!(Objective::Balanced.name(), "balanced");
+        assert_eq!(
+            Objective::Fixed(MappingStrategy::SharedKernel).name(),
+            "fixed-shared-kernel"
+        );
+        assert_eq!(
+            Objective::Fixed(MappingStrategy::SharedKernel).strategy(),
+            MappingStrategy::SharedKernel
+        );
+        assert_eq!(Objective::Latency.strategy(), MappingStrategy::ReplicateDense);
+        assert_eq!(
+            CompileOptions::fixed(MappingStrategy::SharedKernel).strategy(),
+            MappingStrategy::SharedKernel
+        );
     }
 }

@@ -44,6 +44,7 @@ mod executor;
 mod ff_mat;
 mod insitu;
 mod runner;
+mod search;
 mod service;
 mod system;
 
@@ -55,5 +56,9 @@ pub use executor::{ExecutionStats, FfExecutor};
 pub use ff_mat::{FfMat, MatDatapath, MatScratch};
 pub use insitu::{InSituEpoch, InSituMlp};
 pub use runner::{CommandRunner, ConvPhases, InferScratch};
+pub use search::{
+    search_mapping, CandidateCost, CandidateReport, CandidateVerdict, MappingCostModel,
+    MappingSearch,
+};
 pub use service::SystemHandle;
 pub use system::{DeployStats, PrimeSystem, SystemStats};

@@ -5,12 +5,15 @@
 //! that fields requests from many connection threads needs one object
 //! that serializes access. [`SystemHandle`] is that object — a cheaply
 //! cloneable handle whose clones all drive the same deployed system
-//! behind a mutex. Lock poisoning is absorbed rather than propagated
-//! (the system's state is a deterministic function of deploy + inputs,
-//! so a panicked *caller* cannot leave the hardware model half-written:
-//! every mutation path either completes or returns a typed error).
+//! behind a mutex. Lock poisoning is *surfaced*, never absorbed: a
+//! thread that panicked while holding the lock may have left the system
+//! mid-operation (a batch half-counted, scratch state half-written), so
+//! every later access returns [`PrimeError::Poisoned`] until the model
+//! is redeployed on a fresh system. Serving layers treat that error as
+//! "model unservable" rather than silently running against the
+//! possibly inconsistent state.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 use prime_device::NoiseModel;
 use prime_nn::Network;
@@ -53,51 +56,66 @@ impl SystemHandle {
 
     /// Runs `f` with exclusive access to the system. The escape hatch
     /// for anything without a dedicated forwarding method.
-    pub fn with<R>(&self, f: impl FnOnce(&mut PrimeSystem) -> R) -> R {
-        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        f(&mut guard)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::Poisoned`] when an earlier holder of the
+    /// lock panicked mid-operation: the system may be inconsistent and
+    /// must not serve until redeployed.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PrimeSystem) -> R) -> Result<R, PrimeError> {
+        let mut guard = self.inner.lock().map_err(|_| PrimeError::Poisoned)?;
+        Ok(f(&mut guard))
     }
 
     /// [`PrimeSystem::deploy`] behind the lock.
     ///
     /// # Errors
     ///
-    /// As [`PrimeSystem::deploy`].
+    /// As [`PrimeSystem::deploy`], plus [`PrimeError::Poisoned`].
     pub fn deploy(&self, net: &Network, calibration: &[f32]) -> Result<(), PrimeError> {
-        self.with(|s| s.deploy(net, calibration))
+        self.with(|s| s.deploy(net, calibration))?
     }
 
     /// [`PrimeSystem::infer_batch`] behind the lock.
     ///
     /// # Errors
     ///
-    /// As [`PrimeSystem::infer_batch`].
+    /// As [`PrimeSystem::infer_batch`], plus [`PrimeError::Poisoned`].
     pub fn infer_batch(&self, inputs: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, PrimeError> {
-        self.with(|s| s.infer_batch(inputs))
+        self.with(|s| s.infer_batch(inputs))?
     }
 
     /// [`PrimeSystem::infer_batch_noisy`] behind the lock.
     ///
     /// # Errors
     ///
-    /// As [`PrimeSystem::infer_batch_noisy`].
+    /// As [`PrimeSystem::infer_batch_noisy`], plus
+    /// [`PrimeError::Poisoned`].
     pub fn infer_batch_noisy(
         &self,
         inputs: &[Vec<f32>],
         noise: &NoiseModel,
         seed: u64,
     ) -> Result<Vec<Vec<f32>>, PrimeError> {
-        self.with(|s| s.infer_batch_noisy(inputs, noise, seed))
+        self.with(|s| s.infer_batch_noisy(inputs, noise, seed))?
     }
 
     /// [`PrimeSystem::stats`] behind the lock.
-    pub fn stats(&self) -> SystemStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::Poisoned`] after a mid-operation crash.
+    pub fn stats(&self) -> Result<SystemStats, PrimeError> {
         self.with(|s| s.stats())
     }
 
-    /// [`PrimeSystem::deploy_stats`] behind the lock (copied out).
-    pub fn deploy_stats(&self) -> Option<DeployStats> {
-        self.with(|s| s.deploy_stats().copied())
+    /// [`PrimeSystem::deploy_stats`] behind the lock (cloned out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimeError::Poisoned`] after a mid-operation crash.
+    pub fn deploy_stats(&self) -> Result<Option<DeployStats>, PrimeError> {
+        self.with(|s| s.deploy_stats().cloned())
     }
 }
 
@@ -147,6 +165,29 @@ mod tests {
             assert_eq!(got, expected, "shared system diverged across threads");
         }
         // 1 warm-up + 4 threaded inferences all landed on the same stats.
-        assert_eq!(handle.stats().inferences, 5);
+        assert_eq!(handle.stats().unwrap().inferences, 5);
+    }
+
+    #[test]
+    fn poisoning_is_surfaced_as_a_typed_error() {
+        let handle = deployed_handle();
+        let input: Vec<f32> = (0..12).map(|j| (j % 7) as f32 / 7.0).collect();
+        assert!(handle.infer_batch(std::slice::from_ref(&input)).is_ok());
+        // A thread crashing while it holds the lock poisons the system.
+        let crasher = handle.clone();
+        let crash = std::thread::spawn(move || {
+            let _ = crasher.with(|_system| -> () { panic!("died mid-operation") });
+        })
+        .join();
+        assert!(crash.is_err(), "the crashing thread must have panicked");
+        // Every later access reports the poisoning instead of silently
+        // running against possibly half-written state.
+        assert_eq!(
+            handle.infer_batch(std::slice::from_ref(&input)),
+            Err(PrimeError::Poisoned)
+        );
+        assert_eq!(handle.stats(), Err(PrimeError::Poisoned));
+        assert_eq!(handle.deploy_stats(), Err(PrimeError::Poisoned));
+        assert!(matches!(handle.with(|_| ()), Err(PrimeError::Poisoned)));
     }
 }

@@ -26,7 +26,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy};
+use prime_compiler::{map_network, CompileOptions, HwTarget, MappingStrategy, Objective};
 use prime_device::NoiseModel;
 use prime_mem::{FfReservationMap, MatAddr, MorphDecision, MorphPolicy, PageMissTracker, WearLeveler};
 use prime_nn::Network;
@@ -34,6 +34,7 @@ use prime_nn::Network;
 use crate::controller::BankController;
 use crate::error::PrimeError;
 use crate::runner::{CommandRunner, InferScratch};
+use crate::search::{search_mapping, MappingCostModel, MappingSearch};
 
 /// Per-copy outcome of a batched run: the (input index, output) pairs the
 /// copy completed, or the first (input index, error) it hit.
@@ -62,8 +63,11 @@ pub struct SystemStats {
 /// Cost report of the most recent [`PrimeSystem::deploy_with`]: how long
 /// programming took and how much crossbar state the deployment keeps
 /// resident, with the shared-tile accounting that distinguishes the two
-/// [`MappingStrategy`] layouts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// [`MappingStrategy`] layouts. Auto-selected deployments
+/// ([`PrimeSystem::deploy_auto`]) additionally carry the full
+/// [`MappingSearch`] report — the chosen candidate and every rejected
+/// alternative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeployStats {
     /// Deploy wall-time (map + verify + program + calibrate + replicate),
     /// milliseconds.
@@ -84,6 +88,11 @@ pub struct DeployStats {
     /// (the replicate-dense footprint of this deployment), for the
     /// dedup ratio `resident_bytes / dense_bytes`.
     pub dense_bytes: usize,
+    /// The mapping-search report when the deployment auto-selected its
+    /// mapping ([`PrimeSystem::deploy_auto`]): the chosen candidate and
+    /// every rejected alternative with scores and pruning reasons.
+    /// `None` for fixed-strategy deployments.
+    pub search: Option<MappingSearch>,
 }
 
 /// A multi-bank PRIME system with its OS runtime.
@@ -261,6 +270,87 @@ impl PrimeSystem {
         calibration: &[f32],
         strategy: MappingStrategy,
     ) -> Result<(), PrimeError> {
+        let options = CompileOptions { replicate: false, ..CompileOptions::fixed(strategy) };
+        self.deploy_compiled(net, calibration, options, None)
+    }
+
+    /// [`deploy`](Self::deploy) with cost-model-driven mapping search:
+    /// enumerates (strategy × replication factor × pipeline split)
+    /// candidates, keeps those the Pass 1–3 verifiers accept, scores
+    /// each with `model`, and deploys the argmin under `objective`.
+    /// Illegal candidates are pruned, not errors. The full search report
+    /// — chosen candidate plus rejected alternatives — lands in
+    /// [`DeployStats::search`].
+    ///
+    /// [`Objective::Fixed`] skips the search entirely and behaves
+    /// exactly like [`deploy_with`](Self::deploy_with) — including
+    /// leaving `DeployStats::search` empty — so the pre-search path
+    /// stays bit-compatible.
+    ///
+    /// # Errors
+    ///
+    /// As [`deploy`](Self::deploy); additionally returns
+    /// [`PrimeError::MappingMismatch`] when every candidate was pruned.
+    pub fn deploy_auto(
+        &mut self,
+        net: &Network,
+        calibration: &[f32],
+        objective: Objective,
+        model: &dyn MappingCostModel,
+    ) -> Result<(), PrimeError> {
+        if let Objective::Fixed(strategy) = objective {
+            return self.deploy_with(net, calibration, strategy);
+        }
+        // Capability check first, as in the fixed path: a network the
+        // runner cannot execute must fail identically under search.
+        let diagnostics = CommandRunner::capability_diagnostics(net);
+        if !diagnostics.is_empty() {
+            return Err(PrimeError::Rejected { diagnostics });
+        }
+        let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
+        let target = self.analysis_target();
+        let search = search_mapping(&spec, &target, objective, model);
+        let Some(chosen) = search.chosen() else {
+            return Err(PrimeError::MappingMismatch {
+                reason: format!(
+                    "mapping search (objective={}) pruned every candidate:\n{}",
+                    objective.name(),
+                    search.describe()
+                ),
+            });
+        };
+        let options = chosen.options;
+        self.deploy_compiled(net, calibration, options, Some(search))
+    }
+
+    /// The `prime-analyze` target equivalent to this system: the
+    /// compiler geometry plus the physical precision budgets the static
+    /// verifiers check against.
+    fn analysis_target(&self) -> prime_analyze::Target {
+        let scheme = self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).scheme();
+        prime_analyze::Target {
+            scheme,
+            buffer_words: self.banks[0].buffer().capacity(),
+            // The mats program MLC cells and encode input signals exactly
+            // per the scheme, so the physical budgets equal its halves.
+            cell_bits: scheme.weight_half_bits(),
+            input_signal_bits: scheme.input_half_bits(),
+            phys_mat_cols: 2 * self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).max_cols(),
+            tile_ref_bits: 16,
+            hw: self.hw_target(),
+        }
+    }
+
+    /// The shared deployment path: compile `net` under `options`, verify
+    /// (Pass 1 before any bank state changes, Pass 3 after replication
+    /// but before install), program, replicate, and account.
+    fn deploy_compiled(
+        &mut self,
+        net: &Network,
+        calibration: &[f32],
+        options: CompileOptions,
+        search: Option<MappingSearch>,
+    ) -> Result<(), PrimeError> {
         let started = Instant::now();
         // Runner capability check first (P017): a layer the command
         // runner cannot execute must reject deployment up front, never
@@ -270,25 +360,13 @@ impl PrimeSystem {
             return Err(PrimeError::Rejected { diagnostics });
         }
         let spec = net.to_spec("deployed").map_err(PrimeError::Nn)?;
-        let hw = self.hw_target();
-        let mapping = map_network(&spec, &hw, CompileOptions { replicate: false, strategy })
+        let target = self.analysis_target();
+        let mapping = map_network(&spec, &target.hw, options)
             .map_err(|e| PrimeError::MappingMismatch { reason: e.to_string() })?;
         // Static verification (prime-analyze pass 1): refuse before any
         // bank state changes if the mapping breaks a deployment
         // invariant. This replaces the ad-hoc capacity/pipeline checks
         // that used to live here and in the runner.
-        let scheme = self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).scheme();
-        let target = prime_analyze::Target {
-            scheme,
-            buffer_words: self.banks[0].buffer().capacity(),
-            // The mats program MLC cells and encode input signals exactly
-            // per the scheme, so the physical budgets equal its halves.
-            cell_bits: scheme.weight_half_bits(),
-            input_signal_bits: scheme.input_half_bits(),
-            phys_mat_cols: 2 * self.banks[0].mat(MatAddr { subarray: 0, mat: 0 }).max_cols(),
-            tile_ref_bits: 16,
-            hw,
-        };
         let diagnostics: Vec<_> = prime_analyze::analyze(&spec, &target, &mapping)
             .into_iter()
             .filter(|d| d.severity == prime_analyze::Severity::Error)
@@ -305,7 +383,10 @@ impl PrimeSystem {
         let bpc = mapping.pipeline.last().map_or(1, |s| {
             s.bank + s.mats.div_ceil(self.mats_per_bank).max(1)
         });
-        let copies = self.banks.len() / bpc;
+        // Copy-capped candidates deliberately place fewer copies than
+        // the memory could hold, leaving the other banks as plain
+        // memory; uncapped mappings always allow at least banks/bpc.
+        let copies = (self.banks.len() / bpc).min(mapping.copies_across_memory).max(1);
         // Compile (quantize + program + calibrate) copy 0 only, then
         // replicate the programmed plan onto every other bank group:
         // stage banks are group-relative and programming is
@@ -352,11 +433,12 @@ impl PrimeSystem {
         self.deploy_stats = Some(DeployStats {
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             copies,
-            strategy,
+            strategy: options.strategy(),
             unique_tiles,
             aliased_placements,
             resident_bytes,
             dense_bytes,
+            search,
         });
         Ok(())
     }
@@ -956,8 +1038,8 @@ mod tests {
             shared.infer_batch(&inputs).unwrap(),
             "weight layout changed the arithmetic"
         );
-        let d = *dense.deploy_stats().expect("stats after deploy");
-        let s = *shared.deploy_stats().expect("stats after deploy");
+        let d = dense.deploy_stats().expect("stats after deploy").clone();
+        let s = shared.deploy_stats().expect("stats after deploy").clone();
         assert_eq!(d.copies, 4);
         assert_eq!(s.copies, 4);
         // Dense: every placement owns its bytes; nothing is aliased.

@@ -136,16 +136,25 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Drives one model open-loop and reduces the outcomes to a section.
-fn drive(addr: SocketAddr, plan: &Plan, connections: usize) -> Section {
+///
+/// A worker that cannot even *connect* fails the whole bench with a
+/// typed error rather than panicking inside the thread: a dead server
+/// is a setup problem, and its report would be meaningless.
+fn drive(addr: SocketAddr, plan: &Plan, connections: usize) -> Result<Section, String> {
     let total = (plan.rate_per_s * plan.duration_s).ceil() as usize;
     let interval = Duration::from_secs_f64(1.0 / plan.rate_per_s);
     let start = Instant::now();
-    let per_thread: Vec<Vec<Outcome>> = std::thread::scope(|scope| {
+    let per_thread: Vec<Result<Vec<Outcome>, String>> = std::thread::scope(|scope| {
         (0..connections)
             .map(|tid| {
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Vec<Outcome>, String> {
                     let mut client = Client::connect_timeout(&addr, Duration::from_secs(5))
-                        .unwrap_or_else(|e| panic!("bencher cannot connect: {e}"));
+                        .map_err(|e| {
+                            format!(
+                                "bencher cannot connect to {addr} for model {}: {e}",
+                                plan.model
+                            )
+                        })?;
                     let mut outcomes = Vec::new();
                     let mut i = tid;
                     while i < total {
@@ -170,30 +179,35 @@ fn drive(addr: SocketAddr, plan: &Plan, connections: usize) -> Section {
                         outcomes.push(outcome);
                         i += connections;
                     }
-                    outcomes
+                    Ok(outcomes)
                 })
             })
             .collect::<Vec<_>>()
             .into_iter()
-            .map(|t| t.join().expect("bencher thread panicked"))
+            .map(|t| {
+                t.join()
+                    .unwrap_or_else(|_| Err("bencher thread panicked".to_string()))
+            })
             .collect()
     });
     let wall_s = start.elapsed().as_secs_f64();
 
     let mut latencies = Vec::new();
     let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
-    for outcome in per_thread.into_iter().flatten() {
-        match outcome {
-            Outcome::Ok(ns) => {
-                ok += 1;
-                latencies.push(ns);
+    for result in per_thread {
+        for outcome in result? {
+            match outcome {
+                Outcome::Ok(ns) => {
+                    ok += 1;
+                    latencies.push(ns);
+                }
+                Outcome::Shed => shed += 1,
+                Outcome::Error => errors += 1,
             }
-            Outcome::Shed => shed += 1,
-            Outcome::Error => errors += 1,
         }
     }
     latencies.sort_by(|a, b| a.total_cmp(b));
-    Section {
+    Ok(Section {
         model: plan.model.to_string(),
         target_rate_per_s: plan.rate_per_s,
         duration_s: plan.duration_s,
@@ -211,7 +225,7 @@ fn drive(addr: SocketAddr, plan: &Plan, connections: usize) -> Section {
             p99: percentile(&latencies, 99.0),
             max: latencies.last().copied().unwrap_or(0.0),
         },
-    }
+    })
 }
 
 /// Holds every section to the pinned `serve` baseline; exits nonzero on
@@ -312,7 +326,13 @@ fn main() {
         "p99 ms"
     );
     for plan in &plans {
-        let section = drive(addr, plan, connections);
+        let section = match drive(addr, plan, connections) {
+            Ok(section) => section,
+            Err(e) => {
+                eprintln!("bench failed: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "{:<14} {:>8.0} {:>6} {:>6} {:>5} {:>5} {:>12.1} {:>12.3} {:>12.3} {:>12.3}",
             section.model,
@@ -370,4 +390,52 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\n[wrote BENCH_serve.json]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample() {
+        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_two_samples() {
+        let two = [1.0, 2.0];
+        // Nearest rank: ceil(0.5 * 2) = 1 -> first element.
+        assert_eq!(percentile(&two, 50.0), 1.0);
+        assert_eq!(percentile(&two, 95.0), 2.0);
+        assert_eq!(percentile(&two, 99.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_of_three_samples_takes_the_median_at_p50() {
+        let three = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&three, 50.0), 2.0);
+        assert_eq!(percentile(&three, 95.0), 3.0);
+        assert_eq!(percentile(&three, 99.0), 3.0);
+    }
+
+    #[test]
+    fn exact_rank_boundaries_do_not_overshoot() {
+        // 100 samples: p50's rank is exactly 50 (index 49), p95's is 95,
+        // p99's is 99 — the ceil must not round an exact product up.
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 95.0), 95.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        // q=0 saturates to the smallest sample instead of underflowing.
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+    }
 }

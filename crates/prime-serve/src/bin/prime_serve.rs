@@ -52,6 +52,9 @@ fn main() {
     );
     let registry = standard_registry(config, NoiseModel::default())
         .unwrap_or_else(|e| panic!("registry failed to deploy: {e}"));
+    for entry in registry.registration_log() {
+        println!("{entry}");
+    }
     println!("models: {}", registry.model_names().join(", "));
 
     let server = Server::bind(addr.as_str(), registry)

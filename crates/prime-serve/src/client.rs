@@ -86,7 +86,7 @@ impl Client {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request { id, model: model.to_string(), mode, input };
-        let bytes = frame(&encode_request(&request));
+        let bytes = frame(&encode_request(&request)?)?;
         self.stream.write_all(&bytes).map_err(|e| ClientError::Io {
             context: "send",
             detail: e.to_string(),

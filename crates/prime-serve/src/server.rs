@@ -32,9 +32,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use prime_analyze::unservable_model;
+use prime_compiler::Objective;
 use prime_core::{PrimeError, PrimeSystem, SystemHandle};
 use prime_device::NoiseModel;
 use prime_nn::Network;
+use prime_sim::SimCostModel;
 
 use crate::batcher::{Admission, BatchCollector, BatchConfig};
 use crate::error::ServeError;
@@ -48,6 +50,11 @@ const READ_POLL: Duration = Duration::from_millis(25);
 /// How long an idle dispatcher waits before re-checking the flag.
 const IDLE_WAIT: Duration = Duration::from_millis(20);
 
+/// Queue/stream mutexes only: these guard plain data (a job queue, a
+/// write half) that stays consistent even if a holder panicked, so
+/// absorbing poison is safe. The *system* lock is different — a crash
+/// mid-inference can leave device state half-written — and is guarded by
+/// [`SystemHandle`], which surfaces [`PrimeError::Poisoned`] instead.
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -65,6 +72,11 @@ struct ModelRuntime {
     shed: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
+    /// Latched when the system lock reports [`PrimeError::Poisoned`]: a
+    /// thread crashed mid-inference, so the deployed state cannot be
+    /// trusted. Admission answers a typed error from then on instead of
+    /// queueing work against the broken model.
+    unservable: AtomicBool,
 }
 
 /// The set of models a [`Server`] exposes. Deployment happens at
@@ -73,6 +85,7 @@ struct ModelRuntime {
 #[derive(Default)]
 pub struct Registry {
     models: Vec<ModelRuntime>,
+    log: Vec<String>,
 }
 
 impl Registry {
@@ -81,15 +94,25 @@ impl Registry {
         Registry::default()
     }
 
-    /// Deploys `net` onto `system` and registers the result under
-    /// `name`.
+    /// Deploys `net` onto `system` under a cost-model-driven mapping
+    /// search and registers the result under `name`.
+    ///
+    /// `objective` selects the mapping: [`Objective::Fixed`] pins a
+    /// strategy exactly as the pre-search deploy path did, while
+    /// `Latency`/`Memory`/`Balanced` enumerate candidate mappings, prune
+    /// those the static verifiers reject, score the rest with the
+    /// simulator-backed cost model, and deploy the argmin. The full
+    /// search report — chosen candidate and rejected alternatives —
+    /// lands in [`Registry::registration_log`].
     ///
     /// # Errors
     ///
     /// [`ServeError::DuplicateModel`] if `name` is taken;
     /// [`ServeError::NotServable`] (leading with the P031 diagnostic)
     /// if the deploy verifier rejects the network;
-    /// [`ServeError::Deploy`] for any other deploy failure.
+    /// [`ServeError::Deploy`] for any other deploy failure, including a
+    /// search whose every candidate was pruned.
+    #[allow(clippy::too_many_arguments)]
     pub fn register(
         &mut self,
         name: &str,
@@ -98,11 +121,12 @@ impl Registry {
         calibration: &[f32],
         batch: BatchConfig,
         noise: NoiseModel,
+        objective: Objective,
     ) -> Result<(), ServeError> {
         if self.models.iter().any(|m| m.name == name) {
             return Err(ServeError::DuplicateModel { model: name.to_string() });
         }
-        match system.deploy(net, calibration) {
+        match system.deploy_auto(net, calibration, objective, &SimCostModel) {
             Ok(()) => {}
             Err(PrimeError::Rejected { diagnostics }) => {
                 let mut all = vec![unservable_model(name, &diagnostics)];
@@ -116,6 +140,16 @@ impl Registry {
                 return Err(ServeError::Deploy { model: name.to_string(), error })
             }
         }
+        self.log.push(match system.deploy_stats() {
+            Some(stats) => match &stats.search {
+                Some(search) => format!("registered `{name}`: {}", search.describe()),
+                None => format!(
+                    "registered `{name}`: fixed mapping ({})",
+                    stats.strategy.name()
+                ),
+            },
+            None => format!("registered `{name}`"),
+        });
         self.models.push(ModelRuntime {
             name: name.to_string(),
             width: net.inputs(),
@@ -127,6 +161,7 @@ impl Registry {
             shed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            unservable: AtomicBool::new(false),
         });
         Ok(())
     }
@@ -134,6 +169,13 @@ impl Registry {
     /// Names of the registered models, in registration order.
     pub fn model_names(&self) -> Vec<String> {
         self.models.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// One entry per successful [`Registry::register`] call: the mapping
+    /// the model deployed with — for searched objectives, the full
+    /// candidate-by-candidate report.
+    pub fn registration_log(&self) -> &[String] {
+        &self.log
     }
 }
 
@@ -312,7 +354,23 @@ struct Reply {
 
 impl Reply {
     fn send(&self, response: &Response) {
-        let bytes = frame(&encode_response(response));
+        let bytes = match encode_response(response).and_then(|payload| frame(&payload)) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // The response itself cannot travel (a field outgrew its
+                // wire header). Degrade to a small typed error so the
+                // client is not left waiting on a frame that never comes;
+                // this fallback is tiny, so its encode cannot fail.
+                let fallback = Response::Error {
+                    id: response.id(),
+                    message: format!("response could not be encoded: {e}"),
+                };
+                match encode_response(&fallback).and_then(|payload| frame(&payload)) {
+                    Ok(bytes) => bytes,
+                    Err(_) => return,
+                }
+            }
+        };
         let mut guard = lock(&self.stream);
         // A vanished client is its own problem; the server keeps going.
         let _ = guard.write_all(&bytes);
@@ -378,6 +436,9 @@ fn execute_batch(model: &ModelRuntime, jobs: Vec<ServeJob>) {
                 }
             }
             Err(e) => {
+                if matches!(e, PrimeError::Poisoned) {
+                    model.unservable.store(true, Ordering::SeqCst);
+                }
                 let message = format!("inference failed: {e}");
                 for job in &digital {
                     job.reply
@@ -409,6 +470,9 @@ fn execute_batch(model: &ModelRuntime, jobs: Vec<ServeJob>) {
                 }
             },
             Err(e) => {
+                if matches!(e, PrimeError::Poisoned) {
+                    model.unservable.store(true, Ordering::SeqCst);
+                }
                 job.reply.send(&Response::Error {
                     id: job.id,
                     message: format!("inference failed: {e}"),
@@ -473,7 +537,10 @@ fn connection(stream: TcpStream, models: &[ModelRuntime], flag: &AtomicBool, epo
         let len = u32::from_le_bytes(header);
         if len > MAX_FRAME_BYTES {
             // The stream cannot be resynchronized past a bogus length.
-            let e = WireError::Oversized { len, limit: MAX_FRAME_BYTES };
+            let e = WireError::Oversized {
+                len: u64::from(len),
+                limit: u64::from(MAX_FRAME_BYTES),
+            };
             reply.send(&Response::Error { id: 0, message: e.to_string() });
             return;
         }
@@ -507,6 +574,16 @@ fn admit(request: Request, models: &[ModelRuntime], reply: &Reply, epoch: Instan
         });
         return;
     };
+    if runtime.unservable.load(Ordering::SeqCst) {
+        reply.send(&Response::Error {
+            id,
+            message: format!(
+                "model `{model}` is unservable: a thread crashed mid-operation and \
+                 poisoned the system; redeploy before serving"
+            ),
+        });
+        return;
+    }
     if input.len() != runtime.width {
         reply.send(&Response::Error {
             id,

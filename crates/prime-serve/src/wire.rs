@@ -13,6 +13,12 @@
 //! the repo's no-panic guarantee (prime-lint P051) to the network edge.
 //! Decoders consume the payload exactly; trailing bytes are an error, so
 //! a frame is never silently reinterpreted.
+//!
+//! Encoding is fallible for the same reason: a value whose length does
+//! not fit its header field (a string past `u16::MAX` bytes, a vector
+//! past `u32::MAX` elements, a payload past `u32::MAX` bytes) returns
+//! [`WireError::Oversized`] instead of being silently truncated to a
+//! frame that would decode to *different data* on the other side.
 
 use std::fmt;
 
@@ -33,12 +39,14 @@ pub enum WireError {
         /// Bytes actually left in the payload.
         remaining: usize,
     },
-    /// A frame header announced a payload larger than the agreed limit.
+    /// A length did not fit the agreed bound: on decode, a frame header
+    /// announced a payload larger than the receiver's limit; on encode,
+    /// a field's length exceeded what its wire header can represent.
     Oversized {
-        /// Announced payload length.
-        len: u32,
-        /// The receiver's frame limit.
-        limit: u32,
+        /// The offending length (bytes, or elements for vectors).
+        len: u64,
+        /// The limit it exceeded.
+        limit: u64,
     },
     /// An unknown message or mode tag.
     BadTag {
@@ -63,7 +71,7 @@ impl fmt::Display for WireError {
                 write!(f, "frame truncated: field needs {needed} bytes, {remaining} left")
             }
             WireError::Oversized { len, limit } => {
-                write!(f, "frame payload of {len} bytes exceeds the {limit}-byte limit")
+                write!(f, "length {len} exceeds the wire limit of {limit}")
             }
             WireError::BadTag { context, tag } => {
                 write!(f, "unknown {context} tag {tag:#04x}")
@@ -228,26 +236,41 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
-    // Widths past u16::MAX cannot be framed; model names are short
-    // identifiers, so clamp-by-truncation is never reachable in practice
-    // but keeps the encoder total.
+fn put_string(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    // A string's byte length travels as a u16: anything longer cannot be
+    // represented on the wire, so it is rejected rather than truncated
+    // to a name the receiver would misread as complete.
     let bytes = s.as_bytes();
-    let len = bytes.len().min(u16::MAX as usize);
-    out.extend_from_slice(&(len as u16).to_le_bytes());
-    out.extend_from_slice(&bytes[..len]);
+    let len = u16::try_from(bytes.len()).map_err(|_| WireError::Oversized {
+        len: bytes.len() as u64,
+        limit: u64::from(u16::MAX),
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(bytes);
+    Ok(())
 }
 
-fn put_f32_vec(out: &mut Vec<u8>, values: &[f32]) {
-    let len = values.len().min(u32::MAX as usize);
-    out.extend_from_slice(&(len as u32).to_le_bytes());
-    for v in &values[..len] {
+fn put_f32_vec(out: &mut Vec<u8>, values: &[f32]) -> Result<(), WireError> {
+    // The element count travels as a u32; reject rather than drop the
+    // tail of a vector that does not fit.
+    let len = u32::try_from(values.len()).map_err(|_| WireError::Oversized {
+        len: values.len() as u64,
+        limit: u64::from(u32::MAX),
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    for v in values {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
     }
+    Ok(())
 }
 
 /// Encodes a request into a frame payload (no length prefix).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the model name exceeds `u16::MAX` bytes
+/// or the input exceeds `u32::MAX` elements; nothing is truncated.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(32 + req.input.len() * 4);
     out.push(TAG_REQUEST);
     out.extend_from_slice(&req.id.to_le_bytes());
@@ -258,9 +281,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&seed.to_le_bytes());
         }
     }
-    put_string(&mut out, &req.model);
-    put_f32_vec(&mut out, &req.input);
-    out
+    put_string(&mut out, &req.model)?;
+    put_f32_vec(&mut out, &req.input)?;
+    Ok(out)
 }
 
 /// Decodes a request payload.
@@ -287,28 +310,33 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 }
 
 /// Encodes a response into a frame payload (no length prefix).
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when a string field exceeds `u16::MAX` bytes
+/// or the output exceeds `u32::MAX` elements; nothing is truncated.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(32);
     match resp {
         Response::Output { id, values } => {
             out.push(TAG_OUTPUT);
             out.extend_from_slice(&id.to_le_bytes());
-            put_f32_vec(&mut out, values);
+            put_f32_vec(&mut out, values)?;
         }
         Response::Overloaded { id, model, queue_depth, queue_bound } => {
             out.push(TAG_OVERLOADED);
             out.extend_from_slice(&id.to_le_bytes());
-            put_string(&mut out, model);
+            put_string(&mut out, model)?;
             out.extend_from_slice(&queue_depth.to_le_bytes());
             out.extend_from_slice(&queue_bound.to_le_bytes());
         }
         Response::Error { id, message } => {
             out.push(TAG_ERROR);
             out.extend_from_slice(&id.to_le_bytes());
-            put_string(&mut out, message);
+            put_string(&mut out, message)?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Decodes a response payload.
@@ -344,12 +372,21 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
 }
 
 /// Prepends the `u32` little-endian length header to a payload.
-pub fn frame(payload: &[u8]) -> Vec<u8> {
-    let len = payload.len().min(u32::MAX as usize);
-    let mut out = Vec::with_capacity(4 + len);
-    out.extend_from_slice(&(len as u32).to_le_bytes());
-    out.extend_from_slice(&payload[..len]);
-    out
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the payload exceeds `u32::MAX` bytes —
+/// the header could not announce its true length, and a truncated frame
+/// would decode to different data (or garbage) on the other side.
+pub fn frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
+        len: payload.len() as u64,
+        limit: u64::from(u32::MAX),
+    })?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
 /// Splits one frame off the front of `bytes`.
@@ -367,7 +404,7 @@ pub fn split_frame(bytes: &[u8], limit: u32) -> Result<Option<(&[u8], usize)>, W
     }
     let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     if len > limit {
-        return Err(WireError::Oversized { len, limit });
+        return Err(WireError::Oversized { len: u64::from(len), limit: u64::from(limit) });
     }
     let total = 4 + len as usize;
     if bytes.len() < total {
@@ -388,7 +425,7 @@ mod tests {
             mode: Mode::Noisy { seed: 0xDEAD_BEEF },
             input: vec![0.0, -0.0, 1.5, f32::NAN, f32::INFINITY],
         };
-        let back = decode_request(&encode_request(&req)).expect("decodes");
+        let back = decode_request(&encode_request(&req).expect("encodes")).expect("decodes");
         assert_eq!(back.id, req.id);
         assert_eq!(back.model, req.model);
         assert_eq!(back.mode, req.mode);
@@ -410,7 +447,7 @@ mod tests {
             },
             Response::Error { id: 0, message: "unknown model `x`".to_string() },
         ] {
-            assert_eq!(decode_response(&encode_response(&resp)), Ok(resp));
+            assert_eq!(decode_response(&encode_response(&resp).expect("encodes")), Ok(resp));
         }
     }
 
@@ -422,7 +459,7 @@ mod tests {
             mode: Mode::Digital,
             input: vec![0.25; 3],
         };
-        let payload = encode_request(&req);
+        let payload = encode_request(&req).expect("encodes");
         for cut in 0..payload.len() {
             let err = decode_request(&payload[..cut]).expect_err("prefix must not decode");
             assert!(
@@ -439,7 +476,8 @@ mod tests {
             model: "m".to_string(),
             mode: Mode::Digital,
             input: vec![],
-        });
+        })
+        .expect("encodes");
         payload.push(0xFF);
         assert_eq!(decode_request(&payload), Err(WireError::TrailingBytes { extra: 1 }));
     }
@@ -450,16 +488,46 @@ mod tests {
         bytes.extend_from_slice(&[0; 16]);
         assert_eq!(
             split_frame(&bytes, MAX_FRAME_BYTES),
-            Err(WireError::Oversized { len: MAX_FRAME_BYTES + 1, limit: MAX_FRAME_BYTES })
+            Err(WireError::Oversized {
+                len: u64::from(MAX_FRAME_BYTES + 1),
+                limit: u64::from(MAX_FRAME_BYTES),
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_model_name_is_rejected_on_encode() {
+        let req = Request {
+            id: 1,
+            model: "a".repeat(u16::MAX as usize + 1),
+            mode: Mode::Digital,
+            input: vec![],
+        };
+        assert_eq!(
+            encode_request(&req),
+            Err(WireError::Oversized {
+                len: u64::from(u16::MAX) + 1,
+                limit: u64::from(u16::MAX),
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_error_message_is_rejected_on_encode() {
+        let resp = Response::Error { id: 2, message: "e".repeat(1 << 17) };
+        assert_eq!(
+            encode_response(&resp),
+            Err(WireError::Oversized { len: 1 << 17, limit: u64::from(u16::MAX) })
         );
     }
 
     #[test]
     fn partial_frames_ask_for_more_input() {
-        let framed = frame(&encode_response(&Response::Error {
-            id: 3,
-            message: "x".to_string(),
-        }));
+        let framed = frame(
+            &encode_response(&Response::Error { id: 3, message: "x".to_string() })
+                .expect("encodes"),
+        )
+        .expect("frames");
         for cut in 0..framed.len() {
             assert_eq!(split_frame(&framed[..cut], MAX_FRAME_BYTES), Ok(None), "cut {cut}");
         }

@@ -3,6 +3,7 @@
 //! the same bank geometry, so serving-path latency numbers are directly
 //! comparable with the in-process rows in `BENCH_throughput.json`.
 
+use prime_compiler::Objective;
 use prime_core::PrimeSystem;
 use prime_device::NoiseModel;
 use prime_nn::{Activation, FullyConnected, Layer, Network, NnError};
@@ -71,7 +72,18 @@ pub fn standard_registry(batch: BatchConfig, noise: NoiseModel) -> Result<Regist
         let calibration = vec![0.5f32; widths[0]];
         // The bench's flat geometry: 2 subarrays x 32 mats per bank.
         let system = PrimeSystem::new(banks, 2, 32, 8192);
-        registry.register(name, system, &net, &calibration, batch, noise)?;
+        // Latency-objective search: ties keep the fixed-default dense
+        // placement, so served outputs stay bit-identical to the
+        // pre-search registry while the log records the full search.
+        registry.register(
+            name,
+            system,
+            &net,
+            &calibration,
+            batch,
+            noise,
+            Objective::Latency,
+        )?;
     }
     Ok(registry)
 }
@@ -92,6 +104,23 @@ mod tests {
             standard_registry(BatchConfig::default_online(), NoiseModel::default())
                 .expect("bench workloads deploy");
         assert_eq!(registry.model_names(), vec![MLP_M.to_string(), CNN_1.to_string()]);
+    }
+
+    #[test]
+    fn registration_log_reports_the_mapping_search() {
+        let registry =
+            standard_registry(BatchConfig::default_online(), NoiseModel::default())
+                .expect("bench workloads deploy");
+        let log = registry.registration_log();
+        assert_eq!(log.len(), 2, "one entry per registered model");
+        for (entry, name) in log.iter().zip([MLP_M, CNN_1]) {
+            assert!(entry.contains(name), "log entry names its model: {entry}");
+            assert!(
+                entry.contains("mapping search (objective=latency"),
+                "searched registration reports the search: {entry}"
+            );
+            assert!(entry.contains("CHOSEN"), "log shows the winner: {entry}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based coverage of the prime-serve wire codec.
 //!
-//! Three contracts, each over arbitrary generated values:
+//! Four contracts, each over arbitrary generated values:
 //!
 //! 1. **Lossless round trip** — every request/response encodes and
 //!    decodes back to an equal value, with `f32`s compared as IEEE bit
@@ -10,6 +10,9 @@
 //!    message has one wire form).
 //! 3. **Totality** — truncated, garbage, and oversized inputs return
 //!    typed [`WireError`]s; no input panics the decoder.
+//! 4. **No silent truncation** — a value whose length outgrows its wire
+//!    header field is rejected as [`WireError::Oversized`] at *encode*
+//!    time; the codec never clamps a length and ships different data.
 
 use proptest::prelude::*;
 
@@ -72,7 +75,8 @@ proptest! {
     /// Requests survive encode -> decode bit-exactly.
     #[test]
     fn requests_round_trip_losslessly(req in any_request()) {
-        let back = decode_request(&encode_request(&req)).expect("own encoding decodes");
+        let payload = encode_request(&req).expect("in-range request encodes");
+        let back = decode_request(&payload).expect("own encoding decodes");
         prop_assert_eq!(back.id, req.id);
         prop_assert_eq!(&back.model, &req.model);
         prop_assert_eq!(back.mode, req.mode);
@@ -82,7 +86,8 @@ proptest! {
     /// Responses survive encode -> decode bit-exactly.
     #[test]
     fn responses_round_trip_losslessly(resp in any_response()) {
-        let back = decode_response(&encode_response(&resp)).expect("own encoding decodes");
+        let payload = encode_response(&resp).expect("in-range response encodes");
+        let back = decode_response(&payload).expect("own encoding decodes");
         match (&back, &resp) {
             (Response::Output { id: a, values: va }, Response::Output { id: b, values: vb }) => {
                 prop_assert_eq!(a, b);
@@ -96,8 +101,8 @@ proptest! {
     /// payload, and every strict prefix asks for more input.
     #[test]
     fn framing_round_trips_and_prefixes_are_partial(req in any_request()) {
-        let payload = encode_request(&req);
-        let framed = frame(&payload);
+        let payload = encode_request(&req).expect("in-range request encodes");
+        let framed = frame(&payload).expect("in-range payload frames");
         let (split, consumed) = split_frame(&framed, MAX_FRAME_BYTES)
             .expect("within limit")
             .expect("complete frame");
@@ -112,7 +117,7 @@ proptest! {
     /// never a panic, never a bogus success.
     #[test]
     fn truncated_payloads_are_typed_errors(req in any_request()) {
-        let payload = encode_request(&req);
+        let payload = encode_request(&req).expect("in-range request encodes");
         for cut in 0..payload.len() {
             match decode_request(&payload[..cut]) {
                 Err(
@@ -133,10 +138,10 @@ proptest! {
         bytes in proptest::collection::vec(any::<u8>(), 0..96),
     ) {
         if let Ok(req) = decode_request(&bytes) {
-            prop_assert_eq!(encode_request(&req), bytes.clone());
+            prop_assert_eq!(encode_request(&req), Ok(bytes.clone()));
         }
         if let Ok(resp) = decode_response(&bytes) {
-            prop_assert_eq!(encode_response(&resp), bytes.clone());
+            prop_assert_eq!(encode_response(&resp), Ok(bytes.clone()));
         }
     }
 
@@ -151,7 +156,69 @@ proptest! {
         bytes.extend_from_slice(&tail);
         prop_assert_eq!(
             split_frame(&bytes, MAX_FRAME_BYTES),
-            Err(WireError::Oversized { len, limit: MAX_FRAME_BYTES })
+            Err(WireError::Oversized {
+                len: u64::from(len),
+                limit: u64::from(MAX_FRAME_BYTES),
+            })
+        );
+    }
+
+    /// A model name longer than its `u16` length header is rejected at
+    /// encode time — with the exact overflowing length reported — not
+    /// silently truncated into a *different* (decodable!) request.
+    #[test]
+    fn over_length_strings_are_rejected_on_encode(excess in 1usize..512) {
+        let len = u16::MAX as usize + excess;
+        let req = Request {
+            id: 9,
+            model: "m".repeat(len),
+            mode: Mode::Digital,
+            input: vec![],
+        };
+        prop_assert_eq!(
+            encode_request(&req),
+            Err(WireError::Oversized {
+                len: len as u64,
+                limit: u64::from(u16::MAX),
+            })
+        );
+        let resp = Response::Error { id: 9, message: "e".repeat(len) };
+        prop_assert_eq!(
+            encode_response(&resp),
+            Err(WireError::Oversized {
+                len: len as u64,
+                limit: u64::from(u16::MAX),
+            })
+        );
+        // One byte under the header limit still encodes and round-trips:
+        // the rejection boundary is exact.
+        let ok = Request {
+            id: 9,
+            model: "m".repeat(u16::MAX as usize),
+            mode: Mode::Digital,
+            input: vec![],
+        };
+        let payload = encode_request(&ok).expect("limit-sized name encodes");
+        prop_assert_eq!(decode_request(&payload).expect("decodes").model.len(), u16::MAX as usize);
+    }
+
+    /// An `Overloaded` response with an over-length model name is also
+    /// rejected on encode (the field rides a different message shape).
+    #[test]
+    fn over_length_overloaded_model_is_rejected_on_encode(excess in 1usize..256) {
+        let len = u16::MAX as usize + excess;
+        let resp = Response::Overloaded {
+            id: 3,
+            model: "x".repeat(len),
+            queue_depth: 1,
+            queue_bound: 1,
+        };
+        prop_assert_eq!(
+            encode_response(&resp),
+            Err(WireError::Oversized {
+                len: len as u64,
+                limit: u64::from(u16::MAX),
+            })
         );
     }
 }

@@ -25,6 +25,8 @@
 
 /// Area-overhead model (Fig. 12).
 pub mod area;
+/// Simulator-backed cost model for the mapping search.
+pub mod cost;
 /// Figure-regeneration experiments.
 pub mod experiments;
 /// Machine models.
@@ -40,6 +42,7 @@ pub mod result;
 /// Traffic accounting.
 pub mod traffic;
 
+pub use cost::SimCostModel;
 pub use machines::{CpuMachine, Machine, NpuMachine, NpuPlacement, PrimeMachine};
 pub use params::{CpuParams, MemPathParams, NpuParams, PrimeParams, EVAL_BATCH};
 pub use result::{geomean, Breakdown, RunResult};

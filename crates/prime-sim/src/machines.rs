@@ -497,8 +497,24 @@ impl Machine for PrimeMachine {
                 energy_pj: zero,
             };
         };
-        let (per_image, interbank_bytes) = self.per_image(spec, &mapping);
-        let energy = self.per_image_energy(spec, &mapping, interbank_bytes);
+        self.run_mapped(spec, &mapping, batch)
+    }
+}
+
+impl PrimeMachine {
+    /// Runs `batch` inferences under an externally supplied `mapping`
+    /// instead of the machine's own compile: the scoring hook the
+    /// cost-model-driven mapping search uses to price each enumerated
+    /// candidate with the same latency/energy model
+    /// [`Machine::run`] applies to the machine's default compile.
+    pub fn run_mapped(
+        &self,
+        spec: &NetworkSpec,
+        mapping: &NetworkMapping,
+        batch: u32,
+    ) -> RunResult {
+        let (per_image, interbank_bytes) = self.per_image(spec, mapping);
+        let energy = self.per_image_energy(spec, mapping, interbank_bytes);
         let copies = if self.single_bank { 1 } else { mapping.copies_across_memory as u32 };
         let latency_ns = match mapping.scale {
             NnScale::Large => {
@@ -506,7 +522,7 @@ impl Machine for PrimeMachine {
                 // per interval, where the interval is the slower of the
                 // bottleneck stage and the image's share of the internal
                 // bus (shared by all banks, so transfers serialize).
-                let stage = self.bottleneck_stage_ns(spec, &mapping);
+                let stage = self.bottleneck_stage_ns(spec, mapping);
                 let bus = interbank_bytes as f64 / self.params.interbank_gbps;
                 let interval = stage.max(bus);
                 let rounds = batch.div_ceil(copies).max(1) as f64;

@@ -22,8 +22,10 @@ use rand::SeedableRng;
 
 /// `PrimeSystem::deploy` maps without replication (replicas would be an
 /// analytic utilization model, not a physical placement).
-const DEPLOY_OPTIONS: CompileOptions =
-    CompileOptions { replicate: false, strategy: MappingStrategy::ReplicateDense };
+const DEPLOY_OPTIONS: CompileOptions = CompileOptions {
+    replicate: false,
+    ..CompileOptions::fixed(MappingStrategy::ReplicateDense)
+};
 
 fn error_codes(diags: &[prime::analyze::Diagnostic]) -> Vec<Code> {
     diags
@@ -198,7 +200,7 @@ fn shared_kernel_fallback_is_reported_as_p023_info() {
     let target = Target::prime_default();
     let options = CompileOptions {
         replicate: false,
-        strategy: MappingStrategy::SharedKernel,
+        ..CompileOptions::fixed(MappingStrategy::SharedKernel)
     };
     let spec = MlBench::VggD.spec();
     let mapping = map_network(&spec, &target.hw, options).expect("VGG-D maps");
@@ -222,8 +224,10 @@ fn derived_shared_layouts_are_legal_for_every_workload() {
     let target = Target::prime_default();
     for bench in MlBench::ALL {
         for replicate in [false, true] {
-            let options =
-                CompileOptions { replicate, strategy: MappingStrategy::SharedKernel };
+            let options = CompileOptions {
+                replicate,
+                ..CompileOptions::fixed(MappingStrategy::SharedKernel)
+            };
             let spec = bench.spec();
             let Ok(mapping) = map_network(&spec, &target.hw, options) else {
                 continue; // replicated VGG-D overflows the memory: not a layout question
@@ -332,7 +336,10 @@ fn diagnostics_are_reported_in_canonical_deterministic_order() {
     let mapping = map_network(
         &spec,
         &target.hw,
-        CompileOptions { replicate: false, strategy: MappingStrategy::SharedKernel },
+        CompileOptions {
+            replicate: false,
+            ..CompileOptions::fixed(MappingStrategy::SharedKernel)
+        },
     )
     .expect("VGG-D maps");
     let out = analyze(&spec, &target, &mapping);

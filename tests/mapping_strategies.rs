@@ -7,9 +7,10 @@
 //! strictly less bank state resident whenever the memory holds more than
 //! one copy.
 
-use prime::compiler::MappingStrategy;
+use prime::compiler::{MappingStrategy, Objective};
 use prime::core::PrimeSystem;
 use prime::device::NoiseModel;
+use prime::sim::SimCostModel;
 use prime::nn::{Activation, Conv2d, FullyConnected, Layer, Network, Pool2d, PoolKind};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -88,8 +89,8 @@ fn seeded_noisy_outputs_are_bit_identical_across_strategies() {
 fn shared_kernel_keeps_less_bank_state_resident() {
     let net = cnn_net(41);
     let (dense, shared) = deploy_both(&net, 64);
-    let d = *dense.deploy_stats().expect("stats after deploy");
-    let s = *shared.deploy_stats().expect("stats after deploy");
+    let d = dense.deploy_stats().expect("stats after deploy").clone();
+    let s = shared.deploy_stats().expect("stats after deploy").clone();
     // Same placements, same would-be-dense footprint.
     assert_eq!(s.dense_bytes, d.dense_bytes);
     assert_eq!(d.resident_bytes, d.dense_bytes);
@@ -99,6 +100,50 @@ fn shared_kernel_keeps_less_bank_state_resident() {
     assert!(s.aliased_placements > 0);
     assert_eq!(shared.resident_state_bytes(), s.resident_bytes);
     assert!(s.wall_ms >= 0.0 && d.wall_ms >= 0.0);
+}
+
+/// Deploying through the cost-model-driven mapping search
+/// (`deploy_auto`, any objective) must be output-invisible: whatever
+/// candidate the search picks, the digital and the seeded-noisy outputs
+/// are bit-identical to the fixed replicate-dense default deploy — the
+/// search optimizes cost, never arithmetic.
+#[test]
+fn searched_deployments_are_bit_identical_to_fixed() {
+    let noise = NoiseModel { program_sigma: 0.0, read_sigma: 0.05 };
+    let net = cnn_net(41);
+    let inputs = cnn_batch(5);
+
+    let mut fixed = PrimeSystem::new(4, 2, 4, 2048);
+    fixed.deploy(&net, &calibration(64)).expect("fits the memory");
+    let digital = fixed.infer_batch(&inputs).expect("runs");
+    let noisy = fixed.infer_batch_noisy(&inputs, &noise, 0xDEED).expect("runs");
+
+    for objective in [Objective::Latency, Objective::Memory, Objective::Balanced] {
+        let mut searched = PrimeSystem::new(4, 2, 4, 2048);
+        searched
+            .deploy_auto(&net, &calibration(64), objective, &SimCostModel)
+            .expect("a candidate survives the verifiers");
+        let stats = searched.deploy_stats().expect("stats after deploy").clone();
+        let search = stats.search.expect("auto deploys record their search");
+        assert!(
+            search.chosen().is_some(),
+            "{}: no chosen candidate\n{}",
+            objective.name(),
+            search.describe()
+        );
+        assert_eq!(
+            searched.infer_batch(&inputs).expect("runs"),
+            digital,
+            "{}: digital outputs diverged from the fixed default",
+            objective.name()
+        );
+        assert_eq!(
+            searched.infer_batch_noisy(&inputs, &noise, 0xDEED).expect("runs"),
+            noisy,
+            "{}: seeded noisy outputs diverged from the fixed default",
+            objective.name()
+        );
+    }
 }
 
 proptest! {

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 
 /// `PrimeSystem::deploy` maps without replication.
 fn options(strategy: MappingStrategy) -> CompileOptions {
-    CompileOptions { replicate: false, strategy }
+    CompileOptions { replicate: false, ..CompileOptions::fixed(strategy) }
 }
 
 /// A workload, its mapping, and its legal statically lowered plan — the

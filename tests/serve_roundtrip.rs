@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::net::TcpStream;
 use std::time::Duration;
 
+use prime::compiler::{MappingStrategy, Objective};
 use prime::core::PrimeSystem;
 use prime::device::NoiseModel;
 use prime::nn::{Activation, FullyConnected, Layer, Network};
@@ -76,7 +77,9 @@ fn served_outputs_are_bit_identical_under_concurrent_clients() {
         }
     }
 
-    // --- Server: the same net deployed through the registry, plus a
+    // --- Server: the same net deployed through the registry — under a
+    // latency-objective mapping *search*, whose outputs must still match
+    // the fixed-default reference deploy bit-for-bit — plus a
     // zero-capacity model whose every request is deterministically shed.
     let mut registry = Registry::new();
     registry
@@ -91,8 +94,16 @@ fn served_outputs_are_bit_identical_under_concurrent_clients() {
                 queue_bound: 256,
             },
             noise(),
+            Objective::Latency,
         )
         .expect("test net deploys");
+    assert!(
+        registry
+            .registration_log()
+            .last()
+            .is_some_and(|entry| entry.contains("mapping search") && entry.contains("CHOSEN")),
+        "searched registration must log the chosen candidate"
+    );
     registry
         .register(
             SHEDDER,
@@ -105,6 +116,7 @@ fn served_outputs_are_bit_identical_under_concurrent_clients() {
                 queue_bound: 0,
             },
             noise(),
+            Objective::Fixed(MappingStrategy::ReplicateDense),
         )
         .expect("shedder deploys");
     let server = Server::bind("127.0.0.1:0", registry).expect("binds loopback");
